@@ -1,0 +1,182 @@
+//! A Synthetiq-style simulated-annealing synthesizer.
+//!
+//! Synthetiq (Paradis et al., OOPSLA'24) searches for Clifford+T circuits
+//! by simulated annealing over gate assignments. This reimplementation
+//! keeps the essential behaviour the paper evaluates: it produces good
+//! solutions at loose error thresholds, but the acceptance landscape
+//! flattens at tight thresholds so runs hit their iteration budget without
+//! a solution (RQ1, Figure 7/8: 1, 931, 1000 failures out of 1000 at
+//! ε = 0.1, 0.01, 0.001).
+
+use gates::{Gate, GateSeq};
+use qmath::distance::unitary_distance;
+use qmath::Mat2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealConfig {
+    /// Sequence length (gate slots) to search over.
+    pub length: usize,
+    /// Target error threshold; the run stops early when reached.
+    pub epsilon: f64,
+    /// Iteration budget across all restarts.
+    pub max_iters: usize,
+    /// Number of random restarts (budget divided evenly).
+    pub restarts: usize,
+    /// Initial temperature.
+    pub t0: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            length: 40,
+            epsilon: 1e-2,
+            max_iters: 200_000,
+            restarts: 8,
+            t0: 0.35,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Clone, Debug)]
+pub struct AnnealResult {
+    /// Best sequence found (simplified).
+    pub seq: GateSeq,
+    /// Its unitary distance from the target.
+    pub error: f64,
+    /// Whether the error threshold was met within the budget.
+    pub converged: bool,
+    /// Iterations actually spent.
+    pub iters: usize,
+}
+
+/// Runs simulated annealing to approximate `target`.
+pub fn anneal_synthesize(target: &Mat2, cfg: &AnnealConfig) -> AnnealResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let alphabet = Gate::ALL;
+    let iters_per_restart = (cfg.max_iters / cfg.restarts.max(1)).max(1);
+    let mut best_seq: Vec<Gate> = Vec::new();
+    let mut best_err = f64::INFINITY;
+    let mut spent = 0usize;
+
+    'restarts: for _ in 0..cfg.restarts.max(1) {
+        let mut current: Vec<Gate> = (0..cfg.length)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect();
+        let mut cur_err = eval(target, &current);
+        if cur_err < best_err {
+            best_err = cur_err;
+            best_seq = current.clone();
+        }
+        for it in 0..iters_per_restart {
+            spent += 1;
+            let temp = cfg.t0 * (1.0 - it as f64 / iters_per_restart as f64).max(1e-3);
+            // Mutate one random slot.
+            let pos = rng.gen_range(0..current.len());
+            let old = current[pos];
+            current[pos] = alphabet[rng.gen_range(0..alphabet.len())];
+            let new_err = eval(target, &current);
+            let accept = new_err <= cur_err
+                || rng.gen::<f64>() < ((cur_err - new_err) / temp).exp();
+            if accept {
+                cur_err = new_err;
+                if cur_err < best_err {
+                    best_err = cur_err;
+                    best_seq = current.clone();
+                    if best_err <= cfg.epsilon {
+                        break 'restarts;
+                    }
+                }
+            } else {
+                current[pos] = old;
+            }
+        }
+    }
+
+    let seq = GateSeq::from_gates(best_seq).simplified();
+    let error = unitary_distance(target, &seq.matrix());
+    AnnealResult {
+        converged: error <= cfg.epsilon,
+        error,
+        seq,
+        iters: spent,
+    }
+}
+
+fn eval(target: &Mat2, gates: &[Gate]) -> f64 {
+    let mut m = Mat2::identity();
+    for g in gates {
+        m = m * g.matrix();
+    }
+    unitary_distance(target, &m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_at_loose_threshold() {
+        let u = Mat2::u3(0.7, 0.2, -0.5);
+        let r = anneal_synthesize(
+            &u,
+            &AnnealConfig {
+                epsilon: 0.2,
+                length: 24,
+                max_iters: 40_000,
+                ..Default::default()
+            },
+        );
+        assert!(r.converged, "annealer should reach 0.2: got {}", r.error);
+    }
+
+    #[test]
+    fn exact_targets_are_easy() {
+        let r = anneal_synthesize(
+            &Mat2::h(),
+            &AnnealConfig {
+                epsilon: 1e-6,
+                length: 12,
+                max_iters: 50_000,
+                ..Default::default()
+            },
+        );
+        assert!(r.error < 1e-6, "H should be found exactly: {}", r.error);
+    }
+
+    #[test]
+    fn struggles_at_tight_threshold() {
+        // The documented Synthetiq failure mode: a small budget cannot
+        // reach 1e-3 on a generic target.
+        let u = Mat2::u3(0.83, -0.31, 1.02);
+        let r = anneal_synthesize(
+            &u,
+            &AnnealConfig {
+                epsilon: 1e-3,
+                length: 30,
+                max_iters: 20_000,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !r.converged,
+            "tight threshold should exhaust the budget (err {})",
+            r.error
+        );
+    }
+
+    #[test]
+    fn reported_error_is_consistent() {
+        let u = Mat2::u3(1.1, 0.6, 0.3);
+        let r = anneal_synthesize(&u, &AnnealConfig::default());
+        let d = unitary_distance(&u, &r.seq.matrix());
+        assert!((d - r.error).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Exhaustive brute-force synthesis.
+//!
+//! Enumerates all sequences in Matsumoto–Amano syllable form
+//! (`(T|ε)(HT|SHT)*·C`) up to a T budget and returns the closest to the
+//! target. Exact but exponential — the paper's scalability strawman
+//! (Figure 1: "slow and unscalable due to the vast search space").
+
+use gates::clifford::clifford_elements;
+use gates::{Gate, GateSeq};
+use qmath::distance::unitary_distance;
+use qmath::Mat2;
+
+/// Exhaustively finds the best Clifford+T approximation of `target` with
+/// at most `max_t` T gates. Cost grows as `O(2^max_t)`; keep
+/// `max_t ≤ 12` for interactive use.
+///
+/// Returns `(sequence, error)`.
+pub fn brute_force_synthesize(target: &Mat2, max_t: usize) -> (GateSeq, f64) {
+    let cliffords = clifford_elements();
+    // Frontier of Matsumoto-Amano prefixes: (matrix, sequence).
+    // Level 0 prefix: identity or T.
+    let mut frontier: Vec<(Mat2, GateSeq)> = vec![
+        (Mat2::identity(), GateSeq::new()),
+        (Mat2::t(), [Gate::T].into_iter().collect()),
+    ];
+    let mut best: Option<(GateSeq, f64)> = None;
+    let consider = |m: &Mat2, seq: &GateSeq, best: &mut Option<(GateSeq, f64)>| {
+        for c in cliffords {
+            let full = *m * c.matrix.to_mat2();
+            let err = unitary_distance(target, &full);
+            if best.as_ref().map(|b| err < b.1).unwrap_or(true) {
+                let mut s = seq.clone();
+                s.extend_seq(&c.seq);
+                *best = Some((s.simplified(), err));
+            }
+        }
+    };
+    for (m, seq) in &frontier {
+        consider(m, seq, &mut best);
+    }
+    let mut t_used = 1usize;
+    while t_used < max_t {
+        t_used += 1;
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for (m, seq) in &frontier {
+            // Append HT or SHT syllables.
+            let ht = *m * (Mat2::h() * Mat2::t());
+            let mut s1 = seq.clone();
+            s1.push(Gate::H);
+            s1.push(Gate::T);
+            consider(&ht, &s1, &mut best);
+            next.push((ht, s1));
+            let sht = *m * (Mat2::s() * Mat2::h() * Mat2::t());
+            let mut s2 = seq.clone();
+            s2.push(Gate::S);
+            s2.push(Gate::H);
+            s2.push(Gate::T);
+            consider(&sht, &s2, &mut best);
+            next.push((sht, s2));
+        }
+        frontier = next;
+    }
+    best.expect("at least the Clifford level is considered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_cliffords() {
+        let (seq, err) = brute_force_synthesize(&Mat2::h(), 2);
+        assert!(err < 1e-9);
+        assert_eq!(seq.t_count(), 0);
+    }
+
+    #[test]
+    fn finds_exact_t() {
+        let (seq, err) = brute_force_synthesize(&Mat2::t(), 2);
+        assert!(err < 1e-9);
+        assert!(seq.t_count() <= 1);
+    }
+
+    #[test]
+    fn error_decreases_with_budget() {
+        let u = Mat2::u3(0.83, -0.31, 1.02);
+        let (_, e4) = brute_force_synthesize(&u, 4);
+        let (_, e8) = brute_force_synthesize(&u, 8);
+        assert!(e8 <= e4 + 1e-12);
+        assert!(e8 < 0.12, "8 T gates should reach ~1e-1: {e8}");
+    }
+
+    #[test]
+    fn sequence_matches_reported_error() {
+        let u = Mat2::u3(1.3, 0.4, -0.8);
+        let (seq, err) = brute_force_synthesize(&u, 6);
+        let d = unitary_distance(&u, &seq.matrix());
+        assert!((d - err).abs() < 1e-9);
+    }
+}

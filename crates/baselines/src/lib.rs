@@ -1,0 +1,18 @@
+//! Baseline synthesizers the paper compares against.
+//!
+//! * [`brute`] — exhaustive enumeration over short Clifford+T sequences
+//!   (the "Brute Force" row of the paper's Figure 1 table: exhaustive
+//!   strategy, error ~1e-2, ≲15 T gates);
+//! * [`annealing`] — a Synthetiq-style random-restart simulated annealer
+//!   over gate sequences (same search strategy and the same failure mode:
+//!   it stalls at tight error thresholds, which is what RQ1 measures);
+//! * [`resynth`] — a BQSKit-style numerical resynthesis pass that
+//!   re-Euler-decomposes merged blocks into `Rz` chains, reproducing the
+//!   rotation inflation of Figure 12.
+
+pub mod annealing;
+pub mod brute;
+pub mod resynth;
+
+pub use annealing::{anneal_synthesize, AnnealConfig, AnnealResult};
+pub use brute::brute_force_synthesize;

@@ -1,0 +1,143 @@
+//! Circuit-level benchmarks: transpile settings (Figures 3/6), workflow
+//! synthesis (Figures 2/10/12), phase folding (Figure 14), simulators
+//! (Figures 9/11/13).
+
+use circuit::levels::{transpile, Basis, TranspileSetting};
+use circuit::synthesize::synthesize_circuit;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gates::GateSeq;
+use qmath::Mat2;
+use sim::density::DensityMatrix;
+use sim::noise::{NoiseModel, NoiseTarget};
+use sim::statevector::State;
+use std::time::Duration;
+use workloads::qaoa::random_qaoa;
+
+/// Figures 3/6: the 16 transpile settings on a QAOA circuit.
+fn bench_transpile(c: &mut Criterion) {
+    let qaoa = random_qaoa(10, 3, 7);
+    let mut g = c.benchmark_group("fig6_transpile");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("all_16_settings", |b| {
+        b.iter(|| {
+            for s in TranspileSetting::all() {
+                std::hint::black_box(transpile(&qaoa, s));
+            }
+        })
+    });
+    g.bench_function("u3_level3_commute", |b| {
+        b.iter(|| {
+            std::hint::black_box(transpile(
+                &qaoa,
+                TranspileSetting {
+                    basis: Basis::U3,
+                    level: 3,
+                    commutation: true,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Figures 2/10: circuit-wide rotation replacement machinery (with a stub
+/// synthesizer so the pass overhead itself is visible).
+fn bench_circuit_synthesis(c: &mut Criterion) {
+    let qaoa = random_qaoa(10, 3, 7);
+    let lowered = transpile(
+        &qaoa,
+        TranspileSetting {
+            basis: Basis::Rz,
+            level: 3,
+            commutation: false,
+        },
+    );
+    let mut g = c.benchmark_group("fig10_circuit_pass");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("synthesize_circuit_overhead", |b| {
+        b.iter(|| {
+            std::hint::black_box(synthesize_circuit(&lowered, |_m: &Mat2| {
+                (
+                    [gates::Gate::T, gates::Gate::H].into_iter().collect::<GateSeq>(),
+                    1e-3,
+                )
+            }))
+        })
+    });
+    g.finish();
+}
+
+/// Figure 14: phase folding on a synthesized-style circuit.
+fn bench_phasefold(c: &mut Criterion) {
+    // A discrete circuit with fold opportunities.
+    let mut circ = circuit::Circuit::new(6);
+    for layer in 0..40 {
+        for q in 0..6usize {
+            circ.gate(q, if layer % 2 == 0 { gates::Gate::T } else { gates::Gate::S });
+        }
+        for q in 0..5usize {
+            circ.cx(q, q + 1);
+        }
+        if layer % 5 == 4 {
+            circ.h(layer % 6);
+        }
+    }
+    let mut g = c.benchmark_group("fig14_phasefold");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("optimize_1440_gates", |b| {
+        b.iter(|| std::hint::black_box(zxopt::optimize(&circ)))
+    });
+    g.finish();
+}
+
+/// Figures 9/11/13: simulator throughput.
+fn bench_simulators(c: &mut Criterion) {
+    let qaoa = random_qaoa(10, 2, 5);
+    let mut g = c.benchmark_group("fig13_simulators");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("statevector_10q_qaoa", |b| {
+        b.iter(|| {
+            let mut s = State::zero(10);
+            s.apply_circuit(&qaoa);
+            std::hint::black_box(s.norm_sqr())
+        })
+    });
+    let small = random_qaoa(6, 1, 5);
+    let lowered = transpile(
+        &small,
+        TranspileSetting {
+            basis: Basis::U3,
+            level: 1,
+            commutation: false,
+        },
+    );
+    let discrete = synthesize_circuit(&lowered, |_m: &Mat2| {
+        (
+            [gates::Gate::H, gates::Gate::T, gates::Gate::H]
+                .into_iter()
+                .collect::<GateSeq>(),
+            1e-2,
+        )
+    });
+    g.bench_function("density_6q_noisy", |b| {
+        let model = NoiseModel {
+            rate: 1e-4,
+            target: NoiseTarget::NonPauliGates,
+        };
+        b.iter(|| {
+            let mut rho = DensityMatrix::zero(6);
+            rho.apply_noisy_circuit(&discrete.circuit, &model);
+            std::hint::black_box(rho.trace())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transpile,
+    bench_circuit_synthesis,
+    bench_phasefold,
+    bench_simulators
+);
+criterion_main!(benches);

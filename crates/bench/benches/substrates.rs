@@ -1,0 +1,82 @@
+//! Substrate micro-benchmarks: step-0 enumeration, MPS sampling, and the
+//! gridsynth stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsynth::diophantine::solve_norm_equation;
+use gridsynth::exact_synth::exact_synthesize;
+use gridsynth::grid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rings::ZRoot2;
+use std::sync::OnceLock;
+use std::time::Duration;
+use trasyn::mps::TraceMps;
+use trasyn::sample::sample_sequences;
+use trasyn::UnitaryTable;
+
+fn table() -> &'static UnitaryTable {
+    static CELL: OnceLock<UnitaryTable> = OnceLock::new();
+    CELL.get_or_init(|| UnitaryTable::build(6))
+}
+
+/// Step-0 enumeration cost (paper §3.3: `O(4^#T)` — one-time).
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step0_enumeration");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for t in [3usize, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| std::hint::black_box(UnitaryTable::build(t)))
+        });
+    }
+    g.finish();
+}
+
+/// Step 1+2: MPS environment build and sampling throughput.
+fn bench_sampling(c: &mut Criterion) {
+    let table = table();
+    let mut g = c.benchmark_group("step2_sampling");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let u = qmath::Mat2::u3(0.73, -0.2, 1.1);
+    for k in [256usize, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mps = TraceMps::new(table, &[6, 6]);
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| std::hint::black_box(sample_sequences(&mps, &u, k, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+/// gridsynth stages: grid candidates, Diophantine, exact synthesis.
+fn bench_gridsynth_stages(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gridsynth_stages");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("grid_candidates_k20", |b| {
+        b.iter(|| std::hint::black_box(grid::candidates(0.937, 1e-2, 20, 16)))
+    });
+    g.bench_function("diophantine", |b| {
+        let mut k = 0i128;
+        b.iter(|| {
+            k += 1;
+            // A family of doubly-positive values.
+            let xi = ZRoot2::new(40 + (k % 17), 3 + (k % 5));
+            std::hint::black_box(solve_norm_equation(xi))
+        })
+    });
+    g.bench_function("exact_synthesis_t20", |b| {
+        use gates::{ExactMat2, Gate, GateSeq};
+        let seq: GateSeq = (0..60)
+            .map(|i| match i % 3 {
+                0 => Gate::H,
+                1 => Gate::T,
+                _ => Gate::S,
+            })
+            .collect();
+        let m = ExactMat2::from_seq(&seq);
+        b.iter(|| std::hint::black_box(exact_synthesize(m)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_sampling, bench_gridsynth_stages);
+criterion_main!(benches);

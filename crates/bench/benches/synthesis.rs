@@ -1,0 +1,110 @@
+//! Per-method single-unitary synthesis latency — the timing data behind
+//! Figure 8 and the workload of Table 1 / Figure 7.
+
+use baselines::{anneal_synthesize, AnnealConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridsynth::{synthesize_rz, synthesize_u3};
+use std::sync::OnceLock;
+use std::time::Duration;
+use trasyn::{SynthesisConfig, Trasyn};
+use workloads::random::haar_targets;
+
+fn synthesizer() -> &'static Trasyn {
+    static CELL: OnceLock<Trasyn> = OnceLock::new();
+    CELL.get_or_init(|| Trasyn::new(6))
+}
+
+/// Figure 8: trasyn synthesis time at the three scales (1/2/3 tensors).
+fn bench_trasyn_scales(c: &mut Criterion) {
+    let synth = synthesizer();
+    let targets = haar_targets(8, 1);
+    let mut g = c.benchmark_group("fig8_trasyn");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for tensors in [1usize, 2, 3] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(tensors),
+            &tensors,
+            |b, &tensors| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let u = &targets[i % targets.len()];
+                    i += 1;
+                    let cfg = SynthesisConfig {
+                        samples: 512,
+                        budgets: vec![6; tensors],
+                        min_tensors: tensors,
+                        ..Default::default()
+                    };
+                    std::hint::black_box(synth.synthesize(u, &cfg))
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Figure 8: gridsynth Rz synthesis time at the three error scales.
+fn bench_gridsynth_eps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_gridsynth_rz");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for eps in [1e-1f64, 1e-2, 1e-3] {
+        g.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let mut k = 0u32;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                let theta = 0.1 + (k % 31) as f64 * 0.07;
+                std::hint::black_box(synthesize_rz(theta, eps))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Table 1 workload: the full gridsynth U3 (three-Rz) pipeline.
+fn bench_gridsynth_u3(c: &mut Criterion) {
+    let targets = haar_targets(8, 2);
+    let mut g = c.benchmark_group("table1_gridsynth_u3");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("eps_1e-2", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = &targets[i % targets.len()];
+            i += 1;
+            std::hint::black_box(synthesize_u3(u, 1e-2))
+        });
+    });
+    g.finish();
+}
+
+/// Figure 7's Synthetiq point: annealing with a bounded budget.
+fn bench_annealer(c: &mut Criterion) {
+    let targets = haar_targets(4, 3);
+    let mut g = c.benchmark_group("fig7_synthetiq");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("eps_1e-1", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let u = &targets[i % targets.len()];
+            i += 1;
+            std::hint::black_box(anneal_synthesize(
+                u,
+                &AnnealConfig {
+                    epsilon: 1e-1,
+                    max_iters: 5_000,
+                    restarts: 2,
+                    ..Default::default()
+                },
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trasyn_scales,
+    bench_gridsynth_eps,
+    bench_gridsynth_u3,
+    bench_annealer
+);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Criterion benchmarks live in `benches/`:
+//!
+//! * `synthesis` — per-method synthesis latency (Figure 8's timing data
+//!   and Table 1 / Figure 7 workloads);
+//! * `substrates` — step-0 enumeration, MPS sampling, gridsynth stages;
+//! * `circuits` — transpile settings (Figures 3/6), circuit synthesis
+//!   (Figures 2/10), phase folding (Figure 14), simulators (Figures 9/13).

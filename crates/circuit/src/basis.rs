@@ -1,0 +1,168 @@
+//! Lowering to the two intermediate representations.
+//!
+//! * [`to_u3_basis`]: `CNOT + U3` — rotations stay as single `U3` ops
+//!   (trivial ones become discrete gate runs);
+//! * [`to_rz_basis`]: `Clifford + Rz` — every single-qubit unitary becomes
+//!   `Rz·H·Rz·H·Rz` (Eq. 1), with trivial `Rz` factors emitted as
+//!   discrete gates.
+
+use crate::ir::{Circuit, Instr, Op};
+use crate::trivial::{as_trivial, is_pi4_multiple};
+use qmath::euler::{decompose_u3, u3_to_three_rz};
+use qmath::Mat2;
+
+/// Lowers every rotation to a `U3` op; rotations equal to a ≤1-T unitary
+/// become their minimal discrete gate run instead.
+pub fn to_u3_basis(c: &Circuit) -> Circuit {
+    let mut out = Circuit::new(c.n_qubits());
+    for i in c.instrs() {
+        match i.op {
+            Op::Cx | Op::Gate1(_) => out.push(*i),
+            op => {
+                let m = op.matrix();
+                if let Some(seq) = as_trivial(&m, 1e-9) {
+                    push_seq(&mut out, i.q0, seq);
+                } else {
+                    let a = decompose_u3(&m);
+                    out.push(Instr {
+                        op: Op::U3 {
+                            theta: a.theta,
+                            phi: a.phi,
+                            lambda: a.lambda,
+                        },
+                        q0: i.q0,
+                        q1: None,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lowers every rotation to the `Clifford+Rz` IR: nontrivial single-qubit
+/// unitaries become `Rz(β₁)·H·Rz(β₂)·H·Rz(β₃)` (in circuit time: β₃
+/// first). π/4-multiple `Rz` factors are emitted as discrete gates.
+pub fn to_rz_basis(c: &Circuit) -> Circuit {
+    let mut out = Circuit::new(c.n_qubits());
+    for i in c.instrs() {
+        match i.op {
+            Op::Cx | Op::Gate1(_) => out.push(*i),
+            Op::Rz(a) => push_rz(&mut out, i.q0, a),
+            op => {
+                let m = op.matrix();
+                if let Some(seq) = as_trivial(&m, 1e-9) {
+                    push_seq(&mut out, i.q0, seq);
+                    continue;
+                }
+                let ang = decompose_u3(&m);
+                let (b1, b2, b3) = u3_to_three_rz(ang.theta, ang.phi, ang.lambda);
+                // Matrix product Rz(b1)·H·Rz(b2)·H·Rz(b3) reads right to
+                // left in circuit time: b3 acts first.
+                push_rz(&mut out, i.q0, b3);
+                out.h(i.q0);
+                push_rz(&mut out, i.q0, b2);
+                out.h(i.q0);
+                push_rz(&mut out, i.q0, b1);
+            }
+        }
+    }
+    out
+}
+
+/// Emits `Rz(angle)` on `q`, as discrete gates when the angle is a π/4
+/// multiple (paper footnote 3), skipping zero entirely.
+fn push_rz(out: &mut Circuit, q: usize, angle: f64) {
+    if is_pi4_multiple(angle) {
+        let m = Mat2::rz(angle);
+        if let Some(seq) = as_trivial(&m, 1e-9) {
+            push_seq(out, q, seq);
+            return;
+        }
+    }
+    out.rz(q, angle);
+}
+
+/// Appends a [`gates::GateSeq`] (matrix convention: leftmost factor last
+/// in circuit time) to the circuit on qubit `q`.
+pub fn push_seq(out: &mut Circuit, q: usize, seq: &gates::GateSeq) {
+    // GateSeq [g1, g2, ...] means operator g1·g2·…; in circuit time the
+    // rightmost factor acts first, so emit in reverse.
+    for g in seq.gates().iter().rev() {
+        out.gate(q, *g);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rotation_count;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn u3_basis_keeps_one_rotation_per_unitary() {
+        let mut c = Circuit::new(1);
+        c.u3(0, 0.4, 0.8, -0.3);
+        let u = to_u3_basis(&c);
+        assert_eq!(rotation_count(&u), 1);
+    }
+
+    #[test]
+    fn rz_basis_triples_rotations_generically() {
+        let mut c = Circuit::new(1);
+        c.u3(0, 0.4, 0.8, -0.3);
+        let r = to_rz_basis(&c);
+        assert_eq!(rotation_count(&r), 3, "{r}");
+    }
+
+    #[test]
+    fn rz_basis_preserves_operator() {
+        let mut c = Circuit::new(1);
+        c.u3(0, 0.4, 0.8, -0.3);
+        let r = to_rz_basis(&c);
+        // Reconstruct the single-qubit operator (reverse circuit order).
+        let mut m = Mat2::identity();
+        for i in r.instrs() {
+            m = i.op.matrix() * m;
+        }
+        assert!(m.approx_eq_phase(&Mat2::u3(0.4, 0.8, -0.3), 1e-9));
+    }
+
+    #[test]
+    fn trivial_rotations_become_discrete() {
+        let mut c = Circuit::new(1);
+        c.rz(0, FRAC_PI_2); // = S up to phase
+        let u = to_u3_basis(&c);
+        assert_eq!(rotation_count(&u), 0, "{u}");
+        let r = to_rz_basis(&c);
+        assert_eq!(rotation_count(&r), 0, "{r}");
+    }
+
+    #[test]
+    fn axis_rotation_stays_single_in_rz_basis() {
+        // A bare Rz stays one rotation (not three).
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.777);
+        let r = to_rz_basis(&c);
+        assert_eq!(rotation_count(&r), 1);
+    }
+
+    #[test]
+    fn rx_becomes_three_rz_only_via_euler_with_trivial_outer() {
+        // Rx(θ) = H·Rz(θ)·H: β₁, β₃ are ±π/2 → trivial, leaving ONE
+        // nontrivial rotation. The Rz IR is only worse for *mixed* axes.
+        let mut c = Circuit::new(1);
+        c.rx(0, 0.777);
+        let r = to_rz_basis(&c);
+        assert_eq!(rotation_count(&r), 1, "{r}");
+    }
+
+    #[test]
+    fn cx_passes_through() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.u3(0, 0.4, 0.8, -0.3);
+        assert_eq!(to_rz_basis(&c).instrs()[0].op, Op::Cx);
+        assert_eq!(to_u3_basis(&c).instrs()[0].op, Op::Cx);
+    }
+}

@@ -1,0 +1,199 @@
+//! The gate-commutation pass of §3.4.
+//!
+//! `Rz` commutes with the *control* of a CNOT and `Rx` with its *target*.
+//! Pushing rotations through CNOTs brings previously-separated rotations
+//! next to each other so the fusion pass can merge them — the mechanism
+//! behind the consistent ~40% rotation reduction in QAOA circuits.
+
+use crate::ir::{Circuit, Instr, Op};
+
+/// Pushes `Rz` rotations rightward through CNOT controls and `Rx`
+/// rotations rightward through CNOT targets, as long as doing so moves
+/// them closer to another single-qubit gate on the same qubit. Applied to
+/// a fixpoint (bounded number of sweeps).
+pub fn commute_rotations(c: &Circuit) -> Circuit {
+    let mut instrs: Vec<Instr> = c.instrs().to_vec();
+    let mut changed = true;
+    let mut sweeps = 0usize;
+    while changed && sweeps < 32 {
+        changed = false;
+        sweeps += 1;
+        let mut i = 0usize;
+        while i + 1 < instrs.len() {
+            let a = instrs[i];
+            let b = instrs[i + 1];
+            if can_swap(&a, &b) && beneficial(&instrs, i) {
+                instrs.swap(i, i + 1);
+                changed = true;
+            }
+            i += 1;
+        }
+    }
+    Circuit::from_instrs(c.n_qubits(), instrs)
+}
+
+/// `true` when instruction `a` may hop over the *next* instruction `b`
+/// without changing the circuit's operator.
+fn can_swap(a: &Instr, b: &Instr) -> bool {
+    match (a.op, b.op) {
+        // Disjoint qubits always commute.
+        _ if disjoint(a, b) => true,
+        // Rz/diagonal past a CNOT control.
+        (Op::Rz(_), Op::Cx) => b.q0 == a.q0 && b.q1 != Some(a.q0),
+        // Rx past a CNOT target.
+        (Op::Rx(_), Op::Cx) => b.q1 == Some(a.q0) && b.q0 != a.q0,
+        _ => false,
+    }
+}
+
+fn disjoint(a: &Instr, b: &Instr) -> bool {
+    let aq = [Some(a.q0), a.q1];
+    let bq = [Some(b.q0), b.q1];
+    for x in aq.into_iter().flatten() {
+        for y in bq.into_iter().flatten() {
+            if x == y {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Only hop a rotation over a CNOT when somewhere to the right there is
+/// another single-qubit gate on the same qubit to merge with (prevents
+/// aimless churn and guarantees sweep termination together with the
+/// sweep bound).
+fn beneficial(instrs: &[Instr], i: usize) -> bool {
+    let a = instrs[i];
+    if !a.op.is_rotation() {
+        // Plain disjoint swaps are never needed for merging; skip to keep
+        // the pass minimal and deterministic.
+        return false;
+    }
+    for b in instrs.iter().skip(i + 2) {
+        match b.op {
+            Op::Cx => {
+                let involved = b.q0 == a.q0 || b.q1 == Some(a.q0);
+                if involved {
+                    // The rotation could keep commuting only if compatible;
+                    // conservatively stop the lookahead at an incompatible
+                    // CNOT.
+                    let compatible = matches!(
+                        (a.op, ()),
+                        (Op::Rz(_), ()) if b.q0 == a.q0
+                    ) || matches!(
+                        (a.op, ()),
+                        (Op::Rx(_), ()) if b.q1 == Some(a.q0)
+                    );
+                    if !compatible {
+                        return false;
+                    }
+                }
+            }
+            _ if b.q0 == a.q0 && b.q1.is_none() => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuse::fuse_single_qubit;
+    use crate::metrics::rotation_count;
+
+    #[test]
+    fn rz_commutes_through_control() {
+        // rz(q0); cx(q0,q1); rz(q0)  →  after commuting + fusing: 1 rotation.
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3);
+        c.cx(0, 1);
+        c.rz(0, 0.4);
+        let out = fuse_single_qubit(&commute_rotations(&c));
+        assert_eq!(rotation_count(&out), 1, "{out}");
+    }
+
+    #[test]
+    fn rx_commutes_through_target() {
+        let mut c = Circuit::new(2);
+        c.rx(1, 0.3);
+        c.cx(0, 1);
+        c.rx(1, 0.4);
+        let out = fuse_single_qubit(&commute_rotations(&c));
+        assert_eq!(rotation_count(&out), 1, "{out}");
+    }
+
+    #[test]
+    fn rz_does_not_cross_target() {
+        let mut c = Circuit::new(2);
+        c.rz(1, 0.3);
+        c.cx(0, 1);
+        c.rz(1, 0.4);
+        let out = fuse_single_qubit(&commute_rotations(&c));
+        assert_eq!(rotation_count(&out), 2, "Rz must not cross a CNOT target");
+    }
+
+    #[test]
+    fn operator_preserved_on_two_qubits() {
+        use qmath::CMatrix;
+        // Verify semantics with an explicit 4x4 matrix product.
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.7);
+        c.cx(0, 1);
+        c.rz(0, -0.4);
+        c.rx(1, 0.9);
+        let out = commute_rotations(&c);
+        let m1 = circuit_unitary_2q(&c);
+        let m2 = circuit_unitary_2q(&out);
+        assert!(m1.approx_eq(&m2, 1e-9), "commutation changed the operator");
+
+        fn circuit_unitary_2q(c: &Circuit) -> CMatrix {
+            let mut u = CMatrix::identity(4);
+            for i in c.instrs() {
+                let g = match i.op {
+                    Op::Cx => {
+                        let mut m = CMatrix::zeros(4, 4);
+                        // control = q0, target = q1 (q0 is the HIGH bit
+                        // when q0 < q1 in big-endian ordering below).
+                        let (ctrl, tgt) = (i.q0, i.q1.unwrap());
+                        for b0 in 0..2usize {
+                            for b1 in 0..2usize {
+                                let bits = [b0, b1];
+                                let cbit = bits[ctrl];
+                                let mut obits = bits;
+                                if cbit == 1 {
+                                    obits[tgt] ^= 1;
+                                }
+                                let from = b0 * 2 + b1;
+                                let to = obits[0] * 2 + obits[1];
+                                m[(to, from)] = qmath::Complex64::ONE;
+                            }
+                        }
+                        m
+                    }
+                    op => {
+                        let g1 = CMatrix::from_mat2(&op.matrix());
+                        let id = CMatrix::identity(2);
+                        if i.q0 == 0 {
+                            g1.kron(&id)
+                        } else {
+                            id.kron(&g1)
+                        }
+                    }
+                };
+                u = &g * &u;
+            }
+            u
+        }
+    }
+
+    #[test]
+    fn no_merge_opportunity_means_no_motion() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3);
+        c.cx(0, 1);
+        let out = commute_rotations(&c);
+        assert_eq!(out.instrs(), c.instrs());
+    }
+}

@@ -1,0 +1,132 @@
+//! Single-qubit gate fusion into `U3` (the merge pass of §3.4).
+//!
+//! Walks the instruction list keeping one pending 2×2 matrix per qubit;
+//! any run of adjacent single-qubit gates collapses into a single `U3`
+//! instruction (or nothing, if the run is the identity). This is what
+//! makes the `U3` IR strictly coarser than the `Rz` IR: `Rx·Rz`, `Rz·H·Rz`
+//! etc. all become one rotation.
+
+use crate::ir::{Circuit, Instr, Op};
+use qmath::euler::decompose_u3;
+use qmath::Mat2;
+
+/// Fuses every maximal run of adjacent single-qubit gates into one `U3`.
+///
+/// Identity runs (within tolerance) are dropped entirely. Two-qubit gates
+/// are barriers: a run ends when its qubit participates in a CNOT.
+pub fn fuse_single_qubit(c: &Circuit) -> Circuit {
+    let mut out = Circuit::new(c.n_qubits());
+    let mut pending: Vec<Option<Mat2>> = vec![None; c.n_qubits()];
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Mat2>>, q: usize| {
+        if let Some(m) = pending[q].take() {
+            if let Some(instr) = matrix_to_instr(q, &m) {
+                out.push(instr);
+            }
+        }
+    };
+
+    for i in c.instrs() {
+        match i.op {
+            Op::Cx => {
+                let t = i.q1.expect("cx has a target");
+                flush(&mut out, &mut pending, i.q0);
+                flush(&mut out, &mut pending, t);
+                out.push(*i);
+            }
+            op => {
+                let m = op.matrix();
+                let acc = pending[i.q0].take().unwrap_or_else(Mat2::identity);
+                // Circuit time flows left to right, so a later gate
+                // multiplies on the LEFT of the accumulated operator.
+                pending[i.q0] = Some(m * acc);
+            }
+        }
+    }
+    for q in 0..c.n_qubits() {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+/// Converts an accumulated 2×2 unitary into an instruction, dropping
+/// identities.
+fn matrix_to_instr(q: usize, m: &Mat2) -> Option<Instr> {
+    if m.approx_eq_phase(&Mat2::identity(), 1e-10) {
+        return None;
+    }
+    let a = decompose_u3(m);
+    Some(Instr {
+        op: Op::U3 {
+            theta: a.theta,
+            phi: a.phi,
+            lambda: a.lambda,
+        },
+        q0: q,
+        q1: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rotation_count;
+    use gates::Gate;
+
+    #[test]
+    fn adjacent_rotations_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3);
+        c.rx(0, 0.5);
+        c.rz(0, -0.2);
+        let f = fuse_single_qubit(&c);
+        assert_eq!(f.len(), 1);
+        assert!(matches!(f.instrs()[0].op, Op::U3 { .. }));
+    }
+
+    #[test]
+    fn fusion_preserves_the_operator() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3);
+        c.h(0);
+        c.rx(0, 0.5);
+        let f = fuse_single_qubit(&c);
+        assert_eq!(f.len(), 1);
+        // Circuit time: Rz first ⇒ operator = Rx·H·Rz.
+        let want = Mat2::rx(0.5) * Mat2::h() * Mat2::rz(0.3);
+        assert!(f.instrs()[0].op.matrix().approx_eq_phase(&want, 1e-9));
+    }
+
+    #[test]
+    fn cnot_is_a_barrier() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3);
+        c.cx(0, 1);
+        c.rz(0, 0.4);
+        let f = fuse_single_qubit(&c);
+        // Two separate rotations remain.
+        assert_eq!(rotation_count(&f), 2);
+    }
+
+    #[test]
+    fn identity_runs_vanish() {
+        let mut c = Circuit::new(1);
+        c.gate(0, Gate::H);
+        c.gate(0, Gate::H);
+        let f = fuse_single_qubit(&c);
+        assert!(f.is_empty());
+        let mut c2 = Circuit::new(1);
+        c2.rz(0, 0.7);
+        c2.rz(0, -0.7);
+        assert!(fuse_single_qubit(&c2).is_empty());
+    }
+
+    #[test]
+    fn rotations_on_different_qubits_do_not_merge() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3);
+        c.rz(1, 0.4);
+        let f = fuse_single_qubit(&c);
+        assert_eq!(f.len(), 2);
+    }
+}

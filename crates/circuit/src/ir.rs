@@ -1,0 +1,349 @@
+//! The circuit intermediate representation.
+
+use gates::Gate;
+use qmath::Mat2;
+use std::fmt;
+
+/// A circuit operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Z rotation by an angle.
+    Rz(f64),
+    /// X rotation by an angle.
+    Rx(f64),
+    /// Y rotation by an angle.
+    Ry(f64),
+    /// General single-qubit unitary in the `U3` convention.
+    U3 {
+        /// Polar angle.
+        theta: f64,
+        /// First azimuthal angle.
+        phi: f64,
+        /// Second azimuthal angle.
+        lambda: f64,
+    },
+    /// A discrete Clifford+T gate.
+    Gate1(Gate),
+    /// Controlled-NOT (`q0` control, `q1` target).
+    Cx,
+}
+
+impl Op {
+    /// `true` for any parametrized single-qubit rotation (`Rz/Rx/Ry/U3`).
+    pub fn is_rotation(&self) -> bool {
+        matches!(self, Op::Rz(_) | Op::Rx(_) | Op::Ry(_) | Op::U3 { .. })
+    }
+
+    /// The 2×2 matrix of a single-qubit op.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Op::Cx`].
+    pub fn matrix(&self) -> Mat2 {
+        match *self {
+            Op::Rz(a) => Mat2::rz(a),
+            Op::Rx(a) => Mat2::rx(a),
+            Op::Ry(a) => Mat2::ry(a),
+            Op::U3 { theta, phi, lambda } => Mat2::u3(theta, phi, lambda),
+            Op::Gate1(g) => g.matrix(),
+            Op::Cx => panic!("Cx has no single-qubit matrix"),
+        }
+    }
+}
+
+/// One instruction: an op applied to one or two qubits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Instr {
+    /// The operation.
+    pub op: Op,
+    /// First (or only) qubit; the control for [`Op::Cx`].
+    pub q0: usize,
+    /// Second qubit (the CNOT target), `None` for single-qubit ops.
+    pub q1: Option<usize>,
+}
+
+/// A quantum circuit over `n` qubits: an ordered instruction list.
+///
+/// Instructions apply left to right in *circuit time* (the first
+/// instruction acts on the state first) — note this is the opposite of the
+/// matrix-product convention used by [`gates::GateSeq`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    n_qubits: usize,
+    instrs: Vec<Instr>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `n_qubits`.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The instruction list.
+    #[inline]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Total instruction count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when there are no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends an arbitrary instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range or a CNOT touches one qubit
+    /// twice.
+    pub fn push(&mut self, instr: Instr) {
+        assert!(instr.q0 < self.n_qubits, "qubit out of range");
+        if let Some(q1) = instr.q1 {
+            assert!(q1 < self.n_qubits, "qubit out of range");
+            assert_ne!(instr.q0, q1, "two-qubit gate needs distinct qubits");
+        }
+        self.instrs.push(instr);
+    }
+
+    /// Appends `Rz(angle)` on `q`.
+    pub fn rz(&mut self, q: usize, angle: f64) {
+        self.push(Instr {
+            op: Op::Rz(angle),
+            q0: q,
+            q1: None,
+        });
+    }
+
+    /// Appends `Rx(angle)` on `q`.
+    pub fn rx(&mut self, q: usize, angle: f64) {
+        self.push(Instr {
+            op: Op::Rx(angle),
+            q0: q,
+            q1: None,
+        });
+    }
+
+    /// Appends `Ry(angle)` on `q`.
+    pub fn ry(&mut self, q: usize, angle: f64) {
+        self.push(Instr {
+            op: Op::Ry(angle),
+            q0: q,
+            q1: None,
+        });
+    }
+
+    /// Appends `U3(θ, φ, λ)` on `q`.
+    pub fn u3(&mut self, q: usize, theta: f64, phi: f64, lambda: f64) {
+        self.push(Instr {
+            op: Op::U3 { theta, phi, lambda },
+            q0: q,
+            q1: None,
+        });
+    }
+
+    /// Appends a discrete gate on `q`.
+    pub fn gate(&mut self, q: usize, g: Gate) {
+        self.push(Instr {
+            op: Op::Gate1(g),
+            q0: q,
+            q1: None,
+        });
+    }
+
+    /// Appends `H` on `q` (convenience).
+    pub fn h(&mut self, q: usize) {
+        self.gate(q, Gate::H);
+    }
+
+    /// Appends a CNOT with control `c` and target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        self.push(Instr {
+            op: Op::Cx,
+            q0: c,
+            q1: Some(t),
+        });
+    }
+
+    /// Appends all instructions of `other` (qubit counts must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has more qubits than `self`.
+    pub fn extend_circuit(&mut self, other: &Circuit) {
+        assert!(other.n_qubits <= self.n_qubits, "qubit count mismatch");
+        self.instrs.extend_from_slice(&other.instrs);
+    }
+
+    /// Builds a circuit from raw instructions.
+    pub fn from_instrs(n_qubits: usize, instrs: Vec<Instr>) -> Self {
+        let mut c = Circuit::new(n_qubits);
+        for i in instrs {
+            c.push(i);
+        }
+        c
+    }
+
+    /// The inverse circuit: reversed instruction order with each gate
+    /// inverted (rotations negate, `CX` is an involution).
+    pub fn inverse(&self) -> Circuit {
+        let mut out = Circuit::new(self.n_qubits);
+        for i in self.instrs.iter().rev() {
+            let op = match i.op {
+                Op::Rz(a) => Op::Rz(-a),
+                Op::Rx(a) => Op::Rx(-a),
+                Op::Ry(a) => Op::Ry(-a),
+                // U3(θ,φ,λ)† = Rz(−λ)·Ry(−θ)·Rz(−φ); absorbing the sign of
+                // θ through Ry(−θ) = Rz(π)·Ry(θ)·Rz(−π) gives
+                // U3(θ, π−λ, −π−φ) up to global phase.
+                Op::U3 { theta, phi, lambda } => Op::U3 {
+                    theta,
+                    phi: qmath::euler::wrap_angle(std::f64::consts::PI - lambda),
+                    lambda: qmath::euler::wrap_angle(-std::f64::consts::PI - phi),
+                },
+                Op::Gate1(g) => Op::Gate1(g.inverse()),
+                Op::Cx => Op::Cx,
+            };
+            out.push(Instr { op, ..*i });
+        }
+        out
+    }
+
+    /// Circuit depth: the longest chain of instructions where consecutive
+    /// ones share a qubit (every instruction counts as one layer).
+    pub fn depth(&self) -> usize {
+        let mut d = vec![0usize; self.n_qubits];
+        for i in &self.instrs {
+            match i.q1 {
+                Some(t) => {
+                    let m = d[i.q0].max(d[t]) + 1;
+                    d[i.q0] = m;
+                    d[t] = m;
+                }
+                None => d[i.q0] += 1,
+            }
+        }
+        d.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits, {} ops):", self.n_qubits, self.len())?;
+        for i in &self.instrs {
+            match (i.op, i.q1) {
+                (Op::Cx, Some(t)) => writeln!(f, "  cx q{}, q{}", i.q0, t)?,
+                (Op::Rz(a), _) => writeln!(f, "  rz({a:.6}) q{}", i.q0)?,
+                (Op::Rx(a), _) => writeln!(f, "  rx({a:.6}) q{}", i.q0)?,
+                (Op::Ry(a), _) => writeln!(f, "  ry({a:.6}) q{}", i.q0)?,
+                (Op::U3 { theta, phi, lambda }, _) => {
+                    writeln!(f, "  u3({theta:.6},{phi:.6},{lambda:.6}) q{}", i.q0)?
+                }
+                (Op::Gate1(g), _) => writeln!(f, "  {} q{}", g.symbol(), i.q0)?,
+                (Op::Cx, None) => unreachable!(),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods() {
+        let mut c = Circuit::new(3);
+        c.rz(0, 0.1);
+        c.cx(0, 1);
+        c.h(2);
+        c.u3(1, 0.1, 0.2, 0.3);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.n_qubits(), 3);
+        assert!(c.instrs()[0].op.is_rotation());
+        assert!(!c.instrs()[2].op.is_rotation());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_qubits() {
+        let mut c = Circuit::new(1);
+        c.rz(1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_self_cnot() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 1);
+    }
+
+    #[test]
+    fn op_matrices() {
+        assert!(Op::Rz(0.3).matrix().approx_eq(&Mat2::rz(0.3), 1e-12));
+        assert!(Op::Gate1(Gate::H).matrix().approx_eq(&Mat2::h(), 1e-12));
+    }
+
+    #[test]
+    fn display_contains_ops() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.5);
+        c.cx(0, 1);
+        let s = c.to_string();
+        assert!(s.contains("rz"));
+        assert!(s.contains("cx q0, q1"));
+    }
+
+    #[test]
+    fn inverse_cancels() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.5);
+        c.u3(1, 0.3, 0.2, -0.9);
+        c.cx(0, 1);
+        c.gate(0, Gate::T);
+        let mut whole = c.clone();
+        whole.extend_circuit(&c.inverse());
+        assert_eq!(whole.len(), 2 * c.len());
+        // Every instruction's inverse op must invert its matrix (the U3
+        // case is the subtle one).
+        let inv = c.inverse();
+        for (a, b) in c.instrs().iter().zip(inv.instrs().iter().rev()) {
+            if a.op == Op::Cx {
+                assert_eq!(b.op, Op::Cx);
+                continue;
+            }
+            let prod = b.op.matrix() * a.op.matrix();
+            assert!(
+                prod.approx_eq_phase(&Mat2::identity(), 1e-10),
+                "op {:?} not inverted by {:?}",
+                a.op,
+                b.op
+            );
+        }
+    }
+
+    #[test]
+    fn depth_counts_layers() {
+        let mut c = Circuit::new(3);
+        c.h(0); // layer 1 on q0
+        c.h(1); // layer 1 on q1
+        c.cx(0, 1); // layer 2 on q0,q1
+        c.h(2); // layer 1 on q2
+        assert_eq!(c.depth(), 2);
+    }
+}

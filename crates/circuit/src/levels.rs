@@ -1,0 +1,197 @@
+//! The 16 transpile settings of Figure 6:
+//! `{Rz, U3} × {level 0..3} × {± commutation}`.
+
+use crate::basis::{to_rz_basis, to_u3_basis};
+use crate::commute::commute_rotations;
+use crate::fuse::fuse_single_qubit;
+use crate::ir::{Circuit, Op};
+use crate::metrics::rotation_count;
+
+/// Target intermediate representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Basis {
+    /// `Clifford + Rz` (the `gridsynth` workflow).
+    Rz,
+    /// `CNOT + U3` (the trasyn workflow).
+    U3,
+}
+
+/// One transpilation configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TranspileSetting {
+    /// Target IR.
+    pub basis: Basis,
+    /// Optimization level 0–3 (mirroring the paper's Qiskit levels:
+    /// 0 = direct lowering, 1 = +fusion, 2 = +CNOT-pair cancellation,
+    /// 3 = +repeated fusion sweep).
+    pub level: u8,
+    /// Whether to run the §3.4 commutation pass first.
+    pub commutation: bool,
+}
+
+impl TranspileSetting {
+    /// All 16 settings, Rz first, then U3, level-major.
+    pub fn all() -> Vec<TranspileSetting> {
+        let mut out = Vec::with_capacity(16);
+        for &basis in &[Basis::Rz, Basis::U3] {
+            for level in 0..=3u8 {
+                for &commutation in &[false, true] {
+                    out.push(TranspileSetting {
+                        basis,
+                        level,
+                        commutation,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Transpiles `c` under a setting, returning the lowered circuit.
+pub fn transpile(c: &Circuit, setting: TranspileSetting) -> Circuit {
+    let mut work = c.clone();
+    if setting.commutation {
+        work = commute_rotations(&work);
+    }
+    if setting.level >= 1 {
+        work = fuse_single_qubit(&work);
+    }
+    if setting.level >= 2 {
+        work = cancel_cx_pairs(&work);
+        work = fuse_single_qubit(&work);
+    }
+    if setting.level >= 3 {
+        if setting.commutation {
+            work = commute_rotations(&work);
+        }
+        work = fuse_single_qubit(&work);
+    }
+    match setting.basis {
+        Basis::Rz => to_rz_basis(&work),
+        Basis::U3 => to_u3_basis(&work),
+    }
+}
+
+/// Picks the setting minimizing the nontrivial-rotation count for a given
+/// basis (the paper picks the best of the four levels per IR; Figure 6
+/// counts which setting wins). Returns `(setting, rotations, circuit)`.
+pub fn best_for_basis(c: &Circuit, basis: Basis) -> (TranspileSetting, usize, Circuit) {
+    TranspileSetting::all()
+        .into_iter()
+        .filter(|s| s.basis == basis)
+        .map(|s| {
+            let t = transpile(c, s);
+            let r = rotation_count(&t);
+            (s, r, t)
+        })
+        .min_by_key(|&(_, r, _)| r)
+        .expect("at least one setting per basis")
+}
+
+/// Cancels immediately-adjacent identical CNOT pairs (level ≥ 2).
+fn cancel_cx_pairs(c: &Circuit) -> Circuit {
+    let mut out: Vec<crate::ir::Instr> = Vec::with_capacity(c.len());
+    for i in c.instrs() {
+        if i.op == Op::Cx {
+            if let Some(last) = out.last() {
+                if last.op == Op::Cx && last.q0 == i.q0 && last.q1 == i.q1 {
+                    out.pop();
+                    continue;
+                }
+            }
+        }
+        out.push(*i);
+    }
+    Circuit::from_instrs(c.n_qubits(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> Circuit {
+        // Rz and Rx separated by a commuting CNOT — the motivating shape.
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3);
+        c.rx(1, 0.7);
+        c.cx(0, 1);
+        c.rz(0, 0.4);
+        c.rx(1, 0.2);
+        c.cx(0, 1);
+        c.cx(0, 1); // cancellable pair
+        c
+    }
+
+    #[test]
+    fn sixteen_settings() {
+        assert_eq!(TranspileSetting::all().len(), 16);
+    }
+
+    #[test]
+    fn u3_with_commutation_minimizes_rotations() {
+        let c = sample_circuit();
+        let plain = transpile(
+            &c,
+            TranspileSetting {
+                basis: Basis::U3,
+                level: 1,
+                commutation: false,
+            },
+        );
+        let commuted = transpile(
+            &c,
+            TranspileSetting {
+                basis: Basis::U3,
+                level: 3,
+                commutation: true,
+            },
+        );
+        assert!(
+            rotation_count(&commuted) < rotation_count(&plain),
+            "commutation must enable merges: {} vs {}",
+            rotation_count(&commuted),
+            rotation_count(&plain)
+        );
+    }
+
+    #[test]
+    fn rz_basis_never_beats_u3_on_mixed_axes() {
+        let c = sample_circuit();
+        let (_, rz_rot, _) = best_for_basis(&c, Basis::Rz);
+        let (_, u3_rot, _) = best_for_basis(&c, Basis::U3);
+        assert!(u3_rot <= rz_rot, "U3 {u3_rot} vs Rz {rz_rot}");
+    }
+
+    #[test]
+    fn level_two_cancels_cx_pairs() {
+        let c = sample_circuit();
+        let t = transpile(
+            &c,
+            TranspileSetting {
+                basis: Basis::U3,
+                level: 2,
+                commutation: false,
+            },
+        );
+        // Of the three CNOTs, the adjacent identical pair cancels.
+        assert_eq!(crate::metrics::cx_count(&t), 1, "{t}");
+    }
+
+    #[test]
+    fn level_zero_is_direct_lowering() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3);
+        c.rx(0, 0.5);
+        let t = transpile(
+            &c,
+            TranspileSetting {
+                basis: Basis::U3,
+                level: 0,
+                commutation: false,
+            },
+        );
+        // No fusion at level 0: both rotations survive.
+        assert_eq!(rotation_count(&t), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Multi-qubit circuit IR and the paper's transpilation passes.
+//!
+//! The paper's compilation study (§2.2, §3.4, Figures 3 and 6) compares
+//! two intermediate representations for fault-tolerant lowering:
+//!
+//! * **Clifford+Rz** — every single-qubit unitary becomes three `Rz`
+//!   rotations interleaved with `H` (Eq. 1), each synthesized separately;
+//! * **CNOT+U3** — adjacent single-qubit gates merge into one `U3`,
+//!   synthesized directly (by trasyn).
+//!
+//! This crate provides the circuit IR ([`Circuit`], [`Op`]), the merge
+//! passes ([`fuse`]), the `Rz`/`Rx`-through-CNOT commutation pass
+//! ([`commute`]), the two basis lowerings ([`basis`]), the 16 transpile
+//! settings of Figure 6 ([`levels`]), resource metrics ([`metrics`]), and
+//! circuit-wide application of a single-qubit synthesizer
+//! ([`synthesize`]).
+//!
+//! ```
+//! use circuit::Circuit;
+//!
+//! let mut c = Circuit::new(2);
+//! c.rz(0, 0.3);
+//! c.rx(0, 0.5); // adjacent: fusable into one U3
+//! c.cx(0, 1);
+//! let fused = circuit::fuse::fuse_single_qubit(&c);
+//! assert_eq!(circuit::metrics::rotation_count(&fused), 1);
+//! ```
+
+pub mod basis;
+pub mod commute;
+pub mod fuse;
+pub mod ir;
+pub mod levels;
+pub mod metrics;
+pub mod qasm;
+pub mod synthesize;
+pub mod trivial;
+
+pub use ir::{Circuit, Instr, Op};
+pub use levels::{transpile, Basis, TranspileSetting};

@@ -1,0 +1,168 @@
+//! OpenQASM 2.0 export.
+//!
+//! Lets synthesized circuits flow into external toolchains (Qiskit, PyZX,
+//! staq …) for cross-validation. Only the gate set this workspace emits is
+//! supported: `h s sdg t tdg x y z rz rx ry u3 cx`.
+
+use crate::ir::{Circuit, Op};
+use gates::Gate;
+use std::fmt::Write;
+
+/// Serializes a circuit as an OpenQASM 2.0 program.
+///
+/// ```
+/// use circuit::Circuit;
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// let q = circuit::qasm::to_qasm(&c);
+/// assert!(q.contains("h q[0];"));
+/// assert!(q.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(c: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", c.n_qubits());
+    for i in c.instrs() {
+        match i.op {
+            Op::Cx => {
+                let _ = writeln!(out, "cx q[{}],q[{}];", i.q0, i.q1.expect("cx target"));
+            }
+            Op::Rz(a) => {
+                let _ = writeln!(out, "rz({a}) q[{}];", i.q0);
+            }
+            Op::Rx(a) => {
+                let _ = writeln!(out, "rx({a}) q[{}];", i.q0);
+            }
+            Op::Ry(a) => {
+                let _ = writeln!(out, "ry({a}) q[{}];", i.q0);
+            }
+            Op::U3 { theta, phi, lambda } => {
+                let _ = writeln!(out, "u3({theta},{phi},{lambda}) q[{}];", i.q0);
+            }
+            Op::Gate1(g) => {
+                let name = match g {
+                    Gate::H => "h",
+                    Gate::S => "s",
+                    Gate::Sdg => "sdg",
+                    Gate::T => "t",
+                    Gate::Tdg => "tdg",
+                    Gate::X => "x",
+                    Gate::Y => "y",
+                    Gate::Z => "z",
+                };
+                let _ = writeln!(out, "{name} q[{}];", i.q0);
+            }
+        }
+    }
+    out
+}
+
+/// Parses the subset of OpenQASM 2.0 emitted by [`to_qasm`]. Returns
+/// `None` on any unsupported construct (this is a round-trip aid, not a
+/// general front end).
+pub fn from_qasm(src: &str) -> Option<Circuit> {
+    let mut circuit: Option<Circuit> = None;
+    for raw in src.lines() {
+        let line = raw.trim();
+        if line.is_empty()
+            || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+            || line.starts_with("//")
+        {
+            continue;
+        }
+        let line = line.strip_suffix(';')?;
+        if let Some(rest) = line.strip_prefix("qreg q[") {
+            let n: usize = rest.strip_suffix(']')?.parse().ok()?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+        let c = circuit.as_mut()?;
+        let (head, args) = line.split_once(" q[")?;
+        if head == "cx" {
+            // "cx q[a],q[b]" split differently: args = "a],q[b]".
+            let (a, rest) = args.split_once("],q[")?;
+            let b = rest.strip_suffix(']')?;
+            c.cx(a.parse().ok()?, b.parse().ok()?);
+            continue;
+        }
+        let q: usize = args.strip_suffix(']')?.parse().ok()?;
+        if let Some(g) = match head {
+            "h" => Some(Gate::H),
+            "s" => Some(Gate::S),
+            "sdg" => Some(Gate::Sdg),
+            "t" => Some(Gate::T),
+            "tdg" => Some(Gate::Tdg),
+            "x" => Some(Gate::X),
+            "y" => Some(Gate::Y),
+            "z" => Some(Gate::Z),
+            _ => None,
+        } {
+            c.gate(q, g);
+            continue;
+        }
+        // Parametrized forms: name(params).
+        let (name, params) = head.split_once('(')?;
+        let params = params.strip_suffix(')')?;
+        let vals: Vec<f64> = params
+            .split(',')
+            .map(|s| s.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .ok()?;
+        match (name, vals.as_slice()) {
+            ("rz", [a]) => c.rz(q, *a),
+            ("rx", [a]) => c.rx(q, *a),
+            ("ry", [a]) => c.ry(q, *a),
+            ("u3", [t, p, l]) => c.u3(q, *t, *p, *l),
+            _ => return None,
+        }
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.gate(1, Gate::Tdg);
+        c.rz(2, 0.25);
+        c.u3(0, 0.1, -0.2, 0.3);
+        c.cx(0, 2);
+        c.gate(2, Gate::Sdg);
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let q = to_qasm(&c);
+        let back = from_qasm(&q).expect("own output parses");
+        assert_eq!(back.n_qubits(), c.n_qubits());
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.instrs(), c.instrs());
+    }
+
+    #[test]
+    fn header_and_register() {
+        let q = to_qasm(&sample());
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_qasm("qreg q[2];\nfoo q[0];").is_none());
+        assert!(from_qasm("h q[0];").is_none(), "missing qreg");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "OPENQASM 2.0;\n// a comment\n\nqreg q[1];\nh q[0];\n";
+        let c = from_qasm(src).expect("parses");
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Recognizing "trivial" rotations.
+//!
+//! Paper §2.2 footnote 3: a rotation is *nontrivial* if it needs more than
+//! one T gate — `Rz` angles at integer multiples of π/4 (and generally any
+//! unitary within the 96-element set `{Clifford, Clifford·T·Clifford}`)
+//! synthesize exactly with at most one T, so they are excluded from
+//! rotation counts and synthesized by table lookup.
+
+use gates::clifford::clifford_elements;
+use gates::{ExactMat2, Gate, GateSeq};
+use qmath::Mat2;
+use std::sync::OnceLock;
+
+/// An exactly-representable gate with at most one T.
+#[derive(Clone, Debug)]
+pub struct TrivialEntry {
+    /// Numeric matrix.
+    pub matrix: Mat2,
+    /// Minimal sequence (T count ≤ 1).
+    pub seq: GateSeq,
+}
+
+/// The 96 matrices with T count ≤ 1 (24 Cliffords + 72 with one T),
+/// each with its minimal sequence.
+pub fn trivial_set() -> &'static [TrivialEntry] {
+    static CACHE: OnceLock<Vec<TrivialEntry>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let cliffords = clifford_elements();
+        let mut seen: Vec<ExactMat2> = Vec::new();
+        let mut out: Vec<TrivialEntry> = Vec::new();
+        let mut push = |seq: GateSeq| {
+            let exact = ExactMat2::from_seq(&seq);
+            let key = exact.phase_canonical();
+            if !seen.contains(&key) {
+                seen.push(key);
+                out.push(TrivialEntry {
+                    matrix: exact.to_mat2(),
+                    seq,
+                });
+            }
+        };
+        for c in cliffords {
+            push(c.seq.clone());
+        }
+        for c1 in cliffords {
+            for c2 in cliffords {
+                let mut seq = c1.seq.clone();
+                seq.push(Gate::T);
+                seq.extend_seq(&c2.seq);
+                push(seq.simplified());
+            }
+        }
+        out
+    })
+}
+
+/// If `m` equals (up to global phase) a unitary with T count ≤ 1, returns
+/// its minimal gate sequence.
+pub fn as_trivial(m: &Mat2, tol: f64) -> Option<&'static GateSeq> {
+    trivial_set()
+        .iter()
+        .find(|e| m.approx_eq_phase(&e.matrix, tol))
+        .map(|e| &e.seq)
+}
+
+/// `true` when the rotation needs more than one T gate — the paper's
+/// "nontrivial rotation" predicate used in all rotation counts.
+pub fn is_nontrivial(m: &Mat2) -> bool {
+    as_trivial(m, 1e-9).is_none()
+}
+
+/// `true` when `angle` is (numerically) an integer multiple of π/4.
+pub fn is_pi4_multiple(angle: f64) -> bool {
+    let steps = angle / std::f64::consts::FRAC_PI_4;
+    (steps - steps.round()).abs() < 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
+
+    #[test]
+    fn set_has_96_elements() {
+        // 24·(3·2¹ − 2) = 96 unique matrices with T ≤ 1.
+        assert_eq!(trivial_set().len(), 96);
+    }
+
+    #[test]
+    fn rz_pi4_multiples_are_trivial() {
+        for m in -8..=8 {
+            let rz = Mat2::rz(m as f64 * FRAC_PI_4);
+            assert!(!is_nontrivial(&rz), "Rz({m}π/4) should be trivial");
+        }
+    }
+
+    #[test]
+    fn generic_rotation_is_nontrivial() {
+        assert!(is_nontrivial(&Mat2::rz(0.3)));
+        assert!(is_nontrivial(&Mat2::u3(0.5, 0.2, 0.9)));
+    }
+
+    #[test]
+    fn rx_pi2_is_trivial() {
+        // Rx(π/2) = H·S·H·(phase): Clifford.
+        assert!(!is_nontrivial(&Mat2::rx(FRAC_PI_2)));
+    }
+
+    #[test]
+    fn sequences_reproduce_matrices() {
+        for e in trivial_set().iter().take(30) {
+            assert!(e.seq.matrix().approx_eq(&e.matrix, 1e-9));
+            assert!(e.seq.t_count() <= 1);
+        }
+    }
+
+    #[test]
+    fn pi4_multiple_predicate() {
+        assert!(is_pi4_multiple(FRAC_PI_4));
+        assert!(is_pi4_multiple(0.0));
+        assert!(is_pi4_multiple(-3.0 * FRAC_PI_4));
+        assert!(!is_pi4_multiple(0.3));
+    }
+}

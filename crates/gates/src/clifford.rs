@@ -1,0 +1,188 @@
+//! The 24-element single-qubit Clifford group.
+//!
+//! trasyn's step-0 enumeration builds every unique Clifford+T matrix by
+//! alternating T gates with Clifford elements, so it needs the full group
+//! with, for each element, the *cheapest* generating sequence (fewest
+//! `S`/`S†`, then fewest `H` — paper §3.3, "order depends on gate cost
+//! assumptions").
+
+use crate::exact::ExactMat2;
+use crate::gate::Gate;
+use crate::sequence::GateSeq;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// A Clifford group element: its exact matrix (phase-canonical) and the
+/// cheapest gate sequence producing it.
+#[derive(Clone, Debug)]
+pub struct CliffordElement {
+    /// Phase-canonical exact matrix.
+    pub matrix: ExactMat2,
+    /// Cheapest sequence (by `(S-count, H-count, length)`).
+    pub seq: GateSeq,
+}
+
+/// Returns the 24 single-qubit Clifford group elements (modulo global
+/// phase), each with its cheapest generating sequence over
+/// `{H, S, S†, X, Y, Z}`.
+///
+/// The list is computed once and cached for the process lifetime. The
+/// identity element is first; the remaining order is deterministic
+/// (BFS layer, then canonical-key order).
+///
+/// ```
+/// let cliffords = gates::clifford_elements();
+/// assert_eq!(cliffords.len(), 24);
+/// assert!(cliffords[0].seq.is_empty()); // identity first
+/// ```
+pub fn clifford_elements() -> &'static [CliffordElement] {
+    static CACHE: OnceLock<Vec<CliffordElement>> = OnceLock::new();
+    CACHE.get_or_init(build_clifford_group)
+}
+
+/// Looks up a phase-canonical exact matrix in the Clifford group, returning
+/// its cheapest sequence if the matrix is a Clifford.
+pub fn clifford_lookup(canonical: &ExactMat2) -> Option<&'static GateSeq> {
+    static INDEX: OnceLock<HashMap<ExactMat2, usize>> = OnceLock::new();
+    let index = INDEX.get_or_init(|| {
+        clifford_elements()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.matrix, i))
+            .collect()
+    });
+    index
+        .get(canonical)
+        .map(|&i| &clifford_elements()[i].seq)
+}
+
+fn build_clifford_group() -> Vec<CliffordElement> {
+    // BFS closure over the Clifford generators, tracking cheapest sequences.
+    // Generators ordered so that cheap gates are explored first.
+    let generators = [Gate::Z, Gate::X, Gate::Y, Gate::S, Gate::Sdg, Gate::H];
+    let mut best: HashMap<ExactMat2, GateSeq> = HashMap::new();
+    let id = ExactMat2::identity().phase_canonical();
+    best.insert(id, GateSeq::new());
+    let mut frontier: Vec<(ExactMat2, GateSeq)> = vec![(ExactMat2::identity(), GateSeq::new())];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for (m, seq) in frontier {
+            for g in generators {
+                let m2 = m * ExactMat2::gate(g);
+                let key = m2.phase_canonical();
+                let mut s2 = seq.clone();
+                s2.push(g);
+                match best.get(&key) {
+                    Some(existing) if existing.cost() <= s2.cost() => {}
+                    _ => {
+                        best.insert(key, s2.clone());
+                        next.push((m2, s2));
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    assert_eq!(best.len(), 24, "single-qubit Clifford group has 24 elements");
+    let mut out: Vec<CliffordElement> = best
+        .into_iter()
+        .map(|(matrix, seq)| CliffordElement { matrix, seq })
+        .collect();
+    // Deterministic order: identity first, then by cost and display.
+    out.sort_by_key(|c| {
+        (
+            !c.seq.is_empty() as u8,
+            c.seq.cost(),
+            c.seq.to_string(),
+        )
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::Mat2;
+
+    #[test]
+    fn group_has_24_elements() {
+        assert_eq!(clifford_elements().len(), 24);
+    }
+
+    #[test]
+    fn sequences_reproduce_matrices() {
+        for c in clifford_elements() {
+            let m = ExactMat2::from_seq(&c.seq).phase_canonical();
+            assert_eq!(m, c.matrix, "sequence {} mismatch", c.seq);
+        }
+    }
+
+    #[test]
+    fn no_t_gates_in_cliffords() {
+        for c in clifford_elements() {
+            assert_eq!(c.seq.t_count(), 0);
+        }
+    }
+
+    #[test]
+    fn closed_under_multiplication() {
+        let els = clifford_elements();
+        for a in els.iter().take(6) {
+            for b in els.iter().take(6) {
+                let p = (a.matrix * b.matrix).phase_canonical();
+                assert!(
+                    clifford_lookup(&p).is_some(),
+                    "product {}·{} left the group",
+                    a.seq,
+                    b.seq
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_rejects_t() {
+        let t = ExactMat2::gate(Gate::T).phase_canonical();
+        assert!(clifford_lookup(&t).is_none());
+    }
+
+    #[test]
+    fn contains_hadamard_and_phase() {
+        let h = ExactMat2::gate(Gate::H).phase_canonical();
+        let s = ExactMat2::gate(Gate::S).phase_canonical();
+        assert!(clifford_lookup(&h).is_some());
+        assert!(clifford_lookup(&s).is_some());
+    }
+
+    #[test]
+    fn all_elements_unitary_numeric() {
+        for c in clifford_elements() {
+            assert!(c.matrix.to_mat2().is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn distinct_matrices() {
+        let els = clifford_elements();
+        for i in 0..els.len() {
+            for j in (i + 1)..els.len() {
+                assert!(
+                    !els[i]
+                        .matrix
+                        .to_mat2()
+                        .approx_eq_phase(&els[j].matrix.to_mat2(), 1e-9),
+                    "elements {i} and {j} coincide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_first() {
+        assert!(clifford_elements()[0].seq.is_empty());
+        assert!(clifford_elements()[0]
+            .matrix
+            .to_mat2()
+            .approx_eq_phase(&Mat2::identity(), 1e-12));
+    }
+}

@@ -1,0 +1,225 @@
+//! Exact 2×2 matrices over `Z[ω, 1/√2]`.
+//!
+//! Every Clifford+T product has entries in the ring `D[ω] = Z[ω, 1/√2]`,
+//! so gate sequences can be multiplied *exactly*. Exactness gives two
+//! things the synthesis pipeline needs:
+//!
+//! 1. **Phase-robust deduplication** (trasyn step 0): matrices equal up to
+//!    one of the 8 global phases `ω^j` canonicalize to bit-identical keys,
+//!    immune to floating-point ties;
+//! 2. **Exact synthesis** (`gridsynth`): the Kliuchnikov–Maslov–Mosca
+//!    recursion terminates on exact denominator exponents.
+
+use crate::gate::Gate;
+use crate::sequence::GateSeq;
+use qmath::Mat2;
+use rings::{DOmega, ZOmega};
+
+/// An exact 2×2 matrix with entries in `D[ω]`, row-major.
+///
+/// ```
+/// use gates::{ExactMat2, Gate};
+/// let h2 = ExactMat2::gate(Gate::H) * ExactMat2::gate(Gate::H);
+/// assert_eq!(h2, ExactMat2::identity());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ExactMat2 {
+    /// Entries `[m00, m01, m10, m11]`.
+    pub e: [DOmega; 4],
+}
+
+impl ExactMat2 {
+    /// Builds from entries.
+    pub const fn new(m00: DOmega, m01: DOmega, m10: DOmega, m11: DOmega) -> Self {
+        ExactMat2 {
+            e: [m00, m01, m10, m11],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        ExactMat2::new(DOmega::ONE, DOmega::ZERO, DOmega::ZERO, DOmega::ONE)
+    }
+
+    /// The exact matrix of a gate.
+    pub fn gate(g: Gate) -> Self {
+        let one = DOmega::ONE;
+        let zero = DOmega::ZERO;
+        let i = DOmega::from_zomega(ZOmega::i());
+        let w = DOmega::from_zomega(ZOmega::omega());
+        match g {
+            Gate::H => {
+                let h = DOmega::new(ZOmega::from_int(1), 1); // 1/√2
+                ExactMat2::new(h, h, h, -h)
+            }
+            Gate::S => ExactMat2::new(one, zero, zero, i),
+            Gate::Sdg => ExactMat2::new(one, zero, zero, -i),
+            Gate::T => ExactMat2::new(one, zero, zero, w),
+            // ω⁻¹ = ω⁷ = −ω³.
+            Gate::Tdg => ExactMat2::new(
+                one,
+                zero,
+                zero,
+                DOmega::from_zomega(-ZOmega::new(0, 0, 0, 1)),
+            ),
+            Gate::X => ExactMat2::new(zero, one, one, zero),
+            Gate::Y => ExactMat2::new(zero, -i, i, zero),
+            Gate::Z => ExactMat2::new(one, zero, zero, -one),
+        }
+    }
+
+    /// Exact product of a gate sequence.
+    pub fn from_seq(seq: &GateSeq) -> Self {
+        let mut m = ExactMat2::identity();
+        for &g in seq {
+            m = m * ExactMat2::gate(g);
+        }
+        m
+    }
+
+    /// Conjugate transpose.
+    pub fn adjoint(&self) -> Self {
+        ExactMat2::new(
+            self.e[0].conj(),
+            self.e[2].conj(),
+            self.e[1].conj(),
+            self.e[3].conj(),
+        )
+    }
+
+    /// Multiplies every entry by `ω^j`.
+    pub fn mul_omega_pow(&self, j: i32) -> Self {
+        ExactMat2::new(
+            self.e[0].mul_omega_pow(j),
+            self.e[1].mul_omega_pow(j),
+            self.e[2].mul_omega_pow(j),
+            self.e[3].mul_omega_pow(j),
+        )
+    }
+
+    /// Numerical matrix.
+    pub fn to_mat2(&self) -> Mat2 {
+        Mat2::new(
+            self.e[0].to_complex(),
+            self.e[1].to_complex(),
+            self.e[2].to_complex(),
+            self.e[3].to_complex(),
+        )
+    }
+
+    /// The largest denominator exponent among the entries — the quantity
+    /// the exact-synthesis recursion reduces.
+    pub fn sde(&self) -> u32 {
+        self.e.iter().map(|d| d.k()).max().unwrap_or(0)
+    }
+
+    /// Canonical representative among the 8 global-phase multiples
+    /// `ω^j · M`, `j = 0..8`. Matrices equal up to an allowed global phase
+    /// canonicalize to the same exact value, making this usable as a
+    /// `HashMap` key.
+    pub fn phase_canonical(&self) -> ExactMat2 {
+        (0..8)
+            .map(|j| self.mul_omega_pow(j))
+            .min_by_key(|m| key_tuple(m))
+            .expect("eight candidates")
+    }
+}
+
+/// Total ordering key for canonicalization: the raw coordinates of every
+/// entry at a common denominator exponent.
+fn key_tuple(m: &ExactMat2) -> [i128; 17] {
+    let k = m.sde();
+    let mut out = [0i128; 17];
+    out[0] = k as i128;
+    for (i, d) in m.e.iter().enumerate() {
+        let z = d.num_at(k).expect("k is the max exponent");
+        out[1 + i * 4] = z.a0;
+        out[2 + i * 4] = z.a1;
+        out[3 + i * 4] = z.a2;
+        out[4 + i * 4] = z.a3;
+    }
+    out
+}
+
+impl std::ops::Mul for ExactMat2 {
+    type Output = ExactMat2;
+    fn mul(self, r: ExactMat2) -> ExactMat2 {
+        ExactMat2::new(
+            self.e[0] * r.e[0] + self.e[1] * r.e[2],
+            self.e[0] * r.e[1] + self.e[1] * r.e[3],
+            self.e[2] * r.e[0] + self.e[3] * r.e[2],
+            self.e[2] * r.e[1] + self.e[3] * r.e[3],
+        )
+    }
+}
+
+impl std::ops::Neg for ExactMat2 {
+    type Output = ExactMat2;
+    fn neg(self) -> ExactMat2 {
+        ExactMat2::new(-self.e[0], -self.e[1], -self.e[2], -self.e[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_matrices_match_numeric() {
+        for g in Gate::ALL {
+            let exact = ExactMat2::gate(g).to_mat2();
+            assert!(exact.approx_eq(&g.matrix(), 1e-12), "{g}");
+        }
+    }
+
+    #[test]
+    fn product_matches_numeric() {
+        let seq: GateSeq = [Gate::H, Gate::T, Gate::S, Gate::H, Gate::Tdg, Gate::X]
+            .into_iter()
+            .collect();
+        let exact = ExactMat2::from_seq(&seq).to_mat2();
+        assert!(exact.approx_eq(&seq.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn adjoint_is_exact_inverse_for_unitaries() {
+        let seq: GateSeq = [Gate::H, Gate::T, Gate::S, Gate::H].into_iter().collect();
+        let m = ExactMat2::from_seq(&seq);
+        let p = m * m.adjoint();
+        assert_eq!(p, ExactMat2::identity());
+    }
+
+    #[test]
+    fn phase_canonical_collapses_omega_multiples() {
+        let seq: GateSeq = [Gate::H, Gate::T, Gate::H, Gate::T, Gate::T]
+            .into_iter()
+            .collect();
+        let m = ExactMat2::from_seq(&seq);
+        let canon = m.phase_canonical();
+        for j in 0..8 {
+            assert_eq!(m.mul_omega_pow(j).phase_canonical(), canon, "j={j}");
+        }
+    }
+
+    #[test]
+    fn distinct_matrices_have_distinct_canonicals() {
+        let a = ExactMat2::from_seq(&[Gate::H, Gate::T].into_iter().collect());
+        let b = ExactMat2::from_seq(&[Gate::T, Gate::H].into_iter().collect());
+        assert_ne!(a.phase_canonical(), b.phase_canonical());
+    }
+
+    #[test]
+    fn sde_grows_with_hadamards() {
+        let h = ExactMat2::gate(Gate::H);
+        assert_eq!(h.sde(), 1);
+        let t = ExactMat2::gate(Gate::T);
+        let m = h * t * h;
+        assert!(m.sde() >= 1);
+    }
+
+    #[test]
+    fn tdg_is_t_inverse() {
+        let p = ExactMat2::gate(Gate::T) * ExactMat2::gate(Gate::Tdg);
+        assert_eq!(p, ExactMat2::identity());
+    }
+}

@@ -1,0 +1,35 @@
+//! The Clifford+T gate alphabet and single-qubit gate sequences.
+//!
+//! This crate is the shared vocabulary between the synthesizers
+//! (`gridsynth`, `trasyn`, `baselines`) and the circuit layer:
+//!
+//! * [`Gate`] — the discrete gate alphabet `{H, S, S†, T, T†, X, Y, Z}`;
+//! * [`GateSeq`] — sequences with resource metrics (T count, Clifford
+//!   count excluding Paulis, …) and algebraic peephole simplification;
+//! * [`clifford`] — the 24-element single-qubit Clifford group with
+//!   canonical shortest gate sequences;
+//! * [`exact`] — exact 2×2 matrices over [`rings::DOmega`], used for
+//!   phase-robust deduplication and exact synthesis.
+//!
+//! # Conventions
+//!
+//! A sequence `[g₁, g₂, …, gₙ]` denotes the operator product
+//! `g₁·g₂·⋯·gₙ` (leftmost gate is applied *last* in circuit time). All
+//! synthesizers in the workspace emit sequences under this convention.
+//!
+//! ```
+//! use gates::{Gate, GateSeq};
+//! let seq: GateSeq = [Gate::H, Gate::T, Gate::H].into_iter().collect();
+//! assert_eq!(seq.t_count(), 1);
+//! assert!(seq.matrix().is_unitary(1e-12));
+//! ```
+
+pub mod clifford;
+pub mod exact;
+pub mod gate;
+pub mod sequence;
+
+pub use clifford::{clifford_elements, CliffordElement};
+pub use exact::ExactMat2;
+pub use gate::Gate;
+pub use sequence::GateSeq;

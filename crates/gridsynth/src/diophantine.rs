@@ -1,0 +1,272 @@
+//! Solving the relative norm equation `t†t = ξ` in `Z[ω]`.
+//!
+//! Given a doubly non-negative `ξ ∈ Z[√2]` (produced as `2^k − v†v` by the
+//! grid stage), find `t ∈ Z[ω]` whose squared modulus is exactly `ξ`. The
+//! classic construction factors the absolute norm `N(ξ) ∈ Z` and assembles
+//! `t` from prime elements of `Z[ω]`, split according to the residue of
+//! each rational prime mod 8:
+//!
+//! | p mod 8 | split of p | prime element |
+//! |---|---|---|
+//! | 2 | ramified | `δ = 1 + ω`, `δ†δ = √2·λ` |
+//! | 1 | splits completely | `gcd(p, x − ω)` with `x⁴ ≡ −1` |
+//! | 3 | inert in `Z[√2]`, splits in `Z[i√2]` | `gcd(p, x − i√2)` with `x² ≡ −2` |
+//! | 5 | inert in `Z[√2]`, splits in `Z[i]` | `gcd(p, x − i)` with `x² ≡ −1` |
+//! | 7 | splits in `Z[√2]`, inert above | solvable only to even powers |
+//!
+//! The final unit mismatch is always an even power of `λ = 1 + √2`
+//! (total positivity), absorbed by multiplying `t` with `λ^{m}`.
+
+use rings::numtheory::{factor, root8, sqrt_mod};
+use rings::{ZOmega, ZRoot2};
+
+/// Upper bound on rational primes we attempt to split: beyond this the
+/// internal `Z[ω]` gcd products would overflow `i128`.
+const MAX_PRIME: u128 = 1 << 40;
+
+/// Solves `t†t = ξ` for `t ∈ Z[ω]`.
+///
+/// Returns `None` when the equation has no solution (e.g. a `p ≡ 7 mod 8`
+/// prime divides `ξ` to an odd power) or when factoring fails; the caller
+/// simply moves on to the next grid candidate.
+///
+/// ```
+/// use rings::{ZRoot2, ZOmega};
+/// use gridsynth::diophantine::solve_norm_equation;
+///
+/// // ξ = 2 = (√2)†(√2): solvable.
+/// let t = solve_norm_equation(ZRoot2::from_int(2)).unwrap();
+/// assert_eq!(t.norm_zroot2(), ZRoot2::from_int(2));
+/// ```
+pub fn solve_norm_equation(xi: ZRoot2) -> Option<ZOmega> {
+    if xi.is_zero() {
+        return Some(ZOmega::ZERO);
+    }
+    if !xi.is_doubly_nonneg() {
+        return None;
+    }
+    // Overflow guard: N(ξ) = a² − 2b² must fit i128 with headroom for the
+    // gcd arithmetic downstream. Coordinates beyond 2^60 signal a caller
+    // that walked k far past any practical synthesis scale.
+    if xi.a.unsigned_abs() > (1u128 << 60) || xi.b.unsigned_abs() > (1u128 << 60) {
+        return None;
+    }
+    let n_abs = xi.norm();
+    debug_assert!(n_abs >= 0, "norm of doubly positive element");
+    let n = n_abs as u128;
+    let factors = factor(n)?;
+
+    let mut rem = xi;
+    let mut t = ZOmega::ONE;
+
+    for &(p, _) in &factors {
+        if p == 2 {
+            // Ramified: strip √2 factors; δ = 1 + ω has δ†δ = √2·λ.
+            let delta = ZOmega::new(1, 1, 0, 0);
+            loop {
+                match div_sqrt2_zroot2(rem) {
+                    Some(q) => {
+                        rem = q;
+                        t = t * delta;
+                    }
+                    None => break,
+                }
+            }
+            continue;
+        }
+        if p > MAX_PRIME {
+            return None;
+        }
+        match p % 8 {
+            1 => {
+                // p splits completely. τ†τ is one of the two Z[√2]-primes
+                // above p; its conj2-partner covers the other.
+                let x = root8(p)?;
+                let tau = gcd_with_int(p, ZOmega::new(x as i128, -1, 0, 0))?;
+                let q = tau.norm_zroot2();
+                if q.norm().unsigned_abs() != p {
+                    return None; // splitting failed (defensive)
+                }
+                strip_and_multiply(&mut rem, &mut t, q, tau)?;
+                strip_and_multiply(&mut rem, &mut t, q.conj2(), tau.conj2())?;
+            }
+            3 => {
+                // Inert in Z[√2]; τ from the split of p in Z[i√2].
+                let x = sqrt_mod(p - 2, p)?; // sqrt of −2
+                let tau = gcd_with_int(p, ZOmega::new(x as i128, -1, 0, -1))?;
+                strip_and_multiply(&mut rem, &mut t, ZRoot2::from_int(p as i128), tau)?;
+            }
+            5 => {
+                // Inert in Z[√2]; τ from the split of p in Z[i].
+                let x = sqrt_mod(p - 1, p)?; // sqrt of −1
+                let tau = gcd_with_int(p, ZOmega::new(x as i128, 0, -1, 0))?;
+                strip_and_multiply(&mut rem, &mut t, ZRoot2::from_int(p as i128), tau)?;
+            }
+            7 => {
+                // Splits in Z[√2] into q·q•, both inert upstairs: only even
+                // powers are relative norms (of the real element q itself).
+                let x = sqrt_mod(2, p)?;
+                let q = ZRoot2::from_int(p as i128).gcd(ZRoot2::new(x as i128, -1));
+                if q.norm().unsigned_abs() != p {
+                    return None;
+                }
+                strip_even_power(&mut rem, &mut t, q)?;
+                strip_even_power(&mut rem, &mut t, q.conj2())?;
+            }
+            _ => unreachable!("odd prime"),
+        }
+    }
+
+    // The leftover must be a totally positive unit λ^{2m}.
+    let rho = t.norm_zroot2();
+    let u = rem_unit(xi, rho)?;
+    let (sign, n_lambda) = u.unit_decompose()?;
+    if sign != 1 || n_lambda % 2 != 0 {
+        return None;
+    }
+    let adj = ZRoot2::lambda_pow(n_lambda / 2);
+    let t = t * ZOmega::from_zroot2(adj);
+    // Exact verification — the contract of this function.
+    if t.norm_zroot2() == xi {
+        Some(t)
+    } else {
+        None
+    }
+}
+
+/// Divides a `Z[√2]` element by `√2` exactly (`(a + b√2)/√2 = b + (a/2)√2`).
+fn div_sqrt2_zroot2(x: ZRoot2) -> Option<ZRoot2> {
+    if x.a % 2 != 0 {
+        return None;
+    }
+    Some(ZRoot2::new(x.b, x.a / 2))
+}
+
+/// `gcd(p, z)` in `Z[ω]` for a rational integer `p`.
+fn gcd_with_int(p: u128, z: ZOmega) -> Option<ZOmega> {
+    let g = ZOmega::from_int(p as i128).gcd(z);
+    if g.is_unit() {
+        None
+    } else {
+        Some(g)
+    }
+}
+
+/// Strips all factors of the `Z[√2]`-prime `q` from `rem`, multiplying
+/// `t` by `tau` once per factor. Requires `tau†tau` associate to `q`.
+fn strip_and_multiply(
+    rem: &mut ZRoot2,
+    t: &mut ZOmega,
+    q: ZRoot2,
+    tau: ZOmega,
+) -> Option<()> {
+    let mut guard = 0;
+    while let Some(next) = rem.exact_div(q) {
+        *rem = next;
+        *t = *t * tau;
+        guard += 1;
+        if guard > 256 {
+            return None;
+        }
+    }
+    Some(())
+}
+
+/// Strips factors of `q` from `rem` requiring an even count; multiplies
+/// `t` by the real element `q` once per *pair*.
+fn strip_even_power(rem: &mut ZRoot2, t: &mut ZOmega, q: ZRoot2) -> Option<()> {
+    let mut count = 0u32;
+    let mut guard = 0;
+    while let Some(next) = rem.exact_div(q) {
+        *rem = next;
+        count += 1;
+        guard += 1;
+        if guard > 256 {
+            return None;
+        }
+    }
+    if count % 2 != 0 {
+        return None; // odd power of an inert prime: unsolvable
+    }
+    for _ in 0..count / 2 {
+        *t = *t * ZOmega::from_zroot2(q);
+    }
+    Some(())
+}
+
+/// The unit `ξ / ρ` when `ρ` exactly divides `ξ`, else `None`.
+fn rem_unit(xi: ZRoot2, rho: ZRoot2) -> Option<ZRoot2> {
+    if rho.is_zero() {
+        return None;
+    }
+    let u = xi.exact_div(rho)?;
+    if u.is_unit() {
+        Some(u)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn solves_constructed_instances() {
+        // For random t, ξ = t†t must be solvable (maybe by a different t').
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..60 {
+            let t0 = ZOmega::new(
+                rng.gen_range(-9i128..9),
+                rng.gen_range(-9i128..9),
+                rng.gen_range(-9i128..9),
+                rng.gen_range(-9i128..9),
+            );
+            if t0.is_zero() {
+                continue;
+            }
+            let xi = t0.norm_zroot2();
+            let t = solve_norm_equation(xi)
+                .unwrap_or_else(|| panic!("ξ = {xi} from t0 = {t0} must be solvable"));
+            assert_eq!(t.norm_zroot2(), xi);
+        }
+    }
+
+    #[test]
+    fn simple_integers() {
+        // 2 = |√2|².
+        assert!(solve_norm_equation(ZRoot2::from_int(2)).is_some());
+        // 5 ≡ 5 mod 8 → solvable (5 = |2+i|²).
+        assert!(solve_norm_equation(ZRoot2::from_int(5)).is_some());
+        // 3 ≡ 3 mod 8 → 3 = |1 + i√2|².
+        assert!(solve_norm_equation(ZRoot2::from_int(3)).is_some());
+        // 7 ≡ 7 mod 8 to the first power is NOT a relative norm.
+        assert!(solve_norm_equation(ZRoot2::from_int(7)).is_none());
+        // But 49 = 7² is.
+        assert!(solve_norm_equation(ZRoot2::from_int(49)).is_some());
+    }
+
+    #[test]
+    fn rejects_negative() {
+        assert!(solve_norm_equation(ZRoot2::from_int(-3)).is_none());
+        // 1 − √2 < 0.
+        assert!(solve_norm_equation(ZRoot2::new(1, -1)).is_none());
+        // 1 + √2 > 0 but conjugate 1 − √2 < 0.
+        assert!(solve_norm_equation(ZRoot2::new(1, 1)).is_none());
+    }
+
+    #[test]
+    fn zero_is_trivial() {
+        assert_eq!(solve_norm_equation(ZRoot2::ZERO), Some(ZOmega::ZERO));
+    }
+
+    #[test]
+    fn solution_verified_exactly() {
+        // λ²·2 is doubly positive: (1+√2)²·2 = (3+2√2)·2 = 6+4√2.
+        let xi = ZRoot2::new(6, 4);
+        let t = solve_norm_equation(xi).expect("solvable");
+        assert_eq!(t.norm_zroot2(), xi);
+    }
+}

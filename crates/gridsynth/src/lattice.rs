@@ -1,0 +1,318 @@
+//! Small-dimension lattice tools: floating-point LLL reduction and
+//! Fincke–Pohst enumeration of lattice points in a ball.
+//!
+//! The 2-D grid problem of `gridsynth` becomes, after weighting, "find all
+//! points of a fixed rank-4 lattice inside a ball" — exactly what these two
+//! routines provide. Dimensions here are tiny (4), so plain `f64`
+//! Gram–Schmidt is accurate enough as long as the caller keeps the weighted
+//! basis conditioned (the grid module rescales each constraint direction to
+//! unit size first).
+
+/// A rank-`N` lattice basis over `R^N`, rows are basis vectors, together
+/// with the integer transform back to the caller's original coordinates.
+#[derive(Clone, Debug)]
+pub struct Basis<const N: usize> {
+    /// Basis vectors (rows), in the working (weighted) coordinates.
+    pub vecs: [[f64; N]; N],
+    /// Integer transform: working basis row `i` equals
+    /// `Σ_j transform[i][j] · original_basis[j]`.
+    pub transform: [[i64; N]; N],
+}
+
+impl<const N: usize> Basis<N> {
+    /// Creates a basis with the identity transform.
+    pub fn new(vecs: [[f64; N]; N]) -> Self {
+        let mut transform = [[0i64; N]; N];
+        for (i, row) in transform.iter_mut().enumerate() {
+            row[i] = 1;
+        }
+        Basis { vecs, transform }
+    }
+
+    /// LLL-reduces the basis in place (Lovász δ = 0.99 for strong
+    /// reduction at these tiny dimensions).
+    pub fn lll_reduce(&mut self) {
+        let delta = 0.99f64;
+        let n = N;
+        let mut k = 1usize;
+        let mut guard = 0usize;
+        while k < n {
+            guard += 1;
+            if guard > 10_000 {
+                break; // defensive: numerically stuck input
+            }
+            let (bstar, mu) = gram_schmidt(&self.vecs);
+            // Size-reduce row k against rows k-1..0.
+            for j in (0..k).rev() {
+                let q = mu[k][j].round();
+                if q != 0.0 {
+                    for d in 0..n {
+                        self.vecs[k][d] -= q * self.vecs[j][d];
+                    }
+                    let qi = q as i64;
+                    for d in 0..n {
+                        self.transform[k][d] -= qi * self.transform[j][d];
+                    }
+                }
+            }
+            let (bstar2, mu2) = gram_schmidt(&self.vecs);
+            let bk = norm_sqr(&bstar2[k]);
+            let bk1 = norm_sqr(&bstar2[k - 1]);
+            let m = mu2[k][k - 1];
+            let _ = (bstar, mu);
+            if bk >= (delta - m * m) * bk1 {
+                k += 1;
+            } else {
+                self.vecs.swap(k, k - 1);
+                self.transform.swap(k, k - 1);
+                k = k.max(2) - 1;
+            }
+        }
+    }
+
+    /// Enumerates every lattice point within Euclidean distance `radius`
+    /// of `target`, returning the integer coordinates **in the original
+    /// basis** for each point found.
+    ///
+    /// The caller bounds the output size through the geometry; a defensive
+    /// cap of `max_points` stops pathological inputs.
+    pub fn enumerate_near(
+        &self,
+        target: [f64; N],
+        radius: f64,
+        max_points: usize,
+    ) -> Vec<[i64; N]> {
+        let (bstar, mu) = gram_schmidt(&self.vecs);
+        let bnorm: Vec<f64> = bstar.iter().map(|v| norm_sqr(v)).collect();
+        if bnorm.iter().any(|&b| b < 1e-280) {
+            return Vec::new(); // degenerate basis
+        }
+        // Target in Gram-Schmidt coordinates.
+        let mut tau = [0.0f64; N];
+        for i in 0..N {
+            tau[i] = dot(&target, &bstar[i]) / bnorm[i];
+        }
+        let mut out = Vec::new();
+        let mut coeff = [0i64; N];
+        self.dfs(
+            N,
+            radius * radius,
+            &tau,
+            &mu,
+            &bnorm,
+            &mut coeff,
+            &mut out,
+            max_points,
+        );
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        level: usize,
+        budget: f64,
+        tau: &[f64; N],
+        mu: &[[f64; N]; N],
+        bnorm: &[f64],
+        coeff: &mut [i64; N],
+        out: &mut Vec<[i64; N]>,
+        max_points: usize,
+    ) {
+        if out.len() >= max_points {
+            return;
+        }
+        if level == 0 {
+            // Convert coefficients (w.r.t. working rows) to the original
+            // integer basis via the transform.
+            let mut orig = [0i64; N];
+            for i in 0..N {
+                for d in 0..N {
+                    orig[d] += coeff[i] * self.transform[i][d];
+                }
+            }
+            out.push(orig);
+            return;
+        }
+        let i = level - 1;
+        // Center of the interval for c_i given the already-fixed c_j (j > i).
+        let mut center = tau[i];
+        for j in (i + 1)..N {
+            center -= coeff[j] as f64 * mu[j][i];
+        }
+        let half = (budget / bnorm[i]).max(0.0).sqrt();
+        let lo = (center - half).ceil() as i64;
+        let hi = (center + half).floor() as i64;
+        for c in lo..=hi {
+            if out.len() >= max_points {
+                // Stop scanning once the output cap is reached — at large
+                // denominator exponents a single interval can hold billions
+                // of integers, and iterating them (even with pruned
+                // recursion) would stall the caller.
+                break;
+            }
+            let d = c as f64 - center;
+            let used = d * d * bnorm[i];
+            if used <= budget {
+                coeff[i] = c;
+                self.dfs(
+                    level - 1,
+                    budget - used,
+                    tau,
+                    mu,
+                    bnorm,
+                    coeff,
+                    out,
+                    max_points,
+                );
+                coeff[i] = 0;
+            }
+        }
+    }
+}
+
+/// Classic Gram–Schmidt returning orthogonal vectors and the μ matrix.
+fn gram_schmidt<const N: usize>(vecs: &[[f64; N]; N]) -> ([[f64; N]; N], [[f64; N]; N]) {
+    let mut bstar = *vecs;
+    let mut mu = [[0.0f64; N]; N];
+    for i in 0..N {
+        for j in 0..i {
+            let denom = norm_sqr(&bstar[j]);
+            let m = if denom > 1e-280 {
+                dot(&vecs[i], &bstar[j]) / denom
+            } else {
+                0.0
+            };
+            mu[i][j] = m;
+            for d in 0..N {
+                bstar[i][d] -= m * bstar[j][d];
+            }
+        }
+    }
+    (bstar, mu)
+}
+
+fn dot<const N: usize>(a: &[f64; N], b: &[f64; N]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn norm_sqr<const N: usize>(a: &[f64; N]) -> f64 {
+    dot(a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lll_shortens_skewed_basis() {
+        // A deliberately skewed 2D-ish basis embedded in 4D.
+        let mut b = Basis::new([
+            [1.0, 1000.0, 0.0, 0.0],
+            [0.0, 1001.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        b.lll_reduce();
+        let shortest = b
+            .vecs
+            .iter()
+            .map(|v| norm_sqr(v).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        // (b2 - b1) = (-1, 1, 0, 0) has length √2.
+        assert!(shortest < 2.0, "shortest after LLL = {shortest}");
+    }
+
+    #[test]
+    fn transform_tracks_row_ops() {
+        let orig = [
+            [3.0, 1.0, 0.0, 0.2],
+            [1.0, 2.0, 0.3, 0.0],
+            [0.0, 1.0, 4.0, 1.0],
+            [1.0, 0.0, 1.0, 5.0],
+        ];
+        let mut b = Basis::new(orig);
+        b.lll_reduce();
+        // Every reduced row must equal the transform applied to the
+        // original rows.
+        for i in 0..4 {
+            for d in 0..4 {
+                let want: f64 = (0..4)
+                    .map(|j| b.transform[i][j] as f64 * orig[j][d])
+                    .sum();
+                assert!((b.vecs[i][d] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn enumerate_finds_integer_points_near_target() {
+        // The integer lattice Z^4: points within 1.2 of (0.4, 0.1, 0, 0).
+        let b = Basis::new([
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        let pts = b.enumerate_near([0.4, 0.1, 0.0, 0.0], 1.2, 1000);
+        // Must include the origin and (1,0,0,0).
+        assert!(pts.contains(&[0, 0, 0, 0]));
+        assert!(pts.contains(&[1, 0, 0, 0]));
+        // All returned points really are within the ball.
+        for p in &pts {
+            let d2: f64 = [
+                p[0] as f64 - 0.4,
+                p[1] as f64 - 0.1,
+                p[2] as f64,
+                p[3] as f64,
+            ]
+            .iter()
+            .map(|x| x * x)
+            .sum();
+            assert!(d2 <= 1.2f64 * 1.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn enumerate_respects_skewed_transform() {
+        // Lattice generated by (2, 0, 0, 0) and (1, 1, 0, 0) (plus unit z,w):
+        // the point (3, 1, 0, 0) = 1*(2,0) + 1*(1,1) should be found with
+        // original coordinates (1, 1, 0, 0).
+        let mut b = Basis::new([
+            [2.0, 0.0, 0.0, 0.0],
+            [1.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        b.lll_reduce();
+        let pts = b.enumerate_near([3.0, 1.0, 0.0, 0.0], 0.1, 10);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0], [1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn enumeration_count_matches_ball_volume() {
+        // Z^4 points in a ball of radius 2.5 around origin: count by brute
+        // force and compare.
+        let b = Basis::new([
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ]);
+        let pts = b.enumerate_near([0.0; 4], 2.5, 100_000);
+        let mut brute = 0usize;
+        for a in -3i64..=3 {
+            for bb in -3i64..=3 {
+                for c in -3i64..=3 {
+                    for d in -3i64..=3 {
+                        if (a * a + bb * bb + c * c + d * d) as f64 <= 2.5 * 2.5 {
+                            brute += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(pts.len(), brute);
+    }
+}

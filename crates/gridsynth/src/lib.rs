@@ -1,0 +1,39 @@
+//! A Ross–Selinger style `gridsynth`: near-optimal ancilla-free Clifford+T
+//! approximation of `Rz(θ)` rotations.
+//!
+//! This is the paper's primary baseline. The pipeline is the classic
+//! number-theoretic one:
+//!
+//! 1. [`grid`] — for a rising denominator exponent `k`, enumerate candidates
+//!    `u = v/√2^k`, `v ∈ Z[ω]`, inside the ε-slice of the unit disk around
+//!    `e^{−iθ/2}` whose √2-conjugate lies in the unit disk. We solve this
+//!    two-dimensional grid problem with a weighted 4-D lattice reduction
+//!    (LLL + Fincke–Pohst in [`lattice`]) rather than Ross–Selinger's
+//!    bespoke grid operators; the asymptotics are the same and the code is
+//!    reusable.
+//! 2. [`diophantine`] — solve `t†t = ξ` with `ξ = 2^k − v†v ∈ Z[√2]` by
+//!    factoring the absolute norm and assembling prime elements of `Z[ω]`.
+//! 3. [`exact_synth`] — Kliuchnikov–Maslov–Mosca exact synthesis of the
+//!    resulting unitary `[[u, −t†], [t, u†]]` into a Clifford+T sequence.
+//!
+//! The headline API is [`synthesize_rz`]; [`synthesize_u3`] lowers an
+//! arbitrary unitary through three `Rz` syntheses (paper Eq. 1) — the
+//! workflow trasyn improves on.
+//!
+//! ```
+//! use gridsynth::synthesize_rz;
+//!
+//! let r = synthesize_rz(0.813, 1e-2).expect("synthesizable");
+//! assert!(r.error <= 1e-2);
+//! assert!(r.seq.t_count() > 0);
+//! ```
+
+pub mod diophantine;
+pub mod exact_synth;
+pub mod grid;
+pub mod lattice;
+pub mod rz;
+pub mod u3;
+
+pub use rz::{synthesize_rz, synthesize_rz_with, RzOptions, RzSynthesis};
+pub use u3::{synthesize_u3, synthesize_u3_with, U3Synthesis};

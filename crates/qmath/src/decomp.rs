@@ -1,0 +1,274 @@
+//! Matrix decompositions for small complex matrices.
+//!
+//! The MPS canonicalization in `trasyn` needs an LQ factorization of wide
+//! matrices with at most 4 rows; the resynthesis baseline and several tests
+//! need a singular value decomposition of small square matrices. Both are
+//! implemented here from first principles (modified Gram–Schmidt and
+//! one-sided Jacobi respectively) — adequate and robust at these sizes.
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+
+/// Result of an LQ factorization `A = L · Q` where `Q` has orthonormal rows.
+#[derive(Clone, Debug)]
+pub struct Lq {
+    /// Lower-triangular-ish factor, `rows × rank`.
+    pub l: CMatrix,
+    /// Row-orthonormal factor, `rank × cols`.
+    pub q: CMatrix,
+}
+
+/// Computes `A = L·Q` with `Q` row-orthonormal via modified Gram–Schmidt
+/// with one reorthogonalization pass.
+///
+/// Rows that are (numerically) linearly dependent are dropped, so `Q` has
+/// `rank ≤ rows` rows and `L` is `rows × rank`. For full-rank input, `L` is
+/// square lower-triangular.
+///
+/// ```
+/// use qmath::{CMatrix, c64, decomp};
+/// let a = CMatrix::from_fn(2, 5, |r, c| c64((r + c) as f64, c as f64));
+/// let lq = decomp::lq(&a);
+/// let back = &lq.l * &lq.q;
+/// assert!(back.approx_eq(&a, 1e-10));
+/// ```
+pub fn lq(a: &CMatrix) -> Lq {
+    let rows = a.rows();
+    let cols = a.cols();
+    let mut qrows: Vec<Vec<Complex64>> = Vec::with_capacity(rows);
+    let mut l = CMatrix::zeros(rows, rows);
+    let scale = a.frobenius_norm().max(1e-300);
+    for r in 0..rows {
+        let mut v: Vec<Complex64> = (0..cols).map(|c| a[(r, c)]).collect();
+        // Two Gram-Schmidt passes for numerical stability.
+        for _pass in 0..2 {
+            for (j, qr) in qrows.iter().enumerate() {
+                // coeff = <q_j, v> with conjugate-linear first slot.
+                let mut coeff = Complex64::ZERO;
+                for (qe, ve) in qr.iter().zip(v.iter()) {
+                    coeff += qe.conj() * *ve;
+                }
+                l[(r, j)] += coeff;
+                for (qe, ve) in qr.iter().zip(v.iter_mut()) {
+                    *ve -= coeff * *qe;
+                }
+            }
+        }
+        let norm = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if norm > 1e-12 * scale {
+            let k = qrows.len();
+            l[(r, k)] = norm.into();
+            let inv = 1.0 / norm;
+            for ve in v.iter_mut() {
+                *ve = ve.scale(inv);
+            }
+            qrows.push(v);
+        }
+    }
+    let rank = qrows.len().max(1);
+    let mut q = CMatrix::zeros(rank, cols);
+    for (i, qr) in qrows.iter().enumerate() {
+        for (c, z) in qr.iter().enumerate() {
+            q[(i, c)] = *z;
+        }
+    }
+    if qrows.is_empty() {
+        // Zero input: return a canonical zero factorization.
+        q[(0, 0)] = Complex64::ONE;
+    }
+    // Shrink L to rows × rank.
+    let lshrunk = CMatrix::from_fn(rows, rank, |r, c| l[(r, c)]);
+    Lq { l: lshrunk, q }
+}
+
+/// Result of a QR factorization `A = Q · R` with `Q` column-orthonormal.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Column-orthonormal factor, `rows × rank`.
+    pub q: CMatrix,
+    /// Upper-triangular-ish factor, `rank × cols`.
+    pub r: CMatrix,
+}
+
+/// Computes `A = Q·R` by applying [`lq`] to `A†`.
+pub fn qr(a: &CMatrix) -> Qr {
+    let f = lq(&a.adjoint());
+    Qr {
+        q: f.q.adjoint(),
+        r: f.l.adjoint(),
+    }
+}
+
+/// Result of a singular value decomposition `A = U · diag(s) · V†`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (`n × n`, unitary).
+    pub u: CMatrix,
+    /// Singular values, descending.
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n × n`, unitary); `A = U diag(s) V†`.
+    pub v: CMatrix,
+}
+
+/// One-sided Jacobi SVD for square complex matrices.
+///
+/// Rotates pairs of columns of a working copy of `A` until they are mutually
+/// orthogonal; the column norms are then the singular values. Intended for
+/// matrices up to ~16×16 (bond tensors, two-qubit unitaries, test oracles).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn svd(a: &CMatrix) -> Svd {
+    assert_eq!(a.rows(), a.cols(), "jacobi svd expects a square matrix");
+    let n = a.rows();
+    let mut w = a.clone(); // will become U * diag(s)
+    let mut v = CMatrix::identity(n);
+    let tol = 1e-14 * a.frobenius_norm().max(1.0);
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Hermitian 2x2 Gram block of columns p,q.
+                let mut app = 0.0;
+                let mut aqq = 0.0;
+                let mut apq = Complex64::ZERO;
+                for r in 0..n {
+                    app += w[(r, p)].norm_sqr();
+                    aqq += w[(r, q)].norm_sqr();
+                    apq += w[(r, p)].conj() * w[(r, q)];
+                }
+                off = off.max(apq.abs());
+                if apq.abs() <= tol {
+                    continue;
+                }
+                // Complex Jacobi rotation diagonalizing [[app, apq],[apq*, aqq]]:
+                // with apq = b·e^{iψ}, the rotation is diag(1, e^{-iψ})·J_real.
+                let pc = apq.conj().scale(1.0 / apq.abs()); // e^{-iψ}
+                let tau = (aqq - app) / (2.0 * apq.abs());
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Columns p,q <- rotation.
+                for r in 0..n {
+                    let wp = w[(r, p)];
+                    let wq = w[(r, q)];
+                    w[(r, p)] = wp.scale(c) - pc * wq.scale(s);
+                    w[(r, q)] = wp.scale(s) + pc * wq.scale(c);
+                }
+                for r in 0..n {
+                    let vp = v[(r, p)];
+                    let vq = v[(r, q)];
+                    v[(r, p)] = vp.scale(c) - pc * vq.scale(s);
+                    v[(r, q)] = vp.scale(s) + pc * vq.scale(c);
+                }
+            }
+        }
+        if off <= tol {
+            break;
+        }
+    }
+    // Extract singular values and normalize U's columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|c| (0..n).map(|r| w[(r, c)].norm_sqr()).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&i, &j| norms[j].total_cmp(&norms[i]));
+    let mut u = CMatrix::zeros(n, n);
+    let mut s = Vec::with_capacity(n);
+    let mut vout = CMatrix::zeros(n, n);
+    for (newc, &oldc) in order.iter().enumerate() {
+        let nrm = norms[oldc];
+        s.push(nrm);
+        for r in 0..n {
+            u[(r, newc)] = if nrm > 1e-300 {
+                w[(r, oldc)].scale(1.0 / nrm)
+            } else if r == newc {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
+            vout[(r, newc)] = v[(r, oldc)];
+        }
+    }
+    Svd { u, s, v: vout }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haar::haar_unitary_n;
+    use crate::Mat2;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lq_reconstructs() {
+        let a = CMatrix::from_fn(4, 9, |r, c| {
+            Complex64::new((r * c) as f64 * 0.1 - 0.4, c as f64 * 0.2)
+        });
+        let f = lq(&a);
+        assert!((&f.l * &f.q).approx_eq(&a, 1e-9));
+        // Q rows orthonormal
+        let g = &f.q * &f.q.adjoint();
+        assert!(g.approx_eq(&CMatrix::identity(f.q.rows()), 1e-9));
+    }
+
+    #[test]
+    fn lq_handles_rank_deficiency() {
+        // Second row is a multiple of the first.
+        let mut a = CMatrix::zeros(2, 4);
+        for c in 0..4 {
+            a[(0, c)] = Complex64::new(c as f64 + 1.0, 0.0);
+            a[(1, c)] = Complex64::new(2.0 * (c as f64 + 1.0), 0.0);
+        }
+        let f = lq(&a);
+        assert_eq!(f.q.rows(), 1);
+        assert!((&f.l * &f.q).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = CMatrix::from_fn(5, 3, |r, c| Complex64::new(r as f64 - 1.5, (c * r) as f64));
+        let f = qr(&a);
+        assert!((&f.q * &f.r).approx_eq(&a, 1e-9));
+        let g = &f.q.adjoint() * &f.q;
+        assert!(g.approx_eq(&CMatrix::identity(f.q.cols()), 1e-9));
+    }
+
+    #[test]
+    fn svd_reconstructs_random() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 4, 6] {
+            let u0 = haar_unitary_n(n, &mut rng);
+            let mut a = u0.clone();
+            // Make it non-unitary: scale rows.
+            for r in 0..n {
+                for c in 0..n {
+                    a[(r, c)] = a[(r, c)].scale(1.0 + r as f64);
+                }
+            }
+            let f = svd(&a);
+            let mut sd = CMatrix::zeros(n, n);
+            for i in 0..n {
+                sd[(i, i)] = f.s[i].into();
+            }
+            let back = &(&f.u * &sd) * &f.v.adjoint();
+            assert!(back.approx_eq(&a, 1e-8), "n={n}");
+            assert!(f.u.is_unitary(1e-8));
+            assert!(f.v.is_unitary(1e-8));
+            for w in f.s.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12, "singular values descending");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_of_unitary_has_unit_singular_values() {
+        let a = CMatrix::from_mat2(&Mat2::u3(0.3, 0.8, -1.2));
+        let f = svd(&a);
+        for s in &f.s {
+            assert!((s - 1.0).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Haar-random unitary sampling.
+//!
+//! RQ1 of the paper evaluates synthesis on 1000 single-qubit unitaries drawn
+//! uniformly from the Haar measure. For 2×2 matrices we use the exact
+//! parametrization; for N×N (test oracles, multi-qubit baselines) we use the
+//! QR-of-Ginibre construction with the standard phase fix.
+
+use crate::complex::Complex64;
+use crate::decomp::qr;
+use crate::mat2::Mat2;
+use crate::matrix::CMatrix;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Samples a Haar-random 2×2 unitary (an element of U(2)).
+///
+/// Uses the exact parametrization: `cos(θ/2)² ~ Uniform`, azimuthal phases
+/// uniform, global phase uniform.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let u = qmath::haar::haar_mat2(&mut rng);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn haar_mat2<R: Rng + ?Sized>(rng: &mut R) -> Mat2 {
+    let (theta, phi, lambda) = haar_u3_angles(rng);
+    let alpha = rng.gen_range(-PI..PI);
+    Mat2::u3(theta, phi, lambda).scale(Complex64::cis(alpha))
+}
+
+/// Samples Haar-distributed `U3` angles `(θ, φ, λ)`.
+///
+/// The Haar measure on SU(2)/phase has density `sin θ dθ dφ dλ / (8π²)`;
+/// equivalently `cos θ = 1 − 2u` with `u ~ Uniform[0,1]`.
+pub fn haar_u3_angles<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64, f64) {
+    let u: f64 = rng.gen();
+    let theta = (1.0 - 2.0 * u).clamp(-1.0, 1.0).acos();
+    let phi = rng.gen_range(-PI..PI);
+    let lambda = rng.gen_range(-PI..PI);
+    (theta, phi, lambda)
+}
+
+/// Samples a Haar-random N×N unitary via QR of a complex Ginibre matrix,
+/// with the diagonal-phase correction that makes the distribution exactly
+/// Haar.
+pub fn haar_unitary_n<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
+    let g = CMatrix::from_fn(n, n, |_, _| {
+        Complex64::new(gaussian(rng), gaussian(rng))
+    });
+    let f = qr(&g);
+    // Fix phases: Q <- Q · diag(r_ii/|r_ii|)^{-1} ... equivalently multiply
+    // each column j of Q by conj(phase of R[j][j]).
+    let mut q = f.q;
+    for j in 0..n.min(f.r.rows()) {
+        let d = f.r[(j, j)];
+        let a = d.abs();
+        if a > 1e-300 {
+            let ph = d.conj().scale(1.0 / a);
+            for r in 0..n {
+                q[(r, j)] = q[(r, j)] * ph;
+            }
+        }
+    }
+    q
+}
+
+/// Standard normal sample via Box–Muller.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn haar_mat2_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert!(haar_mat2(&mut rng).is_unitary(1e-10));
+        }
+    }
+
+    #[test]
+    fn haar_unitary_n_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(43);
+        for n in [2, 3, 5, 8] {
+            assert!(haar_unitary_n(n, &mut rng).is_unitary(1e-8), "n={n}");
+        }
+    }
+
+    #[test]
+    fn haar_angles_theta_distribution() {
+        // E[cos θ] = 0 under Haar; crude check with many samples.
+        let mut rng = StdRng::seed_from_u64(44);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| haar_u3_angles(&mut rng).0.cos())
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.02, "mean cosθ = {mean}");
+    }
+
+    #[test]
+    fn haar_trace_statistics() {
+        // For Haar U(2), E[|Tr U|²] = 1.
+        let mut rng = StdRng::seed_from_u64(45);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| haar_mat2(&mut rng).trace().norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "E|TrU|² = {mean}");
+    }
+}

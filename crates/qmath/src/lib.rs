@@ -1,0 +1,49 @@
+//! Numerics substrate for the `trasyn-rs` workspace.
+//!
+//! This crate provides everything the synthesis and simulation layers need
+//! from "plain" numerics, with no dependencies beyond [`rand`]:
+//!
+//! * [`Complex64`] — a small, `Copy` complex number type;
+//! * [`Mat2`] — 2×2 complex matrices, the currency of single-qubit synthesis;
+//! * [`CMatrix`] — dense N×N complex matrices for simulators and tests;
+//! * [`decomp`] — QR/LQ factorizations and a one-sided Jacobi SVD for small
+//!   matrices;
+//! * [`euler`] — `U3`/Euler-angle extraction and construction (paper Eq. 1);
+//! * [`haar`] — Haar-random unitary sampling;
+//! * [`distance`] — the paper's trace-value and unitary-distance metrics
+//!   (paper Eq. 2).
+//!
+//! # Example
+//!
+//! ```
+//! use qmath::{Mat2, distance};
+//!
+//! let u = Mat2::rz(0.3) * Mat2::rx(0.7);
+//! let d = distance::unitary_distance(&u, &u);
+//! // The sqrt in Eq. 2 turns ~1e-16 rounding into ~1e-8, so compare loosely.
+//! assert!(d < 1e-7);
+//! ```
+
+pub mod complex;
+pub mod decomp;
+pub mod distance;
+pub mod euler;
+pub mod haar;
+pub mod mat2;
+pub mod matrix;
+
+pub use complex::Complex64;
+pub use mat2::Mat2;
+pub use matrix::CMatrix;
+
+/// Convenience constructor for a complex number.
+///
+/// ```
+/// let z = qmath::c64(1.0, -2.0);
+/// assert_eq!(z.re, 1.0);
+/// assert_eq!(z.im, -2.0);
+/// ```
+#[inline]
+pub fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64::new(re, im)
+}

@@ -1,0 +1,478 @@
+//! 2×2 complex matrices — the currency of single-qubit synthesis.
+
+use crate::complex::Complex64;
+use std::f64::consts::FRAC_1_SQRT_2;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 2×2 complex matrix stored row-major as `[[a, b], [c, d]]`.
+///
+/// `Mat2` is `Copy` and all operations are allocation-free, which matters in
+/// the enumeration and sampling inner loops of `trasyn`.
+///
+/// ```
+/// use qmath::Mat2;
+/// let u = Mat2::h() * Mat2::h();
+/// assert!(u.approx_eq(&Mat2::identity(), 1e-12));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Mat2 {
+    /// Entries in row-major order: `[m00, m01, m10, m11]`.
+    pub e: [Complex64; 4],
+}
+
+impl Mat2 {
+    /// Builds a matrix from row-major entries.
+    #[inline]
+    pub const fn new(m00: Complex64, m01: Complex64, m10: Complex64, m11: Complex64) -> Self {
+        Mat2 {
+            e: [m00, m01, m10, m11],
+        }
+    }
+
+    /// Builds a matrix from real row-major entries.
+    #[inline]
+    pub fn from_reals(m00: f64, m01: f64, m10: f64, m11: f64) -> Self {
+        Mat2::new(m00.into(), m01.into(), m10.into(), m11.into())
+    }
+
+    /// The identity matrix.
+    #[inline]
+    pub fn identity() -> Self {
+        Mat2::from_reals(1.0, 0.0, 0.0, 1.0)
+    }
+
+    /// The zero matrix.
+    #[inline]
+    pub fn zero() -> Self {
+        Mat2::default()
+    }
+
+    /// Pauli X.
+    #[inline]
+    pub fn x() -> Self {
+        Mat2::from_reals(0.0, 1.0, 1.0, 0.0)
+    }
+
+    /// Pauli Y.
+    #[inline]
+    pub fn y() -> Self {
+        Mat2::new(
+            Complex64::ZERO,
+            -Complex64::I,
+            Complex64::I,
+            Complex64::ZERO,
+        )
+    }
+
+    /// Pauli Z.
+    #[inline]
+    pub fn z() -> Self {
+        Mat2::from_reals(1.0, 0.0, 0.0, -1.0)
+    }
+
+    /// Hadamard gate `H`.
+    #[inline]
+    pub fn h() -> Self {
+        Mat2::from_reals(
+            FRAC_1_SQRT_2,
+            FRAC_1_SQRT_2,
+            FRAC_1_SQRT_2,
+            -FRAC_1_SQRT_2,
+        )
+    }
+
+    /// Phase gate `S = diag(1, i)`.
+    #[inline]
+    pub fn s() -> Self {
+        Mat2::new(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::I,
+        )
+    }
+
+    /// Adjoint phase gate `S† = diag(1, -i)`.
+    #[inline]
+    pub fn sdg() -> Self {
+        Mat2::new(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            -Complex64::I,
+        )
+    }
+
+    /// T gate `diag(1, e^{iπ/4})`.
+    #[inline]
+    pub fn t() -> Self {
+        Mat2::new(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(std::f64::consts::FRAC_PI_4),
+        )
+    }
+
+    /// Adjoint T gate `diag(1, e^{-iπ/4})`.
+    #[inline]
+    pub fn tdg() -> Self {
+        Mat2::new(
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(-std::f64::consts::FRAC_PI_4),
+        )
+    }
+
+    /// Z rotation `Rz(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.
+    #[inline]
+    pub fn rz(theta: f64) -> Self {
+        Mat2::new(
+            Complex64::cis(-theta / 2.0),
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(theta / 2.0),
+        )
+    }
+
+    /// X rotation `Rx(θ)`.
+    #[inline]
+    pub fn rx(theta: f64) -> Self {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        Mat2::new(
+            c.into(),
+            Complex64::new(0.0, -s),
+            Complex64::new(0.0, -s),
+            c.into(),
+        )
+    }
+
+    /// Y rotation `Ry(θ)`.
+    #[inline]
+    pub fn ry(theta: f64) -> Self {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        Mat2::from_reals(c, -s, s, c)
+    }
+
+    /// The OpenQASM `U3(θ, φ, λ)` gate,
+    /// `U3 = [[cos(θ/2), -e^{iλ} sin(θ/2)], [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]]`.
+    ///
+    /// Up to global phase this equals `Rz(φ)·Ry(θ)·Rz(λ)`.
+    #[inline]
+    pub fn u3(theta: f64, phi: f64, lambda: f64) -> Self {
+        let c = (theta / 2.0).cos();
+        let s = (theta / 2.0).sin();
+        Mat2::new(
+            c.into(),
+            -Complex64::cis(lambda) * s,
+            Complex64::cis(phi) * s,
+            Complex64::cis(phi + lambda) * c,
+        )
+    }
+
+    /// Conjugate transpose `M†`.
+    #[inline]
+    pub fn adjoint(&self) -> Self {
+        Mat2::new(
+            self.e[0].conj(),
+            self.e[2].conj(),
+            self.e[1].conj(),
+            self.e[3].conj(),
+        )
+    }
+
+    /// Transpose `Mᵀ`.
+    #[inline]
+    pub fn transpose(&self) -> Self {
+        Mat2::new(self.e[0], self.e[2], self.e[1], self.e[3])
+    }
+
+    /// Trace `Tr(M)`.
+    #[inline]
+    pub fn trace(&self) -> Complex64 {
+        self.e[0] + self.e[3]
+    }
+
+    /// Determinant `det(M)`.
+    #[inline]
+    pub fn det(&self) -> Complex64 {
+        self.e[0] * self.e[3] - self.e[1] * self.e[2]
+    }
+
+    /// Scales every entry by a complex factor.
+    #[inline]
+    pub fn scale(&self, s: Complex64) -> Self {
+        Mat2::new(
+            self.e[0] * s,
+            self.e[1] * s,
+            self.e[2] * s,
+            self.e[3] * s,
+        )
+    }
+
+    /// Frobenius norm `‖M‖_F`.
+    #[inline]
+    pub fn frobenius_norm(&self) -> f64 {
+        self.e.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Operator (spectral) norm: the largest singular value.
+    ///
+    /// For a 2×2 matrix the singular values have a closed form in terms of
+    /// the Frobenius norm and the determinant.
+    pub fn operator_norm(&self) -> f64 {
+        let f2 = self.e.iter().map(|z| z.norm_sqr()).sum::<f64>();
+        let d = self.det().abs();
+        // σ₁² + σ₂² = ‖M‖_F², σ₁σ₂ = |det|.
+        let disc = (f2 * f2 - 4.0 * d * d).max(0.0).sqrt();
+        ((f2 + disc) / 2.0).sqrt()
+    }
+
+    /// Returns `true` when `M†M ≈ I` within `tol` (Frobenius).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        (self.adjoint() * *self - Mat2::identity()).frobenius_norm() < tol
+    }
+
+    /// Entrywise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &Mat2, tol: f64) -> bool {
+        self.e
+            .iter()
+            .zip(other.e.iter())
+            .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Approximate equality up to a global phase.
+    ///
+    /// Finds the phase aligning the largest entry and compares entrywise.
+    pub fn approx_eq_phase(&self, other: &Mat2, tol: f64) -> bool {
+        // Align on the entry of `other` with the largest modulus.
+        let (k, _) = other
+            .e
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm_sqr().total_cmp(&b.1.norm_sqr()))
+            .expect("2x2 matrix has entries");
+        if other.e[k].abs() < tol || self.e[k].abs() < tol {
+            return self.approx_eq(other, tol);
+        }
+        let phase = self.e[k] / other.e[k];
+        if (phase.abs() - 1.0).abs() > tol {
+            return false;
+        }
+        self.approx_eq(&other.scale(phase), tol)
+    }
+
+    /// Multiplies a column vector: `M · v`.
+    #[inline]
+    pub fn mul_vec(&self, v: [Complex64; 2]) -> [Complex64; 2] {
+        [
+            self.e[0] * v[0] + self.e[1] * v[1],
+            self.e[2] * v[0] + self.e[3] * v[1],
+        ]
+    }
+
+    /// Canonicalizes the global phase: multiplies by the unit phase that
+    /// makes the largest-modulus entry real and positive.
+    ///
+    /// Two matrices that are equal up to global phase canonicalize to
+    /// (numerically) identical matrices, which is the keying property used
+    /// by the `trasyn` step-0 enumeration.
+    pub fn phase_canonical(&self) -> Mat2 {
+        // Pick the *first* entry whose modulus is within a factor of the
+        // maximum, so that floating-point ties (|m00| == |m11| for U3-like
+        // matrices) resolve identically for phase-shifted copies.
+        let max = self
+            .e
+            .iter()
+            .map(|z| z.norm_sqr())
+            .fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return *self;
+        }
+        let k = self
+            .e
+            .iter()
+            .position(|z| z.norm_sqr() >= 0.25 * max)
+            .expect("at least one entry is within half of the max modulus");
+        let a = self.e[k].abs();
+        let phase = self.e[k].conj().scale(1.0 / a);
+        self.scale(phase)
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Mat2;
+    #[inline]
+    fn mul(self, r: Mat2) -> Mat2 {
+        Mat2::new(
+            self.e[0] * r.e[0] + self.e[1] * r.e[2],
+            self.e[0] * r.e[1] + self.e[1] * r.e[3],
+            self.e[2] * r.e[0] + self.e[3] * r.e[2],
+            self.e[2] * r.e[1] + self.e[3] * r.e[3],
+        )
+    }
+}
+
+impl Add for Mat2 {
+    type Output = Mat2;
+    #[inline]
+    fn add(self, r: Mat2) -> Mat2 {
+        Mat2::new(
+            self.e[0] + r.e[0],
+            self.e[1] + r.e[1],
+            self.e[2] + r.e[2],
+            self.e[3] + r.e[3],
+        )
+    }
+}
+
+impl Sub for Mat2 {
+    type Output = Mat2;
+    #[inline]
+    fn sub(self, r: Mat2) -> Mat2 {
+        Mat2::new(
+            self.e[0] - r.e[0],
+            self.e[1] - r.e[1],
+            self.e[2] - r.e[2],
+            self.e[3] - r.e[3],
+        )
+    }
+}
+
+impl Neg for Mat2 {
+    type Output = Mat2;
+    #[inline]
+    fn neg(self) -> Mat2 {
+        Mat2::new(-self.e[0], -self.e[1], -self.e[2], -self.e[3])
+    }
+}
+
+impl fmt::Display for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[[{}, {}], [{}, {}]]",
+            self.e[0], self.e[1], self.e[2], self.e[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn pauli_algebra() {
+        let (x, y, z) = (Mat2::x(), Mat2::y(), Mat2::z());
+        assert!((x * x).approx_eq(&Mat2::identity(), TOL));
+        assert!((y * y).approx_eq(&Mat2::identity(), TOL));
+        assert!((z * z).approx_eq(&Mat2::identity(), TOL));
+        // XY = iZ
+        assert!((x * y).approx_eq(&z.scale(Complex64::I), TOL));
+    }
+
+    #[test]
+    fn s_is_t_squared() {
+        assert!((Mat2::t() * Mat2::t()).approx_eq(&Mat2::s(), TOL));
+    }
+
+    #[test]
+    fn z_is_s_squared() {
+        assert!((Mat2::s() * Mat2::s()).approx_eq(&Mat2::z(), TOL));
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let hxh = Mat2::h() * Mat2::x() * Mat2::h();
+        assert!(hxh.approx_eq(&Mat2::z(), TOL));
+    }
+
+    #[test]
+    fn gates_are_unitary() {
+        for m in [
+            Mat2::x(),
+            Mat2::y(),
+            Mat2::z(),
+            Mat2::h(),
+            Mat2::s(),
+            Mat2::t(),
+            Mat2::rz(0.37),
+            Mat2::rx(1.1),
+            Mat2::ry(-2.2),
+            Mat2::u3(0.3, 0.5, 0.7),
+        ] {
+            assert!(m.is_unitary(1e-10), "not unitary: {m}");
+        }
+    }
+
+    #[test]
+    fn rz_pi_is_z_up_to_phase() {
+        assert!(Mat2::rz(PI).approx_eq_phase(&Mat2::z(), TOL));
+    }
+
+    #[test]
+    fn rz_quarter_pi_is_t_up_to_phase() {
+        assert!(Mat2::rz(FRAC_PI_4).approx_eq_phase(&Mat2::t(), TOL));
+    }
+
+    #[test]
+    fn u3_equals_zyz_euler_product() {
+        let (th, ph, la) = (0.9, -1.3, 2.1);
+        let zyz = Mat2::rz(ph) * Mat2::ry(th) * Mat2::rz(la);
+        assert!(Mat2::u3(th, ph, la).approx_eq_phase(&zyz, 1e-10));
+    }
+
+    #[test]
+    fn rx_is_h_rz_h() {
+        let th = 0.77;
+        let hzh = Mat2::h() * Mat2::rz(th) * Mat2::h();
+        assert!(Mat2::rx(th).approx_eq_phase(&hzh, 1e-10));
+    }
+
+    #[test]
+    fn operator_norm_of_unitary_is_one() {
+        assert!((Mat2::u3(1.0, 2.0, 3.0).operator_norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn operator_norm_scales() {
+        let m = Mat2::h().scale(Complex64::new(3.0, 0.0));
+        assert!((m.operator_norm() - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn phase_canonical_identifies_phase_equal_matrices() {
+        let u = Mat2::u3(0.4, 1.0, -0.2);
+        let v = u.scale(Complex64::cis(1.234));
+        let (cu, cv) = (u.phase_canonical(), v.phase_canonical());
+        assert!(cu.approx_eq(&cv, 1e-10));
+    }
+
+    #[test]
+    fn s_gate_rotates_by_half_pi() {
+        assert!(Mat2::rz(FRAC_PI_2).approx_eq_phase(&Mat2::s(), TOL));
+    }
+
+    #[test]
+    fn adjoint_reverses_product() {
+        let a = Mat2::u3(0.3, 0.6, 0.9);
+        let b = Mat2::u3(1.3, -0.6, 0.1);
+        assert!((a * b).adjoint().approx_eq(&(b.adjoint() * a.adjoint()), TOL));
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets() {
+        let a = Mat2::u3(0.3, 0.6, 0.9);
+        let b = Mat2::h();
+        assert!((a * b)
+            .det()
+            .approx_eq(a.det() * b.det(), TOL));
+    }
+}

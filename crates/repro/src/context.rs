@@ -1,0 +1,154 @@
+//! Shared experiment context: the trasyn synthesizer, workflow wrappers,
+//! and the scaled-vs-full parameter sets.
+
+use circuit::levels::{best_for_basis, Basis};
+use circuit::metrics::rotation_count;
+use circuit::synthesize::{synthesize_circuit, SynthesizedCircuit};
+use circuit::Circuit;
+use gridsynth::{synthesize_rz_with, synthesize_u3_with, RzOptions};
+use qmath::Mat2;
+use std::path::PathBuf;
+use trasyn::{SynthesisConfig, Synthesized, Trasyn};
+
+/// Experiment context.
+pub struct Ctx {
+    /// The trasyn synthesizer with its step-0 table.
+    pub trasyn: Trasyn,
+    /// Whether paper-scale parameters were requested.
+    pub full: bool,
+    /// Output directory for CSVs.
+    pub outdir: PathBuf,
+}
+
+impl Ctx {
+    /// Builds the context (this runs the step-0 enumeration once).
+    pub fn new(full: bool, outdir: String) -> Self {
+        let max_t = if full { 8 } else { 7 };
+        eprintln!("[setup] building trasyn table (max_t = {max_t}) ...");
+        let t0 = std::time::Instant::now();
+        let trasyn = Trasyn::new(max_t);
+        eprintln!(
+            "[setup] table ready: {} unique matrices in {:.1}s",
+            trasyn.table().len(),
+            t0.elapsed().as_secs_f64()
+        );
+        Ctx {
+            trasyn,
+            full,
+            outdir: PathBuf::from(outdir),
+        }
+    }
+
+    /// Output path helper.
+    pub fn out(&self, name: &str) -> PathBuf {
+        self.outdir.join(name)
+    }
+
+    /// Number of RQ1 Haar targets (paper: 1000).
+    pub fn n_unitaries(&self) -> usize {
+        if self.full {
+            1000
+        } else {
+            60
+        }
+    }
+
+    /// Samples per trasyn pass (paper: 40 000 on an A100).
+    pub fn samples(&self) -> usize {
+        if self.full {
+            8192
+        } else {
+            1024
+        }
+    }
+
+    /// Per-tensor T budget for trasyn.
+    pub fn budget(&self) -> usize {
+        self.trasyn.table().max_t()
+    }
+
+    /// The benchmark circuits used by circuit-level experiments: all 187
+    /// under `--full`, else a representative subset capped by distinct
+    /// rotations.
+    pub fn circuits(&self) -> Vec<workloads::BenchmarkCircuit> {
+        let suite = workloads::benchmark_suite();
+        if self.full {
+            return suite;
+        }
+        // Representative subset: per category, smallest-first until 12.
+        let mut out = Vec::new();
+        for cat in [
+            workloads::Category::Qaoa,
+            workloads::Category::QuantumHamiltonian,
+            workloads::Category::ClassicalHamiltonian,
+            workloads::Category::FtAlgorithm,
+        ] {
+            let mut cs: Vec<workloads::BenchmarkCircuit> = suite
+                .iter()
+                .filter(|b| b.category == cat)
+                .cloned()
+                .collect();
+            cs.sort_by_key(|b| rotation_count(&b.circuit));
+            out.extend(cs.into_iter().take(12));
+        }
+        out
+    }
+
+    /// The trasyn (U3) workflow on a circuit: best U3 transpile setting,
+    /// then direct synthesis of every rotation with error threshold
+    /// `eps_rot` per rotation. Returns the lowered circuit and synthesis
+    /// output.
+    pub fn u3_workflow(&self, c: &Circuit, eps_rot: f64) -> (Circuit, SynthesizedCircuit) {
+        let (_, _, lowered) = best_for_basis(c, Basis::U3);
+        let cfg = SynthesisConfig {
+            samples: self.samples(),
+            budgets: vec![self.budget(); 3],
+            min_tensors: 1,
+            epsilon: Some(eps_rot),
+            attempts: 1,
+            seed: 0xBEEF,
+        };
+        let synth = synthesize_circuit(&lowered, |m: &Mat2| {
+            let out: Synthesized = self.trasyn.synthesize(m, &cfg);
+            (out.seq, out.error)
+        });
+        (lowered, synth)
+    }
+
+    /// The gridsynth (Rz) workflow: best Rz transpile setting, then
+    /// Ross–Selinger synthesis of every rotation. `eps_rot` is the
+    /// *per-rotation* error threshold (callers scale it by the rotation
+    /// ratio to match circuit-level error budgets, §4.3).
+    pub fn rz_workflow(&self, c: &Circuit, eps_rot: f64) -> (Circuit, SynthesizedCircuit) {
+        let (_, _, lowered) = best_for_basis(c, Basis::Rz);
+        let opts = RzOptions::default();
+        let synth = synthesize_circuit(&lowered, |m: &Mat2| {
+            // Rotations in the Rz basis are diagonal: recover the angle.
+            let angle = rz_angle_of(m);
+            match angle {
+                Some(theta) => {
+                    let r = synthesize_rz_with(theta, eps_rot, opts)
+                        .expect("gridsynth converges for eps >= 1e-7");
+                    (r.seq, r.error)
+                }
+                None => {
+                    // Non-diagonal residue (shouldn't happen in Rz basis):
+                    // fall back to the three-Rz U3 synthesis.
+                    let r = synthesize_u3_with(m, eps_rot * 3.0, opts)
+                        .expect("gridsynth u3 converges");
+                    (r.seq, r.error)
+                }
+            }
+        });
+        (lowered, synth)
+    }
+}
+
+/// If `m` is diagonal (up to phase), returns the `Rz` angle; else `None`.
+pub fn rz_angle_of(m: &Mat2) -> Option<f64> {
+    if m.e[1].abs() > 1e-9 || m.e[2].abs() > 1e-9 {
+        return None;
+    }
+    // m = e^{iα}·diag(e^{-iθ/2}, e^{iθ/2}).
+    Some((m.e[3] / m.e[0]).arg())
+}

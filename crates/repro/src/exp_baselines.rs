@@ -1,0 +1,71 @@
+//! Figure 12: trasyn vs the BQSKit+gridsynth workflow.
+
+use crate::context::Ctx;
+use crate::exp_circuits::eps_rot;
+use crate::util::{geomean, write_csv};
+use baselines::resynth::resynthesize;
+use circuit::metrics::{rotation_count, t_count};
+use circuit::synthesize::synthesize_circuit;
+use gridsynth::{synthesize_rz_with, RzOptions};
+use qmath::Mat2;
+
+/// Figure 12: rotation count, T count, and log-infidelity ratios of the
+/// BQSKit-style resynthesis + gridsynth workflow over trasyn.
+pub fn fig12(ctx: &Ctx) {
+    let circuits = ctx.circuits();
+    let eps = eps_rot(ctx);
+    let mut rot_ratios = Vec::new();
+    let mut t_ratios = Vec::new();
+    let mut err_ratios = Vec::new();
+    let mut rows = Vec::new();
+    for (i, b) in circuits.iter().enumerate() {
+        eprint!("\r[fig12] {}/{} {:<32}", i + 1, circuits.len(), b.name);
+        // trasyn workflow.
+        let (u3_lowered, u3_synth) = ctx.u3_workflow(&b.circuit, eps);
+        let u3_rot = rotation_count(&u3_lowered).max(1);
+        // BQSKit-style: resynthesize into generic Rz, then gridsynth.
+        let bq = resynthesize(&b.circuit);
+        let bq_rot = rotation_count(&bq);
+        let scale = (u3_rot as f64 / bq_rot.max(1) as f64).min(1.0);
+        let opts = RzOptions::default();
+        let bq_synth = synthesize_circuit(&bq, |m: &Mat2| {
+            let angle = crate::context::rz_angle_of(m);
+            match angle {
+                Some(theta) => {
+                    let r = synthesize_rz_with(theta, eps * scale, opts)
+                        .expect("gridsynth converges");
+                    (r.seq, r.error)
+                }
+                None => {
+                    let r = gridsynth::synthesize_u3(m, eps).expect("gridsynth converges");
+                    (r.seq, r.error)
+                }
+            }
+        });
+        let rr = bq_rot as f64 / u3_rot as f64;
+        let tr = t_count(&bq_synth.circuit) as f64 / t_count(&u3_synth.circuit).max(1) as f64;
+        let er =
+            (u3_synth.total_error.max(1e-12)).ln() / (bq_synth.total_error.max(1e-12)).ln();
+        rot_ratios.push(rr);
+        t_ratios.push(tr);
+        err_ratios.push(er);
+        rows.push(format!("{},{rr:.4},{tr:.4},{er:.4}", b.name));
+    }
+    eprintln!();
+    println!(
+        "Figure 12: BQSKit+gridsynth vs trasyn ratios over {} circuits",
+        rows.len()
+    );
+    println!(
+        "  rotations: geomean {:.2}x   T count: geomean {:.2}x   log-infid ratio: {:.2}",
+        geomean(&rot_ratios),
+        geomean(&t_ratios),
+        geomean(&err_ratios)
+    );
+    println!("  (paper: BQSKit inflates rotations, hence more T gates — ratios above 1)");
+    write_csv(
+        &ctx.out("fig12_bqskit.csv"),
+        "benchmark,rotation_ratio,t_ratio,log_infidelity_ratio",
+        &rows,
+    );
+}

@@ -1,0 +1,245 @@
+//! Circuit-level experiments: Figure 2, Figure 10, Figure 11.
+
+use crate::context::Ctx;
+use crate::util::{fmax, fmin, geomean, write_csv};
+use circuit::metrics::{clifford_count, rotation_count, t_count, t_depth};
+use circuit::Circuit;
+use sim::density::DensityMatrix;
+use sim::noise::{NoiseModel, NoiseTarget};
+use sim::statevector::State;
+use workloads::{BenchmarkCircuit, Category};
+
+/// Per-rotation error budget of the scaled runs. The paper uses 0.007;
+/// the CPU-scaled trasyn (3 tensors × 7 T) bottoms out near 1e-2, so the
+/// default budget is 0.03 for *both* workflows — the reduction ratios
+/// (the figure's content) are preserved. `--full` tightens to 0.01.
+pub fn eps_rot(ctx: &Ctx) -> f64 {
+    if ctx.full {
+        0.01
+    } else {
+        0.03
+    }
+}
+
+/// Both workflows applied to one benchmark.
+pub struct WorkflowPair {
+    /// Benchmark name.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Original circuit.
+    pub original: Circuit,
+    /// trasyn / U3 workflow output.
+    pub u3: circuit::synthesize::SynthesizedCircuit,
+    /// gridsynth / Rz workflow output.
+    pub rz: circuit::synthesize::SynthesizedCircuit,
+}
+
+/// Runs both workflows with the paper's error matching: gridsynth's
+/// per-rotation threshold is scaled by the (U3:Rz) rotation-count ratio so
+/// both circuits land at about the same summed error (§4.3).
+pub fn run_both(ctx: &Ctx, b: &BenchmarkCircuit, eps: f64) -> WorkflowPair {
+    let (u3_lowered, u3_synth) = ctx.u3_workflow(&b.circuit, eps);
+    let rz_rot = {
+        let (_, r, _) = circuit::levels::best_for_basis(&b.circuit, circuit::levels::Basis::Rz);
+        r
+    };
+    let u3_rot = rotation_count(&u3_lowered);
+    let scale = (u3_rot.max(1) as f64 / rz_rot.max(1) as f64).min(1.0);
+    let (_, rz_synth) = ctx.rz_workflow(&b.circuit, eps * scale);
+    WorkflowPair {
+        name: b.name.clone(),
+        category: b.category,
+        original: b.circuit.clone(),
+        u3: u3_synth,
+        rz: rz_synth,
+    }
+}
+
+fn ratio(a: usize, b: usize) -> f64 {
+    a as f64 / b.max(1) as f64
+}
+
+/// Figure 2: headline reduction ratios across the suite — T count,
+/// Clifford count, and noisy infidelity at logical error rate 1e-5 for
+/// the small-circuit subset.
+pub fn fig2(ctx: &Ctx) {
+    let circuits = ctx.circuits();
+    let eps = eps_rot(ctx);
+    let mut t_ratios = Vec::new();
+    let mut c_ratios = Vec::new();
+    let mut infid_ratios = Vec::new();
+    let mut rows = Vec::new();
+    for (i, b) in circuits.iter().enumerate() {
+        eprint!("\r[fig2] {}/{} {:<32}", i + 1, circuits.len(), b.name);
+        let pair = run_both(ctx, b, eps);
+        let tr = ratio(t_count(&pair.rz.circuit), t_count(&pair.u3.circuit));
+        let cr = ratio(
+            clifford_count(&pair.rz.circuit),
+            clifford_count(&pair.u3.circuit),
+        );
+        t_ratios.push(tr);
+        c_ratios.push(cr);
+        let mut infid = String::new();
+        if b.circuit.n_qubits() <= 6 {
+            let fi_u3 = noisy_infidelity(&pair.original, &pair.u3.circuit, 1e-5);
+            let fi_rz = noisy_infidelity(&pair.original, &pair.rz.circuit, 1e-5);
+            let r = fi_rz / fi_u3.max(1e-15);
+            infid_ratios.push(r);
+            infid = format!("{r:.4}");
+        }
+        rows.push(format!("{},{tr:.4},{cr:.4},{infid}", pair.name));
+    }
+    eprintln!();
+    println!("Figure 2: reduction ratios gridsynth/trasyn over {} circuits", rows.len());
+    println!(
+        "  T count:        geomean {:.2}x  min {:.2}x  max {:.2}x  (paper geomean 1.38x, max 3.5x)",
+        geomean(&t_ratios),
+        fmin(&t_ratios),
+        fmax(&t_ratios)
+    );
+    println!(
+        "  Clifford count: geomean {:.2}x  min {:.2}x  max {:.2}x  (paper geomean 2.44x, max ~7x)",
+        geomean(&c_ratios),
+        fmin(&c_ratios),
+        fmax(&c_ratios)
+    );
+    if !infid_ratios.is_empty() {
+        println!(
+            "  Infidelity @ LER 1e-5 ({} small circuits): geomean {:.2}x  max {:.2}x (paper geomean 2.07x)",
+            infid_ratios.len(),
+            geomean(&infid_ratios),
+            fmax(&infid_ratios)
+        );
+    }
+    write_csv(
+        &ctx.out("fig2_headline.csv"),
+        "benchmark,t_ratio,clifford_ratio,infidelity_ratio_ler1e-5",
+        &rows,
+    );
+}
+
+/// Noisy infidelity of a synthesized circuit against the ideal original,
+/// with depolarizing noise on non-Pauli gates.
+pub fn noisy_infidelity(original: &Circuit, synthesized: &Circuit, ler: f64) -> f64 {
+    let mut ideal = State::zero(original.n_qubits());
+    ideal.apply_circuit(original);
+    let model = NoiseModel {
+        rate: ler,
+        target: NoiseTarget::NonPauliGates,
+    };
+    let mut rho = DensityMatrix::zero(synthesized.n_qubits());
+    rho.apply_noisy_circuit(synthesized, &model);
+    (1.0 - rho.fidelity_with_pure(&ideal)).max(0.0)
+}
+
+/// Figure 10: per-category T count, T depth, and Clifford reductions with
+/// error-level guards (log unitary-distance ratios).
+pub fn fig10(ctx: &Ctx) {
+    let circuits = ctx.circuits();
+    let eps = eps_rot(ctx);
+    let mut rows = Vec::new();
+    struct Acc {
+        t: Vec<f64>,
+        td: Vec<f64>,
+        cl: Vec<f64>,
+        err: Vec<f64>,
+    }
+    let mut acc: std::collections::HashMap<&'static str, Acc> = Default::default();
+    for (i, b) in circuits.iter().enumerate() {
+        eprint!("\r[fig10] {}/{} {:<32}", i + 1, circuits.len(), b.name);
+        let pair = run_both(ctx, b, eps);
+        let tr = ratio(t_count(&pair.rz.circuit), t_count(&pair.u3.circuit));
+        let td = ratio(t_depth(&pair.rz.circuit), t_depth(&pair.u3.circuit));
+        let cl = ratio(
+            clifford_count(&pair.rz.circuit),
+            clifford_count(&pair.u3.circuit),
+        );
+        // Error guard: log-error ratio should hover near 1.
+        let le = (pair.u3.total_error.max(1e-12)).ln() / (pair.rz.total_error.max(1e-12)).ln();
+        let e = acc.entry(pair.category.label()).or_insert_with(|| Acc {
+            t: vec![],
+            td: vec![],
+            cl: vec![],
+            err: vec![],
+        });
+        e.t.push(tr);
+        e.td.push(td);
+        e.cl.push(cl);
+        e.err.push(le);
+        rows.push(format!(
+            "{},{},{tr:.4},{td:.4},{cl:.4},{le:.4}",
+            pair.name,
+            b.category.label()
+        ));
+    }
+    eprintln!();
+    println!("Figure 10: per-category reduction ratios (gridsynth / trasyn)");
+    println!(
+        "{:<22} {:>8} {:>9} {:>10} {:>10}",
+        "category", "T", "T-depth", "Clifford", "logErrRatio"
+    );
+    for (cat, paper) in [
+        ("QAOA", "1.64/1.66/2.44"),
+        ("Quantum Hamiltonian", "1.46/1.45/2.88"),
+        ("Classical Hamiltonian", "1.09/1.11/1.75"),
+        ("FT Algorithm", "1.17/1.15/2.43"),
+    ] {
+        if let Some(a) = acc.get(cat) {
+            println!(
+                "{:<22} {:>7.2}x {:>8.2}x {:>9.2}x {:>10.2}   (paper {paper})",
+                cat,
+                geomean(&a.t),
+                geomean(&a.td),
+                geomean(&a.cl),
+                geomean(&a.err)
+            );
+        }
+    }
+    write_csv(
+        &ctx.out("fig10_categories.csv"),
+        "benchmark,category,t_ratio,t_depth_ratio,clifford_ratio,log_err_ratio",
+        &rows,
+    );
+}
+
+/// Figure 11: the absolute circuit infidelities trasyn achieves, ordered
+/// by qubit count and by rotation count (ideal, noise-free simulation).
+pub fn fig11(ctx: &Ctx) {
+    let circuits: Vec<BenchmarkCircuit> = ctx
+        .circuits()
+        .into_iter()
+        .filter(|b| b.circuit.n_qubits() <= 12)
+        .collect();
+    let eps = eps_rot(ctx);
+    let mut rows = Vec::new();
+    for (i, b) in circuits.iter().enumerate() {
+        eprint!("\r[fig11] {}/{} {:<32}", i + 1, circuits.len(), b.name);
+        let (_, synth) = ctx.u3_workflow(&b.circuit, eps);
+        let infid = sim::fidelity::circuit_state_infidelity(&synth.circuit, &b.circuit);
+        rows.push(format!(
+            "{},{},{},{:.6e},{:.6e}",
+            b.name,
+            b.circuit.n_qubits(),
+            synth.rotations,
+            infid,
+            synth.total_error
+        ));
+    }
+    eprintln!();
+    println!("Figure 11: absolute trasyn circuit infidelities ({} circuits)", rows.len());
+    let infids: Vec<f64> = rows
+        .iter()
+        .map(|r| r.split(',').nth(3).unwrap().parse().unwrap())
+        .collect();
+    println!(
+        "  infidelity range: {:.2e} .. {:.2e} (grows with #rotations, as in the paper)",
+        fmin(&infids),
+        fmax(&infids)
+    );
+    write_csv(
+        &ctx.out("fig11_infidelity.csv"),
+        "benchmark,n_qubits,n_rotations,state_infidelity,summed_synthesis_error",
+        &rows,
+    );
+}

@@ -1,0 +1,248 @@
+//! RQ1 experiments on Haar-random unitaries: Table 1, Figure 7, Figure 8.
+
+use crate::context::Ctx;
+use crate::util::{fmax, fmin, geomean, mean, median, write_csv};
+use baselines::{anneal_synthesize, AnnealConfig};
+use gridsynth::{synthesize_u3_with, RzOptions};
+use qmath::Mat2;
+use std::time::Instant;
+use trasyn::SynthesisConfig;
+use workloads::random::haar_targets;
+
+/// One method's result on one unitary.
+struct Point {
+    t: usize,
+    clifford: usize,
+    error: f64,
+    seconds: f64,
+}
+
+/// Runs trasyn with `tensors` tensors of the context's per-tensor budget.
+fn run_trasyn(ctx: &Ctx, u: &Mat2, tensors: usize, seed: u64) -> Point {
+    let cfg = SynthesisConfig {
+        samples: ctx.samples(),
+        budgets: vec![ctx.budget(); tensors],
+        min_tensors: tensors,
+        epsilon: None,
+        attempts: 1,
+        seed,
+    };
+    let t0 = Instant::now();
+    let out = ctx.trasyn.synthesize(u, &cfg);
+    Point {
+        t: out.t_count(),
+        clifford: out.clifford_count(),
+        error: out.error,
+        seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the gridsynth three-Rz workflow at overall error `eps`.
+fn run_gridsynth(u: &Mat2, eps: f64) -> Option<Point> {
+    let t0 = Instant::now();
+    let s = synthesize_u3_with(u, eps, RzOptions::default())?;
+    Some(Point {
+        t: s.t_count(),
+        clifford: s.clifford_count(),
+        error: s.error,
+        seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs the Synthetiq-style annealer at threshold `eps`.
+fn run_annealer(u: &Mat2, eps: f64, full: bool, seed: u64) -> (Point, bool) {
+    let budget = if full { 400_000 } else { 60_000 };
+    let t0 = Instant::now();
+    let r = anneal_synthesize(
+        u,
+        &AnnealConfig {
+            epsilon: eps,
+            length: 44,
+            max_iters: budget,
+            restarts: 6,
+            seed,
+            ..Default::default()
+        },
+    );
+    (
+        Point {
+            t: r.seq.t_count(),
+            clifford: r.seq.clifford_count(),
+            error: r.error,
+            seconds: t0.elapsed().as_secs_f64(),
+        },
+        r.converged,
+    )
+}
+
+/// Table 1: trasyn-vs-gridsynth reduction statistics at the tightest
+/// common scale (paper: ε = 0.001 with T budget 30; scaled run compares
+/// the 3-tensor trasyn against gridsynth at the matching error level).
+pub fn table1(ctx: &Ctx) {
+    let targets = haar_targets(ctx.n_unitaries(), 0xAB01);
+    let mut t_ratios = Vec::new();
+    let mut c_ratios = Vec::new();
+    let mut rows = Vec::new();
+    for (i, u) in targets.iter().enumerate() {
+        let tr = run_trasyn(ctx, u, 3, 0x1000 + i as u64);
+        // Match gridsynth's error to what trasyn achieved (the paper holds
+        // errors comparable and compares T counts).
+        let eps = tr.error.clamp(2e-4, 0.3);
+        let Some(gs) = run_gridsynth(u, eps) else {
+            continue;
+        };
+        let tr_t = tr.t.max(1);
+        let tr_c = tr.clifford.max(1);
+        t_ratios.push(gs.t as f64 / tr_t as f64);
+        c_ratios.push(gs.clifford as f64 / tr_c as f64);
+        rows.push(format!(
+            "{i},{},{},{},{},{:.3e},{:.3e}",
+            tr.t, gs.t, tr.clifford, gs.clifford, tr.error, gs.error
+        ));
+    }
+    println!("Table 1: reductions of trasyn over gridsynth (n = {})", rows.len());
+    println!(
+        "{:<16} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "reduction", "min", "mean", "geomean", "median", "max"
+    );
+    for (name, v) in [("T count", &t_ratios), ("Clifford count", &c_ratios)] {
+        println!(
+            "{:<16} {:>7.2}x {:>7.2}x {:>8.2}x {:>7.2}x {:>7.2}x",
+            name,
+            fmin(v),
+            mean(v),
+            geomean(v),
+            median(v),
+            fmax(v)
+        );
+    }
+    println!("  (paper at eps=1e-3: T geomean 3.74x, Clifford geomean 5.73x)");
+    write_csv(
+        &ctx.out("table1.csv"),
+        "idx,trasyn_t,gridsynth_t,trasyn_clifford,gridsynth_clifford,trasyn_error,gridsynth_error",
+        &rows,
+    );
+}
+
+/// Figure 7: synthesis error vs T count and Clifford count for the three
+/// methods at three scales.
+pub fn fig7(ctx: &Ctx) {
+    let targets = haar_targets(ctx.n_unitaries(), 0xAB07);
+    let eps_levels = [0.1f64, 0.01, 0.001];
+    let mut rows = Vec::new();
+    let mut fails = [0usize; 3];
+    for (i, u) in targets.iter().enumerate() {
+        for (scale, tensors) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            let p = run_trasyn(ctx, u, tensors, 0x7000 + i as u64);
+            rows.push(format!(
+                "trasyn,{scale},{i},{},{},{:.4e},{:.4}",
+                p.t, p.clifford, p.error, p.seconds
+            ));
+        }
+        for (scale, eps) in eps_levels.iter().enumerate() {
+            if let Some(p) = run_gridsynth(u, *eps) {
+                rows.push(format!(
+                    "gridsynth,{scale},{i},{},{},{:.4e},{:.4}",
+                    p.t, p.clifford, p.error, p.seconds
+                ));
+            }
+            let (p, converged) = run_annealer(u, *eps, ctx.full, 0x77 + i as u64);
+            if !converged {
+                fails[scale] += 1;
+            }
+            rows.push(format!(
+                "synthetiq,{scale},{i},{},{},{:.4e},{:.4}",
+                p.t, p.clifford, p.error, p.seconds
+            ));
+        }
+    }
+    summarize_fig7(&rows, targets.len(), &fails);
+    write_csv(
+        &ctx.out("fig7_scatter.csv"),
+        "method,scale,idx,t_count,clifford_count,error,seconds",
+        &rows,
+    );
+}
+
+fn summarize_fig7(rows: &[String], n: usize, fails: &[usize; 3]) {
+    println!("Figure 7: synthesis error vs T / Clifford count ({n} unitaries)");
+    for method in ["trasyn", "gridsynth", "synthetiq"] {
+        for scale in 0..3 {
+            let pts: Vec<(f64, f64, f64)> = rows
+                .iter()
+                .filter(|r| r.starts_with(&format!("{method},{scale},")))
+                .map(|r| {
+                    let f: Vec<&str> = r.split(',').collect();
+                    (
+                        f[3].parse().unwrap_or(0.0),
+                        f[4].parse().unwrap_or(0.0),
+                        f[5].parse().unwrap_or(1.0),
+                    )
+                })
+                .collect();
+            if pts.is_empty() {
+                continue;
+            }
+            let ts: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let cs: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            let es: Vec<f64> = pts.iter().map(|p| p.2).collect();
+            println!(
+                "  {method:<10} scale {scale}: mean #T {:>6.1}  mean #Clifford {:>6.1}  median err {:.2e}",
+                mean(&ts),
+                mean(&cs),
+                median(&es)
+            );
+        }
+    }
+    println!(
+        "  synthetiq non-converged runs per scale: {fails:?} (paper: 1, 931, 1000 of 1000)"
+    );
+}
+
+/// Figure 8: wall-clock synthesis time per method per error scale.
+///
+/// Hardware substitution: the paper price-adjusts A100-GPU vs 24-core-CPU
+/// time; everything here runs on the same CPU, so we report raw seconds
+/// (EXPERIMENTS.md discusses the mapping).
+pub fn fig8(ctx: &Ctx) {
+    let targets = haar_targets((ctx.n_unitaries() / 2).max(10), 0xAB08);
+    let eps_levels = [0.1f64, 0.01, 0.001];
+    let mut rows = Vec::new();
+    println!("Figure 8: synthesis time (seconds, same CPU for all methods)");
+    println!(
+        "{:<10} {:>9} {:>12} {:>12}",
+        "eps", "trasyn", "gridsynth", "synthetiq"
+    );
+    for (scale, eps) in eps_levels.iter().enumerate() {
+        let tensors = scale + 1;
+        let mut t_tr = Vec::new();
+        let mut t_gs = Vec::new();
+        let mut t_an = Vec::new();
+        for (i, u) in targets.iter().enumerate() {
+            t_tr.push(run_trasyn(ctx, u, tensors, 0x8000 + i as u64).seconds);
+            if let Some(p) = run_gridsynth(u, *eps) {
+                t_gs.push(p.seconds);
+            }
+            let (p, _) = run_annealer(u, *eps, false, 0x88 + i as u64);
+            t_an.push(p.seconds);
+        }
+        println!(
+            "{:<10} {:>9.3} {:>12.3} {:>12.3}",
+            eps,
+            median(&t_tr),
+            median(&t_gs),
+            median(&t_an)
+        );
+        rows.push(format!(
+            "{eps},{:.4},{:.4},{:.4}",
+            median(&t_tr),
+            median(&t_gs),
+            median(&t_an)
+        ));
+    }
+    write_csv(
+        &ctx.out("fig8_time.csv"),
+        "eps,trasyn_median_s,gridsynth_median_s,synthetiq_median_s",
+        &rows,
+    );
+}

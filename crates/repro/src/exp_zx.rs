@@ -1,0 +1,70 @@
+//! RQ5 / Figure 14: does a T-count optimizer erase trasyn's advantage?
+
+use crate::context::Ctx;
+use crate::exp_circuits::{eps_rot, run_both};
+use crate::util::{geomean, write_csv};
+use circuit::metrics::{clifford_count, gate_count, t_count, t_depth};
+
+/// Figure 14: T / T-depth / Clifford ratios between the two workflows
+/// before and after the PyZX-style optimizer.
+pub fn fig14(ctx: &Ctx) {
+    let circuits = ctx.circuits();
+    let eps = eps_rot(ctx);
+    let mut rows = Vec::new();
+    let mut before_t = Vec::new();
+    let mut after_t = Vec::new();
+    let mut before_cl = Vec::new();
+    let mut after_cl = Vec::new();
+    let mut before_td = Vec::new();
+    let mut after_td = Vec::new();
+    for (i, b) in circuits.iter().enumerate() {
+        eprint!("\r[fig14] {}/{} {:<32}", i + 1, circuits.len(), b.name);
+        let pair = run_both(ctx, b, eps);
+        // The paper caps PyZX runs at 50k gates.
+        if gate_count(&pair.u3.circuit) > 50_000 || gate_count(&pair.rz.circuit) > 50_000 {
+            continue;
+        }
+        let u3_opt = zxopt::optimize(&pair.u3.circuit);
+        let rz_opt = zxopt::optimize(&pair.rz.circuit);
+        let r = |a: usize, b: usize| a as f64 / b.max(1) as f64;
+        let bt = r(t_count(&pair.rz.circuit), t_count(&pair.u3.circuit));
+        let at = r(t_count(&rz_opt), t_count(&u3_opt));
+        let btd = r(t_depth(&pair.rz.circuit), t_depth(&pair.u3.circuit));
+        let atd = r(t_depth(&rz_opt), t_depth(&u3_opt));
+        let bc = r(clifford_count(&pair.rz.circuit), clifford_count(&pair.u3.circuit));
+        let ac = r(clifford_count(&rz_opt), clifford_count(&u3_opt));
+        before_t.push(bt);
+        after_t.push(at);
+        before_td.push(btd);
+        after_td.push(atd);
+        before_cl.push(bc);
+        after_cl.push(ac);
+        rows.push(format!(
+            "{},{bt:.4},{at:.4},{btd:.4},{atd:.4},{bc:.4},{ac:.4}",
+            pair.name
+        ));
+    }
+    eprintln!();
+    println!("Figure 14: ratios before/after the PyZX-style optimizer ({} circuits)", rows.len());
+    println!(
+        "  T count ratio:   before {:.2}x  after {:.2}x",
+        geomean(&before_t),
+        geomean(&after_t)
+    );
+    println!(
+        "  T depth ratio:   before {:.2}x  after {:.2}x",
+        geomean(&before_td),
+        geomean(&after_td)
+    );
+    println!(
+        "  Clifford ratio:  before {:.2}x  after {:.2}x",
+        geomean(&before_cl),
+        geomean(&after_cl)
+    );
+    println!("  (paper: optimization cannot level the T advantage)");
+    write_csv(
+        &ctx.out("fig14_pyzx.csv"),
+        "benchmark,t_before,t_after,t_depth_before,t_depth_after,clifford_before,clifford_after",
+        &rows,
+    );
+}

@@ -1,0 +1,82 @@
+//! Statistics and output helpers shared by the experiments.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+
+/// Geometric mean of positive values (ignores non-finite entries).
+pub fn geomean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .map(f64::ln)
+        .collect();
+    if logs.is_empty() {
+        return f64::NAN;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median (of a copy; NaNs sorted last).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Minimum.
+pub fn fmin(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum.
+pub fn fmax(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Writes a CSV file (header + stringified rows).
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) {
+    let mut f = File::create(path).unwrap_or_else(|e| panic!("create {path:?}: {e}"));
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    println!("  wrote {path:?} ({} rows)", rows.len());
+}
+
+/// A simple least-squares fit of `y = a·x^b` via log-log regression,
+/// returning `(a, b)`.
+pub fn power_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys.iter())
+        .filter(|(x, y)| **x > 0.0 && **y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let b = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let a = ((sy - b * sx) / n).exp();
+    (a, b)
+}

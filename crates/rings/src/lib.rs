@@ -1,0 +1,36 @@
+//! Exact ring arithmetic and elementary number theory.
+//!
+//! The Ross–Selinger `gridsynth` algorithm works in the ring of integers of
+//! the eighth cyclotomic field `Q(ω)`, `ω = e^{iπ/4}`, and its real subring
+//! `Z[√2]`. This crate provides:
+//!
+//! * [`ZRoot2`] — `a + b√2` with `a, b : i128`, conjugation, the field
+//!   norm, and a Euclidean gcd;
+//! * [`ZOmega`] — `a₀ + a₁ω + a₂ω² + a₃ω³`, complex and √2-conjugation,
+//!   relative/absolute norms, and a Euclidean gcd;
+//! * [`DOmega`] — elements of `Z[ω]/√2^k` (dyadic denominators), the entry
+//!   type of exactly-synthesizable unitaries;
+//! * [`numtheory`] — Miller–Rabin, Pollard rho, Tonelli–Shanks and friends
+//!   on `u128`.
+//!
+//! # Coordinate ranges
+//!
+//! All arithmetic uses `i128`. The synthesis pipeline keeps denominator
+//! exponents `k ≲ 50` (synthesis errors down to ~1e-7), so coordinates stay
+//! below `2^60` and all products fit comfortably.
+//!
+//! ```
+//! use rings::{ZOmega, ZRoot2};
+//! let sqrt2 = ZOmega::sqrt2();
+//! assert_eq!(sqrt2 * sqrt2, ZOmega::from_int(2));
+//! assert_eq!(ZRoot2::new(1, 1).norm(), -1); // 1+√2 is a unit
+//! ```
+
+pub mod domega;
+pub mod numtheory;
+pub mod zomega;
+pub mod zroot2;
+
+pub use domega::DOmega;
+pub use zomega::ZOmega;
+pub use zroot2::ZRoot2;

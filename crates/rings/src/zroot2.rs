@@ -1,0 +1,366 @@
+//! The real quadratic ring `Z[√2]`.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// An element `a + b√2` of `Z[√2]`.
+///
+/// `Z[√2]` is norm-Euclidean, so gcds exist and are computed by repeated
+/// division-with-remainder. The Galois conjugate (`√2 ↦ −√2`) is written
+/// [`ZRoot2::conj2`] and the field norm is `N(x) = x·x• = a² − 2b²`.
+///
+/// ```
+/// use rings::ZRoot2;
+/// let lambda = ZRoot2::new(1, 1); // the fundamental unit 1 + √2
+/// assert_eq!(lambda.norm(), -1);
+/// assert_eq!((lambda * lambda).norm(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZRoot2 {
+    /// Rational part.
+    pub a: i128,
+    /// Coefficient of √2.
+    pub b: i128,
+}
+
+impl ZRoot2 {
+    /// Zero.
+    pub const ZERO: ZRoot2 = ZRoot2 { a: 0, b: 0 };
+    /// One.
+    pub const ONE: ZRoot2 = ZRoot2 { a: 1, b: 0 };
+    /// √2.
+    pub const SQRT2: ZRoot2 = ZRoot2 { a: 0, b: 1 };
+    /// The fundamental unit `λ = 1 + √2` (norm −1).
+    pub const LAMBDA: ZRoot2 = ZRoot2 { a: 1, b: 1 };
+    /// `λ⁻¹ = −1 + √2` (note `λ·λ⁻¹ = 1` since `λ(√2−1) = 1`).
+    pub const LAMBDA_INV: ZRoot2 = ZRoot2 { a: -1, b: 1 };
+
+    /// Creates `a + b√2`.
+    #[inline]
+    pub const fn new(a: i128, b: i128) -> Self {
+        ZRoot2 { a, b }
+    }
+
+    /// Embeds a rational integer.
+    #[inline]
+    pub const fn from_int(n: i128) -> Self {
+        ZRoot2 { a: n, b: 0 }
+    }
+
+    /// Galois conjugate `a − b√2` (the paper's `•` operation).
+    #[inline]
+    pub const fn conj2(self) -> Self {
+        ZRoot2 {
+            a: self.a,
+            b: -self.b,
+        }
+    }
+
+    /// Field norm `N(x) = x·x• = a² − 2b² ∈ Z`.
+    #[inline]
+    pub const fn norm(self) -> i128 {
+        self.a * self.a - 2 * self.b * self.b
+    }
+
+    /// Numerical value as `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.a as f64 + self.b as f64 * std::f64::consts::SQRT_2
+    }
+
+    /// `true` iff this is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.a == 0 && self.b == 0
+    }
+
+    /// `true` iff this is a unit (norm ±1).
+    #[inline]
+    pub const fn is_unit(self) -> bool {
+        let n = self.norm();
+        n == 1 || n == -1
+    }
+
+    /// Exact sign of the real value `a + b√2` without floating point.
+    pub fn signum(self) -> i32 {
+        match (self.a.signum(), self.b.signum()) {
+            (0, 0) => 0,
+            (sa, 0) => sa as i32,
+            (0, sb) => sb as i32,
+            (1, 1) => 1,
+            (-1, -1) => -1,
+            (sa, _) => {
+                // a and b have opposite signs: compare a² with 2b².
+                // Checked arithmetic falls back to floating point for
+                // coordinates beyond ~2^62 (where the ±1 ULP of f64 cannot
+                // flip the sign of |a| − √2|b| at opposite signs of this
+                // magnitude unless they are astronomically close, which
+                // √2's irrationality measure rules out for integers).
+                let exact = self
+                    .a
+                    .checked_mul(self.a)
+                    .zip(self.b.checked_mul(self.b).and_then(|b2| b2.checked_mul(2)));
+                let cmp = match exact {
+                    Some((a2, b2)) => a2.cmp(&b2),
+                    None => {
+                        let fa = (self.a as f64).abs();
+                        let fb = (self.b as f64).abs() * std::f64::consts::SQRT_2;
+                        fa.partial_cmp(&fb).expect("finite floats")
+                    }
+                };
+                match cmp {
+                    std::cmp::Ordering::Greater => sa as i32,
+                    std::cmp::Ordering::Less => -(sa as i32),
+                    std::cmp::Ordering::Equal => 0, // impossible: √2 irrational
+                }
+            }
+        }
+    }
+
+    /// `true` iff both `self ≥ 0` and `self• ≥ 0` ("doubly positive").
+    pub fn is_doubly_nonneg(self) -> bool {
+        self.signum() >= 0 && self.conj2().signum() >= 0
+    }
+
+    /// Euclidean division: returns `(q, r)` with `self = q·other + r` and
+    /// `|N(r)| < |N(other)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(self, other: ZRoot2) -> (ZRoot2, ZRoot2) {
+        assert!(!other.is_zero(), "division by zero in Z[√2]");
+        // self/other = self·other• / N(other) as exact rationals.
+        let n = other.norm();
+        let num = self * other.conj2();
+        let q = ZRoot2::new(round_div(num.a, n), round_div(num.b, n));
+        let r = self - q * other;
+        (q, r)
+    }
+
+    /// Greatest common divisor (up to units).
+    pub fn gcd(self, other: ZRoot2) -> ZRoot2 {
+        let (mut x, mut y) = (self, other);
+        while !y.is_zero() {
+            let (_, r) = x.div_rem(y);
+            x = y;
+            y = r;
+        }
+        x
+    }
+
+    /// Exact division. Returns `None` when `other` does not divide `self`.
+    pub fn exact_div(self, other: ZRoot2) -> Option<ZRoot2> {
+        let (q, r) = self.div_rem(other);
+        if r.is_zero() {
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    /// Writes a unit as `±λ^n`: returns `(sign, n)` with
+    /// `self = sign · λ^n`, or `None` if `self` is not a unit.
+    pub fn unit_decompose(self) -> Option<(i32, i64)> {
+        if !self.is_unit() {
+            return None;
+        }
+        let mut u = self;
+        let mut n: i64 = 0;
+        // λ = 1+√2 ≈ 2.414. Scale u into [1, λ) by multiplying/dividing.
+        loop {
+            let v = u.to_f64().abs();
+            if v >= 2.4142135623730945 {
+                u = u * ZRoot2::LAMBDA_INV;
+                n += 1;
+            } else if v < 0.9999999 {
+                u = u * ZRoot2::LAMBDA;
+                n -= 1;
+            } else {
+                break;
+            }
+            if n.abs() > 300 {
+                return None; // numerically degenerate; not expected
+            }
+        }
+        if u == ZRoot2::ONE {
+            Some((1, n))
+        } else if u == -ZRoot2::ONE {
+            Some((-1, n))
+        } else {
+            None
+        }
+    }
+
+    /// `λ^n` for possibly negative `n`.
+    pub fn lambda_pow(n: i64) -> ZRoot2 {
+        let base = if n >= 0 {
+            ZRoot2::LAMBDA
+        } else {
+            ZRoot2::LAMBDA_INV
+        };
+        let mut acc = ZRoot2::ONE;
+        for _ in 0..n.unsigned_abs() {
+            acc = acc * base;
+        }
+        acc
+    }
+}
+
+/// Rounds `a / b` to the nearest integer (ties toward +∞), exactly.
+fn round_div(a: i128, b: i128) -> i128 {
+    debug_assert!(b != 0);
+    let (a, b) = if b < 0 { (-a, -b) } else { (a, b) };
+    // floor((2a + b) / (2b))
+    let num = 2 * a + b;
+    let den = 2 * b;
+    num.div_euclid(den)
+}
+
+impl Add for ZRoot2 {
+    type Output = ZRoot2;
+    #[inline]
+    fn add(self, r: ZRoot2) -> ZRoot2 {
+        ZRoot2::new(self.a + r.a, self.b + r.b)
+    }
+}
+
+impl Sub for ZRoot2 {
+    type Output = ZRoot2;
+    #[inline]
+    fn sub(self, r: ZRoot2) -> ZRoot2 {
+        ZRoot2::new(self.a - r.a, self.b - r.b)
+    }
+}
+
+impl Mul for ZRoot2 {
+    type Output = ZRoot2;
+    #[inline]
+    fn mul(self, r: ZRoot2) -> ZRoot2 {
+        ZRoot2::new(
+            self.a * r.a + 2 * self.b * r.b,
+            self.a * r.b + self.b * r.a,
+        )
+    }
+}
+
+impl Neg for ZRoot2 {
+    type Output = ZRoot2;
+    #[inline]
+    fn neg(self) -> ZRoot2 {
+        ZRoot2::new(-self.a, -self.b)
+    }
+}
+
+impl fmt::Display for ZRoot2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}√2", self.a, if self.b < 0 { "" } else { "+" }, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_axioms_spot() {
+        let x = ZRoot2::new(3, -2);
+        let y = ZRoot2::new(-1, 4);
+        let z = ZRoot2::new(7, 5);
+        assert_eq!((x + y) * z, x * z + y * z);
+        assert_eq!(x * y, y * x);
+        assert_eq!((x * y) * z, x * (y * z));
+    }
+
+    #[test]
+    fn norm_is_multiplicative() {
+        let x = ZRoot2::new(3, -2);
+        let y = ZRoot2::new(-1, 4);
+        assert_eq!((x * y).norm(), x.norm() * y.norm());
+    }
+
+    #[test]
+    fn conj_is_homomorphism() {
+        let x = ZRoot2::new(3, -2);
+        let y = ZRoot2::new(-1, 4);
+        assert_eq!((x * y).conj2(), x.conj2() * y.conj2());
+        assert_eq!((x + y).conj2(), x.conj2() + y.conj2());
+    }
+
+    #[test]
+    fn lambda_inverse() {
+        assert_eq!(ZRoot2::LAMBDA * ZRoot2::LAMBDA_INV, ZRoot2::ONE);
+    }
+
+    #[test]
+    fn signum_exact() {
+        assert_eq!(ZRoot2::new(3, -2).signum(), 1); // 3 - 2.83 > 0
+        assert_eq!(ZRoot2::new(1, -1).signum(), -1); // 1 - 1.41 < 0
+        assert_eq!(ZRoot2::new(-3, 2).signum(), -1);
+        assert_eq!(ZRoot2::ZERO.signum(), 0);
+        assert_eq!(ZRoot2::new(0, 5).signum(), 1);
+        assert_eq!(ZRoot2::new(7, 0).signum(), 1);
+    }
+
+    #[test]
+    fn div_rem_is_euclidean() {
+        let cases = [
+            (ZRoot2::new(17, 5), ZRoot2::new(3, 1)),
+            (ZRoot2::new(-23, 11), ZRoot2::new(2, -3)),
+            (ZRoot2::new(100, -41), ZRoot2::new(1, 1)),
+            (ZRoot2::new(5, 0), ZRoot2::new(0, 1)),
+        ];
+        for (x, y) in cases {
+            let (q, r) = x.div_rem(y);
+            assert_eq!(q * y + r, x);
+            assert!(
+                r.norm().abs() < y.norm().abs(),
+                "remainder too large: {x} / {y} -> r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both() {
+        let g0 = ZRoot2::new(3, 1);
+        let x = g0 * ZRoot2::new(5, -2);
+        let y = g0 * ZRoot2::new(-1, 7);
+        let g = x.gcd(y);
+        assert!(x.exact_div(g).is_some());
+        assert!(y.exact_div(g).is_some());
+        // g must be divisible by g0 (up to units).
+        assert!(g.exact_div(g0).is_some());
+    }
+
+    #[test]
+    fn unit_decompose_roundtrip() {
+        for n in -6i64..=6 {
+            for sign in [1i32, -1] {
+                let u = if sign == 1 {
+                    ZRoot2::lambda_pow(n)
+                } else {
+                    -ZRoot2::lambda_pow(n)
+                };
+                let (s, m) = u.unit_decompose().expect("unit");
+                assert_eq!((s, m), (sign, n));
+            }
+        }
+        assert_eq!(ZRoot2::new(3, 1).unit_decompose(), None);
+    }
+
+    #[test]
+    fn doubly_positive() {
+        assert!(ZRoot2::new(3, 1).is_doubly_nonneg()); // 3±√2 > 0
+        assert!(!ZRoot2::new(1, 1).is_doubly_nonneg()); // 1-√2 < 0
+        assert!(ZRoot2::ZERO.is_doubly_nonneg());
+    }
+
+    #[test]
+    fn round_div_behaviour() {
+        assert_eq!(round_div(7, 2), 4); // 3.5 -> 4 (ties up)
+        assert_eq!(round_div(-7, 2), -3); // -3.5 -> -3 (ties up)
+        assert_eq!(round_div(6, 3), 2);
+        assert_eq!(round_div(-6, 3), -2);
+        assert_eq!(round_div(5, -2), -2); // -2.5 -> -2
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the exact rings.
+
+use proptest::prelude::*;
+use rings::numtheory::{gcd_u128, is_prime, mulmod, powmod};
+use rings::{DOmega, ZOmega, ZRoot2};
+
+fn arb_zroot2() -> impl Strategy<Value = ZRoot2> {
+    (-1_000_000i128..1_000_000, -1_000_000i128..1_000_000)
+        .prop_map(|(a, b)| ZRoot2::new(a, b))
+}
+
+fn arb_zomega() -> impl Strategy<Value = ZOmega> {
+    (
+        -10_000i128..10_000,
+        -10_000i128..10_000,
+        -10_000i128..10_000,
+        -10_000i128..10_000,
+    )
+        .prop_map(|(a, b, c, d)| ZOmega::new(a, b, c, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn zroot2_ring_axioms(x in arb_zroot2(), y in arb_zroot2(), z in arb_zroot2()) {
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+        prop_assert_eq!((x * y) * z, x * (y * z));
+        prop_assert_eq!(x * (y + z), x * y + x * z);
+        prop_assert_eq!(x + (-x), ZRoot2::ZERO);
+    }
+
+    #[test]
+    fn zroot2_norm_and_conj(x in arb_zroot2(), y in arb_zroot2()) {
+        prop_assert_eq!((x * y).norm(), x.norm() * y.norm());
+        prop_assert_eq!((x * y).conj2(), x.conj2() * y.conj2());
+        prop_assert_eq!(x.conj2().conj2(), x);
+        // x · x• equals the norm as a rational integer.
+        prop_assert_eq!(x * x.conj2(), ZRoot2::from_int(x.norm()));
+    }
+
+    #[test]
+    fn zroot2_signum_matches_float(x in arb_zroot2()) {
+        let f = x.to_f64();
+        if f.abs() > 1e-3 {
+            prop_assert_eq!(x.signum(), f.signum() as i32);
+        }
+    }
+
+    #[test]
+    fn zroot2_division_is_euclidean(x in arb_zroot2(), y in arb_zroot2()) {
+        prop_assume!(!y.is_zero());
+        let (q, r) = x.div_rem(y);
+        prop_assert_eq!(q * y + r, x);
+        prop_assert!(r.norm().abs() < y.norm().abs());
+    }
+
+    #[test]
+    fn zomega_conj_laws(x in arb_zomega(), y in arb_zomega()) {
+        prop_assert_eq!((x * y).conj(), x.conj() * y.conj());
+        prop_assert_eq!((x * y).conj2(), x.conj2() * y.conj2());
+        prop_assert_eq!(x.conj().conj(), x);
+        // conj and conj2 commute.
+        prop_assert_eq!(x.conj().conj2(), x.conj2().conj());
+    }
+
+    #[test]
+    fn zomega_norm_nonneg_multiplicative(x in arb_zomega(), y in arb_zomega()) {
+        prop_assert!(x.norm() >= 0);
+        prop_assert_eq!((x * y).norm(), x.norm() * y.norm());
+    }
+
+    #[test]
+    fn zomega_sqrt2_multiplication_roundtrip(x in arb_zomega()) {
+        let y = x * ZOmega::sqrt2();
+        prop_assert_eq!(y.div_sqrt2(), Some(x));
+    }
+
+    #[test]
+    fn zomega_gcd_divides(x in arb_zomega(), y in arb_zomega()) {
+        prop_assume!(!x.is_zero() && !y.is_zero());
+        let g = x.gcd(y);
+        prop_assert!(x.exact_div(g).is_some());
+        prop_assert!(y.exact_div(g).is_some());
+    }
+
+    #[test]
+    fn domega_field_ops_match_complex(
+        x in arb_zomega(), kx in 0u32..6,
+        y in arb_zomega(), ky in 0u32..6,
+    ) {
+        let a = DOmega::new(x, kx);
+        let b = DOmega::new(y, ky);
+        let sum = (a + b).to_complex();
+        let prod = (a * b).to_complex();
+        prop_assert!(sum.approx_eq(a.to_complex() + b.to_complex(), 1e-6));
+        prop_assert!(prod.approx_eq(a.to_complex() * b.to_complex(), 1e-4));
+    }
+
+    #[test]
+    fn powmod_matches_naive(a in 1u128..1000, e in 0u128..64, m in 2u128..10_000) {
+        let mut want = 1u128;
+        for _ in 0..e {
+            want = (want * (a % m)) % m;
+        }
+        prop_assert_eq!(powmod(a, e, m), want);
+    }
+
+    #[test]
+    fn mulmod_matches_widening(a in 0u128..u64::MAX as u128, b in 0u128..u64::MAX as u128, m in 1u128..u64::MAX as u128) {
+        prop_assert_eq!(mulmod(a, b, m), (a % m) * (b % m) % m);
+    }
+
+    #[test]
+    fn gcd_properties(a in 1u128..1_000_000, b in 1u128..1_000_000) {
+        let g = gcd_u128(a, b);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+    }
+
+    #[test]
+    fn fermat_for_random_primes(seed in 2u128..50_000) {
+        // Find the next prime above `seed` by scanning; then Fermat holds.
+        let mut p = seed | 1;
+        while !is_prime(p) {
+            p += 2;
+        }
+        prop_assert_eq!(powmod(2, p - 1, p), 1 % p);
+    }
+}

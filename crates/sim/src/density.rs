@@ -1,0 +1,242 @@
+//! Exact density-matrix simulation with depolarizing noise.
+
+use crate::noise::NoiseModel;
+use crate::statevector::State;
+use circuit::{Circuit, Op};
+use qmath::{Complex64, Mat2};
+
+/// A density matrix of `n ≤ 10` qubits (2^2n complex entries).
+///
+/// Qubit indexing matches [`State`]: qubit 0 is the most significant bit.
+#[derive(Clone, Debug)]
+pub struct DensityMatrix {
+    n: usize,
+    dim: usize,
+    /// Row-major `dim × dim` matrix.
+    rho: Vec<Complex64>,
+}
+
+impl DensityMatrix {
+    /// `|0…0⟩⟨0…0|`.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 10, "density matrix limited to 10 qubits");
+        let dim = 1usize << n;
+        let mut rho = vec![Complex64::ZERO; dim * dim];
+        rho[0] = Complex64::ONE;
+        DensityMatrix { n, dim, rho }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Trace (should stay 1 under CPTP evolution).
+    pub fn trace(&self) -> Complex64 {
+        (0..self.dim).map(|i| self.rho[i * self.dim + i]).sum()
+    }
+
+    /// Applies `ρ ← UρU†` for a single-qubit unitary on `q`.
+    pub fn apply_1q(&mut self, q: usize, m: &Mat2) {
+        let stride = 1usize << (self.n - 1 - q);
+        let dim = self.dim;
+        // Left multiply U on rows.
+        for col in 0..dim {
+            let mut base = 0usize;
+            while base < dim {
+                for off in base..base + stride {
+                    let i0 = off * dim + col;
+                    let i1 = (off + stride) * dim + col;
+                    let a0 = self.rho[i0];
+                    let a1 = self.rho[i1];
+                    self.rho[i0] = m.e[0] * a0 + m.e[1] * a1;
+                    self.rho[i1] = m.e[2] * a0 + m.e[3] * a1;
+                }
+                base += stride * 2;
+            }
+        }
+        // Right multiply U† on columns.
+        let md = m.adjoint();
+        for row in 0..dim {
+            let rbase = row * dim;
+            let mut base = 0usize;
+            while base < dim {
+                for off in base..base + stride {
+                    let i0 = rbase + off;
+                    let i1 = rbase + off + stride;
+                    let a0 = self.rho[i0];
+                    let a1 = self.rho[i1];
+                    // (ρ·U†): columns transform with U† from the right:
+                    // new[i0] = a0·U†[0][0] + a1·U†[1][0], etc.
+                    self.rho[i0] = a0 * md.e[0] + a1 * md.e[2];
+                    self.rho[i1] = a0 * md.e[1] + a1 * md.e[3];
+                }
+                base += stride * 2;
+            }
+        }
+    }
+
+    /// Applies a CNOT (`c` control, `t` target) unitarily.
+    pub fn apply_cx(&mut self, c: usize, t: usize) {
+        let cb = 1usize << (self.n - 1 - c);
+        let tb = 1usize << (self.n - 1 - t);
+        let dim = self.dim;
+        let map = |i: usize| if i & cb != 0 { i ^ tb } else { i };
+        let mut out = vec![Complex64::ZERO; dim * dim];
+        for r in 0..dim {
+            let mr = map(r);
+            for cidx in 0..dim {
+                out[mr * dim + map(cidx)] = self.rho[r * dim + cidx];
+            }
+        }
+        self.rho = out;
+    }
+
+    /// Applies single-qubit depolarizing noise with rate `λ` on `q`:
+    /// `ρ ← (1−3λ/4)ρ + (λ/4)(XρX + YρY + ZρZ)`.
+    pub fn depolarize(&mut self, q: usize, lambda: f64) {
+        if lambda == 0.0 {
+            return;
+        }
+        let mut acc: Vec<Complex64> = self
+            .rho
+            .iter()
+            .map(|z| z.scale(1.0 - 0.75 * lambda))
+            .collect();
+        for p in [Mat2::x(), Mat2::y(), Mat2::z()] {
+            let mut tmp = self.clone();
+            tmp.apply_1q(q, &p);
+            for (a, b) in acc.iter_mut().zip(tmp.rho.iter()) {
+                *a += b.scale(lambda / 4.0);
+            }
+        }
+        self.rho = acc;
+    }
+
+    /// Runs a discrete circuit under a noise model: each noisy gate is
+    /// followed by a depolarizing fault on its qubit.
+    pub fn apply_noisy_circuit(&mut self, c: &Circuit, model: &NoiseModel) {
+        assert_eq!(c.n_qubits(), self.n);
+        for i in c.instrs() {
+            match i.op {
+                Op::Cx => self.apply_cx(i.q0, i.q1.expect("cx target")),
+                Op::Gate1(g) => {
+                    self.apply_1q(i.q0, &g.matrix());
+                    if model.is_noisy(g) {
+                        self.depolarize(i.q0, model.rate);
+                    }
+                }
+                op => self.apply_1q(i.q0, &op.matrix()),
+            }
+        }
+    }
+
+    /// Fidelity `⟨ψ|ρ|ψ⟩` against a pure state.
+    pub fn fidelity_with_pure(&self, psi: &State) -> f64 {
+        assert_eq!(psi.n_qubits(), self.n);
+        let a = psi.amplitudes();
+        let mut acc = Complex64::ZERO;
+        for r in 0..self.dim {
+            let mut row = Complex64::ZERO;
+            for c in 0..self.dim {
+                row += self.rho[r * self.dim + c] * a[c];
+            }
+            acc += a[r].conj() * row;
+        }
+        acc.re.clamp(0.0, 1.0 + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::NoiseTarget;
+    use gates::Gate;
+
+    #[test]
+    fn pure_evolution_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.u3(2, 0.4, 0.9, -0.3);
+        c.cx(1, 2);
+        let mut rho = DensityMatrix::zero(3);
+        rho.apply_noisy_circuit(
+            &c,
+            &NoiseModel {
+                rate: 0.0,
+                target: NoiseTarget::NonPauliGates,
+            },
+        );
+        let mut psi = State::zero(3);
+        psi.apply_circuit(&c);
+        assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-10);
+        assert!((rho.trace().re - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn depolarize_reduces_fidelity_predictably() {
+        // |0⟩ under depolarizing λ: F = ⟨0|E(|0⟩⟨0|)|0⟩ = 1 − λ/2.
+        let lam = 0.2;
+        let mut rho = DensityMatrix::zero(1);
+        rho.depolarize(0, lam);
+        let psi = State::zero(1);
+        let f = rho.fidelity_with_pure(&psi);
+        assert!((f - (1.0 - lam / 2.0)).abs() < 1e-10, "f = {f}");
+        assert!((rho.trace().re - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noisy_t_gates_accumulate() {
+        let mut c = Circuit::new(1);
+        for _ in 0..8 {
+            c.gate(0, Gate::T);
+        }
+        let model = NoiseModel {
+            rate: 1e-2,
+            target: NoiseTarget::TGatesOnly,
+        };
+        let mut rho = DensityMatrix::zero(1);
+        rho.apply_noisy_circuit(&c, &model);
+        // T^8 = identity (up to phase): ideal state is |0>.
+        let psi = State::zero(1);
+        let f = rho.fidelity_with_pure(&psi);
+        assert!(f < 1.0 - 1e-3, "noise must accumulate, f = {f}");
+        assert!(f > 0.9, "8 faults at 1e-2 must stay mild, f = {f}");
+    }
+
+    #[test]
+    fn cx_on_density_matches_statevector() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        let mut rho = DensityMatrix::zero(2);
+        rho.apply_noisy_circuit(
+            &c,
+            &NoiseModel {
+                rate: 0.0,
+                target: NoiseTarget::TGatesOnly,
+            },
+        );
+        let mut psi = State::zero(2);
+        psi.apply_circuit(&c);
+        assert!((rho.fidelity_with_pure(&psi) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_preserved_under_noise() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.gate(0, Gate::T);
+        c.cx(0, 1);
+        c.gate(1, Gate::T);
+        let model = NoiseModel {
+            rate: 0.05,
+            target: NoiseTarget::NonPauliGates,
+        };
+        let mut rho = DensityMatrix::zero(2);
+        rho.apply_noisy_circuit(&c, &model);
+        assert!((rho.trace().re - 1.0).abs() < 1e-9);
+        assert!(rho.trace().im.abs() < 1e-9);
+    }
+}

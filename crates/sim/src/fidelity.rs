@@ -1,0 +1,51 @@
+//! Fidelity metrics shared by the evaluation harness.
+
+use crate::statevector::State;
+use circuit::Circuit;
+
+/// State infidelity `1 − |⟨ψ_synth|ψ_true⟩|²` between the outputs of two
+/// circuits from the all-zeros state (the paper's circuit-level error
+/// metric, §4 "Metrics").
+pub fn circuit_state_infidelity(synthesized: &Circuit, reference: &Circuit) -> f64 {
+    assert_eq!(synthesized.n_qubits(), reference.n_qubits());
+    let mut a = State::zero(synthesized.n_qubits());
+    a.apply_circuit(synthesized);
+    let mut b = State::zero(reference.n_qubits());
+    b.apply_circuit(reference);
+    (1.0 - a.fidelity(&b)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::Gate;
+
+    #[test]
+    fn identical_circuits_have_zero_infidelity() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        assert!(circuit_state_infidelity(&c, &c) < 1e-12);
+    }
+
+    #[test]
+    fn t_approximation_error_is_visible() {
+        // S approximates T poorly on |+>.
+        let mut with_t = Circuit::new(1);
+        with_t.h(0);
+        with_t.gate(0, Gate::T);
+        let mut with_s = Circuit::new(1);
+        with_s.h(0);
+        with_s.gate(0, Gate::S);
+        let infid = circuit_state_infidelity(&with_s, &with_t);
+        assert!(infid > 0.05, "infidelity {infid} too small");
+    }
+
+    #[test]
+    fn global_phase_does_not_matter_for_state_fidelity() {
+        let mut a = Circuit::new(1);
+        a.gate(0, Gate::Z); // |0> picks up no visible phase
+        let b = Circuit::new(1);
+        assert!(circuit_state_infidelity(&a, &b) < 1e-12);
+    }
+}

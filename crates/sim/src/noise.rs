@@ -1,0 +1,134 @@
+//! The paper's logical-error model applied to synthesized sequences.
+
+use crate::channel::Ptm;
+use gates::{Gate, GateSeq};
+use qmath::Mat2;
+
+/// Which gates the depolarizing noise attaches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoiseTarget {
+    /// Only T/T† gates (§4.2: "a highly conservative model … the
+    /// worst-case scenario for the synthesis error").
+    TGatesOnly,
+    /// All non-Pauli gates (§4.4; Pauli gates are frame-tracked and free).
+    NonPauliGates,
+}
+
+/// A depolarizing logical-error model.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseModel {
+    /// Depolarizing rate λ per noisy gate (`E(ρ) = (1−λ)ρ + λ·I/2`).
+    pub rate: f64,
+    /// Which gates are noisy.
+    pub target: NoiseTarget,
+}
+
+impl NoiseModel {
+    /// `true` when `g` attracts a depolarizing fault under this model.
+    pub fn is_noisy(&self, g: Gate) -> bool {
+        match self.target {
+            NoiseTarget::TGatesOnly => g.is_t_like(),
+            NoiseTarget::NonPauliGates => !g.is_pauli(),
+        }
+    }
+
+    /// The exact noisy channel of a gate sequence, as a PTM.
+    ///
+    /// Remember that `GateSeq` is a *matrix* product: `[g₁, g₂, …]` means
+    /// `g₁·g₂·…`, so the rightmost gate acts first and channels compose
+    /// leftward.
+    pub fn channel_of(&self, seq: &GateSeq) -> Ptm {
+        let mut total = Ptm::identity();
+        // Rightmost gate acts first: iterate reversed, composing on the left.
+        for &g in seq.gates().iter().rev() {
+            let mut step = Ptm::from_unitary(&g.matrix());
+            if self.is_noisy(g) {
+                step = Ptm::depolarizing(self.rate).compose(&step);
+            }
+            total = step.compose(&total);
+        }
+        total
+    }
+
+    /// Process infidelity of the noisy sequence against an ideal target
+    /// unitary — the RQ2 objective combining synthesis and logical error.
+    pub fn process_infidelity(&self, seq: &GateSeq, target: &Mat2) -> f64 {
+        let ideal = Ptm::from_unitary(target);
+        let noisy = self.channel_of(seq);
+        ideal.process_infidelity(&noisy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(gs: &[Gate]) -> GateSeq {
+        gs.iter().copied().collect()
+    }
+
+    #[test]
+    fn noiseless_exact_sequence_has_zero_infidelity() {
+        let model = NoiseModel {
+            rate: 0.0,
+            target: NoiseTarget::TGatesOnly,
+        };
+        let s = seq(&[Gate::H, Gate::T, Gate::H]);
+        let target = Mat2::h() * Mat2::t() * Mat2::h();
+        assert!(model.process_infidelity(&s, &target) < 1e-12);
+    }
+
+    #[test]
+    fn infidelity_grows_with_t_count() {
+        let model = NoiseModel {
+            rate: 1e-3,
+            target: NoiseTarget::TGatesOnly,
+        };
+        let short = seq(&[Gate::T]);
+        let long = seq(&[Gate::T, Gate::Tdg, Gate::T, Gate::Tdg, Gate::T]);
+        // Both implement T (up to exactness), but the long one has 5 noisy
+        // gates.
+        let fi_short = model.process_infidelity(&short, &Mat2::t());
+        let fi_long = model.process_infidelity(&long, &Mat2::t());
+        assert!(fi_long > 3.0 * fi_short, "{fi_long} vs {fi_short}");
+    }
+
+    #[test]
+    fn clifford_noise_only_under_nonpauli_model() {
+        let s = seq(&[Gate::H, Gate::S]);
+        let target = Mat2::h() * Mat2::s();
+        let t_only = NoiseModel {
+            rate: 1e-2,
+            target: NoiseTarget::TGatesOnly,
+        };
+        let all = NoiseModel {
+            rate: 1e-2,
+            target: NoiseTarget::NonPauliGates,
+        };
+        assert!(t_only.process_infidelity(&s, &target) < 1e-12);
+        assert!(all.process_infidelity(&s, &target) > 1e-3);
+    }
+
+    #[test]
+    fn single_t_infidelity_matches_closed_form() {
+        // One noisy T approximating T exactly: F = 1 − 3λ/4.
+        let lam = 4e-3;
+        let model = NoiseModel {
+            rate: lam,
+            target: NoiseTarget::TGatesOnly,
+        };
+        let fi = model.process_infidelity(&seq(&[Gate::T]), &Mat2::t());
+        assert!((fi - 0.75 * lam).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_gates_always_free() {
+        let model = NoiseModel {
+            rate: 0.1,
+            target: NoiseTarget::NonPauliGates,
+        };
+        let s = seq(&[Gate::X, Gate::Z, Gate::Y]);
+        let target = Mat2::x() * Mat2::z() * Mat2::y();
+        assert!(model.process_infidelity(&s, &target) < 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Ideal statevector simulation.
+
+use circuit::{Circuit, Op};
+use qmath::{Complex64, Mat2};
+
+/// A pure state of `n` qubits.
+///
+/// Qubit 0 is the most significant bit of the basis index (big-endian):
+/// basis state `|q₀ q₁ … q_{n−1}⟩` has index `Σ qᵢ·2^{n−1−i}`.
+///
+/// ```
+/// use sim::State;
+/// use qmath::Mat2;
+/// let mut s = State::zero(2);
+/// s.apply_1q(0, &Mat2::x());
+/// assert!((s.probability(0b10) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct State {
+    n: usize,
+    amps: Vec<Complex64>,
+}
+
+impl State {
+    /// The all-zeros computational basis state.
+    pub fn zero(n: usize) -> Self {
+        assert!(n <= 26, "statevector limited to 26 qubits");
+        let mut amps = vec![Complex64::ZERO; 1 << n];
+        amps[0] = Complex64::ONE;
+        State { n, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Amplitudes in basis order.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Probability of a basis outcome.
+    pub fn probability(&self, basis: usize) -> f64 {
+        self.amps[basis].norm_sqr()
+    }
+
+    /// Applies a single-qubit unitary to qubit `q`.
+    pub fn apply_1q(&mut self, q: usize, m: &Mat2) {
+        assert!(q < self.n);
+        let stride = 1usize << (self.n - 1 - q);
+        let len = self.amps.len();
+        let mut base = 0usize;
+        while base < len {
+            for off in base..base + stride {
+                let i0 = off;
+                let i1 = off + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = m.e[0] * a0 + m.e[1] * a1;
+                self.amps[i1] = m.e[2] * a0 + m.e[3] * a1;
+            }
+            base += stride * 2;
+        }
+    }
+
+    /// Applies a CNOT with control `c` and target `t`.
+    pub fn apply_cx(&mut self, c: usize, t: usize) {
+        assert!(c < self.n && t < self.n && c != t);
+        let cb = 1usize << (self.n - 1 - c);
+        let tb = 1usize << (self.n - 1 - t);
+        for i in 0..self.amps.len() {
+            if i & cb != 0 && i & tb == 0 {
+                self.amps.swap(i, i | tb);
+            }
+        }
+    }
+
+    /// Applies a whole circuit (in circuit time).
+    pub fn apply_circuit(&mut self, c: &Circuit) {
+        assert_eq!(c.n_qubits(), self.n, "qubit count mismatch");
+        for i in c.instrs() {
+            match i.op {
+                Op::Cx => self.apply_cx(i.q0, i.q1.expect("cx target")),
+                op => self.apply_1q(i.q0, &op.matrix()),
+            }
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &State) -> Complex64 {
+        assert_eq!(self.n, other.n);
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Squared norm (should stay 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Samples `shots` computational-basis measurement outcomes.
+    pub fn sample_counts<R: rand::Rng + ?Sized>(
+        &self,
+        shots: usize,
+        rng: &mut R,
+    ) -> std::collections::HashMap<usize, usize> {
+        let mut prefix = Vec::with_capacity(self.amps.len());
+        let mut total = 0.0;
+        for a in &self.amps {
+            total += a.norm_sqr();
+            prefix.push(total);
+        }
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..shots {
+            let x = rng.gen_range(0.0..total);
+            let idx = prefix.partition_point(|&p| p <= x).min(self.amps.len() - 1);
+            *counts.entry(idx).or_insert(0usize) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::Gate;
+
+    #[test]
+    fn x_flips_the_addressed_qubit() {
+        let mut s = State::zero(3);
+        s.apply_1q(1, &Mat2::x());
+        assert!((s.probability(0b010) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut s = State::zero(2);
+        s.apply_1q(0, &Mat2::h());
+        s.apply_cx(0, 1);
+        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(s.probability(0b01) < 1e-12);
+    }
+
+    #[test]
+    fn cx_control_sensitivity() {
+        // Control 1 set: target flips.
+        let mut s = State::zero(2);
+        s.apply_1q(1, &Mat2::x()); // |01>
+        s.apply_cx(1, 0); // control q1 = 1 -> flip q0: |11>
+        assert!((s.probability(0b11) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_matches_manual_application() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(1, 0.7);
+        let mut s1 = State::zero(2);
+        s1.apply_circuit(&c);
+        let mut s2 = State::zero(2);
+        s2.apply_1q(0, &Mat2::h());
+        s2.apply_cx(0, 1);
+        s2.apply_1q(1, &Mat2::rz(0.7));
+        assert!((s1.fidelity(&s2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitarity_preserves_norm() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.u3(1, 0.3, 0.9, -0.4);
+        c.cx(0, 2);
+        c.gate(2, Gate::T);
+        c.cx(1, 2);
+        let mut s = State::zero(3);
+        s.apply_circuit(&c);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn measurement_sampling_matches_probabilities() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut s = State::zero(1);
+        s.apply_1q(0, &Mat2::ry(1.0)); // p(1) = sin²(0.5) ≈ 0.2298
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = s.sample_counts(20_000, &mut rng);
+        let p1 = *counts.get(&1).unwrap_or(&0) as f64 / 20_000.0;
+        assert!((p1 - 0.5f64.sin().powi(2)).abs() < 0.02, "p1 = {p1}");
+    }
+
+    #[test]
+    fn ghz_probabilities() {
+        let n = 4;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        let mut s = State::zero(n);
+        s.apply_circuit(&c);
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability((1 << n) - 1) - 0.5).abs() < 1e-12);
+    }
+}

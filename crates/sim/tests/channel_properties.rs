@@ -1,0 +1,65 @@
+//! Property-based tests for the channel algebra.
+
+use proptest::prelude::*;
+use qmath::Mat2;
+use sim::channel::Ptm;
+
+fn arb_unitary() -> impl Strategy<Value = Mat2> {
+    (0.0..std::f64::consts::PI, -3.0f64..3.0, -3.0f64..3.0)
+        .prop_map(|(t, p, l)| Mat2::u3(t, p, l))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unitary_channels_preserve_fidelity_one(u in arb_unitary()) {
+        let p = Ptm::from_unitary(&u);
+        prop_assert!((p.process_fidelity(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composition_is_matrix_product(u in arb_unitary(), v in arb_unitary()) {
+        let pu = Ptm::from_unitary(&u);
+        let pv = Ptm::from_unitary(&v);
+        let puv = Ptm::from_unitary(&(u * v));
+        let comp = pu.compose(&pv);
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((puv.m[i][j] - comp.m[i][j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn depolarizing_shrinks_fidelity_monotonically(
+        u in arb_unitary(),
+        l1 in 0.0f64..0.5,
+        l2 in 0.0f64..0.5,
+    ) {
+        let (lo, hi) = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let ideal = Ptm::from_unitary(&u);
+        let noisy_lo = Ptm::depolarizing(lo).compose(&ideal);
+        let noisy_hi = Ptm::depolarizing(hi).compose(&ideal);
+        let f_lo = ideal.process_fidelity(&noisy_lo);
+        let f_hi = ideal.process_fidelity(&noisy_hi);
+        prop_assert!(f_hi <= f_lo + 1e-12);
+    }
+
+    #[test]
+    fn process_fidelity_bounded(u in arb_unitary(), v in arb_unitary(), l in 0.0f64..1.0) {
+        let a = Ptm::from_unitary(&u);
+        let e = Ptm::depolarizing(l).compose(&Ptm::from_unitary(&v));
+        let f = a.process_fidelity(&e);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&f));
+    }
+
+    #[test]
+    fn ptm_trace_preserving(u in arb_unitary(), l in 0.0f64..1.0) {
+        let p = Ptm::depolarizing(l).compose(&Ptm::from_unitary(&u));
+        prop_assert!((p.m[0][0] - 1.0).abs() < 1e-12);
+        for j in 1..4 {
+            prop_assert!(p.m[0][j].abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Step 0: enumerating the unique Clifford+T matrices per T budget.
+//!
+//! A breadth-first closure over "append one T, then any Clifford": by the
+//! Matsumoto–Amano normal form, every matrix with `t+1` T gates is
+//! `M_t · T · C` for some `t`-count matrix `M_t` and Clifford `C`, so the
+//! sweep is complete. Deduplication uses the *exact* phase-canonical form
+//! over `Z[ω, 1/√2]`, immune to floating-point ties. For duplicates we
+//! keep the cheaper sequence (fewest T, then S, then H — paper §3.3).
+
+use gates::clifford::clifford_elements;
+use gates::{ExactMat2, Gate, GateSeq};
+use qmath::Mat2;
+use std::collections::HashMap;
+
+/// One unique matrix in the step-0 table.
+#[derive(Clone, Debug)]
+pub struct TableEntry {
+    /// Exact matrix of `seq` (not phase-canonicalized, so it matches the
+    /// sequence's product exactly).
+    pub exact: ExactMat2,
+    /// Numeric matrix of `seq`.
+    pub matrix: Mat2,
+    /// The cheapest known gate sequence.
+    pub seq: GateSeq,
+    /// Exact number of T gates in the minimal representation.
+    pub t_count: usize,
+}
+
+/// The step-0 enumeration result: every unique Clifford+T matrix with at
+/// most `max_t` T gates, plus the equivalence index used by the step-3
+/// peephole.
+///
+/// ```
+/// let table = trasyn::UnitaryTable::build(3);
+/// // Paper §3.3: 24·(3·2^t − 2) unique matrices up to t T gates.
+/// assert_eq!(table.len(), 24 * (3 * (1 << 3) - 2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct UnitaryTable {
+    max_t: usize,
+    entries: Vec<TableEntry>,
+    /// First entry index with `t_count > t`, for each `t ≤ max_t`
+    /// (entries are sorted by `t_count`).
+    level_ends: Vec<usize>,
+    /// Phase-canonical exact matrix → entry index.
+    index: HashMap<ExactMat2, usize>,
+}
+
+impl UnitaryTable {
+    /// Runs the step-0 enumeration up to `max_t` T gates per matrix.
+    ///
+    /// Time and memory grow as `O(2^max_t)`; `max_t = 8` (≈18k matrices)
+    /// builds in well under a second, `max_t = 12` (≈295k) in seconds.
+    pub fn build(max_t: usize) -> Self {
+        let cliffords = clifford_elements();
+        let mut entries: Vec<TableEntry> = Vec::new();
+        let mut index: HashMap<ExactMat2, usize> = HashMap::new();
+
+        // Level 0: the Clifford group itself.
+        for c in cliffords {
+            let exact = ExactMat2::from_seq(&c.seq);
+            let key = exact.phase_canonical();
+            let e = TableEntry {
+                matrix: exact.to_mat2(),
+                exact,
+                seq: c.seq.clone(),
+                t_count: 0,
+            };
+            index.insert(key, entries.len());
+            entries.push(e);
+        }
+        let mut level_ends = vec![entries.len()];
+
+        // Right-factors "T then Clifford" shared by every level.
+        let tc: Vec<(ExactMat2, GateSeq)> = cliffords
+            .iter()
+            .map(|c| {
+                let mut seq = GateSeq::new();
+                seq.push(Gate::T);
+                seq.extend_seq(&c.seq);
+                (ExactMat2::from_seq(&seq), seq)
+            })
+            .collect();
+
+        let mut level_start = 0usize;
+        for t in 1..=max_t {
+            let level_end = entries.len();
+            for i in level_start..level_end {
+                if entries[i].t_count != t - 1 {
+                    continue;
+                }
+                let (base_exact, base_seq) = (entries[i].exact, entries[i].seq.clone());
+                for (f_exact, f_seq) in &tc {
+                    let exact = base_exact * *f_exact;
+                    let key = exact.phase_canonical();
+                    let seq = base_seq.concat(f_seq);
+                    match index.get(&key) {
+                        Some(&j) => {
+                            if seq.cost() < entries[j].seq.cost() {
+                                // Keep matrix and sequence consistent: the
+                                // cheaper sequence's product differs from
+                                // the stored one only by a global phase,
+                                // but downstream code assumes exact match.
+                                entries[j].exact = exact;
+                                entries[j].matrix = exact.to_mat2();
+                                entries[j].seq = seq;
+                            }
+                        }
+                        None => {
+                            index.insert(key, entries.len());
+                            entries.push(TableEntry {
+                                matrix: exact.to_mat2(),
+                                exact,
+                                seq,
+                                t_count: t,
+                            });
+                        }
+                    }
+                }
+            }
+            level_start = level_end;
+            level_ends.push(entries.len());
+        }
+
+        UnitaryTable {
+            max_t,
+            entries,
+            level_ends,
+            index,
+        }
+    }
+
+    /// The per-matrix T budget this table was built for.
+    #[inline]
+    pub fn max_t(&self) -> usize {
+        self.max_t
+    }
+
+    /// All entries, sorted by T count.
+    #[inline]
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// Number of unique matrices (should be `24·(3·2^max_t − 2)`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the table is empty (never for a built table).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The slice of entries with `t_count ≤ budget`
+    /// (saturating at the table's own budget).
+    pub fn up_to_t(&self, budget: usize) -> &[TableEntry] {
+        let b = budget.min(self.max_t);
+        &self.entries[..self.level_ends[b]]
+    }
+
+    /// Looks up the cheapest known sequence for an exact matrix (up to
+    /// global phase). This is the step-3 equivalence table.
+    pub fn lookup(&self, m: &ExactMat2) -> Option<&TableEntry> {
+        self.index
+            .get(&m.phase_canonical())
+            .map(|&i| &self.entries[i])
+    }
+
+    /// Exhaustive best-match scan: the entry within `budget` T gates whose
+    /// matrix is closest to `u` by trace value. This is the single-tensor
+    /// ("lookup table") mode, optimal by construction.
+    pub fn closest(&self, u: &Mat2, budget: usize) -> &TableEntry {
+        self.up_to_t(budget)
+            .iter()
+            .max_by(|a, b| {
+                qmath::distance::trace_value(u, &a.matrix)
+                    .total_cmp(&qmath::distance::trace_value(u, &b.matrix))
+            })
+            .expect("table is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qmath::distance::unitary_distance;
+
+    #[test]
+    fn counts_match_theory() {
+        // Paper §3.3 / Matsumoto–Amano: 24·(3·2^t − 2).
+        for t in 0..=5usize {
+            let table = UnitaryTable::build(t);
+            assert_eq!(
+                table.len(),
+                24 * (3 * (1usize << t) - 2),
+                "count mismatch at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequences_match_matrices() {
+        let table = UnitaryTable::build(3);
+        for e in table.entries() {
+            assert!(
+                e.exact.to_mat2().approx_eq(&e.seq.matrix(), 1e-9),
+                "sequence {} does not reproduce its matrix",
+                e.seq
+            );
+        }
+    }
+
+    #[test]
+    fn t_counts_are_minimal() {
+        // The sequence stored for each entry has exactly the level's T
+        // count (a cheaper-T representation would contradict uniqueness of
+        // the enumeration level).
+        let table = UnitaryTable::build(4);
+        for e in table.entries() {
+            assert_eq!(e.seq.t_count(), e.t_count, "entry {}", e.seq);
+        }
+    }
+
+    #[test]
+    fn lookup_finds_equivalents() {
+        let table = UnitaryTable::build(3);
+        // T·T is equivalent to S: lookup of the exact product must return
+        // a zero-T entry.
+        let tt: GateSeq = [Gate::T, Gate::T].into_iter().collect();
+        let found = table.lookup(&ExactMat2::from_seq(&tt)).unwrap();
+        assert_eq!(found.t_count, 0);
+    }
+
+    #[test]
+    fn closest_is_exhaustive_minimum() {
+        let table = UnitaryTable::build(3);
+        let u = Mat2::u3(0.5, 0.2, -0.9);
+        let best = table.closest(&u, 3);
+        let best_d = unitary_distance(&u, &best.matrix);
+        for e in table.up_to_t(3) {
+            assert!(unitary_distance(&u, &e.matrix) >= best_d - 1e-12);
+        }
+    }
+
+    #[test]
+    fn up_to_t_filters_levels() {
+        let table = UnitaryTable::build(3);
+        assert_eq!(table.up_to_t(0).len(), 24);
+        for e in table.up_to_t(2) {
+            assert!(e.t_count <= 2);
+        }
+        // Budget beyond table saturates.
+        assert_eq!(table.up_to_t(99).len(), table.len());
+    }
+}

@@ -1,0 +1,52 @@
+//! **trasyn** — TensoR-based Arbitrary unitary SYNthesis.
+//!
+//! The paper's core contribution: a single-qubit Clifford+T synthesizer
+//! that directly approximates *arbitrary* unitaries (`U3`), avoiding the
+//! ~3× T-count premium of the `Rz`-only `gridsynth` workflow.
+//!
+//! The algorithm (paper §3.3):
+//!
+//! * **Step 0** ([`enumerate`]): enumerate every unique Clifford+T matrix
+//!   (up to the 8 global phases `ω^j`) within a per-tensor T budget,
+//!   keeping the cheapest sequence per matrix and an equivalence lookup
+//!   table. The count is exactly `24·(3·2^#T − 2)`.
+//! * **Step 1** ([`mps`]): chain the per-tensor matrix tables into a
+//!   matrix product state whose full contraction holds the trace value
+//!   `Tr(U†·M₁[s₁]⋯M_l[s_l])` of every candidate sequence. We contract
+//!   the target into the first site and precompute *right environment*
+//!   matrices `E_i = Σ_rest r·r†` — an exactly equivalent, allocation-free
+//!   form of the paper's canonicalized MPS (the environments are what the
+//!   canonical form makes implicitly equal to the identity).
+//! * **Step 2** ([`sample`]): perfect sampling of gate-sequence indices
+//!   from the joint distribution `p ∝ |trace|²`, k sequences per pass,
+//!   each sample carrying its trace value for free.
+//! * **Step 3** ([`peephole`]): replace suboptimal subsequences of the
+//!   concatenation with shorter equivalents from the step-0 lookup table.
+//!
+//! [`Trasyn`] wires the steps together and [`Trasyn::synthesize`]
+//! implements the paper's Algorithm 1 (T-budget escalation with an
+//! optional error threshold).
+//!
+//! ```
+//! use qmath::Mat2;
+//! use trasyn::{SynthesisConfig, Trasyn};
+//!
+//! let synth = Trasyn::new(4); // small table for the doctest
+//! let target = Mat2::u3(0.7, 0.3, -0.4);
+//! let cfg = SynthesisConfig {
+//!     samples: 128,
+//!     budgets: vec![4, 4],
+//!     ..SynthesisConfig::default()
+//! };
+//! let out = synth.synthesize(&target, &cfg);
+//! assert!(out.error < 0.25);
+//! ```
+
+pub mod enumerate;
+pub mod mps;
+pub mod peephole;
+pub mod sample;
+pub mod synth;
+
+pub use enumerate::{TableEntry, UnitaryTable};
+pub use synth::{SynthesisConfig, Synthesized, Trasyn};

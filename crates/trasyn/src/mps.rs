@@ -1,0 +1,277 @@
+//! Step 1: the trace-value MPS and its right environments.
+//!
+//! For sequence choices `s₁..s_l` over per-site tables `Mᵢ[sᵢ]`, the trace
+//! tensor is `f(s₁..s_l) = Tr(U†·M₁[s₁]⋯M_l[s_l])`. Absorbing `U†` into
+//! site 1 and carrying the dangling matrix-index pair as a 4-dim bond
+//! turns the trace loop into an open chain of bond dimension 4 (the paper
+//! does the same by shifting the target's index with SVDs).
+//!
+//! Representing the bond state as a 2×2 matrix `V` (indices `(a, z)` =
+//! current column index × trace closing index):
+//!
+//! * site 1: `V = (U†·M₁[s₁])ᵀ`;
+//! * middle sites: `V ← Mᵢ[sᵢ]ᵀ · V`;
+//! * last site: `f = Σ_{a,z} V_{a,z} · M_l[s_l]_{a,z}`.
+//!
+//! Perfect sampling needs marginals `Σ_rest |f|²`, which are quadratic
+//! forms `vec(V)† Ē vec(V)` in the bond state with *right environment*
+//! matrices `E_i = Σ_{sᵢ..s_l} r·r†` computed once per site set. This is
+//! exactly what the paper's canonical form encodes (a right-canonical MPS
+//! makes `E` the identity); keeping `E` explicit avoids re-canonicalizing
+//! per target and keeps everything in fixed-size arrays.
+
+use crate::enumerate::{TableEntry, UnitaryTable};
+use qmath::{Complex64, Mat2};
+
+/// A 4×4 Hermitian environment matrix over the vectorized bond `(a, z)`
+/// with index `p = 2a + z`.
+pub type Env4 = [[Complex64; 4]; 4];
+
+/// The site structure of a trace MPS: which table slice each site draws
+/// from, plus the per-site right environments.
+pub struct TraceMps<'t> {
+    /// Per-site matrix tables (slices of the step-0 table).
+    pub sites: Vec<&'t [TableEntry]>,
+    /// `env[i]` = right environment of everything *after* site `i`
+    /// (so `env[l-1]` is unused during weight evaluation of the last site;
+    /// by convention it is the rank-one closing environment).
+    pub env: Vec<Env4>,
+}
+
+/// Vectorizes a bond state `V` (2×2) into index order `p = 2a + z`.
+#[inline]
+pub fn vec4(v: &Mat2) -> [Complex64; 4] {
+    // V_{a,z} with a = row, z = col: p = 2a + z matches row-major `e`.
+    v.e
+}
+
+/// The quadratic form `Σ_{p,q} E_{pq}·v_p·conj(v_q)` — a real, non-negative
+/// marginal weight.
+#[inline]
+pub fn quad(e: &Env4, v: &[Complex64; 4]) -> f64 {
+    let mut acc = Complex64::ZERO;
+    for p in 0..4 {
+        for q in 0..4 {
+            acc += e[p][q] * v[p] * v[q].conj();
+        }
+    }
+    acc.re.max(0.0)
+}
+
+/// Bond-state update at a middle site: `V ← Mᵀ·V`.
+#[inline]
+pub fn advance(v: &Mat2, m: &Mat2) -> Mat2 {
+    m.transpose() * *v
+}
+
+/// Initial bond state at site 1: `V = (U†·M)ᵀ`.
+#[inline]
+pub fn initial_state(u_dagger: &Mat2, m: &Mat2) -> Mat2 {
+    (*u_dagger * *m).transpose()
+}
+
+/// Closing contraction at the last site: `f = Σ_{a,z} V_{a,z}·M_{a,z}`.
+#[inline]
+pub fn close(v: &Mat2, m: &Mat2) -> Complex64 {
+    let mut acc = Complex64::ZERO;
+    for p in 0..4 {
+        acc += v.e[p] * m.e[p];
+    }
+    acc
+}
+
+impl<'t> TraceMps<'t> {
+    /// Builds the MPS for the given per-site T budgets over a step-0
+    /// table (paper step 1; the target is attached per synthesis call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budgets` is empty.
+    pub fn new(table: &'t UnitaryTable, budgets: &[usize]) -> Self {
+        assert!(!budgets.is_empty(), "at least one tensor required");
+        let sites: Vec<&[TableEntry]> =
+            budgets.iter().map(|&b| table.up_to_t(b)).collect();
+        let env = compute_environments(&sites);
+        TraceMps { sites, env }
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` if the MPS has no sites (never for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Maximum total T count representable by this site structure.
+    pub fn t_capacity(&self) -> usize {
+        self.sites
+            .iter()
+            .map(|s| s.iter().map(|e| e.t_count).max().unwrap_or(0))
+            .sum()
+    }
+}
+
+/// Right environments, from the last site leftwards.
+///
+/// `E_last = Σ_s vec(M[s])·vec(M[s])†` (closing vectors), and for middle
+/// sites `E_i = Σ_s K[s]† E_{i+1} K[s]` where `K[s]` is the linear action
+/// `vec(V) ↦ vec(M[s]ᵀV)` — derived from `r_new = K[s]ᵀ r`, giving
+/// `E_i = Σ K[s]ᵀ E_{i+1} conj(K[s])` which in components is the loop
+/// below.
+fn compute_environments(sites: &[&[TableEntry]]) -> Vec<Env4> {
+    let l = sites.len();
+    let mut env = vec![[[Complex64::ZERO; 4]; 4]; l];
+    // Closing environment for the last site.
+    let mut e_last = [[Complex64::ZERO; 4]; 4];
+    for entry in sites[l - 1] {
+        let r = vec4(&entry.matrix);
+        for p in 0..4 {
+            for q in 0..4 {
+                e_last[p][q] += r[p] * r[q].conj();
+            }
+        }
+    }
+    env[l - 1] = e_last;
+    // Middle sites, right to left: new r = K[s]ᵀ r with
+    // (K[s]ᵀ r)_{(a,z)} = Σ_{a'} M_{a,a'} r_{(a',z)}.
+    for i in (0..l - 1).rev() {
+        let mut e = [[Complex64::ZERO; 4]; 4];
+        let e_next = env[i + 1];
+        for entry in sites[i + 1] {
+            let m = &entry.matrix;
+            // E_i += Aᵀ where A_{(p),(q)} = Σ M terms; implement directly:
+            // E_i[(a1,z1)][(a2,z2)] += Σ_{a1',a2'} M_{a1',a1}... careful:
+            // r_new_{(a,z)} = Σ_{a'} M_{a',a}? Derive: V' = MᵀV means
+            // V'_{a,z} = Σ_{a'} M_{a',a} V_{a',z}; f is linear in V with
+            // r_new such that Σ_p V_p r_new_p = Σ_{p'} V'_{p'} r_{p'}:
+            // Σ_{a,z} V_{a,z} r_new_{(a,z)} = Σ_{a',z} V'_{a',z} r_{(a',z)}
+            //   = Σ_{a',z} Σ_a M_{a,a'} V_{a,z} r_{(a',z)}
+            // ⇒ r_new_{(a,z)} = Σ_{a'} M_{a,a'} r_{(a',z)}.
+            // Then E_i = Σ_s r_new r_new† accumulated over E_{i+1}:
+            // E_i[(a1,z1)][(a2,z2)] += Σ_{a1',a2'} M_{a1,a1'} conj(M_{a2,a2'})
+            //                          · E_{i+1}[(a1',z1)][(a2',z2)].
+            for a1 in 0..2 {
+                for z1 in 0..2 {
+                    for a2 in 0..2 {
+                        for z2 in 0..2 {
+                            let mut acc = Complex64::ZERO;
+                            for a1p in 0..2 {
+                                for a2p in 0..2 {
+                                    acc += m.e[a1 * 2 + a1p]
+                                        * m.e[a2 * 2 + a2p].conj()
+                                        * e_next[a1p * 2 + z1][a2p * 2 + z2];
+                                }
+                            }
+                            e[a1 * 2 + z1][a2 * 2 + z2] += acc;
+                        }
+                    }
+                }
+            }
+        }
+        env[i] = e;
+    }
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::UnitaryTable;
+    use qmath::distance::trace_value;
+
+    fn table() -> UnitaryTable {
+        UnitaryTable::build(2)
+    }
+
+    #[test]
+    fn quad_matches_brute_force_marginal_two_sites() {
+        // Σ_{s2} |f(s1, s2)|² computed via env must equal brute force.
+        let t = table();
+        let mps = TraceMps::new(&t, &[1, 1]);
+        let u = Mat2::u3(0.4, 1.0, -0.3);
+        let ud = u.adjoint();
+        let s1 = 7usize; // arbitrary
+        let v = initial_state(&ud, &mps.sites[0][s1].matrix);
+        let marginal = quad(&mps.env[1], &vec4(&v));
+        let mut brute = 0.0f64;
+        for e2 in mps.sites[1] {
+            let f = close(&v, &e2.matrix);
+            brute += f.norm_sqr();
+        }
+        assert!(
+            (marginal - brute).abs() < 1e-6 * brute.max(1.0),
+            "marginal {marginal} vs brute {brute}"
+        );
+    }
+
+    #[test]
+    fn quad_matches_brute_force_three_sites() {
+        let t = UnitaryTable::build(1);
+        let mps = TraceMps::new(&t, &[1, 1, 1]);
+        let u = Mat2::u3(1.4, -1.0, 0.3);
+        let ud = u.adjoint();
+        let s1 = 11usize;
+        let v1 = initial_state(&ud, &mps.sites[0][s1].matrix);
+        // Marginal over (s2, s3) via env[1].
+        let marginal = quad(&mps.env[1], &vec4(&v1));
+        let mut brute = 0.0f64;
+        for e2 in mps.sites[1] {
+            let v2 = advance(&v1, &e2.matrix);
+            for e3 in mps.sites[2] {
+                brute += close(&v2, &e3.matrix).norm_sqr();
+            }
+        }
+        assert!(
+            (marginal - brute).abs() < 1e-6 * brute.max(1.0),
+            "marginal {marginal} vs brute {brute}"
+        );
+    }
+
+    #[test]
+    fn close_computes_exact_trace() {
+        let t = table();
+        let mps = TraceMps::new(&t, &[2, 2]);
+        let u = Mat2::u3(0.9, 0.1, 0.5);
+        let ud = u.adjoint();
+        for (i, j) in [(0usize, 5usize), (17, 3), (40, 40)] {
+            let m1 = &mps.sites[0][i].matrix;
+            let m2 = &mps.sites[1][j].matrix;
+            let v = initial_state(&ud, m1);
+            let f = close(&v, m2);
+            let want = (ud * *m1 * *m2).trace();
+            assert!(f.approx_eq(want, 1e-10), "trace mismatch");
+            // And the derived trace value matches the metric module.
+            let tv = f.abs() / 2.0;
+            assert!((tv - trace_value(&u, &(*m1 * *m2))).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn t_capacity_sums_budgets() {
+        let t = table();
+        let mps = TraceMps::new(&t, &[2, 1, 2]);
+        assert_eq!(mps.t_capacity(), 5);
+        assert_eq!(mps.len(), 3);
+    }
+
+    #[test]
+    fn environments_are_hermitian_psd_diagonal() {
+        let t = table();
+        let mps = TraceMps::new(&t, &[1, 2]);
+        for e in &mps.env {
+            for p in 0..4 {
+                assert!(e[p][p].im.abs() < 1e-9, "diagonal must be real");
+                assert!(e[p][p].re >= -1e-9, "diagonal must be non-negative");
+                for q in 0..4 {
+                    assert!(
+                        e[p][q].approx_eq(e[q][p].conj(), 1e-9),
+                        "environment not Hermitian"
+                    );
+                }
+            }
+        }
+    }
+}

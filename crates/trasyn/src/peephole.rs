@@ -1,0 +1,176 @@
+//! Step 3: post-processing the sampled concatenation.
+//!
+//! Per-site sequences are individually optimal, but their concatenation
+//! can contain suboptimal *windows* (e.g. a trailing Clifford of one site
+//! merging with the head of the next). We slide windows over the sequence,
+//! compute each window's exact matrix, and look it up in the step-0
+//! equivalence table; any hit with a cheaper cost replaces the window.
+
+use crate::enumerate::UnitaryTable;
+use gates::{ExactMat2, GateSeq};
+
+/// Maximum window length (in gates) considered for replacement; windows
+/// longer than this are never products of a single table entry anyway for
+/// practical table budgets.
+const MAX_WINDOW: usize = 32;
+
+/// Applies the step-3 peephole: repeatedly replaces windows of the
+/// sequence with cheaper equivalents from `table`, then runs the local
+/// algebraic simplifier. The result's matrix equals the input's up to
+/// global phase.
+///
+/// ```
+/// use gates::{Gate, GateSeq};
+/// use trasyn::{peephole::optimize, UnitaryTable};
+///
+/// let table = UnitaryTable::build(2);
+/// // T·T·T·T is Z: the peephole collapses it to zero T gates.
+/// let seq: GateSeq = [Gate::T, Gate::T, Gate::T, Gate::T].into_iter().collect();
+/// let opt = optimize(&seq, &table);
+/// assert_eq!(opt.t_count(), 0);
+/// ```
+pub fn optimize(seq: &GateSeq, table: &UnitaryTable) -> GateSeq {
+    let mut current = seq.simplified();
+    let mut passes = 0usize;
+    loop {
+        passes += 1;
+        if passes > 64 {
+            break;
+        }
+        match improve_once(&current, table) {
+            Some(better) => current = better.simplified(),
+            None => break,
+        }
+    }
+    current
+}
+
+/// Finds the single best window replacement, if any window can be
+/// replaced by a cheaper table sequence.
+fn improve_once(seq: &GateSeq, table: &UnitaryTable) -> Option<GateSeq> {
+    let gates = seq.gates();
+    let n = gates.len();
+    let mut best: Option<(usize, usize, GateSeq, isize)> = None; // (start, end, replacement, saving)
+    for start in 0..n {
+        let mut m = ExactMat2::identity();
+        let mut t_in_window = 0usize;
+        let end_max = (start + MAX_WINDOW).min(n);
+        for end in start..end_max {
+            let g = gates[end];
+            m = m * ExactMat2::gate(g);
+            if g.is_t_like() {
+                t_in_window += 1;
+            }
+            if t_in_window > table.max_t() {
+                break; // window no longer representable in the table
+            }
+            let window_len = end - start + 1;
+            if window_len < 2 {
+                continue;
+            }
+            if let Some(entry) = table.lookup(&m) {
+                let window: GateSeq = gates[start..=end].iter().copied().collect();
+                let (wt, ws, wh, wl) = window.cost();
+                let (et, es, eh, el) = entry.seq.cost();
+                // Weighted saving: T gates dominate, then S, H, length.
+                let saving = 1000 * (wt as isize - et as isize)
+                    + 100 * (ws as isize - es as isize)
+                    + 10 * (wh as isize - eh as isize)
+                    + (wl as isize - el as isize);
+                if saving > 0 && best.as_ref().map(|b| saving > b.3).unwrap_or(true) {
+                    best = Some((start, end, entry.seq.clone(), saving));
+                }
+            }
+        }
+    }
+    best.map(|(start, end, replacement, _)| {
+        let mut out = GateSeq::new();
+        out.extend(gates[..start].iter().copied());
+        out.extend_seq(&replacement);
+        out.extend(gates[end + 1..].iter().copied());
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gates::Gate;
+    use qmath::Mat2;
+
+    fn table() -> UnitaryTable {
+        UnitaryTable::build(3)
+    }
+
+    #[test]
+    fn preserves_matrix_up_to_phase() {
+        let t = table();
+        let seq: GateSeq = [
+            Gate::H,
+            Gate::T,
+            Gate::S,
+            Gate::S,
+            Gate::H,
+            Gate::H,
+            Gate::T,
+            Gate::Tdg,
+            Gate::X,
+        ]
+        .into_iter()
+        .collect();
+        let opt = optimize(&seq, &t);
+        assert!(
+            opt.matrix().approx_eq_phase(&seq.matrix(), 1e-8),
+            "peephole changed the operator: {seq} -> {opt}"
+        );
+    }
+
+    #[test]
+    fn reduces_t_count_across_boundaries() {
+        // Concatenation artifact: ...T][T... should fuse to S.
+        let t = table();
+        let seq: GateSeq = [Gate::H, Gate::T, Gate::T, Gate::H].into_iter().collect();
+        let opt = optimize(&seq, &t);
+        assert_eq!(opt.t_count(), 0, "HTTH = HSH is Clifford: {opt}");
+    }
+
+    #[test]
+    fn collapses_identity_products() {
+        let t = table();
+        let seq: GateSeq = [Gate::H, Gate::S, Gate::Sdg, Gate::H].into_iter().collect();
+        let opt = optimize(&seq, &t);
+        assert!(opt.is_empty() || opt.matrix().approx_eq_phase(&Mat2::identity(), 1e-9));
+    }
+
+    #[test]
+    fn never_increases_cost() {
+        let t = table();
+        let seq: GateSeq = [
+            Gate::T,
+            Gate::H,
+            Gate::T,
+            Gate::S,
+            Gate::H,
+            Gate::T,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+        ]
+        .into_iter()
+        .collect();
+        let opt = optimize(&seq, &t);
+        assert!(opt.t_count() <= seq.t_count());
+        assert!(opt.cost() <= seq.cost());
+    }
+
+    #[test]
+    fn idempotent() {
+        let t = table();
+        let seq: GateSeq = [Gate::T, Gate::H, Gate::T, Gate::H, Gate::T]
+            .into_iter()
+            .collect();
+        let once = optimize(&seq, &t);
+        let twice = optimize(&once, &t);
+        assert_eq!(once, twice);
+    }
+}

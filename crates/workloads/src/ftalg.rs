@@ -1,0 +1,287 @@
+//! Fault-tolerant algorithm kernels (the Benchpress/QASMBench-style
+//! category).
+
+use circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Appends a controlled-phase `CP(θ)` using the standard
+/// `Rz–CX–Rz–CX–Rz` decomposition.
+pub fn controlled_phase(c: &mut Circuit, ctrl: usize, tgt: usize, theta: f64) {
+    c.rz(ctrl, theta / 2.0);
+    c.cx(ctrl, tgt);
+    c.rz(tgt, -theta / 2.0);
+    c.cx(ctrl, tgt);
+    c.rz(tgt, theta / 2.0);
+}
+
+/// The quantum Fourier transform on `n` qubits (no final swaps — they are
+/// free relabelings in FT layouts).
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            let theta = PI / (1u64 << (j - i)) as f64;
+            controlled_phase(&mut c, j, i, theta);
+        }
+    }
+    c
+}
+
+/// A Draper QFT adder: adds the classical constant `a` into an `n`-qubit
+/// register (QFT, phase rotations, inverse QFT).
+pub fn draper_adder(n: usize, a: u64) -> Circuit {
+    let mut c = qft(n);
+    for i in 0..n {
+        let mut theta = 0.0;
+        for j in 0..n - i {
+            if (a >> j) & 1 == 1 {
+                theta += PI / (1u64 << (n - 1 - i - j)) as f64;
+            }
+        }
+        if theta != 0.0 {
+            c.rz(i, theta);
+        }
+    }
+    // Inverse QFT: reverse the QFT instruction list with negated angles.
+    let fwd = qft(n);
+    for instr in fwd.instrs().iter().rev() {
+        match instr.op {
+            circuit::Op::Rz(t) => c.rz(instr.q0, -t),
+            circuit::Op::Cx => c.cx(instr.q0, instr.q1.expect("cx")),
+            circuit::Op::Gate1(g) => c.gate(instr.q0, g.inverse()),
+            _ => unreachable!("qft contains only rz/cx/h"),
+        }
+    }
+    c
+}
+
+/// Appends a Toffoli (CCX) in the standard 7-T Clifford+T decomposition.
+pub fn toffoli(c: &mut Circuit, a: usize, b: usize, t: usize) {
+    use gates::Gate::{Tdg, T};
+    c.h(t);
+    c.cx(b, t);
+    c.gate(t, Tdg);
+    c.cx(a, t);
+    c.gate(t, T);
+    c.cx(b, t);
+    c.gate(t, Tdg);
+    c.cx(a, t);
+    c.gate(b, T);
+    c.gate(t, T);
+    c.cx(a, b);
+    c.h(t);
+    c.gate(a, T);
+    c.gate(b, Tdg);
+    c.cx(a, b);
+}
+
+/// Grover search on 3 qubits with a random marked state: oracle (CCZ via
+/// Toffoli conjugated by H) + diffusion, `iters` iterations.
+pub fn grover3(marked: usize, iters: usize) -> Circuit {
+    let n = 3;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..iters {
+        // Oracle: flip phase of |marked>.
+        for q in 0..n {
+            if (marked >> (n - 1 - q)) & 1 == 0 {
+                c.gate(q, gates::Gate::X);
+            }
+        }
+        c.h(2);
+        toffoli(&mut c, 0, 1, 2);
+        c.h(2);
+        for q in 0..n {
+            if (marked >> (n - 1 - q)) & 1 == 0 {
+                c.gate(q, gates::Gate::X);
+            }
+        }
+        // Diffusion.
+        for q in 0..n {
+            c.h(q);
+            c.gate(q, gates::Gate::X);
+        }
+        c.h(2);
+        toffoli(&mut c, 0, 1, 2);
+        c.h(2);
+        for q in 0..n {
+            c.gate(q, gates::Gate::X);
+            c.h(q);
+        }
+    }
+    c
+}
+
+/// Iterative quantum phase estimation kernel: `bits` control qubits
+/// reading out the phase of `Rz(2πφ)` on one target qubit.
+pub fn qpe(bits: usize, phi: f64) -> Circuit {
+    let n = bits + 1;
+    let tgt = bits;
+    let mut c = Circuit::new(n);
+    // Eigenstate |1> of Rz.
+    c.gate(tgt, gates::Gate::X);
+    for b in 0..bits {
+        c.h(b);
+        // Wire b accumulates phase 2πφ·2^b: with the swap-free inverse QFT
+        // below, wire b then reads out the b-th fractional bit of φ
+        // (φ ≈ 0.b₀b₁…, wire order = bit significance).
+        let reps = 1u64 << b;
+        let theta = 2.0 * PI * phi * reps as f64;
+        controlled_phase(&mut c, b, tgt, theta);
+    }
+    // Inverse QFT on the control register.
+    let fwd = qft(bits);
+    for instr in fwd.instrs().iter().rev() {
+        match instr.op {
+            circuit::Op::Rz(t) => c.rz(instr.q0, -t),
+            circuit::Op::Cx => c.cx(instr.q0, instr.q1.expect("cx")),
+            circuit::Op::Gate1(g) => c.gate(instr.q0, g.inverse()),
+            _ => unreachable!(),
+        }
+    }
+    c
+}
+
+/// GHZ preparation followed by collective rotations — a minimal
+/// "FT demonstration" style circuit.
+pub fn ghz_rotation(n: usize, theta: f64) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    for q in 0..n {
+        c.rz(q, theta);
+        c.rx(q, theta / 2.0);
+    }
+    c
+}
+
+/// A hardware-efficient VQE ansatz: `layers` of per-qubit `Ry·Rz`
+/// rotations and a CNOT ladder — adjacent axial rotations, the motivating
+/// merge case of §3.4.
+pub fn hw_efficient_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..layers {
+        for q in 0..n {
+            c.ry(q, rng.gen_range(-PI..PI));
+            c.rz(q, rng.gen_range(-PI..PI));
+        }
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    // Final rotation layer.
+    for q in 0..n {
+        c.ry(q, rng.gen_range(-PI..PI));
+        c.rz(q, rng.gen_range(-PI..PI));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::metrics::{rotation_count, t_count};
+    use sim::State;
+
+    #[test]
+    fn qft_size() {
+        let c = qft(4);
+        // 4 H gates + 6 controlled phases à 3 Rz + 2 CX.
+        assert_eq!(circuit::metrics::cx_count(&c), 12);
+    }
+
+    #[test]
+    fn qft2_matrix_is_correct() {
+        // QFT on 2 qubits sends |00> to the uniform superposition.
+        let mut s = State::zero(2);
+        s.apply_circuit(&qft(2));
+        for b in 0..4 {
+            assert!((s.probability(b) - 0.25).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn draper_adder_adds() {
+        // Start from |0⟩, add 5 into a 4-bit register: QFT-basis phases
+        // realize |5⟩ after the inverse QFT (big-endian: qubit 0 is MSB of
+        // the Fourier register — verify the peak outcome).
+        let c = draper_adder(4, 5);
+        let mut s = State::zero(4);
+        s.apply_circuit(&c);
+        let (best, p) = (0..16)
+            .map(|b| (b, s.probability(b)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert!(p > 0.99, "adder output not sharp: p = {p}");
+        assert_eq!(best, 5, "adder produced {best}");
+    }
+
+    #[test]
+    fn toffoli_has_seven_t() {
+        let mut c = Circuit::new(3);
+        toffoli(&mut c, 0, 1, 2);
+        assert_eq!(t_count(&c), 7);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        for input in 0..8usize {
+            let mut c = Circuit::new(3);
+            for q in 0..3 {
+                if (input >> (2 - q)) & 1 == 1 {
+                    c.gate(q, gates::Gate::X);
+                }
+            }
+            toffoli(&mut c, 0, 1, 2);
+            let mut s = State::zero(3);
+            s.apply_circuit(&c);
+            let a = (input >> 2) & 1;
+            let b = (input >> 1) & 1;
+            let t = input & 1;
+            let want = (a << 2) | (b << 1) | (t ^ (a & b));
+            assert!(
+                (s.probability(want) - 1.0).abs() < 1e-9,
+                "input {input}: wrong output"
+            );
+        }
+    }
+
+    #[test]
+    fn grover_amplifies_marked_state() {
+        let marked = 0b101;
+        let c = grover3(marked, 2);
+        let mut s = State::zero(3);
+        s.apply_circuit(&c);
+        let p = s.probability(marked);
+        assert!(p > 0.85, "Grover should amplify |101>: p = {p}");
+    }
+
+    #[test]
+    fn qpe_recovers_binary_phase() {
+        // φ = 0.25 = 0.01₂ exactly representable with 2 bits: wire 0 reads
+        // the ½-bit (0), wire 1 the ¼-bit (1); target stays |1⟩.
+        let c = qpe(2, 0.25);
+        let mut s = State::zero(3);
+        s.apply_circuit(&c);
+        let (best, p) = (0..8)
+            .map(|b| (b, s.probability(b)))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .unwrap();
+        assert!(p > 0.95, "QPE not sharp: {p}");
+        assert_eq!(best, 0b011, "wrong phase readout");
+    }
+
+    #[test]
+    fn ansatz_rotation_budget() {
+        let c = hw_efficient_ansatz(4, 2, 9);
+        assert_eq!(rotation_count(&c), (2 + 1) * 4 * 2);
+    }
+}

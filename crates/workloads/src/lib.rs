@@ -1,0 +1,26 @@
+//! Benchmark workloads for the evaluation.
+//!
+//! The paper evaluates on 187 circuits drawn from Benchpress, MQTBench,
+//! QASMBench and HamLib, in four categories (Figure 10): QAOA, quantum
+//! Hamiltonians, classical Hamiltonians, and FT algorithms. Those suites
+//! are external data artifacts; this crate regenerates the same *circuit
+//! structure* — rotation counts, axis mixes, and mergeability — from
+//! parametrized generators (see DESIGN.md "Substitutions"):
+//!
+//! * [`qaoa`] — MaxCut QAOA on random 3-regular graphs with the
+//!   merge-friendly gate ordering of §3.4;
+//! * [`hamiltonian`] — first-order Trotter circuits for quantum
+//!   (Heisenberg/TFIM/XY/random-Pauli) and classical (Z-only Ising)
+//!   Hamiltonians;
+//! * [`ftalg`] — fault-tolerant algorithm kernels (QFT, QPE, Grover,
+//!   Draper adder, GHZ rotations, hardware-efficient ansatz);
+//! * [`suite`] — the named 187-circuit registry with Table 2 statistics;
+//! * [`random`] — Haar-random single-qubit unitaries for RQ1.
+
+pub mod ftalg;
+pub mod hamiltonian;
+pub mod qaoa;
+pub mod random;
+pub mod suite;
+
+pub use suite::{benchmark_suite, BenchmarkCircuit, Category};

@@ -1,0 +1,295 @@
+//! The 187-circuit evaluation suite.
+//!
+//! Regenerates the paper's benchmark scope (Table 2) from the generators
+//! in this crate, organized into the four categories of Figure 10. The
+//! registry is deterministic: the same names and circuits on every call.
+
+use crate::ftalg;
+use crate::hamiltonian::{
+    heisenberg_chain, random_ising, random_pauli_hamiltonian, tfim_chain, trotter_circuit,
+    xy_chain,
+};
+use crate::qaoa::random_qaoa;
+use circuit::metrics::rotation_count;
+use circuit::Circuit;
+
+/// Benchmark category (Figure 10's grouping).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// QAOA MaxCut on 3-regular graphs.
+    Qaoa,
+    /// Trotterized Hamiltonians with X/Y/Z terms.
+    QuantumHamiltonian,
+    /// Trotterized Z-only (classical) Hamiltonians.
+    ClassicalHamiltonian,
+    /// Fault-tolerant algorithm kernels.
+    FtAlgorithm,
+}
+
+impl Category {
+    /// Display label used by reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Qaoa => "QAOA",
+            Category::QuantumHamiltonian => "Quantum Hamiltonian",
+            Category::ClassicalHamiltonian => "Classical Hamiltonian",
+            Category::FtAlgorithm => "FT Algorithm",
+        }
+    }
+}
+
+/// One named benchmark circuit.
+#[derive(Clone, Debug)]
+pub struct BenchmarkCircuit {
+    /// Unique name, stable across runs.
+    pub name: String,
+    /// Category for grouped reporting.
+    pub category: Category,
+    /// The circuit.
+    pub circuit: Circuit,
+}
+
+/// Builds the full 187-circuit suite.
+///
+/// ```no_run
+/// let suite = workloads::benchmark_suite();
+/// assert_eq!(suite.len(), 187);
+/// ```
+pub fn benchmark_suite() -> Vec<BenchmarkCircuit> {
+    let mut out: Vec<BenchmarkCircuit> = Vec::with_capacity(187);
+    let mut push = |name: String, category: Category, circuit: Circuit| {
+        out.push(BenchmarkCircuit {
+            name,
+            category,
+            circuit,
+        });
+    };
+
+    // --- QAOA: 40 instances (depth 1..5 × sizes 4..18) ------------------
+    let mut seed = 1000u64;
+    for p in 1..=5usize {
+        for n in [4usize, 6, 8, 10, 12, 14, 16, 18] {
+            seed += 1;
+            push(
+                format!("qaoa_n{n}_p{p}"),
+                Category::Qaoa,
+                random_qaoa(n, p, seed),
+            );
+        }
+    }
+
+    // --- Quantum Hamiltonians: 60 instances -----------------------------
+    for (i, n) in [3usize, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14].iter().enumerate() {
+        push(
+            format!("heisenberg_n{n}"),
+            Category::QuantumHamiltonian,
+            trotter_circuit(&heisenberg_chain(*n, 1.0, 0.5, 0.3), 2, 0.1 + 0.01 * i as f64),
+        );
+    }
+    for (i, n) in [3usize, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14].iter().enumerate() {
+        push(
+            format!("tfim_n{n}"),
+            Category::QuantumHamiltonian,
+            trotter_circuit(&tfim_chain(*n, 1.0, 0.8), 3, 0.07 + 0.01 * i as f64),
+        );
+    }
+    for (i, n) in [3usize, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14].iter().enumerate() {
+        push(
+            format!("xy_n{n}"),
+            Category::QuantumHamiltonian,
+            trotter_circuit(&xy_chain(*n, 1.0), 3, 0.09 + 0.01 * i as f64),
+        );
+    }
+    for i in 0..24usize {
+        let n = 4 + i % 9;
+        let terms = 8 + 2 * (i % 7);
+        let k = 2 + i % 3;
+        push(
+            format!("pauli_rand_{i}_n{n}"),
+            Category::QuantumHamiltonian,
+            trotter_circuit(
+                &random_pauli_hamiltonian(n, terms, k, 2000 + i as u64),
+                2,
+                0.11,
+            ),
+        );
+    }
+
+    // --- Classical Hamiltonians: 40 instances ---------------------------
+    for i in 0..24usize {
+        let n = 4 + i % 10;
+        let density = 0.3 + 0.05 * (i % 8) as f64;
+        push(
+            format!("ising_rand_{i}_n{n}"),
+            Category::ClassicalHamiltonian,
+            trotter_circuit(&random_ising(n, density, 3000 + i as u64), 2, 0.13),
+        );
+    }
+    for (i, n) in (4..=19).enumerate() {
+        // Z-only TFIM limit (g = 0 after dropping X terms): pure Ising chains.
+        let mut h = tfim_chain(n, 1.0, 0.0);
+        h.terms.retain(|t| t.factors.len() == 2);
+        push(
+            format!("ising_chain_n{n}"),
+            Category::ClassicalHamiltonian,
+            trotter_circuit(&h, 3, 0.08 + 0.005 * i as f64),
+        );
+    }
+
+    // --- FT algorithms: 47 instances -------------------------------------
+    for n in 3..=14usize {
+        push(format!("qft_n{n}"), Category::FtAlgorithm, ftalg::qft(n));
+    }
+    for (i, n) in (3..=12usize).enumerate() {
+        push(
+            format!("adder_n{n}"),
+            Category::FtAlgorithm,
+            ftalg::draper_adder(n, (i as u64 * 7 + 3) % (1 << n.min(16))),
+        );
+    }
+    for iters in 1..=3usize {
+        for marked in [1usize, 3, 5] {
+            push(
+                format!("grover3_m{marked}_i{iters}"),
+                Category::FtAlgorithm,
+                ftalg::grover3(marked, iters),
+            );
+        }
+    }
+    for bits in 2..=8usize {
+        push(
+            format!("qpe_b{bits}"),
+            Category::FtAlgorithm,
+            ftalg::qpe(bits, 0.3141),
+        );
+    }
+    for n in [4usize, 8, 12, 16] {
+        push(
+            format!("ghz_rot_n{n}"),
+            Category::FtAlgorithm,
+            ftalg::ghz_rotation(n, 0.377),
+        );
+    }
+    for (i, n) in [4usize, 6, 8, 10, 12].iter().enumerate() {
+        push(
+            format!("vqe_ansatz_n{n}"),
+            Category::FtAlgorithm,
+            ftalg::hw_efficient_ansatz(*n, 2, 4000 + i as u64),
+        );
+    }
+
+    assert_eq!(out.len(), 187, "suite must contain exactly 187 circuits");
+    out
+}
+
+/// Table 2-style summary of a circuit list: qubit and rotation ranges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuiteStats {
+    /// Minimum qubit count.
+    pub min_qubits: usize,
+    /// Mean qubit count.
+    pub mean_qubits: f64,
+    /// Maximum qubit count.
+    pub max_qubits: usize,
+    /// Minimum rotation count.
+    pub min_rotations: usize,
+    /// Mean rotation count.
+    pub mean_rotations: f64,
+    /// Maximum rotation count.
+    pub max_rotations: usize,
+}
+
+/// Computes [`SuiteStats`] over a set of benchmarks.
+pub fn suite_stats<'a>(benches: impl IntoIterator<Item = &'a BenchmarkCircuit>) -> SuiteStats {
+    let mut qubits = Vec::new();
+    let mut rots = Vec::new();
+    for b in benches {
+        qubits.push(b.circuit.n_qubits());
+        rots.push(rotation_count(&b.circuit));
+    }
+    assert!(!qubits.is_empty(), "empty benchmark set");
+    SuiteStats {
+        min_qubits: *qubits.iter().min().expect("non-empty"),
+        mean_qubits: qubits.iter().sum::<usize>() as f64 / qubits.len() as f64,
+        max_qubits: *qubits.iter().max().expect("non-empty"),
+        min_rotations: *rots.iter().min().expect("non-empty"),
+        mean_rotations: rots.iter().sum::<usize>() as f64 / rots.len() as f64,
+        max_rotations: *rots.iter().max().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_187_circuits() {
+        let s = benchmark_suite();
+        assert_eq!(s.len(), 187);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = benchmark_suite();
+        let mut names: Vec<&str> = s.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 187, "duplicate benchmark names");
+    }
+
+    #[test]
+    fn all_categories_present() {
+        let s = benchmark_suite();
+        for cat in [
+            Category::Qaoa,
+            Category::QuantumHamiltonian,
+            Category::ClassicalHamiltonian,
+            Category::FtAlgorithm,
+        ] {
+            assert!(
+                s.iter().filter(|b| b.category == cat).count() >= 20,
+                "category {cat:?} underpopulated"
+            );
+        }
+    }
+
+    #[test]
+    fn classical_circuits_have_no_xy_rotations() {
+        use circuit::Op;
+        let s = benchmark_suite();
+        for b in s.iter().filter(|b| b.category == Category::ClassicalHamiltonian) {
+            for i in b.circuit.instrs() {
+                assert!(
+                    !matches!(i.op, Op::Rx(_) | Op::Ry(_) | Op::U3 { .. }),
+                    "{}: classical circuits are Z-rotation only",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_cover_paper_scope() {
+        let s = benchmark_suite();
+        let stats = suite_stats(&s);
+        assert!(stats.min_qubits >= 2);
+        assert!(stats.max_qubits >= 16, "need some large circuits");
+        // Grover instances are pre-decomposed Clifford+T (T-rich but
+        // rotation-free), so the suite minimum is legitimately 0.
+        assert!(
+            stats.mean_rotations >= 30.0,
+            "suite too trivial: mean rotations {}",
+            stats.mean_rotations
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = benchmark_suite();
+        let b = benchmark_suite();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.circuit.len(), y.circuit.len());
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Post-synthesis T-count optimization (the paper's PyZX baseline, RQ5).
+//!
+//! PyZX removes T gates from Clifford+T circuits chiefly by *phase
+//! folding*: tracking the linear (affine, over GF(2)) state of each qubit
+//! wire through CNOT/X gates and merging phase gates that act on the same
+//! parity term — `T…T` on one parity is an `S`, `T…T†` cancels, etc.
+//! This crate implements exactly that mechanism ([`phasefold`]), plus a
+//! per-wire algebraic peephole ([`peephole_1q`]); together they are the
+//! [`optimize`] entry point used by the Figure 14 experiment.
+
+pub mod phasefold;
+
+pub use phasefold::{optimize, peephole_1q, phase_fold};

@@ -1,0 +1,406 @@
+//! Phase-polynomial folding over CNOT + phase circuits.
+
+use circuit::{Circuit, Instr, Op};
+use gates::{Gate, GateSeq};
+use std::collections::HashMap;
+
+/// An affine parity over path variables: a GF(2) sum of variables plus a
+/// negation bit. Diagonal phase gates act on the value of this parity, so
+/// equal parities accumulate their phases (Amy-style phase folding).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Parity {
+    /// Sorted variable ids (XOR set).
+    vars: Vec<u32>,
+    /// Affine complement bit.
+    neg: bool,
+}
+
+impl Parity {
+    fn fresh(v: u32) -> Self {
+        Parity {
+            vars: vec![v],
+            neg: false,
+        }
+    }
+
+    fn xor_with(&mut self, other: &Parity) {
+        // Symmetric difference of sorted vectors.
+        let mut out = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.vars.len() || j < other.vars.len() {
+            match (self.vars.get(i), other.vars.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    out.push(a);
+                    i += 1;
+                }
+                (Some(_), Some(&b)) => {
+                    out.push(b);
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    out.push(a);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    out.push(b);
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.vars = out;
+        self.neg ^= other.neg;
+    }
+}
+
+/// Accumulated phase at a fold point: eighth turns (T units) plus a
+/// continuous residue for `Rz` angles.
+#[derive(Clone, Copy, Debug, Default)]
+struct Phase {
+    eighths: i64,
+    angle: f64,
+}
+
+impl Phase {
+    fn is_zero(&self) -> bool {
+        self.eighths.rem_euclid(8) == 0 && self.angle.abs() < 1e-12
+    }
+}
+
+/// Runs phase folding: merges diagonal phase gates acting on equal
+/// parities. The result computes the same operator up to global phase,
+/// with a T count never larger than the input's.
+pub fn phase_fold(c: &Circuit) -> Circuit {
+    // Pre-expand Y into Z then X (Y = i·X·Z, global phase dropped) so the
+    // diagonal part folds and the X part stays a plain parity flip.
+    let mut expanded = Circuit::new(c.n_qubits());
+    for i in c.instrs() {
+        if let Op::Gate1(Gate::Y) = i.op {
+            expanded.gate(i.q0, Gate::Z);
+            expanded.gate(i.q0, Gate::X);
+        } else {
+            expanded.push(*i);
+        }
+    }
+    let c = &expanded;
+    let n = c.n_qubits();
+    let mut parity: Vec<Parity> = (0..n as u32).map(Parity::fresh).collect();
+    let mut next_var = n as u32;
+    // Fold targets: parity -> slot index in `slots`.
+    let mut fold: HashMap<Parity, usize> = HashMap::new();
+    // Each slot: (original instruction position, qubit, accumulated phase).
+    let mut slots: Vec<(usize, usize, Phase)> = Vec::new();
+    // Which original instructions are consumed by folding.
+    let mut consumed: Vec<bool> = vec![false; c.len()];
+
+    for (pos, i) in c.instrs().iter().enumerate() {
+        match i.op {
+            Op::Cx => {
+                let t = i.q1.expect("cx target");
+                let ctrl_parity = parity[i.q0].clone();
+                parity[t].xor_with(&ctrl_parity);
+            }
+            Op::Gate1(g) => match phase_units(g) {
+                Some(k) => {
+                    let q = i.q0;
+                    let sign = if parity[q].neg { -1 } else { 1 };
+                    let key = normalized_key(&parity[q]);
+                    let entry = fold.entry(key).or_insert_with(|| {
+                        slots.push((pos, q, Phase::default()));
+                        slots.len() - 1
+                    });
+                    let slot = &mut slots[*entry];
+                    slot.2.eighths += sign as i64 * k;
+                    consumed[pos] = true;
+                }
+                None => match g {
+                    Gate::X => parity[i.q0].neg = !parity[i.q0].neg,
+                    _ => {
+                        // Non-diagonal Clifford (H; Y was pre-expanded):
+                        // fresh path variable.
+                        parity[i.q0] = Parity::fresh(next_var);
+                        next_var += 1;
+                    }
+                },
+            },
+            Op::Rz(a) => {
+                let q = i.q0;
+                let sign = if parity[q].neg { -1.0 } else { 1.0 };
+                let key = normalized_key(&parity[q]);
+                let entry = fold.entry(key).or_insert_with(|| {
+                    slots.push((pos, q, Phase::default()));
+                    slots.len() - 1
+                });
+                slots[*entry].2.angle += sign * a;
+                consumed[pos] = true;
+            }
+            // Any other rotation breaks diagonal tracking.
+            _ => {
+                parity[i.q0] = Parity::fresh(next_var);
+                next_var += 1;
+            }
+        }
+    }
+
+    // Rebuild: emit accumulated phases at their first-occurrence position.
+    let mut emit_at: HashMap<usize, Vec<Instr>> = HashMap::new();
+    for &(pos, q, ph) in &slots {
+        let mut instrs: Vec<Instr> = Vec::new();
+        if !ph.is_zero() {
+            let total_angle =
+                ph.angle + ph.eighths.rem_euclid(8) as f64 * std::f64::consts::FRAC_PI_4;
+            let steps = total_angle / std::f64::consts::FRAC_PI_4;
+            if (steps - steps.round()).abs() < 1e-9 {
+                let k = (steps.round() as i64).rem_euclid(8) as usize;
+                for g in t_power_gates(k) {
+                    instrs.push(Instr {
+                        op: Op::Gate1(g),
+                        q0: q,
+                        q1: None,
+                    });
+                }
+            } else {
+                instrs.push(Instr {
+                    op: Op::Rz(total_angle),
+                    q0: q,
+                    q1: None,
+                });
+            }
+        }
+        emit_at.insert(pos, instrs);
+    }
+
+    let mut out = Circuit::new(n);
+    for (pos, i) in c.instrs().iter().enumerate() {
+        if let Some(instrs) = emit_at.get(&pos) {
+            for e in instrs {
+                out.push(*e);
+            }
+            continue;
+        }
+        if consumed[pos] {
+            continue;
+        }
+        out.push(*i);
+    }
+    out
+}
+
+/// Canonical fold key: parities that differ only by the complement bit
+/// fold into the same slot with opposite phase signs, so the key drops
+/// the bit (the sign is applied by the caller). A global phase is ignored.
+fn normalized_key(p: &Parity) -> Parity {
+    Parity {
+        vars: p.vars.clone(),
+        neg: false,
+    }
+}
+
+/// Phase contribution of a diagonal gate in eighth turns, `None` for
+/// non-diagonal gates.
+fn phase_units(g: Gate) -> Option<i64> {
+    match g {
+        Gate::T => Some(1),
+        Gate::S => Some(2),
+        Gate::Z => Some(4),
+        Gate::Sdg => Some(6),
+        Gate::Tdg => Some(7),
+        _ => None,
+    }
+}
+
+/// Minimal gate run for `T^k`, `k ∈ 0..8`.
+fn t_power_gates(k: usize) -> Vec<Gate> {
+    match k % 8 {
+        0 => vec![],
+        1 => vec![Gate::T],
+        2 => vec![Gate::S],
+        3 => vec![Gate::S, Gate::T],
+        4 => vec![Gate::Z],
+        5 => vec![Gate::Z, Gate::T],
+        6 => vec![Gate::Sdg],
+        7 => vec![Gate::Tdg],
+        _ => unreachable!(),
+    }
+}
+
+/// Simplifies every maximal single-qubit run with the algebraic rules of
+/// [`gates::GateSeq::simplified`].
+pub fn peephole_1q(c: &Circuit) -> Circuit {
+    let mut out = Circuit::new(c.n_qubits());
+    let mut runs: Vec<Vec<Gate>> = vec![Vec::new(); c.n_qubits()];
+    let flush = |out: &mut Circuit, runs: &mut Vec<Vec<Gate>>, q: usize| {
+        if runs[q].is_empty() {
+            return;
+        }
+        // Circuit time → matrix order is reversed.
+        let seq: GateSeq = runs[q].iter().rev().copied().collect();
+        let simplified = seq.simplified();
+        for g in simplified.gates().iter().rev() {
+            out.gate(q, *g);
+        }
+        runs[q].clear();
+    };
+    for i in c.instrs() {
+        match i.op {
+            Op::Gate1(g) => runs[i.q0].push(g),
+            Op::Cx => {
+                let t = i.q1.expect("cx target");
+                flush(&mut out, &mut runs, i.q0);
+                flush(&mut out, &mut runs, t);
+                out.push(*i);
+            }
+            _ => {
+                flush(&mut out, &mut runs, i.q0);
+                out.push(*i);
+            }
+        }
+    }
+    for q in 0..c.n_qubits() {
+        flush(&mut out, &mut runs, q);
+    }
+    out
+}
+
+/// The full optimizer: phase folding then per-wire peephole, iterated
+/// twice (folding can expose new peephole opportunities and vice versa).
+pub fn optimize(c: &Circuit) -> Circuit {
+    let mut cur = c.clone();
+    for _ in 0..2 {
+        cur = phase_fold(&cur);
+        cur = peephole_1q(&cur);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::metrics::t_count;
+    use sim::State;
+
+    fn equivalent(a: &Circuit, b: &Circuit) -> bool {
+        // Compare on a basis of product states reachable by H layers.
+        for mask in 0..(1usize << a.n_qubits().min(4)) {
+            let mut prep = Circuit::new(a.n_qubits());
+            for q in 0..a.n_qubits() {
+                if (mask >> q) & 1 == 1 {
+                    prep.h(q);
+                }
+            }
+            let mut ca = prep.clone();
+            ca.extend_circuit(a);
+            let mut cb = prep;
+            cb.extend_circuit(b);
+            let mut sa = State::zero(a.n_qubits());
+            sa.apply_circuit(&ca);
+            let mut sb = State::zero(b.n_qubits());
+            sb.apply_circuit(&cb);
+            if (sa.fidelity(&sb) - 1.0).abs() > 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn folds_adjacent_t_pairs() {
+        let mut c = Circuit::new(1);
+        c.gate(0, Gate::T);
+        c.gate(0, Gate::T);
+        let o = optimize(&c);
+        assert_eq!(t_count(&o), 0);
+        assert!(equivalent(&c, &o));
+    }
+
+    #[test]
+    fn folds_through_cnot_structure() {
+        // T(q1); CX(0,1); CX(0,1); T(q1): the CNOT pair restores the
+        // parity, so the two T's fold into one S.
+        let mut c = Circuit::new(2);
+        c.gate(1, Gate::T);
+        c.cx(0, 1);
+        c.cx(0, 1);
+        c.gate(1, Gate::T);
+        let o = optimize(&c);
+        assert_eq!(t_count(&o), 0, "{o}");
+        assert!(equivalent(&c, &o));
+    }
+
+    #[test]
+    fn folds_t_tdg_across_commuting_region() {
+        // T(q0); CX(q0->q1); Tdg(q0): control parity unchanged ⇒ cancel.
+        let mut c = Circuit::new(2);
+        c.gate(0, Gate::T);
+        c.cx(0, 1);
+        c.gate(0, Gate::Tdg);
+        let o = optimize(&c);
+        assert_eq!(t_count(&o), 0, "{o}");
+        assert!(equivalent(&c, &o));
+    }
+
+    #[test]
+    fn respects_hadamard_barriers() {
+        let mut c = Circuit::new(1);
+        c.gate(0, Gate::T);
+        c.h(0);
+        c.gate(0, Gate::T);
+        let o = optimize(&c);
+        assert_eq!(t_count(&o), 2, "H must block folding");
+        assert!(equivalent(&c, &o));
+    }
+
+    #[test]
+    fn x_conjugation_flips_phase_sign() {
+        // T; X; T; X  ≡  T·(XTX) = T·T†·(phase) = identity up to phase.
+        let mut c = Circuit::new(1);
+        c.gate(0, Gate::T);
+        c.gate(0, Gate::X);
+        c.gate(0, Gate::T);
+        c.gate(0, Gate::X);
+        let o = optimize(&c);
+        assert_eq!(t_count(&o), 0, "{o}");
+        assert!(equivalent(&c, &o));
+    }
+
+    #[test]
+    fn semantics_preserved_on_random_circuits() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let n = 3;
+            let mut c = Circuit::new(n);
+            for _ in 0..30 {
+                match rng.gen_range(0..6) {
+                    0 => c.gate(rng.gen_range(0..n), Gate::T),
+                    1 => c.gate(rng.gen_range(0..n), Gate::Tdg),
+                    2 => c.gate(rng.gen_range(0..n), Gate::H),
+                    3 => c.gate(rng.gen_range(0..n), Gate::S),
+                    4 => {
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        c.cx(a, b);
+                    }
+                    _ => c.gate(rng.gen_range(0..n), Gate::X),
+                }
+            }
+            let o = optimize(&c);
+            assert!(t_count(&o) <= t_count(&c), "T count must not grow");
+            assert!(equivalent(&c, &o), "optimizer broke semantics:\n{c}\n{o}");
+        }
+    }
+
+    #[test]
+    fn rz_angles_fold() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.4);
+        c.rz(0, -0.4);
+        let o = optimize(&c);
+        assert_eq!(o.len(), 0, "{o}");
+    }
+}

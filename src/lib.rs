@@ -1,0 +1,17 @@
+//! Integration surface for the `trasyn-rs` workspace.
+//!
+//! This crate re-exports the public API of every member crate so that the
+//! examples and the cross-crate integration tests in `tests/` can use a
+//! single dependency. Library users should depend on the individual crates
+//! (`trasyn`, `gridsynth`, `circuit`, ...) directly.
+
+pub use baselines;
+pub use circuit;
+pub use gates;
+pub use gridsynth;
+pub use qmath;
+pub use rings;
+pub use sim;
+pub use trasyn;
+pub use workloads;
+pub use zxopt;

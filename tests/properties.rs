@@ -1,0 +1,112 @@
+//! Cross-crate property-based tests (proptest).
+
+use gates::{ExactMat2, Gate, GateSeq};
+use proptest::prelude::*;
+use qmath::distance::{trace_value, unitary_distance};
+use qmath::Mat2;
+
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    prop::sample::select(Gate::ALL.to_vec())
+}
+
+fn arb_seq(max_len: usize) -> impl Strategy<Value = GateSeq> {
+    prop::collection::vec(arb_gate(), 0..max_len).prop_map(GateSeq::from_gates)
+}
+
+fn arb_unitary() -> impl Strategy<Value = Mat2> {
+    (0.0..std::f64::consts::PI, -3.0f64..3.0, -3.0f64..3.0, -3.0f64..3.0)
+        .prop_map(|(t, p, l, a)| Mat2::u3(t, p, l).scale(qmath::Complex64::cis(a)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequences_produce_unitaries(seq in arb_seq(40)) {
+        prop_assert!(seq.matrix().is_unitary(1e-9));
+    }
+
+    #[test]
+    fn exact_matches_float(seq in arb_seq(30)) {
+        let exact = ExactMat2::from_seq(&seq).to_mat2();
+        prop_assert!(exact.approx_eq(&seq.matrix(), 1e-8));
+    }
+
+    #[test]
+    fn simplified_preserves_operator(seq in arb_seq(30)) {
+        let s = seq.simplified();
+        prop_assert!(s.matrix().approx_eq_phase(&seq.matrix(), 1e-8));
+        prop_assert!(s.t_count() <= seq.t_count());
+        prop_assert!(s.len() <= seq.len());
+    }
+
+    #[test]
+    fn distance_is_phase_invariant(u in arb_unitary(), phi in -3.0f64..3.0) {
+        let v = u.scale(qmath::Complex64::cis(phi));
+        prop_assert!(unitary_distance(&u, &v) < 1e-7);
+    }
+
+    #[test]
+    fn distance_triangle_ish(a in arb_unitary(), b in arb_unitary(), c in arb_unitary()) {
+        // Eq. 2 distance satisfies the triangle inequality up to the small
+        // curvature slack of the trace metric.
+        let ab = unitary_distance(&a, &b);
+        let bc = unitary_distance(&b, &c);
+        let ac = unitary_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn trace_value_bounds(u in arb_unitary(), v in arb_unitary()) {
+        let t = trace_value(&u, &v);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&t));
+    }
+
+    #[test]
+    fn euler_roundtrip(u in arb_unitary()) {
+        let a = qmath::euler::decompose_u3(&u);
+        prop_assert!(a.to_matrix().approx_eq(&u, 1e-8));
+    }
+
+    #[test]
+    fn exact_synthesis_total(seq in arb_seq(24)) {
+        // Every Clifford+T product resynthesizes to the same operator.
+        let m = ExactMat2::from_seq(&seq);
+        let out = gridsynth::exact_synth::exact_synthesize(m).expect("group member");
+        prop_assert!(out.matrix().approx_eq_phase(&seq.matrix(), 1e-7));
+    }
+
+    #[test]
+    fn rings_norm_multiplicative(
+        a0 in -50i128..50, a1 in -50i128..50, a2 in -50i128..50, a3 in -50i128..50,
+        b0 in -50i128..50, b1 in -50i128..50, b2 in -50i128..50, b3 in -50i128..50,
+    ) {
+        use rings::ZOmega;
+        let x = ZOmega::new(a0, a1, a2, a3);
+        let y = ZOmega::new(b0, b1, b2, b3);
+        prop_assert_eq!((x * y).norm(), x.norm() * y.norm());
+    }
+
+    #[test]
+    fn diophantine_solutions_verify(
+        a0 in -6i128..6, a1 in -6i128..6, a2 in -6i128..6, a3 in -6i128..6,
+    ) {
+        use rings::ZOmega;
+        let t = ZOmega::new(a0, a1, a2, a3);
+        prop_assume!(!t.is_zero());
+        let xi = t.norm_zroot2();
+        let sol = gridsynth::diophantine::solve_norm_equation(xi);
+        prop_assert!(sol.is_some(), "constructed instance must solve");
+        prop_assert_eq!(sol.unwrap().norm_zroot2(), xi);
+    }
+
+    #[test]
+    fn phasefold_no_t_increase(seq in prop::collection::vec((arb_gate(), 0usize..3), 0..40)) {
+        let mut c = circuit::Circuit::new(3);
+        for (g, q) in seq {
+            c.gate(q, g);
+        }
+        let o = zxopt::optimize(&c);
+        prop_assert!(circuit::metrics::t_count(&o) <= circuit::metrics::t_count(&c));
+    }
+}
