@@ -120,7 +120,7 @@ impl ExactMat2 {
     pub fn phase_canonical(&self) -> ExactMat2 {
         (0..8)
             .map(|j| self.mul_omega_pow(j))
-            .min_by_key(|m| key_tuple(m))
+            .min_by_key(key_tuple)
             .expect("eight candidates")
     }
 }

@@ -1,0 +1,24 @@
+//! Crate-level smoke test: one algebraic identity, so a `gates` regression
+//! fails fast without the full pipeline.
+
+use gates::{clifford_elements, Gate, GateSeq};
+
+#[test]
+fn sequence_inverse_is_operator_inverse() {
+    let seq: GateSeq = [Gate::H, Gate::T, Gate::S, Gate::H, Gate::Tdg]
+        .into_iter()
+        .collect();
+    let m = seq.matrix();
+    assert!(m.is_unitary(1e-12));
+    // seq · seq⁻¹ must be the identity up to global phase.
+    let id = m * seq.inverse().matrix();
+    assert!(id.approx_eq_phase(&qmath::Mat2::identity(), 1e-10));
+    // Inversion preserves the T budget.
+    assert_eq!(seq.t_count(), seq.inverse().t_count());
+}
+
+#[test]
+fn clifford_group_has_24_unitary_elements() {
+    let els = clifford_elements();
+    assert_eq!(els.len(), 24, "single-qubit Clifford group order");
+}

@@ -63,14 +63,9 @@ pub fn solve_norm_equation(xi: ZRoot2) -> Option<ZOmega> {
         if p == 2 {
             // Ramified: strip √2 factors; δ = 1 + ω has δ†δ = √2·λ.
             let delta = ZOmega::new(1, 1, 0, 0);
-            loop {
-                match div_sqrt2_zroot2(rem) {
-                    Some(q) => {
-                        rem = q;
-                        t = t * delta;
-                    }
-                    None => break,
-                }
+            while let Some(q) = div_sqrt2_zroot2(rem) {
+                rem = q;
+                t = t * delta;
             }
             continue;
         }
@@ -185,7 +180,7 @@ fn strip_even_power(rem: &mut ZRoot2, t: &mut ZOmega, q: ZRoot2) -> Option<()> {
             return None;
         }
     }
-    if count % 2 != 0 {
+    if !count.is_multiple_of(2) {
         return None; // odd power of an inert prime: unsolvable
     }
     for _ in 0..count / 2 {

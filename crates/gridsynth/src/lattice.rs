@@ -83,7 +83,7 @@ impl<const N: usize> Basis<N> {
         max_points: usize,
     ) -> Vec<[i64; N]> {
         let (bstar, mu) = gram_schmidt(&self.vecs);
-        let bnorm: Vec<f64> = bstar.iter().map(|v| norm_sqr(v)).collect();
+        let bnorm: Vec<f64> = bstar.iter().map(norm_sqr).collect();
         if bnorm.iter().any(|&b| b < 1e-280) {
             return Vec::new(); // degenerate basis
         }
@@ -126,9 +126,9 @@ impl<const N: usize> Basis<N> {
             // Convert coefficients (w.r.t. working rows) to the original
             // integer basis via the transform.
             let mut orig = [0i64; N];
-            for i in 0..N {
-                for d in 0..N {
-                    orig[d] += coeff[i] * self.transform[i][d];
+            for (c, row) in coeff.iter().zip(self.transform.iter()) {
+                for (o, t) in orig.iter_mut().zip(row.iter()) {
+                    *o += c * t;
                 }
             }
             out.push(orig);
@@ -184,8 +184,9 @@ fn gram_schmidt<const N: usize>(vecs: &[[f64; N]; N]) -> ([[f64; N]; N], [[f64; 
                 0.0
             };
             mu[i][j] = m;
-            for d in 0..N {
-                bstar[i][d] -= m * bstar[j][d];
+            let prev = bstar[j];
+            for (cur, p) in bstar[i].iter_mut().zip(prev.iter()) {
+                *cur -= m * p;
             }
         }
     }
@@ -236,11 +237,11 @@ mod tests {
         // Every reduced row must equal the transform applied to the
         // original rows.
         for i in 0..4 {
-            for d in 0..4 {
+            for (d, got) in b.vecs[i].iter().enumerate() {
                 let want: f64 = (0..4)
                     .map(|j| b.transform[i][j] as f64 * orig[j][d])
                     .sum();
-                assert!((b.vecs[i][d] - want).abs() < 1e-9);
+                assert!((got - want).abs() < 1e-9);
             }
         }
     }

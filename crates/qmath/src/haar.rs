@@ -58,7 +58,7 @@ pub fn haar_unitary_n<R: Rng + ?Sized>(n: usize, rng: &mut R) -> CMatrix {
         if a > 1e-300 {
             let ph = d.conj().scale(1.0 / a);
             for r in 0..n {
-                q[(r, j)] = q[(r, j)] * ph;
+                q[(r, j)] *= ph;
             }
         }
     }

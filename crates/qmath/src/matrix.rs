@@ -142,16 +142,19 @@ impl CMatrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(v.len(), self.cols, "vector length mismatch");
-        let mut out = vec![Complex64::ZERO; self.rows];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            let mut acc = Complex64::ZERO;
-            for (a, b) in row.iter().zip(v.iter()) {
-                acc += *a * *b;
-            }
-            out[r] = acc;
+        if self.cols == 0 {
+            return vec![Complex64::ZERO; self.rows];
         }
-        out
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| {
+                let mut acc = Complex64::ZERO;
+                for (a, b) in row.iter().zip(v.iter()) {
+                    acc += *a * *b;
+                }
+                acc
+            })
+            .collect()
     }
 
     /// Returns `true` when `M†M ≈ I` within `tol` (Frobenius).

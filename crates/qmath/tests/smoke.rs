@@ -1,0 +1,34 @@
+//! Crate-level smoke test: one algebraic identity, so a `qmath` regression
+//! fails fast without building the whole synthesis pipeline.
+
+use qmath::euler::decompose_u3;
+use qmath::Mat2;
+
+#[test]
+fn euler_roundtrip_preserves_unitarity() {
+    // A non-axis-aligned unitary: decompose to Euler angles and rebuild.
+    let u = Mat2::u3(0.83, -1.21, 2.47);
+    assert!(u.is_unitary(1e-12), "u3 constructor must emit a unitary");
+
+    let angles = decompose_u3(&u);
+    let v = angles.to_matrix();
+    assert!(v.is_unitary(1e-10), "Euler round-trip must stay unitary");
+    assert!(
+        v.approx_eq(&u, 1e-9),
+        "Euler round-trip must reproduce the operator"
+    );
+}
+
+#[test]
+fn rotation_composition_matches_group_structure() {
+    // Rz(a)·Rz(b) = Rz(a+b) — the abelian subgroup identity.
+    let a = 0.37;
+    let b = -1.02;
+    let lhs = Mat2::rz(a) * Mat2::rz(b);
+    let rhs = Mat2::rz(a + b);
+    assert!(lhs.approx_eq_phase(&rhs, 1e-12));
+
+    // H conjugates Rz into Rx.
+    let conj = Mat2::h() * Mat2::rz(a) * Mat2::h();
+    assert!(conj.approx_eq_phase(&Mat2::rx(a), 1e-12));
+}

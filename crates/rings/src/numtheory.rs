@@ -61,7 +61,7 @@ pub fn is_prime(n: u128) -> bool {
         return false;
     }
     for p in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
@@ -97,7 +97,7 @@ pub fn is_prime(n: u128) -> bool {
 /// Pollard's rho with Brent's cycle detection. Returns a non-trivial factor
 /// of composite `n`, or `None` if the (bounded) search fails.
 pub fn pollard_rho(n: u128, seed: u128) -> Option<u128> {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return Some(2);
     }
     let c = 1 + seed % (n - 1);
@@ -228,7 +228,7 @@ pub fn sqrt_mod(a: u128, p: u128) -> Option<u128> {
     let mut m = s;
     let mut c = powmod(z, q, p);
     let mut t = powmod(a, q, p);
-    let mut r = powmod(a, (q + 1) / 2, p);
+    let mut r = powmod(a, q.div_ceil(2), p);
     while t != 1 {
         // Find least i with t^(2^i) = 1.
         let mut i = 0u32;

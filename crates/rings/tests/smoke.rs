@@ -1,0 +1,25 @@
+//! Crate-level smoke test: one algebraic identity, so a `rings` regression
+//! fails fast without the property-test battery.
+
+use rings::{ZOmega, ZRoot2};
+
+#[test]
+fn zomega_norm_is_multiplicative() {
+    let x = ZOmega::new(3, -2, 5, 1);
+    let y = ZOmega::new(-4, 7, 0, 2);
+    assert_eq!((x * y).norm(), x.norm() * y.norm());
+    // ω has absolute norm 1 (it is a unit).
+    assert_eq!(ZOmega::new(0, 1, 0, 0).norm(), 1);
+    // √2 has absolute norm 4 = N(2)^... the defining quadratic: √2·√2 = 2.
+    assert_eq!(ZOmega::sqrt2() * ZOmega::sqrt2(), ZOmega::from_int(2));
+}
+
+#[test]
+fn zroot2_fundamental_unit() {
+    // 1 + √2 is the fundamental unit of Z[√2]: norm −1, and its inverse is
+    // −(1 − √2).
+    let u = ZRoot2::new(1, 1);
+    assert_eq!(u.norm(), -1);
+    let inv = ZRoot2::new(-1, 1); // −1 + √2
+    assert_eq!(u * inv, ZRoot2::from_int(1));
+}

@@ -52,13 +52,13 @@ impl Ptm {
     /// Channel composition: `self ∘ other` (apply `other` first).
     pub fn compose(&self, other: &Ptm) -> Ptm {
         let mut m = [[0.0; 4]; 4];
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, row) in m.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for k in 0..4 {
                     acc += self.m[i][k] * other.m[k][j];
                 }
-                m[i][j] = acc;
+                *cell = acc;
             }
         }
         Ptm { m }

@@ -138,8 +138,8 @@ impl DensityMatrix {
         let mut acc = Complex64::ZERO;
         for r in 0..self.dim {
             let mut row = Complex64::ZERO;
-            for c in 0..self.dim {
-                row += self.rho[r * self.dim + c] * a[c];
+            for (c, amp) in a.iter().enumerate() {
+                row += self.rho[r * self.dim + c] * *amp;
             }
             acc += a[r].conj() * row;
         }

@@ -262,12 +262,12 @@ mod tests {
         let t = table();
         let mps = TraceMps::new(&t, &[1, 2]);
         for e in &mps.env {
-            for p in 0..4 {
-                assert!(e[p][p].im.abs() < 1e-9, "diagonal must be real");
-                assert!(e[p][p].re >= -1e-9, "diagonal must be non-negative");
-                for q in 0..4 {
+            for (p, row) in e.iter().enumerate() {
+                assert!(row[p].im.abs() < 1e-9, "diagonal must be real");
+                assert!(row[p].re >= -1e-9, "diagonal must be non-negative");
+                for (q, cell) in row.iter().enumerate() {
                     assert!(
-                        e[p][q].approx_eq(e[q][p].conj(), 1e-9),
+                        cell.approx_eq(e[q][p].conj(), 1e-9),
                         "environment not Hermitian"
                     );
                 }

@@ -255,7 +255,7 @@ fn multinomial<R: Rng + ?Sized>(
         total += w.max(0.0);
         prefix.push(total);
     }
-    if !(total > 0.0) || !total.is_finite() {
+    if !total.is_finite() || total <= 0.0 {
         // Degenerate weights: everything is zero; fall back to uniform.
         let mut counts = std::collections::HashMap::new();
         for _ in 0..count {

@@ -27,7 +27,7 @@ pub struct Graph {
 ///
 /// Panics if `n` is odd or `n < 4`.
 pub fn random_3_regular(n: usize, seed: u64) -> Graph {
-    assert!(n >= 4 && n % 2 == 0, "3-regular needs even n >= 4");
+    assert!(n >= 4 && n.is_multiple_of(2), "3-regular needs even n >= 4");
     let mut rng = StdRng::seed_from_u64(seed);
     loop {
         // Stubs: three copies of each vertex.

@@ -92,8 +92,11 @@ pub fn phase_fold(c: &Circuit) -> Circuit {
     let mut next_var = n as u32;
     // Fold targets: parity -> slot index in `slots`.
     let mut fold: HashMap<Parity, usize> = HashMap::new();
-    // Each slot: (original instruction position, qubit, accumulated phase).
-    let mut slots: Vec<(usize, usize, Phase)> = Vec::new();
+    // Each slot: (original instruction position, qubit, whether the wire's
+    // parity was complemented at that position, accumulated phase). Phases
+    // accumulate relative to the *un-negated* parity; emission re-applies
+    // the first occurrence's complement (see below).
+    let mut slots: Vec<(usize, usize, bool, Phase)> = Vec::new();
     // Which original instructions are consumed by folding.
     let mut consumed: Vec<bool> = vec![false; c.len()];
 
@@ -107,14 +110,15 @@ pub fn phase_fold(c: &Circuit) -> Circuit {
             Op::Gate1(g) => match phase_units(g) {
                 Some(k) => {
                     let q = i.q0;
-                    let sign = if parity[q].neg { -1 } else { 1 };
+                    let neg = parity[q].neg;
+                    let sign = if neg { -1 } else { 1 };
                     let key = normalized_key(&parity[q]);
                     let entry = fold.entry(key).or_insert_with(|| {
-                        slots.push((pos, q, Phase::default()));
+                        slots.push((pos, q, neg, Phase::default()));
                         slots.len() - 1
                     });
                     let slot = &mut slots[*entry];
-                    slot.2.eighths += sign as i64 * k;
+                    slot.3.eighths += sign as i64 * k;
                     consumed[pos] = true;
                 }
                 None => match g {
@@ -129,13 +133,14 @@ pub fn phase_fold(c: &Circuit) -> Circuit {
             },
             Op::Rz(a) => {
                 let q = i.q0;
-                let sign = if parity[q].neg { -1.0 } else { 1.0 };
+                let neg = parity[q].neg;
+                let sign = if neg { -1.0 } else { 1.0 };
                 let key = normalized_key(&parity[q]);
                 let entry = fold.entry(key).or_insert_with(|| {
-                    slots.push((pos, q, Phase::default()));
+                    slots.push((pos, q, neg, Phase::default()));
                     slots.len() - 1
                 });
-                slots[*entry].2.angle += sign * a;
+                slots[*entry].3.angle += sign * a;
                 consumed[pos] = true;
             }
             // Any other rotation breaks diagonal tracking.
@@ -148,8 +153,20 @@ pub fn phase_fold(c: &Circuit) -> Circuit {
 
     // Rebuild: emit accumulated phases at their first-occurrence position.
     let mut emit_at: HashMap<usize, Vec<Instr>> = HashMap::new();
-    for &(pos, q, ph) in &slots {
+    for &(pos, q, first_neg, ph) in &slots {
         let mut instrs: Vec<Instr> = Vec::new();
+        // The accumulated phase is relative to the un-negated parity; the
+        // emission point sees the wire with `first_neg` applied, so a
+        // complemented wire realizes the negated phase (the leftover global
+        // phase is dropped, like everywhere else in this pass).
+        let ph = if first_neg {
+            Phase {
+                eighths: -ph.eighths,
+                angle: -ph.angle,
+            }
+        } else {
+            ph
+        };
         if !ph.is_zero() {
             let total_angle =
                 ph.angle + ph.eighths.rem_euclid(8) as f64 * std::f64::consts::FRAC_PI_4;

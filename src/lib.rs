@@ -1,9 +1,10 @@
 //! Integration surface for the `trasyn-rs` workspace.
 //!
-//! This crate re-exports the public API of every member crate so that the
-//! examples and the cross-crate integration tests in `tests/` can use a
-//! single dependency. Library users should depend on the individual crates
-//! (`trasyn`, `gridsynth`, `circuit`, ...) directly.
+//! This package is named `trasyn-rs` in the root manifest (the library
+//! target is `trasyn_rs`). It re-exports the public API of every member
+//! crate so that the examples and the cross-crate integration tests in
+//! `tests/` can use a single dependency. Library users should depend on the
+//! individual crates (`trasyn`, `gridsynth`, `circuit`, ...) directly.
 
 pub use baselines;
 pub use circuit;

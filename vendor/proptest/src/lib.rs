@@ -1,0 +1,194 @@
+//! Offline, API-compatible subset of the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of proptest its property tests use: the [`Strategy`] trait with
+//! `prop_map`, range / tuple / collection / select strategies, the
+//! [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, all intentional:
+//!
+//! * **Deterministic**: every test derives its RNG seed from the test's name,
+//!   so `cargo test` produces identical case streams on every run.
+//! * **No shrinking**: a failing case panics with the generated inputs'
+//!   failure message instead of searching for a minimal counterexample.
+//! * **No persistence**: no `proptest-regressions` files are written.
+//!
+//! Swap this for the real crate by editing `[workspace.dependencies]` in the
+//! root manifest; no source changes are required.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure: the property is false for these inputs.
+    Fail(String),
+    /// `prop_assume!` rejection: inputs outside the property's domain.
+    Reject,
+}
+
+/// Runtime support used by the macro expansions. Not part of the public API.
+#[doc(hidden)]
+pub mod rt {
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Derive a per-test deterministic RNG from the test's name (FNV-1a).
+    pub fn seed_rng(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        <TestRng as rand::SeedableRng>::seed_from_u64(h)
+    }
+}
+
+/// Sampling strategies over explicit item lists (`prop::sample`).
+pub mod sample {
+    pub use crate::strategy::Select;
+
+    /// Uniformly select one of `items` (cloned) per generated case.
+    pub fn select<T: Clone + core::fmt::Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "prop::sample::select: empty choice list");
+        Select { items }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::{SizeRange, VecStrategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are drawn
+    /// from `element`.
+    pub fn vec<S: crate::Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate as prop;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. Supports the upstream form
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0..10i64, y in my_strategy()) { ... }
+/// }
+/// ```
+///
+/// Each test runs `config.cases` accepted cases with a name-seeded
+/// deterministic RNG; `prop_assume!` rejections are retried (with a cap),
+/// `prop_assert*` failures panic with the case's message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::rt::seed_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut __passed: u32 = 0;
+                let mut __attempts: u64 = 0;
+                while __passed < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __config.cases as u64 * 16 + 1024 {
+                        panic!(
+                            "proptest {}: too many prop_assume! rejections ({} attempts for {} cases)",
+                            stringify!($name), __attempts, __config.cases
+                        );
+                    }
+                    let __outcome = (|__rng: &mut $crate::rt::TestRng|
+                        -> ::core::result::Result<(), $crate::TestCaseError> {
+                        $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                        $body
+                        ::core::result::Result::Ok(())
+                    })(&mut __rng);
+                    match __outcome {
+                        ::core::result::Result::Ok(()) => __passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!("proptest {} failed at case {}: {}", stringify!($name), __passed, __msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}

@@ -1,0 +1,196 @@
+//! Value-generation strategies.
+
+use crate::rt::TestRng;
+use core::ops::{Range, RangeInclusive};
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Upstream strategies produce shrinkable value *trees*; this subset
+/// generates plain values (no shrinking), which is all the workspace's tests
+/// observe on the passing path.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// The output of [`Strategy::prop_filter`]: rejection-samples the source.
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.source.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({}): gave up after 10000 rejections", self.whence);
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::distributions::uniform::SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: rand::distributions::uniform::SampleUniform + PartialOrd + Copy,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(S0/0, S1/1);
+tuple_strategy!(S0/0, S1/1, S2/2);
+tuple_strategy!(S0/0, S1/1, S2/2, S3/3);
+tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4);
+tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5);
+tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6);
+tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7);
+
+/// Uniform choice from a fixed list (see [`crate::sample::select`]).
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    pub(crate) items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.gen_range(0..self.items.len())].clone()
+    }
+}
+
+/// Length bounds for [`crate::collection::vec`].
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "collection::vec: empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+/// The output of [`crate::collection::vec`].
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

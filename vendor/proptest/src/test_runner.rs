@@ -1,0 +1,28 @@
+//! Test-runner configuration (the `ProptestConfig` of the prelude).
+
+/// Subset of upstream's `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+    /// Unused here (no shrinking); kept for source compatibility.
+    pub max_shrink_iters: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The `Standard` distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform over the full integer range,
+/// uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                wide as $t
+            }
+        }
+    )*};
+}
+standard_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with 53 random bits.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform sampling from ranges, mirroring `rand::distributions::uniform`.
+pub mod uniform {
+    use super::*;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A range that can produce a uniformly distributed `T`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Types with a primitive uniform sampler.
+    pub trait SampleUniform: Sized {
+        /// Uniform over `[lo, hi]` (both inclusive).
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        /// Uniform over `[lo, hi)`.
+        fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_exclusive(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty inclusive range");
+            T::sample_inclusive(lo, hi, rng)
+        }
+    }
+
+    #[inline]
+    fn wide_word<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    // Span of an inclusive range over the full type domain can
+                    // overflow the unsigned type only for the full range, where
+                    // any word is valid.
+                    let span = (hi as $u).wrapping_sub(lo as $u);
+                    if span == <$u>::MAX {
+                        return (wide_word(rng) as $u) as $t;
+                    }
+                    let span = span as u128 + 1;
+                    // Modulo is biased by at most span/2^128 — far below any
+                    // observable effect for the ranges this workspace uses.
+                    let v = wide_word(rng) % span;
+                    lo.wrapping_add(v as $t)
+                }
+                #[inline]
+                fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    let span = (hi as $u).wrapping_sub(lo as $u) as u128;
+                    let v = wide_word(rng) % span;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize
+    );
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    Self::sample_exclusive(lo, hi, rng)
+                }
+                #[inline]
+                fn sample_exclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    let unit: f64 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    let v = lo as f64 + (hi as f64 - lo as f64) * unit;
+                    // Guard against rounding up to `hi` in half-open ranges.
+                    if v >= hi as f64 { lo } else { v as $t }
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+}

@@ -1,0 +1,120 @@
+//! Offline, API-compatible subset of the [`rand`](https://crates.io/crates/rand)
+//! crate (the 0.8 surface this workspace uses).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the small slice of `rand` it actually needs:
+//!
+//! * [`RngCore`] / [`SeedableRng`] / [`Rng`] traits;
+//! * [`rngs::StdRng`] — here a xoshiro256++ generator (deterministic,
+//!   splitmix64-seeded, *not* the upstream ChaCha12 — streams differ from
+//!   upstream, which is fine because everything in this workspace seeds
+//!   explicitly and only needs self-consistency);
+//! * `gen`, `gen_range` (half-open and inclusive ranges over the primitive
+//!   integers and floats), `gen_bool`, `fill_bytes`;
+//! * [`distributions::Standard`] / [`distributions::Distribution`].
+//!
+//! Swap this for the real crate by editing `[workspace.dependencies]` in the
+//! root manifest; no source changes are required.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of random words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Seed from a single `u64` (splitmix64-expanded).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // splitmix64
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    #[inline]
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic fallback for `rand::thread_rng()`.
+///
+/// Upstream's `thread_rng` is entropy-seeded; that nondeterminism is exactly
+/// what this workspace's tests must avoid, so here it returns a fixed-seed
+/// [`rngs::StdRng`]. Library and test code should pass explicit seeded rngs
+/// instead of calling this; it exists so stray call sites still compile and
+/// stay reproducible.
+pub fn thread_rng() -> rngs::StdRng {
+    SeedableRng::seed_from_u64(0x7468_7265_6164_5f72) // b"thread_r"
+}
+
+/// `rand::random::<T>()` — deterministic here, see [`thread_rng`].
+pub fn random<T>() -> T
+where
+    Standard: Distribution<T>,
+{
+    thread_rng().gen()
+}
