@@ -1,0 +1,73 @@
+//! Compilation-service performance: shared-cache hit throughput and
+//! worker-pool thread scaling.
+//!
+//! The cold-compile groups clear (or rebuild) the cache every iteration,
+//! so they measure real synthesis fanned out over the pool; the warm
+//! group measures the service's steady state, where every rotation is a
+//! cache hit and compilation reduces to lookups + splicing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{BackendKind, Engine, GridsynthBackend};
+use std::time::Duration;
+use workloads::random::haar_targets;
+
+/// A QAOA-like workload: layered repeated angles plus a few distinct
+/// Haar rotations so the cache sees both hits and misses.
+fn workload() -> circuit::Circuit {
+    let mut c = workloads::qaoa::random_qaoa(8, 3, 0xBE7C);
+    for (i, u) in haar_targets(6, 7).iter().enumerate() {
+        // Inject distinct arbitrary rotations via their Euler angles.
+        let d = qmath::euler::decompose_u3(u);
+        c.u3(i % 8, d.theta, d.phi, d.lambda);
+    }
+    c
+}
+
+fn engine_with(threads: usize) -> Engine {
+    Engine::builder()
+        .threads(threads)
+        .cache_capacity(1 << 14)
+        .backend(GridsynthBackend::default())
+        .build()
+}
+
+/// Steady state: every distinct rotation is already cached; throughput is
+/// bounded by lookups and splicing, not synthesis.
+fn bench_cache_hits(c: &mut Criterion) {
+    let circuit = workload();
+    let eng = engine_with(1);
+    let warm = eng.compile(&circuit, BackendKind::Gridsynth, 1e-3).unwrap();
+    assert!(warm.cache_misses > 0);
+    let mut g = c.benchmark_group("engine_cache_hit");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    g.bench_function("compile_warm", |b| {
+        b.iter(|| {
+            let r = eng.compile(&circuit, BackendKind::Gridsynth, 1e-3).unwrap();
+            assert_eq!(r.cache_misses, 0);
+            std::hint::black_box(r.t_count)
+        });
+    });
+    g.finish();
+}
+
+/// Cold compiles at several pool widths: the distinct rotations are
+/// synthesized in parallel, output identical at every width.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let circuit = workload();
+    let mut g = c.benchmark_group("engine_threads");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for threads in [1usize, 2, 4] {
+        let eng = engine_with(threads);
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                eng.cache().clear();
+                let r = eng.compile(&circuit, BackendKind::Gridsynth, 1e-3).unwrap();
+                std::hint::black_box(r.t_count)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_hits, bench_thread_scaling);
+criterion_main!(benches);

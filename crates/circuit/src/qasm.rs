@@ -165,4 +165,64 @@ mod tests {
         let c = from_qasm(src).expect("parses");
         assert_eq!(c.len(), 1);
     }
+
+    mod roundtrip_property {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Raw instruction spec: an op selector plus more raw material
+        /// than any op needs; `build` folds it into a valid instruction
+        /// for the circuit's qubit count.
+        type RawOp = (usize, usize, usize, f64, f64, f64);
+
+        fn arb_circuit() -> impl Strategy<Value = Circuit> {
+            let raw_op = (0usize..13, 0usize..8, 0usize..7, -7.0f64..7.0, -7.0f64..7.0, -7.0f64..7.0);
+            (1usize..4, prop::collection::vec(raw_op, 0..24)).prop_map(build)
+        }
+
+        fn build((n, ops): (usize, Vec<RawOp>)) -> Circuit {
+            let mut c = Circuit::new(n);
+            for (kind, qa, qb, t, p, l) in ops {
+                let q = qa % n;
+                match kind {
+                    0 => c.rz(q, t),
+                    1 => c.rx(q, t),
+                    2 => c.ry(q, t),
+                    3 => c.u3(q, t, p, l),
+                    4 => {
+                        if n > 1 {
+                            c.cx(q, (q + 1 + qb % (n - 1)) % n);
+                        }
+                    }
+                    k => {
+                        let g = [
+                            Gate::H,
+                            Gate::S,
+                            Gate::Sdg,
+                            Gate::T,
+                            Gate::Tdg,
+                            Gate::X,
+                            Gate::Y,
+                            Gate::Z,
+                        ][(k - 5) % 8];
+                        c.gate(q, g);
+                    }
+                }
+            }
+            c
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// parse(emit(c)) == c for random circuits: f64 angles survive
+            /// because `Display` prints the shortest exactly-round-tripping
+            /// decimal form.
+            #[test]
+            fn qasm_roundtrips(c in arb_circuit()) {
+                let back = from_qasm(&to_qasm(&c)).expect("own output parses");
+                prop_assert_eq!(back, c);
+            }
+        }
+    }
 }

@@ -6,12 +6,28 @@
 //! cached — application circuits repeat angles heavily (QAOA uses one γ/β
 //! pair per layer), mirroring how real compilation pipelines batch
 //! synthesis calls.
+//!
+//! The cache is pluggable via [`RotationCache`]: [`synthesize_circuit`]
+//! uses a per-call [`LocalCache`], while the `engine` crate plugs in a
+//! process-wide shared cache so distinct circuits, requests, and threads
+//! amortize each other's synthesis work. Both paths key rotations with
+//! [`quantize_unitary`], so cached entries mean the same thing everywhere.
 
 use crate::basis::push_seq;
 use crate::ir::{Circuit, Op};
 use gates::GateSeq;
 use qmath::Mat2;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cached synthesis result: the Clifford+T sequence and its unitary
+/// distance from the rotation it replaces.
+///
+/// Results are reference-counted so that circuits which repeat a rotation
+/// many times (QAOA repeats one γ/β pair per layer) splice the sequence
+/// from a shared allocation instead of cloning it per occurrence.
+pub type CachedSynthesis = Arc<(GateSeq, f64)>;
 
 /// Outcome of synthesizing all rotations of a circuit.
 #[derive(Clone, Debug)]
@@ -23,41 +39,112 @@ pub struct SynthesizedCircuit {
     pub total_error: f64,
     /// Number of rotations that were synthesized (cache hits included).
     pub rotations: usize,
-    /// Number of distinct rotations (synthesizer invocations).
+    /// Number of distinct rotations in this circuit (quantized with
+    /// [`quantize_unitary`]) — counted per call, independent of what the
+    /// cache already held. With the default [`LocalCache`] this equals
+    /// the number of synthesizer invocations.
     pub distinct_rotations: usize,
+}
+
+/// A synthesis cache keyed by [`quantize_unitary`] keys.
+///
+/// Implementations decide the storage policy (per-call [`LocalCache`],
+/// the `engine` crate's shared sharded cache, …); the contract is only
+/// that the returned value is the synthesis for `key` — either recalled
+/// or freshly produced by invoking `synth`. Distinct-rotation accounting
+/// is done by [`synthesize_circuit_with`] itself, so it is independent of
+/// whatever the cache already contains.
+pub trait RotationCache {
+    /// Serves `key` from the cache, invoking `synth` on a miss.
+    fn get_or_synthesize(
+        &mut self,
+        key: [i64; 8],
+        synth: &mut dyn FnMut() -> (GateSeq, f64),
+    ) -> CachedSynthesis;
+}
+
+/// The default per-call cache: a plain `HashMap`. A fresh one is created
+/// by every [`synthesize_circuit`] call, so nothing is shared across
+/// circuits — use the `engine` crate when that sharing matters.
+#[derive(Debug, Default)]
+pub struct LocalCache {
+    map: HashMap<[i64; 8], CachedSynthesis>,
+}
+
+impl LocalCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached distinct rotations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl RotationCache for LocalCache {
+    fn get_or_synthesize(
+        &mut self,
+        key: [i64; 8],
+        synth: &mut dyn FnMut() -> (GateSeq, f64),
+    ) -> CachedSynthesis {
+        match self.map.entry(key) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => Arc::clone(v.insert(Arc::new(synth()))),
+        }
+    }
 }
 
 /// Replaces every rotation with the sequence returned by `synth`, which
 /// receives the rotation's 2×2 unitary and must return `(sequence, error)`.
 ///
-/// The synthesizer is invoked once per *distinct* rotation matrix
-/// (quantized to 1e-12); repeats are served from a cache but still
-/// contribute their error to `total_error`.
+/// The synthesizer is invoked once per *distinct* rotation matrix (see
+/// [`quantize_unitary`]); repeats are served from a per-call
+/// [`LocalCache`] but still contribute their error to `total_error`.
+/// This is a thin wrapper over [`synthesize_circuit_with`].
 pub fn synthesize_circuit(
     c: &Circuit,
+    synth: impl FnMut(&Mat2) -> (GateSeq, f64),
+) -> SynthesizedCircuit {
+    synthesize_circuit_with(c, synth, &mut LocalCache::new())
+}
+
+/// [`synthesize_circuit`] with an explicit, possibly shared, cache.
+///
+/// Repeated rotations splice their sequence from the cached
+/// [`CachedSynthesis`] by reference — no gate sequence is cloned per
+/// occurrence. The output is a pure function of the circuit and the
+/// `(key → synthesis)` mapping, so pre-warming `cache` with entries a
+/// deterministic `synth` would produce leaves the result byte-identical.
+pub fn synthesize_circuit_with(
+    c: &Circuit,
     mut synth: impl FnMut(&Mat2) -> (GateSeq, f64),
+    cache: &mut dyn RotationCache,
 ) -> SynthesizedCircuit {
     let mut out = Circuit::new(c.n_qubits());
-    let mut cache: HashMap<[i64; 8], (GateSeq, f64)> = HashMap::new();
     let mut total_error = 0.0f64;
     let mut rotations = 0usize;
     let mut distinct = 0usize;
+    let mut seen: std::collections::HashSet<[i64; 8]> = Default::default();
     for i in c.instrs() {
         match i.op {
             Op::Cx | Op::Gate1(_) => out.push(*i),
             op => {
                 let m = op.matrix();
-                let key = quantize(&m);
-                let (seq, err) = cache
-                    .entry(key)
-                    .or_insert_with(|| {
-                        distinct += 1;
-                        synth(&m)
-                    })
-                    .clone();
+                let key = quantize_unitary(&m);
+                if seen.insert(key) {
+                    distinct += 1;
+                }
+                let entry = cache.get_or_synthesize(key, &mut || synth(&m));
                 rotations += 1;
-                total_error += err;
-                push_seq(&mut out, i.q0, &seq);
+                total_error += entry.1;
+                push_seq(&mut out, i.q0, &entry.0);
             }
         }
     }
@@ -69,7 +156,25 @@ pub fn synthesize_circuit(
     }
 }
 
-fn quantize(m: &Mat2) -> [i64; 8] {
+/// Quantizes a 2×2 unitary into the synthesis-cache key shared by this
+/// module and the `engine` crate's `SynthCache`.
+///
+/// The matrix is first phase-canonicalized ([`Mat2::phase_canonical`]),
+/// then each entry's real and imaginary part is rounded to the nearest
+/// multiple of 1e-12 (round half away from zero).
+///
+/// # Contract
+///
+/// * Two matrices mapping to the same key are entrywise within 1e-12 of
+///   each other (up to global phase), far below every synthesis-error
+///   threshold this workspace uses — conflating them is always safe.
+/// * The converse does **not** hold at rounding boundaries: a component
+///   lying within float noise of an odd multiple of 5e-13 may round
+///   either way, so two unitaries closer than 1e-13 can still split into
+///   two distinct keys. That splits costs a redundant synthesis call
+///   (both entries are valid), never a wrong result. See the
+///   `boundary_angles_may_split` test, which pins this behavior.
+pub fn quantize_unitary(m: &Mat2) -> [i64; 8] {
     let c = m.phase_canonical();
     let mut out = [0i64; 8];
     for (i, z) in c.e.iter().enumerate() {
@@ -140,5 +245,84 @@ mod tests {
         let s = synthesize_circuit(&c, toy);
         assert_eq!(s.circuit.instrs()[0].op, Op::Gate1(Gate::S));
         assert_eq!(s.rotations, 0);
+    }
+
+    #[test]
+    fn prewarmed_cache_matches_fresh_run() {
+        let mut c = Circuit::new(2);
+        for layer in 0..3 {
+            c.rz(0, 0.3 + layer as f64 * 0.1);
+            c.cx(0, 1);
+            c.rx(1, 0.7);
+        }
+        let fresh = synthesize_circuit(&c, toy);
+        // Warm a cache on one run, reuse it on a second: the synthesizer
+        // must not be invoked again and the output must be identical.
+        let mut cache = LocalCache::new();
+        let _ = synthesize_circuit_with(&c, toy, &mut cache);
+        let mut calls = 0usize;
+        let warm = synthesize_circuit_with(
+            &c,
+            |m| {
+                calls += 1;
+                toy(m)
+            },
+            &mut cache,
+        );
+        assert_eq!(calls, 0, "warm cache serves every rotation");
+        assert_eq!(warm.circuit, fresh.circuit);
+        assert_eq!(warm.rotations, fresh.rotations);
+        assert_eq!(
+            warm.distinct_rotations, fresh.distinct_rotations,
+            "distinct is per call, independent of prior cache contents"
+        );
+        assert!((warm.total_error - fresh.total_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantize_is_phase_invariant() {
+        let m = Mat2::u3(0.7, 0.3, -0.4);
+        let shifted = m.scale(qmath::Complex64::cis(1.234));
+        assert_eq!(quantize_unitary(&m), quantize_unitary(&shifted));
+    }
+
+    #[test]
+    fn nearby_angles_share_a_key() {
+        // Generic angles: a 1e-13 perturbation is far from the 5e-13
+        // rounding boundary, so both land on the same key.
+        for theta in [0.3f64, 0.7, -1.1, 2.5] {
+            let a = Mat2::rz(theta);
+            let b = Mat2::rz(theta + 1e-13);
+            assert_eq!(
+                quantize_unitary(&a),
+                quantize_unitary(&b),
+                "theta = {theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_angles_may_split() {
+        // Pin the documented boundary behavior: a matrix component within
+        // float noise of an odd multiple of 5e-13 (a rounding half-step)
+        // can split angles differing by < 1e-13 into two keys. diag(1, z)
+        // is already phase-canonical (first max-modulus entry is real
+        // positive), so the key reads z directly.
+        let z = |re: f64| {
+            Mat2::new(
+                qmath::Complex64::new(1.0, 0.0),
+                qmath::Complex64::new(0.0, 0.0),
+                qmath::Complex64::new(0.0, 0.0),
+                qmath::Complex64::new(re, (1.0 - re * re).sqrt()),
+            )
+        };
+        let just_below = z(4.999e-13); // rounds to 0
+        let just_above = z(5.001e-13); // rounds to 1
+        let ka = quantize_unitary(&just_below);
+        let kb = quantize_unitary(&just_above);
+        assert_eq!(ka[6], 0);
+        assert_eq!(kb[6], 1);
+        assert_ne!(ka, kb, "boundary-straddling inputs split; see contract");
+        // Splitting is benign: both keys would map to valid syntheses.
     }
 }

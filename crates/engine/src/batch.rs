@@ -1,0 +1,221 @@
+//! Batch compilation requests and reports.
+//!
+//! A [`BatchRequest`] bundles circuits with per-item epsilon and backend
+//! choices; the engine compiles the whole bundle through one shared cache
+//! and one worker pool, then returns a [`BatchReport`] with per-item and
+//! aggregate error / T-count / timing / cache statistics. Reports
+//! serialize to JSON ([`BatchReport::to_json`]) for the `trasyn-compile`
+//! CLI — hand-rolled, since the workspace is std-only.
+
+use crate::backend::BackendKind;
+use crate::cache::CacheStats;
+use circuit::synthesize::SynthesizedCircuit;
+use circuit::Circuit;
+
+/// One circuit to compile.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// Name echoed into the report (file name, benchmark name, …).
+    pub name: String,
+    /// The circuit; may still contain rotations.
+    pub circuit: Circuit,
+    /// Per-rotation error threshold.
+    pub epsilon: f64,
+    /// Which backend synthesizes this item's rotations.
+    pub backend: BackendKind,
+    /// When `true`, lower through the best transpile setting for the
+    /// backend's basis ([`BackendKind::basis`]) before synthesis; when
+    /// `false` the circuit is synthesized as-is.
+    pub transpile: bool,
+}
+
+impl BatchItem {
+    /// An item with transpilation enabled.
+    pub fn new(name: impl Into<String>, circuit: Circuit, epsilon: f64, backend: BackendKind) -> Self {
+        BatchItem {
+            name: name.into(),
+            circuit,
+            epsilon,
+            backend,
+            transpile: true,
+        }
+    }
+}
+
+/// A bundle of circuits compiled as one unit of work.
+#[derive(Clone, Debug, Default)]
+pub struct BatchRequest {
+    /// The items, compiled in order (synthesis itself is pooled across
+    /// all items at once).
+    pub items: Vec<BatchItem>,
+}
+
+impl BatchRequest {
+    /// An empty request.
+    pub fn new() -> Self {
+        BatchRequest::default()
+    }
+
+    /// Appends an item, builder style.
+    pub fn item(mut self, item: BatchItem) -> Self {
+        self.items.push(item);
+        self
+    }
+}
+
+/// Compilation outcome of one [`BatchItem`].
+#[derive(Clone, Debug)]
+pub struct ItemReport {
+    /// Item name.
+    pub name: String,
+    /// Backend that synthesized it.
+    pub backend: BackendKind,
+    /// Per-rotation error threshold used.
+    pub epsilon: f64,
+    /// Qubit count.
+    pub n_qubits: usize,
+    /// The discrete circuit plus error/rotation accounting.
+    pub synthesized: SynthesizedCircuit,
+    /// T count of the compiled circuit.
+    pub t_count: usize,
+    /// Non-Pauli Clifford count of the compiled circuit.
+    pub clifford_count: usize,
+    /// Distinct rotations served by the shared cache (or by an earlier
+    /// item in the same batch).
+    pub cache_hits: u64,
+    /// Distinct rotations this item had to synthesize.
+    pub cache_misses: u64,
+    /// Wall-clock milliseconds spent on this item outside the shared
+    /// synthesis phase (lowering + splicing).
+    pub wall_ms: f64,
+}
+
+/// Aggregate outcome of a [`BatchRequest`].
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-item outcomes, in request order.
+    pub items: Vec<ItemReport>,
+    /// Worker threads used for synthesis.
+    pub threads: usize,
+    /// End-to-end wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Wall-clock milliseconds of the pooled synthesis phase.
+    pub synthesis_ms: f64,
+    /// Sum of per-item cache hits.
+    pub cache_hits: u64,
+    /// Sum of per-item cache misses (= synthesizer invocations).
+    pub cache_misses: u64,
+    /// Sum of per-item T counts.
+    pub total_t_count: usize,
+    /// Sum of per-item summed synthesis errors.
+    pub total_error: f64,
+    /// Shared-cache counters after the batch.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Serializes the report as a JSON object (2-space indent).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        push_kv(&mut s, 1, "threads", &self.threads.to_string(), true);
+        push_kv(&mut s, 1, "wall_ms", &fmt_f64(self.wall_ms), true);
+        push_kv(&mut s, 1, "synthesis_ms", &fmt_f64(self.synthesis_ms), true);
+        push_kv(&mut s, 1, "cache_hits", &self.cache_hits.to_string(), true);
+        push_kv(&mut s, 1, "cache_misses", &self.cache_misses.to_string(), true);
+        push_kv(&mut s, 1, "total_t_count", &self.total_t_count.to_string(), true);
+        push_kv(&mut s, 1, "total_error", &fmt_f64(self.total_error), true);
+        s.push_str("  \"cache\": {\n");
+        push_kv(&mut s, 2, "hits", &self.cache.hits.to_string(), true);
+        push_kv(&mut s, 2, "misses", &self.cache.misses.to_string(), true);
+        push_kv(&mut s, 2, "insertions", &self.cache.insertions.to_string(), true);
+        push_kv(&mut s, 2, "evictions", &self.cache.evictions.to_string(), true);
+        push_kv(&mut s, 2, "entries", &self.cache.entries.to_string(), false);
+        s.push_str("  },\n  \"items\": [\n");
+        for (i, it) in self.items.iter().enumerate() {
+            s.push_str("    {\n");
+            push_kv(&mut s, 3, "name", &json_string(&it.name), true);
+            push_kv(&mut s, 3, "backend", &json_string(it.backend.label()), true);
+            push_kv(&mut s, 3, "epsilon", &fmt_f64(it.epsilon), true);
+            push_kv(&mut s, 3, "n_qubits", &it.n_qubits.to_string(), true);
+            push_kv(&mut s, 3, "rotations", &it.synthesized.rotations.to_string(), true);
+            push_kv(
+                &mut s,
+                3,
+                "distinct_rotations",
+                &it.synthesized.distinct_rotations.to_string(),
+                true,
+            );
+            push_kv(&mut s, 3, "t_count", &it.t_count.to_string(), true);
+            push_kv(&mut s, 3, "clifford_count", &it.clifford_count.to_string(), true);
+            push_kv(&mut s, 3, "total_error", &fmt_f64(it.synthesized.total_error), true);
+            push_kv(&mut s, 3, "cache_hits", &it.cache_hits.to_string(), true);
+            push_kv(&mut s, 3, "cache_misses", &it.cache_misses.to_string(), true);
+            push_kv(&mut s, 3, "wall_ms", &fmt_f64(it.wall_ms), false);
+            s.push_str(if i + 1 == self.items.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn push_kv(s: &mut String, indent: usize, key: &str, value: &str, comma: bool) {
+    for _ in 0..indent {
+        s.push_str("  ");
+    }
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\": ");
+    s.push_str(value);
+    if comma {
+        s.push(',');
+    }
+    s.push('\n');
+}
+
+/// JSON has no Infinity/NaN literals; clamp them to null.
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_strings() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(fmt_f64(1.5), "1.5");
+    }
+}

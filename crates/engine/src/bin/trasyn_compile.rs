@@ -1,0 +1,229 @@
+//! `trasyn-compile` — compile OpenQASM circuits to Clifford+T through the
+//! [`engine`] compilation service.
+//!
+//! ```text
+//! trasyn-compile [OPTIONS] <FILE.qasm>...
+//!
+//! options:
+//!   --backend trasyn|gridsynth|annealing   synthesizer (default trasyn)
+//!   --epsilon EPS          per-rotation error threshold (default 1e-2)
+//!   --threads N            synthesis worker threads, 0 = all cores (default 0)
+//!   --cache-capacity N     shared-cache entries, 0 = unbounded (default 4096)
+//!   --samples N            trasyn samples per pass (default 1024)
+//!   --max-t N              trasyn per-tensor T budget (default 6)
+//!   --no-transpile         synthesize rotations as-is, skip basis lowering
+//!   --emit-qasm DIR        write each compiled circuit as DIR/<name>.qasm
+//!   --out FILE             write the JSON report to FILE (default stdout)
+//! ```
+//!
+//! Exit codes: 0 success (including `--help`), 1 input/compile failure,
+//! 2 usage error.
+
+use engine::{
+    AnnealingBackend, BackendKind, BatchItem, BatchRequest, Engine, GridsynthBackend,
+    TrasynBackend,
+};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    files: Vec<PathBuf>,
+    backend: BackendKind,
+    epsilon: f64,
+    threads: usize,
+    cache_capacity: usize,
+    samples: usize,
+    max_t: usize,
+    transpile: bool,
+    emit_qasm: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: trasyn-compile [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
+     [--threads N] [--cache-capacity N] [--samples N] [--max-t N] [--no-transpile] \
+     [--emit-qasm DIR] [--out FILE] <FILE.qasm>..."
+}
+
+/// `Ok(None)` means `--help` was requested: print usage, exit 0.
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        backend: BackendKind::Trasyn,
+        epsilon: 1e-2,
+        threads: 0,
+        cache_capacity: 4096,
+        samples: 1024,
+        max_t: 6,
+        transpile: true,
+        emit_qasm: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--backend" => {
+                let v = value("--backend")?;
+                opts.backend = BackendKind::parse(&v)
+                    .ok_or_else(|| format!("unknown backend '{v}'"))?;
+            }
+            "--epsilon" => {
+                opts.epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|_| "--epsilon needs a number".to_string())?;
+            }
+            "--threads" => {
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs an integer".to_string())?;
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs an integer".to_string())?;
+            }
+            "--samples" => {
+                opts.samples = value("--samples")?
+                    .parse()
+                    .map_err(|_| "--samples needs an integer".to_string())?;
+            }
+            "--max-t" => {
+                opts.max_t = value("--max-t")?
+                    .parse()
+                    .map_err(|_| "--max-t needs an integer".to_string())?;
+            }
+            "--no-transpile" => opts.transpile = false,
+            "--emit-qasm" => opts.emit_qasm = Some(PathBuf::from(value("--emit-qasm")?)),
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--help" | "-h" => return Ok(None),
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no input files".to_string());
+    }
+    if !(opts.epsilon.is_finite() && opts.epsilon > 0.0) {
+        return Err("--epsilon must be a positive number".to_string());
+    }
+    Ok(Some(opts))
+}
+
+/// Item name from a file stem, deduplicated so that inputs from
+/// different directories sharing a stem (`a/bell.qasm`, `b/bell.qasm`)
+/// keep distinct report names and `--emit-qasm` output paths.
+fn unique_stem(p: &Path, used: &mut std::collections::HashSet<String>) -> String {
+    let base = p
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "circuit".to_string());
+    let mut name = base.clone();
+    let mut n = 2usize;
+    while !used.insert(name.clone()) {
+        name = format!("{base}-{n}");
+        n += 1;
+    }
+    name
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    // Only build what the request needs: the trasyn table is a real
+    // startup cost, the other backends are free.
+    let mut builder = Engine::builder()
+        .threads(opts.threads)
+        .cache_capacity(opts.cache_capacity)
+        .backend(GridsynthBackend::default())
+        .backend(AnnealingBackend::default());
+    if opts.backend == BackendKind::Trasyn {
+        eprintln!(
+            "[trasyn-compile] building trasyn table (max_t = {}) ...",
+            opts.max_t
+        );
+        builder = builder.backend(TrasynBackend::with_table(opts.max_t, opts.samples));
+    }
+    let eng = builder.build();
+
+    let mut req = BatchRequest::new();
+    let mut used_names = std::collections::HashSet::new();
+    for f in &opts.files {
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", f.display());
+                return ExitCode::from(1);
+            }
+        };
+        let c = match circuit::qasm::from_qasm(&src) {
+            Some(c) => c,
+            None => {
+                eprintln!("error: {} is not in the supported OpenQASM subset", f.display());
+                return ExitCode::from(1);
+            }
+        };
+        let mut item = BatchItem::new(unique_stem(f, &mut used_names), c, opts.epsilon, opts.backend);
+        item.transpile = opts.transpile;
+        req.items.push(item);
+    }
+
+    let report = match eng.compile_batch(&req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if let Some(dir) = &opts.emit_qasm {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            return ExitCode::from(1);
+        }
+        for item in &report.items {
+            let path = dir.join(format!("{}.qasm", item.name));
+            let qasm = circuit::qasm::to_qasm(&item.synthesized.circuit);
+            if let Err(e) = std::fs::write(&path, qasm) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    let json = report.to_json();
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "[trasyn-compile] {} circuit(s), {} threads: {} cache hits, {} misses, total T count {}",
+        report.items.len(),
+        report.threads,
+        report.cache_hits,
+        report.cache_misses,
+        report.total_t_count
+    );
+    ExitCode::SUCCESS
+}

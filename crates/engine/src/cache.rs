@@ -1,0 +1,349 @@
+//! The shared synthesis cache.
+//!
+//! [`SynthCache`] is the process-wide memo table of the compilation
+//! service: every `(rotation unitary, synthesizer settings)` pair that any
+//! circuit, batch request, or worker thread has synthesized is stored once
+//! behind an `Arc`, so later requests splice the sequence without
+//! recomputing or cloning it.
+//!
+//! # Keying
+//!
+//! Keys are [`CacheKey`]: the rotation's 2×2 unitary quantized with
+//! [`circuit::synthesize::quantize_unitary`] (the *same* function the
+//! sequential per-call cache uses — one quantization contract for the
+//! whole workspace), plus the [`SettingsKey`] of the backend that would
+//! synthesize it. Two requests share an entry only when both the unitary
+//! *and* the synthesis settings (backend, epsilon, budget parameters)
+//! match, so a cache hit is always a valid answer.
+//!
+//! # Concurrency
+//!
+//! The table is split into shards, each behind its own `Mutex`, so
+//! concurrent workers rarely contend on the same lock. Lookups and
+//! insertions never hold more than one shard lock, and synthesis itself
+//! always happens *outside* any lock. Statistics are lock-free atomics.
+//!
+//! # Capacity
+//!
+//! The capacity bound is strict (total resident entries never exceed it)
+//! and enforced per shard: each shard holds at most `capacity / shards`
+//! entries and evicts its own oldest entry (insertion order) when full.
+//! Per-shard enforcement means hash skew can evict inside a hot shard
+//! while others have room, and integer division can leave up to
+//! `shards - 1` entries of the configured capacity unused — both cost
+//! only redundant synthesis, never correctness: the engine re-synthesizes
+//! on a miss and every synthesizer in this workspace is a pure function
+//! of `(unitary, settings)`.
+
+use crate::backend::SettingsKey;
+use circuit::synthesize::CachedSynthesis;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Key of one cached synthesis: quantized unitary + synthesizer settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The rotation unitary, quantized by
+    /// [`circuit::synthesize::quantize_unitary`].
+    pub unitary: [i64; 8],
+    /// The settings of the backend that synthesizes it.
+    pub settings: SettingsKey,
+}
+
+/// A point-in-time snapshot of cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries written (excluding lost races to an identical key).
+    pub insertions: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, CachedSynthesis>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<CacheKey>,
+}
+
+/// A sharded, thread-safe, capacity-bounded synthesis cache.
+///
+/// Shared by value semantics via `Arc<SynthCache>`; all methods take
+/// `&self`.
+pub struct SynthCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Maximum entries per shard; `usize::MAX` when unbounded.
+    per_shard_capacity: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default shard count: enough that a handful of worker threads rarely
+/// collide, small enough that `stats()`/`len()` stay cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl SynthCache {
+    /// Creates a cache holding at most `capacity` entries across
+    /// [`DEFAULT_SHARDS`] shards. `capacity == 0` means unbounded.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// [`SynthCache::new`] with an explicit shard count (≥ 1; clamped to
+    /// `capacity` when bounded, so every shard can hold at least one
+    /// entry without the total exceeding the bound).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = if capacity == 0 {
+            shards.max(1)
+        } else {
+            shards.clamp(1, capacity)
+        };
+        let per_shard_capacity = if capacity == 0 {
+            usize::MAX
+        } else {
+            capacity / shards
+        };
+        SynthCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        order: VecDeque::new(),
+                    })
+                })
+                .collect(),
+            per_shard_capacity,
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedSynthesis> {
+        let shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        match shard.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` for `key`, evicting the shard's oldest entry when
+    /// full. If a racing thread already inserted `key`, the resident entry
+    /// wins (every backend is deterministic, so both are identical) and is
+    /// returned, keeping all callers on one shared allocation.
+    pub fn insert(&self, key: CacheKey, value: CachedSynthesis) -> CachedSynthesis {
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if let Some(existing) = shard.map.get(&key) {
+            return existing.clone();
+        }
+        if shard.map.len() >= self.per_shard_capacity {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, value.clone());
+        shard.order.push_back(key);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// Serves `key`, invoking `synth` on a miss. Synthesis runs with no
+    /// lock held; a racing duplicate is deduplicated at insertion.
+    pub fn get_or_insert_with(
+        &self,
+        key: CacheKey,
+        synth: impl FnOnce() -> CachedSynthesis,
+    ) -> CachedSynthesis {
+        match self.get(&key) {
+            Some(v) => v,
+            None => self.insert(key, synth()),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry. Counters are preserved.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock().expect("cache shard poisoned");
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+    use gates::{Gate, GateSeq};
+    use std::sync::Arc;
+
+    fn key(i: i64) -> CacheKey {
+        CacheKey {
+            unitary: [i; 8],
+            settings: SettingsKey {
+                backend: BackendKind::Gridsynth,
+                eps_bits: 0,
+                params: 0,
+            },
+        }
+    }
+
+    fn value() -> CachedSynthesis {
+        Arc::new(([Gate::T].into_iter().collect::<GateSeq>(), 0.1))
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let c = SynthCache::new(8);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), value());
+        assert!(c.get(&key(1)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.insertions, s.entries), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_bounds_and_evicts_fifo() {
+        // One shard so the FIFO order is globally observable.
+        let c = SynthCache::with_shards(4, 1);
+        for i in 0..6 {
+            c.insert(key(i), value());
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.stats().evictions, 2);
+        assert!(c.get(&key(0)).is_none(), "oldest evicted first");
+        assert!(c.get(&key(1)).is_none());
+        assert!(c.get(&key(5)).is_some());
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_resident_entry() {
+        let c = SynthCache::new(8);
+        let first = c.insert(key(1), value());
+        let second = c.insert(key(1), value());
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(c.stats().insertions, 1);
+    }
+
+    #[test]
+    fn capacity_bound_is_strict() {
+        // Capacity below the default shard count: the shard count clamps
+        // so the global bound still holds under any key distribution.
+        let c = SynthCache::new(4);
+        assert!(c.shards() <= 4);
+        for i in 0..50 {
+            c.insert(key(i), value());
+            assert!(c.len() <= 4, "resident {} > capacity 4", c.len());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let c = SynthCache::with_shards(0, 2);
+        for i in 0..100 {
+            c.insert(key(i), value());
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn settings_split_entries() {
+        let c = SynthCache::new(8);
+        let a = key(1);
+        let mut b = a;
+        b.settings.eps_bits = 42;
+        c.insert(a, value());
+        assert!(c.get(&b).is_none(), "same unitary, different settings");
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let c = Arc::new(SynthCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let k = key((i % 16) + t);
+                        let _ = c.get_or_insert_with(k, value);
+                    }
+                });
+            }
+        });
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 200);
+        assert!(c.len() <= 64);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let c = SynthCache::new(8);
+        c.insert(key(1), value());
+        let _ = c.get(&key(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+    }
+}

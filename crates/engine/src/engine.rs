@@ -1,0 +1,456 @@
+//! The [`Engine`] façade: cache + pool + backends behind one `compile`
+//! call.
+//!
+//! # Determinism contract
+//!
+//! For a fixed request, the compiled circuits and every non-timing report
+//! field are identical at **any** thread count and any prior cache state:
+//!
+//! * every backend is a pure function of `(unitary, epsilon, settings)`
+//!   (seeds live in the settings), so a cached entry equals what a fresh
+//!   synthesis would produce;
+//! * the worker pool reassembles results in job order, and splicing walks
+//!   the circuit sequentially through the same
+//!   [`circuit::synthesize::synthesize_circuit_with`] code path as the
+//!   single-threaded wrapper — completion order is never observable.
+//!
+//! The parallel output is therefore byte-identical to
+//! [`circuit::synthesize::synthesize_circuit`] run with the same
+//! synthesizer (verified by this crate's tests).
+
+use crate::backend::{BackendKind, SettingsKey, Synthesizer};
+use crate::batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
+use crate::cache::{CacheKey, SynthCache};
+use crate::pool::WorkerPool;
+use circuit::levels::best_for_basis;
+use circuit::metrics::{clifford_count, t_count};
+use circuit::synthesize::{
+    quantize_unitary, synthesize_circuit_with, CachedSynthesis, RotationCache,
+};
+use circuit::Circuit;
+use gates::GateSeq;
+use qmath::Mat2;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors an [`Engine`] call can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request named a backend the engine was not built with.
+    BackendUnavailable(BackendKind),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BackendUnavailable(k) => {
+                write!(f, "backend '{}' is not configured on this engine", k.label())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Builder for [`Engine`].
+pub struct EngineBuilder {
+    threads: usize,
+    cache_capacity: usize,
+    cache_shards: usize,
+    cache: Option<Arc<SynthCache>>,
+    backends: Vec<Box<dyn Synthesizer>>,
+}
+
+impl EngineBuilder {
+    /// Worker threads for the synthesis pool (`0` = one per core).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Total cache capacity in entries (`0` = unbounded). Ignored when
+    /// [`EngineBuilder::shared_cache`] is set.
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    /// Cache shard count. Ignored when [`EngineBuilder::shared_cache`] is
+    /// set.
+    pub fn cache_shards(mut self, n: usize) -> Self {
+        self.cache_shards = n;
+        self
+    }
+
+    /// Uses an existing cache (e.g. shared between several engines).
+    pub fn shared_cache(mut self, cache: Arc<SynthCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Registers a backend. Registering the same [`BackendKind`] twice
+    /// keeps the later registration.
+    pub fn backend(mut self, b: impl Synthesizer + 'static) -> Self {
+        self.backends.retain(|e| e.kind() != b.kind());
+        self.backends.push(Box::new(b));
+        self
+    }
+
+    /// Finalizes the engine.
+    pub fn build(self) -> Engine {
+        let cache = self
+            .cache
+            .unwrap_or_else(|| Arc::new(SynthCache::with_shards(self.cache_capacity, self.cache_shards)));
+        Engine {
+            cache,
+            pool: WorkerPool::new(self.threads),
+            backends: self.backends,
+        }
+    }
+}
+
+/// The concurrent compilation service: a shared [`SynthCache`], a
+/// [`WorkerPool`], and a set of [`Synthesizer`] backends.
+pub struct Engine {
+    cache: Arc<SynthCache>,
+    pool: WorkerPool,
+    backends: Vec<Box<dyn Synthesizer>>,
+}
+
+/// One distinct rotation awaiting synthesis.
+struct Job {
+    key: CacheKey,
+    target: Mat2,
+    backend_idx: usize,
+    eps: f64,
+}
+
+/// Splice-phase cache adapter: every distinct rotation was resolved ahead
+/// of time (shared-cache hit or pooled synthesis) into a local map of
+/// `Arc`s that concurrent shared-cache eviction cannot touch, so lookups
+/// are pure map reads. The fallback closure is unreachable today; it
+/// exists so that if the phase-1 scan's `is_rotation` predicate ever
+/// diverges from the `Cx | Gate1` splice match (e.g. a new `Op` variant
+/// handled by one but not the other), the result degrades to an inline
+/// synthesis instead of a panic or a wrong circuit.
+struct Resolved<'a> {
+    entries: &'a HashMap<CacheKey, CachedSynthesis>,
+    settings: SettingsKey,
+    overflow: HashMap<[i64; 8], CachedSynthesis>,
+}
+
+impl RotationCache for Resolved<'_> {
+    fn get_or_synthesize(
+        &mut self,
+        key: [i64; 8],
+        synth: &mut dyn FnMut() -> (GateSeq, f64),
+    ) -> CachedSynthesis {
+        let full = CacheKey {
+            unitary: key,
+            settings: self.settings,
+        };
+        if let Some(v) = self.entries.get(&full) {
+            v.clone()
+        } else if let Some(v) = self.overflow.get(&key) {
+            v.clone()
+        } else {
+            let v = Arc::new(synth());
+            self.overflow.insert(key, v.clone());
+            v
+        }
+    }
+}
+
+impl Engine {
+    /// Starts building an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder {
+            threads: 0,
+            cache_capacity: 0,
+            cache_shards: crate::cache::DEFAULT_SHARDS,
+            cache: None,
+            backends: Vec::new(),
+        }
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &SynthCache {
+        &self.cache
+    }
+
+    /// The shared cache, clonable for another engine.
+    pub fn cache_arc(&self) -> Arc<SynthCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Worker threads in the synthesis pool.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Backends this engine hosts.
+    pub fn backends(&self) -> Vec<BackendKind> {
+        self.backends.iter().map(|b| b.kind()).collect()
+    }
+
+    fn backend_index(&self, kind: BackendKind) -> Result<usize, EngineError> {
+        self.backends
+            .iter()
+            .position(|b| b.kind() == kind)
+            .ok_or(EngineError::BackendUnavailable(kind))
+    }
+
+    /// Compiles one circuit as-is (no transpilation) through `backend` at
+    /// threshold `eps`. Equivalent to a single-item [`Engine::compile_batch`].
+    pub fn compile(
+        &self,
+        c: &Circuit,
+        backend: BackendKind,
+        eps: f64,
+    ) -> Result<ItemReport, EngineError> {
+        let mut item = BatchItem::new("circuit", c.clone(), eps, backend);
+        item.transpile = false;
+        let report = self.compile_batch(&BatchRequest::new().item(item))?;
+        Ok(report
+            .items
+            .into_iter()
+            .next()
+            .expect("single-item batch yields one report"))
+    }
+
+    /// Compiles a whole batch: distinct rotations across **all** items are
+    /// deduplicated against the shared cache and synthesized together on
+    /// the worker pool, then each item is spliced sequentially.
+    ///
+    /// Per-item accounting: a *hit* is a distinct rotation already
+    /// resolved (shared-cache entry or queued by an earlier item of this
+    /// batch); a *miss* is a distinct rotation this item enqueued.
+    pub fn compile_batch(&self, req: &BatchRequest) -> Result<BatchReport, EngineError> {
+        let t0 = Instant::now();
+        // Resolve backends up front: an unknown backend fails the batch
+        // before any synthesis work starts.
+        let backend_idx: Vec<usize> = req
+            .items
+            .iter()
+            .map(|it| self.backend_index(it.backend))
+            .collect::<Result<_, _>>()?;
+
+        // Phase 1 (sequential): lower each item and scan its distinct
+        // rotations against the shared cache, queueing misses. `None`
+        // lowering means "compile `item.circuit` as-is" — no copy made.
+        let mut lowered: Vec<(Option<Circuit>, f64)> = Vec::with_capacity(req.items.len());
+        let mut resolved: HashMap<CacheKey, CachedSynthesis> = HashMap::new();
+        let mut queued: HashSet<CacheKey> = HashSet::new();
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut item_hits: Vec<u64> = Vec::with_capacity(req.items.len());
+        let mut item_misses: Vec<u64> = Vec::with_capacity(req.items.len());
+        for (it, &bidx) in req.items.iter().zip(&backend_idx) {
+            let t_item = Instant::now();
+            let low = it.transpile.then(|| {
+                let (_, _, low) = best_for_basis(&it.circuit, it.backend.basis());
+                low
+            });
+            let circuit = low.as_ref().unwrap_or(&it.circuit);
+            let settings = self.backends[bidx].settings_key(it.epsilon);
+            let mut seen: HashSet<[i64; 8]> = HashSet::new();
+            let (mut hits, mut misses) = (0u64, 0u64);
+            for instr in circuit.instrs() {
+                if !instr.op.is_rotation() {
+                    continue;
+                }
+                let m = instr.op.matrix();
+                let qkey = quantize_unitary(&m);
+                if !seen.insert(qkey) {
+                    continue;
+                }
+                let full = CacheKey {
+                    unitary: qkey,
+                    settings,
+                };
+                if resolved.contains_key(&full) || queued.contains(&full) {
+                    hits += 1;
+                } else if let Some(v) = self.cache.get(&full) {
+                    hits += 1;
+                    resolved.insert(full, v);
+                } else {
+                    misses += 1;
+                    queued.insert(full);
+                    jobs.push(Job {
+                        key: full,
+                        target: m,
+                        backend_idx: bidx,
+                        eps: it.epsilon,
+                    });
+                }
+            }
+            item_hits.push(hits);
+            item_misses.push(misses);
+            lowered.push((low, t_item.elapsed().as_secs_f64() * 1e3));
+        }
+
+        // Phase 2 (parallel): synthesize every queued rotation on the
+        // pool; reinsertion happens in job order, so cache eviction order
+        // is reproducible too.
+        let t_synth = Instant::now();
+        let results = self
+            .pool
+            .run(&jobs, |job| self.backends[job.backend_idx].synthesize(&job.target, job.eps));
+        let synthesis_ms = t_synth.elapsed().as_secs_f64() * 1e3;
+        for (job, r) in jobs.iter().zip(results) {
+            let v = self.cache.insert(job.key, Arc::new(r));
+            resolved.insert(job.key, v);
+        }
+
+        // Phase 3 (sequential): splice each item through the same code
+        // path as the single-threaded synthesize_circuit.
+        let mut items = Vec::with_capacity(req.items.len());
+        for (i, (it, &bidx)) in req.items.iter().zip(&backend_idx).enumerate() {
+            let t_item = Instant::now();
+            let (low, lower_ms) = &lowered[i];
+            let circuit = low.as_ref().unwrap_or(&it.circuit);
+            let settings = self.backends[bidx].settings_key(it.epsilon);
+            let mut adapter = Resolved {
+                entries: &resolved,
+                settings,
+                overflow: HashMap::new(),
+            };
+            let backend = &self.backends[bidx];
+            let synthesized = synthesize_circuit_with(
+                circuit,
+                |m| backend.synthesize(m, it.epsilon),
+                &mut adapter,
+            );
+            items.push(ItemReport {
+                name: it.name.clone(),
+                backend: it.backend,
+                epsilon: it.epsilon,
+                n_qubits: synthesized.circuit.n_qubits(),
+                t_count: t_count(&synthesized.circuit),
+                clifford_count: clifford_count(&synthesized.circuit),
+                cache_hits: item_hits[i],
+                cache_misses: item_misses[i],
+                wall_ms: lower_ms + t_item.elapsed().as_secs_f64() * 1e3,
+                synthesized,
+            });
+        }
+
+        Ok(BatchReport {
+            threads: self.pool.threads(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            synthesis_ms,
+            cache_hits: item_hits.iter().sum(),
+            cache_misses: item_misses.iter().sum(),
+            total_t_count: items.iter().map(|i| i.t_count).sum(),
+            total_error: items.iter().map(|i| i.synthesized.total_error).sum(),
+            cache: self.cache.stats(),
+            items,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::GridsynthBackend;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        for layer in 0..3 {
+            c.rz(0, 0.3 + 0.2 * layer as f64);
+            c.cx(0, 1);
+            c.rz(1, 0.3); // repeated angle: cache fodder
+            c.h(0);
+        }
+        c
+    }
+
+    fn engine(threads: usize) -> Engine {
+        Engine::builder()
+            .threads(threads)
+            .cache_capacity(1024)
+            .backend(GridsynthBackend::default())
+            .build()
+    }
+
+    #[test]
+    fn matches_sequential_synthesize_circuit() {
+        let c = sample_circuit();
+        let e = engine(4);
+        let report = e.compile(&c, BackendKind::Gridsynth, 1e-2).unwrap();
+        let b = GridsynthBackend::default();
+        let seq = circuit::synthesize::synthesize_circuit(&c, |m| b.synthesize(m, 1e-2));
+        assert_eq!(report.synthesized.circuit, seq.circuit, "byte-identical splice");
+        assert_eq!(report.synthesized.rotations, seq.rotations);
+        assert_eq!(report.synthesized.distinct_rotations, seq.distinct_rotations);
+        assert!((report.synthesized.total_error - seq.total_error).abs() < 1e-15);
+    }
+
+    #[test]
+    fn second_compile_is_all_hits() {
+        let c = sample_circuit();
+        let e = engine(2);
+        let first = e.compile(&c, BackendKind::Gridsynth, 1e-2).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        assert!(first.cache_misses > 0);
+        let second = e.compile(&c, BackendKind::Gridsynth, 1e-2).unwrap();
+        assert_eq!(second.cache_misses, 0, "warm cache serves everything");
+        assert_eq!(second.cache_hits, first.cache_misses);
+        assert_eq!(second.synthesized.circuit, first.synthesized.circuit);
+    }
+
+    #[test]
+    fn epsilon_partitions_the_cache() {
+        let c = sample_circuit();
+        let e = engine(2);
+        let a = e.compile(&c, BackendKind::Gridsynth, 1e-2).unwrap();
+        let b = e.compile(&c, BackendKind::Gridsynth, 1e-3).unwrap();
+        assert_eq!(b.cache_hits, 0, "different eps must not share entries");
+        assert!(b.synthesized.total_error <= a.synthesized.total_error);
+    }
+
+    #[test]
+    fn unknown_backend_errors() {
+        let e = engine(1);
+        let err = e.compile(&sample_circuit(), BackendKind::Trasyn, 1e-2);
+        assert_eq!(err.unwrap_err(), EngineError::BackendUnavailable(BackendKind::Trasyn));
+    }
+
+    #[test]
+    fn batch_shares_work_across_items() {
+        let e = engine(2);
+        let req = BatchRequest::new()
+            .item(BatchItem::new("a", sample_circuit(), 1e-2, BackendKind::Gridsynth))
+            .item(BatchItem::new("b", sample_circuit(), 1e-2, BackendKind::Gridsynth));
+        let report = e.compile_batch(&req).unwrap();
+        assert_eq!(report.items.len(), 2);
+        assert!(report.items[0].cache_misses > 0);
+        assert_eq!(
+            report.items[1].cache_misses, 0,
+            "identical second item rides on the first item's queue"
+        );
+        assert_eq!(report.items[0].synthesized.circuit.n_qubits(), 2);
+        let json = report.to_json();
+        assert!(json.contains("\"cache_hits\""));
+        assert!(json.contains("\"items\""));
+    }
+
+    #[test]
+    fn tiny_cache_still_correct() {
+        // Capacity far below the distinct-rotation count: evictions are
+        // exercised and the result must still match the sequential path.
+        let c = sample_circuit();
+        let e = Engine::builder()
+            .threads(2)
+            .cache_capacity(1)
+            .cache_shards(1)
+            .backend(GridsynthBackend::default())
+            .build();
+        let report = e.compile(&c, BackendKind::Gridsynth, 1e-2).unwrap();
+        let b = GridsynthBackend::default();
+        let seq = circuit::synthesize::synthesize_circuit(&c, |m| b.synthesize(m, 1e-2));
+        assert_eq!(report.synthesized.circuit, seq.circuit);
+        assert!(e.cache().stats().evictions > 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! **engine** — the concurrent compilation service.
+//!
+//! Every front-end in this workspace (the repro driver, the
+//! `trasyn-compile` CLI, benches, library users) compiles circuits
+//! through one [`Engine`]: a process-wide synthesis cache, a worker pool,
+//! and pluggable synthesizer backends. Like a JIT runtime, the service
+//! wins by *reusing compiled fragments*: a rotation synthesized once —
+//! for any circuit, on any thread — is spliced from the cache everywhere
+//! it reappears.
+//!
+//! # Architecture
+//!
+//! * [`cache::SynthCache`] — a sharded, thread-safe, capacity-bounded
+//!   map from `(quantized unitary, synthesizer settings)` to the
+//!   synthesized Clifford+T sequence, with hit/miss/eviction statistics.
+//!   The unitary half of the key comes from
+//!   [`circuit::synthesize::quantize_unitary`] — the same quantization the
+//!   sequential path uses, so both tiers mean the same thing by a key.
+//! * [`pool::WorkerPool`] — a `std::thread` + channel pool that
+//!   synthesizes the *distinct* rotations of a circuit (or a whole batch)
+//!   in parallel and hands results back in job order.
+//! * [`backend`] — the [`backend::Synthesizer`] trait plus trasyn,
+//!   gridsynth, and annealing implementations.
+//! * [`batch`] — [`batch::BatchRequest`] / [`batch::BatchReport`]: per-item
+//!   epsilon and backend choice, aggregate error/T-count/timing/cache
+//!   stats, JSON serialization.
+//! * [`engine::Engine`] — the façade tying the above together, plus the
+//!   `trasyn-compile` binary (`src/bin/trasyn_compile.rs`) that feeds it
+//!   OpenQASM.
+//!
+//! # Cache-key contract
+//!
+//! An entry is shared between two requests iff their rotation unitaries
+//! quantize identically (entrywise 1e-12 grid, up to global phase — see
+//! [`circuit::synthesize::quantize_unitary`]) **and** their synthesis
+//! settings match exactly (backend, epsilon bit pattern, budgets,
+//! samples, seeds). Settings that could change the synthesized sequence
+//! are always part of the key, so a hit never changes a result.
+//!
+//! # Determinism contract
+//!
+//! Compilation output is byte-identical across thread counts and cache
+//! states (see [`engine`] module docs): backends are pure functions of
+//! `(unitary, epsilon, settings)`, pooled results are consumed in job
+//! order, and splicing is sequential. `--threads` trades time, never
+//! output.
+//!
+//! ```
+//! use engine::{BackendKind, Engine, GridsynthBackend};
+//!
+//! let eng = Engine::builder()
+//!     .threads(2)
+//!     .cache_capacity(1024)
+//!     .backend(GridsynthBackend::default())
+//!     .build();
+//! let mut c = circuit::Circuit::new(1);
+//! c.rz(0, 0.37);
+//! c.rz(0, 0.37); // synthesized once, spliced twice
+//! let report = eng.compile(&c, BackendKind::Gridsynth, 1e-2).unwrap();
+//! assert_eq!(report.synthesized.rotations, 2);
+//! assert_eq!(report.synthesized.distinct_rotations, 1);
+//! assert_eq!(report.cache_misses, 1);
+//! ```
+
+pub mod backend;
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod pool;
+
+pub use backend::{
+    rz_angle_of, AnnealingBackend, BackendKind, GridsynthBackend, SettingsKey, Synthesizer,
+    TrasynBackend,
+};
+pub use batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
+pub use cache::{CacheKey, CacheStats, SynthCache};
+pub use engine::{Engine, EngineBuilder, EngineError};
+pub use pool::WorkerPool;

@@ -1,0 +1,139 @@
+//! A scoped worker pool over `std::thread` and mpsc channels.
+//!
+//! The pool self-schedules: workers pull job indices from a shared atomic
+//! counter (so a slow synthesis does not stall a whole stripe) and send
+//! `(index, result)` pairs back over a channel; the caller reassembles
+//! results **in job order**, which is what makes parallel compilation
+//! deterministic — downstream code never observes completion order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A fixed-width pool of synthesis workers.
+///
+/// The pool itself is trivially cheap (it holds only the width); threads
+/// are spawned scoped per [`WorkerPool::run`] call so jobs and the worker
+/// closure can borrow from the caller (e.g. the engine's backends).
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers; `0` means one worker per available
+    /// core.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        WorkerPool { threads }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `worker` over every job, returning results in job order
+    /// regardless of which worker finished which job when.
+    ///
+    /// With one worker (or ≤ 1 job) this degenerates to a sequential map
+    /// on the calling thread — same results, no spawn overhead.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker thread.
+    pub fn run<J, R, F>(&self, jobs: &[J], worker: F) -> Vec<R>
+    where
+        J: Sync,
+        R: Send,
+        F: Fn(&J) -> R + Sync,
+    {
+        let n = jobs.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return jobs.iter().map(worker).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let worker = &worker;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A send error means the receiver is gone, which only
+                    // happens if the collector below panicked; stop early.
+                    if tx.send((i, worker(&jobs[i]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index was scheduled exactly once"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_job_order() {
+        let jobs: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let pool = WorkerPool::new(threads);
+            let out = pool.run(&jobs, |j| j * j);
+            assert_eq!(out, jobs.iter().map(|j| j * j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let jobs: Vec<usize> = (0..57).collect();
+        let pool = WorkerPool::new(4);
+        let out = pool.run(&jobs, |j| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            *j
+        });
+        assert_eq!(out.len(), 57);
+        assert_eq!(calls.load(Ordering::Relaxed), 57);
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        let pool = WorkerPool::new(8);
+        assert_eq!(pool.run(&Vec::<u32>::new(), |j| *j), Vec::<u32>::new());
+        assert_eq!(pool.run(&[7u32], |j| *j + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        assert!(WorkerPool::new(0).threads() >= 1);
+    }
+}

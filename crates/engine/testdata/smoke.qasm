@@ -1,0 +1,23 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Small QAOA-like workload for the trasyn-compile smoke test: repeated
+// gamma/beta angles exercise the shared synthesis cache.
+qreg q[3];
+h q[0];
+h q[1];
+h q[2];
+cx q[0],q[1];
+rz(0.35) q[1];
+cx q[0],q[1];
+cx q[1],q[2];
+rz(0.35) q[2];
+cx q[1],q[2];
+rx(0.8) q[0];
+rx(0.8) q[1];
+rx(0.8) q[2];
+cx q[0],q[1];
+rz(0.35) q[1];
+cx q[0],q[1];
+rx(0.8) q[0];
+rx(0.8) q[1];
+u3(0.7,0.3,-0.4) q[2];

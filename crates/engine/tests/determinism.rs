@@ -1,0 +1,123 @@
+//! The engine's determinism contract, end to end: compiling the same
+//! request on 1, 2, and 8 worker threads must produce byte-identical
+//! circuits and identical non-timing report fields, and must equal the
+//! single-threaded `circuit::synthesize::synthesize_circuit` path.
+
+use engine::{
+    AnnealingBackend, BackendKind, BatchItem, BatchRequest, Engine, GridsynthBackend, Synthesizer,
+};
+use baselines::AnnealConfig;
+
+fn engine_with(threads: usize) -> Engine {
+    Engine::builder()
+        .threads(threads)
+        .cache_capacity(1 << 12)
+        .backend(GridsynthBackend::default())
+        .backend(AnnealingBackend::new(AnnealConfig {
+            max_iters: 4_000,
+            restarts: 2,
+            ..AnnealConfig::default()
+        }))
+        .build()
+}
+
+/// A small circuit of distinct Haar rotations interleaved with CNOTs.
+fn haar_circuit(n_qubits: usize, rotations: usize, seed: u64) -> circuit::Circuit {
+    let mut c = circuit::Circuit::new(n_qubits);
+    for (i, u) in workloads::random::haar_targets(rotations, seed).iter().enumerate() {
+        let d = qmath::euler::decompose_u3(u);
+        c.u3(i % n_qubits, d.theta, d.phi, d.lambda);
+        c.cx(i % n_qubits, (i + 1) % n_qubits);
+    }
+    c
+}
+
+fn request() -> BatchRequest {
+    // Two structurally different workloads plus a deliberate duplicate
+    // (batch-level sharing) across two backends at two epsilons.
+    let qaoa = workloads::qaoa::random_qaoa(6, 2, 0xD15C);
+    let rand = haar_circuit(4, 10, 0xFACE);
+    BatchRequest::new()
+        .item(BatchItem::new("qaoa", qaoa.clone(), 1e-2, BackendKind::Gridsynth))
+        .item(BatchItem::new("qaoa-again", qaoa, 1e-2, BackendKind::Gridsynth))
+        .item(BatchItem::new("rand-tight", rand.clone(), 1e-3, BackendKind::Gridsynth))
+        .item(BatchItem::new("rand-anneal", rand, 2e-1, BackendKind::Annealing))
+}
+
+#[test]
+fn thread_count_never_changes_output() {
+    let req = request();
+    let reports: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| (t, engine_with(t).compile_batch(&req).unwrap()))
+        .collect();
+    let (_, base) = &reports[0];
+    for (threads, r) in &reports[1..] {
+        assert_eq!(r.items.len(), base.items.len());
+        for (a, b) in r.items.iter().zip(&base.items) {
+            assert_eq!(
+                a.synthesized.circuit, b.synthesized.circuit,
+                "circuit for '{}' differs at {threads} threads",
+                a.name
+            );
+            assert_eq!(a.synthesized.rotations, b.synthesized.rotations);
+            assert_eq!(a.synthesized.distinct_rotations, b.synthesized.distinct_rotations);
+            assert_eq!(a.t_count, b.t_count);
+            assert_eq!(a.clifford_count, b.clifford_count);
+            assert_eq!(a.cache_hits, b.cache_hits);
+            assert_eq!(a.cache_misses, b.cache_misses);
+            assert!(
+                (a.synthesized.total_error - b.synthesized.total_error).abs() < 1e-15,
+                "total_error for '{}' differs at {threads} threads",
+                a.name
+            );
+        }
+        assert_eq!(r.cache_hits, base.cache_hits);
+        assert_eq!(r.cache_misses, base.cache_misses);
+        assert_eq!(r.total_t_count, base.total_t_count);
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_reference() {
+    // The engine at 8 threads must reproduce the plain per-call
+    // synthesize_circuit byte for byte (same backend, no transpile).
+    let c = workloads::qaoa::random_qaoa(6, 2, 0xA11CE);
+    let backend = GridsynthBackend::default();
+    let reference =
+        circuit::synthesize::synthesize_circuit(&c, |m| backend.synthesize(m, 1e-2));
+    let report = engine_with(8)
+        .compile(&c, BackendKind::Gridsynth, 1e-2)
+        .unwrap();
+    assert_eq!(report.synthesized.circuit, reference.circuit);
+    assert_eq!(report.synthesized.rotations, reference.rotations);
+    assert_eq!(
+        report.synthesized.distinct_rotations,
+        reference.distinct_rotations
+    );
+    assert!((report.synthesized.total_error - reference.total_error).abs() < 1e-15);
+}
+
+#[test]
+fn warm_cache_never_changes_output() {
+    // Same request against a cold and a pre-warmed engine: identical
+    // circuits, different hit/miss split.
+    let req = request();
+    let cold = engine_with(2);
+    let a = cold.compile_batch(&req).unwrap();
+    let warm = Engine::builder()
+        .threads(2)
+        .shared_cache(cold.cache_arc())
+        .backend(GridsynthBackend::default())
+        .backend(AnnealingBackend::new(AnnealConfig {
+            max_iters: 4_000,
+            restarts: 2,
+            ..AnnealConfig::default()
+        }))
+        .build();
+    let b = warm.compile_batch(&req).unwrap();
+    assert_eq!(b.cache_misses, 0, "warm engine re-synthesizes nothing");
+    for (x, y) in a.items.iter().zip(&b.items) {
+        assert_eq!(x.synthesized.circuit, y.synthesized.circuit);
+    }
+}

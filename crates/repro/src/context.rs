@@ -1,19 +1,31 @@
-//! Shared experiment context: the trasyn synthesizer, workflow wrappers,
+//! Shared experiment context: the compilation engine, workflow wrappers,
 //! and the scaled-vs-full parameter sets.
+//!
+//! All circuit-level experiments compile through the [`engine::Engine`]
+//! service: distinct rotations are synthesized on a worker pool and
+//! memoized in a process-wide cache, so figures that revisit the same
+//! benchmarks (fig2 and fig10 run the same workflow pairs) amortize each
+//! other's synthesis work. Engine compilation is
+//! bit-identical to the sequential path at any thread count, so results
+//! are unchanged from the pre-engine driver.
 
 use circuit::levels::{best_for_basis, Basis};
 use circuit::metrics::rotation_count;
-use circuit::synthesize::{synthesize_circuit, SynthesizedCircuit};
+use circuit::synthesize::SynthesizedCircuit;
 use circuit::Circuit;
-use gridsynth::{synthesize_rz_with, synthesize_u3_with, RzOptions};
-use qmath::Mat2;
+use engine::{BackendKind, Engine, GridsynthBackend, TrasynBackend};
+pub use engine::rz_angle_of;
 use std::path::PathBuf;
-use trasyn::{SynthesisConfig, Synthesized, Trasyn};
+use std::sync::Arc;
+use trasyn::{SynthesisConfig, Trasyn};
 
 /// Experiment context.
 pub struct Ctx {
-    /// The trasyn synthesizer with its step-0 table.
-    pub trasyn: Trasyn,
+    /// The trasyn synthesizer with its step-0 table (shared with the
+    /// engine's trasyn backend).
+    pub trasyn: Arc<Trasyn>,
+    /// The compilation service all circuit-level workflows run through.
+    pub engine: Engine,
     /// Whether paper-scale parameters were requested.
     pub full: bool,
     /// Output directory for CSVs.
@@ -26,14 +38,30 @@ impl Ctx {
         let max_t = if full { 8 } else { 7 };
         eprintln!("[setup] building trasyn table (max_t = {max_t}) ...");
         let t0 = std::time::Instant::now();
-        let trasyn = Trasyn::new(max_t);
+        let trasyn = Arc::new(Trasyn::new(max_t));
         eprintln!(
             "[setup] table ready: {} unique matrices in {:.1}s",
             trasyn.table().len(),
             t0.elapsed().as_secs_f64()
         );
+        let samples = if full { 8192 } else { 1024 };
+        let base = SynthesisConfig {
+            samples,
+            budgets: vec![max_t; 3],
+            min_tensors: 1,
+            epsilon: None, // overridden per compile request
+            attempts: 1,
+            seed: 0xBEEF,
+        };
+        let engine = Engine::builder()
+            .threads(0) // one worker per core; output is thread-invariant
+            .cache_capacity(1 << 16)
+            .backend(TrasynBackend::new(Arc::clone(&trasyn), base))
+            .backend(GridsynthBackend::default())
+            .build();
         Ctx {
             trasyn,
+            engine,
             full,
             outdir: PathBuf::from(outdir),
         }
@@ -95,60 +123,28 @@ impl Ctx {
     }
 
     /// The trasyn (U3) workflow on a circuit: best U3 transpile setting,
-    /// then direct synthesis of every rotation with error threshold
-    /// `eps_rot` per rotation. Returns the lowered circuit and synthesis
-    /// output.
+    /// then direct synthesis of every rotation through the engine with
+    /// error threshold `eps_rot` per rotation. Returns the lowered
+    /// circuit and synthesis output.
     pub fn u3_workflow(&self, c: &Circuit, eps_rot: f64) -> (Circuit, SynthesizedCircuit) {
         let (_, _, lowered) = best_for_basis(c, Basis::U3);
-        let cfg = SynthesisConfig {
-            samples: self.samples(),
-            budgets: vec![self.budget(); 3],
-            min_tensors: 1,
-            epsilon: Some(eps_rot),
-            attempts: 1,
-            seed: 0xBEEF,
-        };
-        let synth = synthesize_circuit(&lowered, |m: &Mat2| {
-            let out: Synthesized = self.trasyn.synthesize(m, &cfg);
-            (out.seq, out.error)
-        });
-        (lowered, synth)
+        let report = self
+            .engine
+            .compile(&lowered, BackendKind::Trasyn, eps_rot)
+            .expect("engine hosts the trasyn backend");
+        (lowered, report.synthesized)
     }
 
     /// The gridsynth (Rz) workflow: best Rz transpile setting, then
-    /// Ross–Selinger synthesis of every rotation. `eps_rot` is the
-    /// *per-rotation* error threshold (callers scale it by the rotation
-    /// ratio to match circuit-level error budgets, §4.3).
+    /// Ross–Selinger synthesis of every rotation through the engine.
+    /// `eps_rot` is the *per-rotation* error threshold (callers scale it
+    /// by the rotation ratio to match circuit-level error budgets, §4.3).
     pub fn rz_workflow(&self, c: &Circuit, eps_rot: f64) -> (Circuit, SynthesizedCircuit) {
         let (_, _, lowered) = best_for_basis(c, Basis::Rz);
-        let opts = RzOptions::default();
-        let synth = synthesize_circuit(&lowered, |m: &Mat2| {
-            // Rotations in the Rz basis are diagonal: recover the angle.
-            let angle = rz_angle_of(m);
-            match angle {
-                Some(theta) => {
-                    let r = synthesize_rz_with(theta, eps_rot, opts)
-                        .expect("gridsynth converges for eps >= 1e-7");
-                    (r.seq, r.error)
-                }
-                None => {
-                    // Non-diagonal residue (shouldn't happen in Rz basis):
-                    // fall back to the three-Rz U3 synthesis.
-                    let r = synthesize_u3_with(m, eps_rot * 3.0, opts)
-                        .expect("gridsynth u3 converges");
-                    (r.seq, r.error)
-                }
-            }
-        });
-        (lowered, synth)
+        let report = self
+            .engine
+            .compile(&lowered, BackendKind::Gridsynth, eps_rot)
+            .expect("engine hosts the gridsynth backend");
+        (lowered, report.synthesized)
     }
-}
-
-/// If `m` is diagonal (up to phase), returns the `Rz` angle; else `None`.
-pub fn rz_angle_of(m: &Mat2) -> Option<f64> {
-    if m.e[1].abs() > 1e-9 || m.e[2].abs() > 1e-9 {
-        return None;
-    }
-    // m = e^{iα}·diag(e^{-iθ/2}, e^{iθ/2}).
-    Some((m.e[3] / m.e[0]).arg())
 }

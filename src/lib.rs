@@ -8,6 +8,7 @@
 
 pub use baselines;
 pub use circuit;
+pub use engine;
 pub use gates;
 pub use gridsynth;
 pub use qmath;
