@@ -69,5 +69,28 @@ fn bench_thread_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cache_hits, bench_thread_scaling);
+/// Snapshot persistence: encode/decode cost of a warmed cache — the
+/// boot-time price of a warm start and the shutdown price of saving.
+fn bench_snapshot(c: &mut Criterion) {
+    let circuit = workload();
+    let eng = engine_with(1);
+    eng.compile(&circuit, BackendKind::Gridsynth, 1e-3).unwrap();
+    let entries = eng.cache().len();
+    assert!(entries > 0);
+    let bytes = engine::snapshot::encode(eng.cache());
+    let mut g = c.benchmark_group("engine_snapshot");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    g.bench_function(BenchmarkId::new("encode", entries), |b| {
+        b.iter(|| std::hint::black_box(engine::snapshot::encode(eng.cache()).len()));
+    });
+    g.bench_function(BenchmarkId::new("decode", entries), |b| {
+        b.iter(|| {
+            let decoded = engine::snapshot::decode(&bytes).unwrap();
+            std::hint::black_box(decoded.len())
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_hits, bench_thread_scaling, bench_snapshot);
 criterion_main!(benches);

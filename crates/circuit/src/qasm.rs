@@ -61,15 +61,20 @@ pub fn to_qasm(c: &Circuit) -> String {
 /// Parses the subset of OpenQASM 2.0 emitted by [`to_qasm`]. Returns
 /// `None` on any unsupported construct (this is a round-trip aid, not a
 /// general front end).
+///
+/// Real-world QASM 2.0 trimmings are tolerated without contributing
+/// instructions: `//` comments (whole-line or trailing), blank lines, the
+/// `OPENQASM 2.0;` version line, and an `include "qelib1.inc";` line.
 pub fn from_qasm(src: &str) -> Option<Circuit> {
     let mut circuit: Option<Circuit> = None;
     for raw in src.lines() {
-        let line = raw.trim();
-        if line.is_empty()
-            || line.starts_with("OPENQASM")
-            || line.starts_with("include")
-            || line.starts_with("//")
-        {
+        // Comments run to end of line; `//` cannot occur inside any
+        // supported statement (no string literals in this subset).
+        let line = match raw.split_once("//") {
+            Some((code, _)) => code.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
             continue;
         }
         let line = line.strip_suffix(';')?;
@@ -164,6 +169,32 @@ mod tests {
         let src = "OPENQASM 2.0;\n// a comment\n\nqreg q[1];\nh q[0];\n";
         let c = from_qasm(src).expect("parses");
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn real_world_trimmings_tolerated() {
+        // Trailing comments, indentation, blank lines, and the qelib
+        // include — the shape of files Qiskit and hand authors produce.
+        let src = "\
+// exported by some toolchain
+OPENQASM 2.0;
+include \"qelib1.inc\";   // standard library
+
+qreg q[2];  // two qubits
+  h q[0];   // indented + trailing comment
+cx q[0],q[1]; // entangle
+// rz below
+rz(0.25) q[1];
+";
+        let c = from_qasm(src).expect("real-world trimmings parse");
+        assert_eq!(c.n_qubits(), 2);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn comment_only_and_empty_sources_have_no_register() {
+        assert!(from_qasm("// nothing here\n\n").is_none());
+        assert!(from_qasm("").is_none());
     }
 
     mod roundtrip_property {

@@ -18,10 +18,19 @@ use baselines::{anneal_synthesize, AnnealConfig};
 use gates::GateSeq;
 use gridsynth::{synthesize_rz_with, synthesize_u3_with, RzOptions};
 use qmath::Mat2;
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use trasyn::{SynthesisConfig, Trasyn};
+
+/// Smallest per-rotation error threshold any front-end should accept.
+/// The bounds are backend preconditions, not taste: gridsynth asserts
+/// `eps < 1.0` and is only guaranteed to converge for `eps ≥ 1e-7` — an
+/// out-of-range epsilon must be rejected at the API boundary (CLI usage
+/// error, HTTP 400), never allowed to panic a synthesis call.
+pub const MIN_EPSILON: f64 = 1e-7;
+
+/// Largest accepted per-rotation error threshold; see [`MIN_EPSILON`].
+pub const MAX_EPSILON: f64 = 0.5;
 
 /// The synthesizer backends the engine can host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -55,6 +64,27 @@ impl BackendKind {
         }
     }
 
+    /// Stable one-byte wire code, part of the cache snapshot format (see
+    /// [`crate::snapshot`]). Codes are append-only: existing values never
+    /// change meaning, new backends take the next free code.
+    pub const fn code(self) -> u8 {
+        match self {
+            BackendKind::Trasyn => 0,
+            BackendKind::Gridsynth => 1,
+            BackendKind::Annealing => 2,
+        }
+    }
+
+    /// Inverse of [`BackendKind::code`].
+    pub const fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(BackendKind::Trasyn),
+            1 => Some(BackendKind::Gridsynth),
+            2 => Some(BackendKind::Annealing),
+            _ => None,
+        }
+    }
+
     /// The lowering basis this backend synthesizes best from: `Rz` for
     /// gridsynth (diagonal rotations), `U3` for the direct synthesizers.
     pub fn basis(&self) -> circuit::levels::Basis {
@@ -83,8 +113,13 @@ pub struct SettingsKey {
     pub params: u64,
 }
 
+/// `params` digests are persisted in cache snapshots (see
+/// [`crate::snapshot`]), so they are computed with the crate's stable
+/// [`crate::fnv`] hash — std's `DefaultHasher` is explicitly unstable
+/// across Rust releases and would silently turn every warm start cold
+/// after a toolchain upgrade.
 fn hash_params(h: impl Hash) -> u64 {
-    let mut hasher = DefaultHasher::new();
+    let mut hasher = crate::fnv::Fnv1a64::new();
     h.hash(&mut hasher);
     hasher.finish()
 }
@@ -282,6 +317,22 @@ mod tests {
             assert_eq!(BackendKind::parse(k.label()), Some(k));
         }
         assert_eq!(BackendKind::parse("qiskit"), None);
+    }
+
+    #[test]
+    fn wire_codes_roundtrip_and_are_stable() {
+        // Snapshot compatibility: these exact values are on disk.
+        assert_eq!(BackendKind::Trasyn.code(), 0);
+        assert_eq!(BackendKind::Gridsynth.code(), 1);
+        assert_eq!(BackendKind::Annealing.code(), 2);
+        for k in [
+            BackendKind::Trasyn,
+            BackendKind::Gridsynth,
+            BackendKind::Annealing,
+        ] {
+            assert_eq!(BackendKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(BackendKind::from_code(200), None);
     }
 
     #[test]

@@ -90,6 +90,40 @@ pub struct ItemReport {
     pub wall_ms: f64,
 }
 
+impl ItemReport {
+    /// Serializes this item as a single-line JSON object — the one item
+    /// shape used by [`BatchReport::to_json`], the server's
+    /// `/v1/compile` response, and `trasyn-compile`. With `include_qasm`,
+    /// the compiled circuit is appended as a `"qasm"` string (clients use
+    /// it to verify bit-identity across surfaces).
+    pub fn to_json(&self, include_qasm: bool) -> String {
+        let mut s = format!(
+            "{{\"name\": {}, \"backend\": {}, \"epsilon\": {}, \"n_qubits\": {}, \
+             \"rotations\": {}, \"distinct_rotations\": {}, \"t_count\": {}, \
+             \"clifford_count\": {}, \"total_error\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"wall_ms\": {}",
+            json_string(&self.name),
+            json_string(self.backend.label()),
+            fmt_f64(self.epsilon),
+            self.n_qubits,
+            self.synthesized.rotations,
+            self.synthesized.distinct_rotations,
+            self.t_count,
+            self.clifford_count,
+            fmt_f64(self.synthesized.total_error),
+            self.cache_hits,
+            self.cache_misses,
+            fmt_f64(self.wall_ms),
+        );
+        if include_qasm {
+            s.push_str(", \"qasm\": ");
+            s.push_str(&json_string(&circuit::qasm::to_qasm(&self.synthesized.circuit)));
+        }
+        s.push('}');
+        s
+    }
+}
+
 /// Aggregate outcome of a [`BatchRequest`].
 #[derive(Clone, Debug)]
 pub struct BatchReport {
@@ -132,30 +166,9 @@ impl BatchReport {
         push_kv(&mut s, 2, "entries", &self.cache.entries.to_string(), false);
         s.push_str("  },\n  \"items\": [\n");
         for (i, it) in self.items.iter().enumerate() {
-            s.push_str("    {\n");
-            push_kv(&mut s, 3, "name", &json_string(&it.name), true);
-            push_kv(&mut s, 3, "backend", &json_string(it.backend.label()), true);
-            push_kv(&mut s, 3, "epsilon", &fmt_f64(it.epsilon), true);
-            push_kv(&mut s, 3, "n_qubits", &it.n_qubits.to_string(), true);
-            push_kv(&mut s, 3, "rotations", &it.synthesized.rotations.to_string(), true);
-            push_kv(
-                &mut s,
-                3,
-                "distinct_rotations",
-                &it.synthesized.distinct_rotations.to_string(),
-                true,
-            );
-            push_kv(&mut s, 3, "t_count", &it.t_count.to_string(), true);
-            push_kv(&mut s, 3, "clifford_count", &it.clifford_count.to_string(), true);
-            push_kv(&mut s, 3, "total_error", &fmt_f64(it.synthesized.total_error), true);
-            push_kv(&mut s, 3, "cache_hits", &it.cache_hits.to_string(), true);
-            push_kv(&mut s, 3, "cache_misses", &it.cache_misses.to_string(), true);
-            push_kv(&mut s, 3, "wall_ms", &fmt_f64(it.wall_ms), false);
-            s.push_str(if i + 1 == self.items.len() {
-                "    }\n"
-            } else {
-                "    },\n"
-            });
+            s.push_str("    ");
+            s.push_str(&it.to_json(false));
+            s.push_str(if i + 1 == self.items.len() { "\n" } else { ",\n" });
         }
         s.push_str("  ]\n}\n");
         s
@@ -176,8 +189,10 @@ fn push_kv(s: &mut String, indent: usize, key: &str, value: &str, comma: bool) {
     s.push('\n');
 }
 
-/// JSON has no Infinity/NaN literals; clamp them to null.
-fn fmt_f64(x: f64) -> String {
+/// Formats an `f64` as a JSON number; JSON has no Infinity/NaN literals,
+/// so non-finite values become `null`. Shared by every JSON writer in
+/// the workspace (batch reports, [`crate::EngineStats`], the server).
+pub fn fmt_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -185,7 +200,9 @@ fn fmt_f64(x: f64) -> String {
     }
 }
 
-fn json_string(raw: &str) -> String {
+/// Escapes `raw` as a JSON string literal, quotes included. The one
+/// string-escaping routine shared by every JSON writer in the workspace.
+pub fn json_string(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len() + 2);
     out.push('"');
     for c in raw.chars() {

@@ -14,6 +14,10 @@
 //!   --no-transpile         synthesize rotations as-is, skip basis lowering
 //!   --emit-qasm DIR        write each compiled circuit as DIR/<name>.qasm
 //!   --out FILE             write the JSON report to FILE (default stdout)
+//!   --cache-file FILE      warm-start the cache from FILE if present and
+//!                          save the (possibly grown) cache back on exit;
+//!                          a corrupt or version-mismatched file is
+//!                          reported and ignored (cold start)
 //! ```
 //!
 //! Exit codes: 0 success (including `--help`), 1 input/compile failure,
@@ -37,12 +41,13 @@ struct Options {
     transpile: bool,
     emit_qasm: Option<PathBuf>,
     out: Option<PathBuf>,
+    cache_file: Option<PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: trasyn-compile [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
      [--threads N] [--cache-capacity N] [--samples N] [--max-t N] [--no-transpile] \
-     [--emit-qasm DIR] [--out FILE] <FILE.qasm>..."
+     [--emit-qasm DIR] [--out FILE] [--cache-file FILE] <FILE.qasm>..."
 }
 
 /// `Ok(None)` means `--help` was requested: print usage, exit 0.
@@ -58,6 +63,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         transpile: true,
         emit_qasm: None,
         out: None,
+        cache_file: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -100,6 +106,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--no-transpile" => opts.transpile = false,
             "--emit-qasm" => opts.emit_qasm = Some(PathBuf::from(value("--emit-qasm")?)),
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
             "--help" | "-h" => return Ok(None),
             other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
             file => opts.files.push(PathBuf::from(file)),
@@ -108,8 +115,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     if opts.files.is_empty() {
         return Err("no input files".to_string());
     }
-    if !(opts.epsilon.is_finite() && opts.epsilon > 0.0) {
-        return Err("--epsilon must be a positive number".to_string());
+    if !(engine::MIN_EPSILON..=engine::MAX_EPSILON).contains(&opts.epsilon) {
+        return Err(format!(
+            "--epsilon must be in [{}, {}]",
+            engine::MIN_EPSILON,
+            engine::MAX_EPSILON
+        ));
     }
     Ok(Some(opts))
 }
@@ -161,6 +172,21 @@ fn main() -> ExitCode {
         builder = builder.backend(TrasynBackend::with_table(opts.max_t, opts.samples));
     }
     let eng = builder.build();
+
+    if let Some(path) = &opts.cache_file {
+        match engine::snapshot::warm_from_file(eng.cache(), path) {
+            engine::WarmStart::Loaded(n) => {
+                eprintln!("[trasyn-compile] warm start: {n} cache entries from {}", path.display());
+            }
+            engine::WarmStart::Absent => {}
+            engine::WarmStart::Rejected(e) => {
+                eprintln!(
+                    "[trasyn-compile] warning: ignoring cache file {}: {e} (cold start)",
+                    path.display()
+                );
+            }
+        }
+    }
 
     let mut req = BatchRequest::new();
     let mut used_names = std::collections::HashSet::new();
@@ -217,13 +243,27 @@ fn main() -> ExitCode {
         }
         None => print!("{json}"),
     }
+
+    if let Some(path) = &opts.cache_file {
+        match engine::snapshot::save_to_file(eng.cache(), path) {
+            Ok(n) => eprintln!(
+                "[trasyn-compile] saved {n} cache entries to {}",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write cache file {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+        }
+    }
+
     eprintln!(
-        "[trasyn-compile] {} circuit(s), {} threads: {} cache hits, {} misses, total T count {}",
+        "[trasyn-compile] {} circuit(s): {} batch hits, {} misses, total T count {} | {}",
         report.items.len(),
-        report.threads,
         report.cache_hits,
         report.cache_misses,
-        report.total_t_count
+        report.total_t_count,
+        eng.stats(),
     );
     ExitCode::SUCCESS
 }

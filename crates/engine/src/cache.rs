@@ -210,6 +210,41 @@ impl SynthCache {
         self.len() == 0
     }
 
+    /// Exports every resident entry, shard by shard, each shard in
+    /// insertion (FIFO) order. This is the snapshot serialization order
+    /// (see [`crate::snapshot`]); it is deterministic for a fixed
+    /// insertion history.
+    pub fn export_entries(&self) -> Vec<(CacheKey, CachedSynthesis)> {
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            let s = s.lock().expect("cache shard poisoned");
+            for key in &s.order {
+                if let Some(v) = s.map.get(key) {
+                    out.push((*key, v.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inserts a restored entry without touching the hit/miss/insertion
+    /// counters, so that after a warm start the statistics reflect only
+    /// live traffic. The capacity bound still holds (oldest entries are
+    /// evicted silently); a key already resident is left as-is.
+    pub fn load_entry(&self, key: CacheKey, value: CachedSynthesis) {
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if shard.map.contains_key(&key) {
+            return;
+        }
+        if shard.map.len() >= self.per_shard_capacity {
+            if let Some(oldest) = shard.order.pop_front() {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(key, value);
+        shard.order.push_back(key);
+    }
+
     /// Drops every entry. Counters are preserved.
     pub fn clear(&self) {
         for s in &self.shards {

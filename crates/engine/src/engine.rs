@@ -22,6 +22,7 @@ use crate::backend::{BackendKind, SettingsKey, Synthesizer};
 use crate::batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
 use crate::cache::{CacheKey, SynthCache};
 use crate::pool::WorkerPool;
+use crate::stats::EngineStats;
 use circuit::levels::best_for_basis;
 use circuit::metrics::{clifford_count, t_count};
 use circuit::synthesize::{
@@ -193,6 +194,18 @@ impl Engine {
     /// Backends this engine hosts.
     pub fn backends(&self) -> Vec<BackendKind> {
         self.backends.iter().map(|b| b.kind()).collect()
+    }
+
+    /// Point-in-time snapshot of the engine's counters — the shape shared
+    /// by `/metrics`, `trasyn-compile`'s summary, and tests (see
+    /// [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            threads: self.pool.threads(),
+            backends: self.backends(),
+            cache_capacity: self.cache.capacity(),
+            cache: self.cache.stats(),
+        }
     }
 
     fn backend_index(&self, kind: BackendKind) -> Result<usize, EngineError> {

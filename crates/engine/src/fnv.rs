@@ -1,0 +1,57 @@
+//! FNV-1a 64 — the one stable hash used for everything this crate
+//! persists (snapshot checksums, `SettingsKey::params` digests).
+//!
+//! std's `DefaultHasher` is explicitly unstable across Rust releases, so
+//! anything written to disk must use a fixed algorithm. Both users share
+//! this single implementation: a divergence between checksum and digest
+//! hashing would silently invalidate every snapshot on disk.
+
+use std::hash::Hasher;
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 as a [`Hasher`], for digesting `Hash` types. Primitive
+/// `Hash` impls feed native-endian bytes, so digests are stable per
+/// platform (snapshots are a same-machine cache; cross-endianness
+/// portability is not a goal).
+pub(crate) struct Fnv1a64(u64);
+
+impl Fnv1a64 {
+    pub(crate) fn new() -> Self {
+        Fnv1a64(OFFSET_BASIS)
+    }
+}
+
+impl Hasher for Fnv1a64 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a 64 over a byte slice (the snapshot checksum).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

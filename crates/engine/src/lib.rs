@@ -24,6 +24,13 @@
 //! * [`batch`] — [`batch::BatchRequest`] / [`batch::BatchReport`]: per-item
 //!   epsilon and backend choice, aggregate error/T-count/timing/cache
 //!   stats, JSON serialization.
+//! * [`snapshot`] — versioned, checksummed binary snapshots of the cache
+//!   for warm starts (`--cache-file` in the CLI, the server's persistent
+//!   cache); corrupt or mismatched files degrade to a cold cache, never a
+//!   panic or a wrong entry.
+//! * [`stats::EngineStats`] — one stable counters shape (Display + JSON)
+//!   shared by the server's `/metrics`, `trasyn-compile`'s summary, and
+//!   tests.
 //! * [`engine::Engine`] — the façade tying the above together, plus the
 //!   `trasyn-compile` binary (`src/bin/trasyn_compile.rs`) that feeds it
 //!   OpenQASM.
@@ -66,13 +73,18 @@ pub mod backend;
 pub mod batch;
 pub mod cache;
 pub mod engine;
+mod fnv;
 pub mod pool;
+pub mod snapshot;
+pub mod stats;
 
 pub use backend::{
     rz_angle_of, AnnealingBackend, BackendKind, GridsynthBackend, SettingsKey, Synthesizer,
-    TrasynBackend,
+    TrasynBackend, MAX_EPSILON, MIN_EPSILON,
 };
 pub use batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
 pub use cache::{CacheKey, CacheStats, SynthCache};
 pub use engine::{Engine, EngineBuilder, EngineError};
 pub use pool::WorkerPool;
+pub use snapshot::{SnapshotError, WarmStart};
+pub use stats::EngineStats;

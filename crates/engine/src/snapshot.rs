@@ -1,0 +1,481 @@
+//! Versioned binary snapshots of the [`SynthCache`] — the warm-start
+//! format shared by `trasyn-server` and `trasyn-compile --cache-file`.
+//!
+//! A snapshot captures every resident cache entry so a later process can
+//! answer previously-seen rotations without a synthesis call. Counters
+//! (hits/misses/…) are *not* persisted: after a warm start they reflect
+//! only the new process's traffic, which is what `/metrics` wants.
+//!
+//! # Format (version 1)
+//!
+//! All integers little-endian. The file is:
+//!
+//! ```text
+//! magic      4  b"TSC1"           (format identifier, never changes)
+//! version    4  u32               (currently 1)
+//! count      8  u64               (number of entries)
+//! entry[count]:
+//!   unitary  64 8 × i64           (quantize_unitary key)
+//!   backend  1  u8                (BackendKind::code)
+//!   eps_bits 8  u64               (f64::to_bits of epsilon)
+//!   params   8  u64               (SettingsKey::params digest)
+//!   error    8  u64               (f64::to_bits of achieved error)
+//!   seq_len  4  u32               (gate count)
+//!   gates    seq_len × u8         (gate codes, leftmost factor first)
+//! checksum   8  u64               (FNV-1a 64 of every preceding byte)
+//! ```
+//!
+//! # Version/compat guarantees
+//!
+//! * The 4-byte magic identifies the file family forever; a file without
+//!   it is rejected as [`SnapshotError::BadMagic`].
+//! * `version` is bumped on **any** layout change; a reader only accepts
+//!   its own version ([`SnapshotError::VersionMismatch`] otherwise). There
+//!   is no cross-version migration — a snapshot is a cache, so the correct
+//!   response to a version mismatch is a cold start, never a parse guess.
+//! * Backend and gate codes are append-only (see [`BackendKind::code`]):
+//!   a code's meaning never changes within a version. An entry with an
+//!   unknown code fails the whole load — by the append-only rule it can
+//!   only come from a *newer* writer, so the version check should have
+//!   caught it, and trusting the rest of the file would be guessing.
+//! * Every load verifies the trailing checksum before parsing a single
+//!   entry, so truncation and bit corruption surface as
+//!   [`SnapshotError::Corrupt`] rather than as garbage cache entries.
+//!
+//! Callers that want "warm if possible, cold otherwise" semantics (the
+//! server, the CLI) use [`warm_from_file`], which maps the entire error
+//! space onto a loggable [`WarmStart`] and never panics.
+
+use crate::backend::BackendKind;
+use crate::cache::{CacheKey, SynthCache};
+// The checksum hash: the crate's stable FNV-1a 64, shared with the
+// persisted params digests. Guards against truncation and accidental
+// corruption, not adversaries.
+use crate::fnv::fnv1a64;
+use crate::SettingsKey;
+use circuit::synthesize::CachedSynthesis;
+use gates::{Gate, GateSeq};
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// First four bytes of every snapshot file.
+pub const MAGIC: [u8; 4] = *b"TSC1";
+
+/// The format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read at all.
+    Io(std::io::Error),
+    /// The magic bytes are wrong — not a snapshot file.
+    BadMagic,
+    /// The file is a snapshot, but of a different format version.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        expected: u32,
+    },
+    /// Truncated, checksum-failed, or internally inconsistent payload.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "cannot read snapshot: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a cache snapshot (bad magic)"),
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found} unsupported (this build reads {expected})")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Stable one-byte gate codes (append-only, like [`BackendKind::code`]).
+fn gate_code(g: Gate) -> u8 {
+    match g {
+        Gate::H => 0,
+        Gate::S => 1,
+        Gate::Sdg => 2,
+        Gate::T => 3,
+        Gate::Tdg => 4,
+        Gate::X => 5,
+        Gate::Y => 6,
+        Gate::Z => 7,
+    }
+}
+
+fn gate_from_code(c: u8) -> Option<Gate> {
+    Some(match c {
+        0 => Gate::H,
+        1 => Gate::S,
+        2 => Gate::Sdg,
+        3 => Gate::T,
+        4 => Gate::Tdg,
+        5 => Gate::X,
+        6 => Gate::Y,
+        7 => Gate::Z,
+        _ => return None,
+    })
+}
+
+
+/// Serializes every resident entry of `cache` into snapshot bytes.
+pub fn encode(cache: &SynthCache) -> Vec<u8> {
+    encode_entries(&cache.export_entries())
+}
+
+/// [`encode`] over an explicit entry list (exposed for tests that build
+/// pathological snapshots).
+pub fn encode_entries(entries: &[(CacheKey, CachedSynthesis)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + entries.len() * 128);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (key, value) in entries {
+        for w in &key.unitary {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.push(key.settings.backend.code());
+        out.extend_from_slice(&key.settings.eps_bits.to_le_bytes());
+        out.extend_from_slice(&key.settings.params.to_le_bytes());
+        let (seq, error) = (&value.0, value.1);
+        out.extend_from_slice(&error.to_bits().to_le_bytes());
+        out.extend_from_slice(&(seq.len() as u32).to_le_bytes());
+        out.extend(seq.gates().iter().map(|&g| gate_code(g)));
+    }
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// A bounds-checked little-endian reader over the payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(SnapshotError::Corrupt("entry runs past end of payload"))?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Parses snapshot bytes back into cache entries. Verifies magic, version,
+/// and checksum before trusting any entry.
+pub fn decode(bytes: &[u8]) -> Result<Vec<(CacheKey, CachedSynthesis)>, SnapshotError> {
+    // Header (12) + checksum (8) is the smallest well-formed file.
+    if bytes.len() < MAGIC.len() + 4 + 8 + 8 {
+        return Err(SnapshotError::Corrupt("shorter than header + checksum"));
+    }
+    if bytes[..4] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let (payload, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+    if fnv1a64(payload) != stored {
+        return Err(SnapshotError::Corrupt("checksum mismatch"));
+    }
+    let mut r = Reader {
+        bytes: payload,
+        pos: 4,
+    };
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(SnapshotError::VersionMismatch {
+            found: version,
+            expected: VERSION,
+        });
+    }
+    let count = r.u64()?;
+    // Reject absurd counts before allocating: an entry with an empty gate
+    // sequence is still unitary (64) + backend (1) + eps_bits (8) +
+    // params (8) + error (8) + seq_len (4) bytes.
+    const MIN_ENTRY_BYTES: u64 = 64 + 1 + 8 + 8 + 8 + 4;
+    if count > (payload.len() as u64) / MIN_ENTRY_BYTES {
+        return Err(SnapshotError::Corrupt("entry count exceeds payload size"));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let mut unitary = [0i64; 8];
+        for w in &mut unitary {
+            *w = r.i64()?;
+        }
+        let backend = BackendKind::from_code(r.u8()?)
+            .ok_or(SnapshotError::Corrupt("unknown backend code"))?;
+        let eps_bits = r.u64()?;
+        let params = r.u64()?;
+        let error = f64::from_bits(r.u64()?);
+        let seq_len = r.u32()? as usize;
+        let mut seq = GateSeq::new();
+        for &c in r.take(seq_len)? {
+            seq.push(gate_from_code(c).ok_or(SnapshotError::Corrupt("unknown gate code"))?);
+        }
+        entries.push((
+            CacheKey {
+                unitary,
+                settings: SettingsKey {
+                    backend,
+                    eps_bits,
+                    params,
+                },
+            },
+            Arc::new((seq, error)),
+        ));
+    }
+    if r.pos != payload.len() {
+        return Err(SnapshotError::Corrupt("trailing bytes after last entry"));
+    }
+    Ok(entries)
+}
+
+/// Writes a snapshot of `cache` to `path` (atomically: a temp file in the
+/// same directory is renamed over the target, so a crash mid-save never
+/// leaves a half-written snapshot where a good one was). Returns the
+/// number of entries written.
+pub fn save_to_file(cache: &SynthCache, path: &Path) -> std::io::Result<usize> {
+    let entries = cache.export_entries();
+    let bytes = encode_entries(&entries);
+    let tmp = path.with_extension("tmp");
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(entries.len())
+}
+
+/// Strict load: reads `path`, validates, and installs every entry into
+/// `cache` via [`SynthCache::load_entry`] (counters untouched). Returns
+/// the number of entries installed. Any failure leaves `cache` unchanged.
+pub fn load_from_file(cache: &SynthCache, path: &Path) -> Result<usize, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    let entries = decode(&bytes)?;
+    let n = entries.len();
+    for (key, value) in entries {
+        cache.load_entry(key, value);
+    }
+    Ok(n)
+}
+
+/// Outcome of a tolerant warm start.
+#[derive(Debug)]
+pub enum WarmStart {
+    /// Snapshot found and installed (`n` entries).
+    Loaded(usize),
+    /// No snapshot at that path — a normal first boot.
+    Absent,
+    /// A file was there but could not be used; the cache stays cold.
+    Rejected(SnapshotError),
+}
+
+/// Corrupt-file-tolerant warm start: a missing file is a normal cold
+/// boot, an unreadable/corrupt/mismatched file is reported but never
+/// panics or half-loads. Callers log [`WarmStart::Rejected`] and carry on.
+pub fn warm_from_file(cache: &SynthCache, path: &Path) -> WarmStart {
+    match load_from_file(cache, path) {
+        Ok(n) => WarmStart::Loaded(n),
+        Err(SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => WarmStart::Absent,
+        Err(e) => WarmStart::Rejected(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: i64, eps_bits: u64) -> CacheKey {
+        CacheKey {
+            unitary: [i, -i, 2 * i, 0, 1, i, -7, i],
+            settings: SettingsKey {
+                backend: BackendKind::Gridsynth,
+                eps_bits,
+                params: 99,
+            },
+        }
+    }
+
+    fn value(gates: &[Gate], err: f64) -> CachedSynthesis {
+        Arc::new((gates.iter().copied().collect(), err))
+    }
+
+    fn sample_cache() -> SynthCache {
+        let c = SynthCache::with_shards(64, 4);
+        c.insert(key(1, 10), value(&[Gate::H, Gate::T, Gate::Sdg], 0.01));
+        c.insert(key(2, 10), value(&[], 0.0));
+        c.insert(key(3, 20), value(&[Gate::Tdg; 17], 0.125));
+        c
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let c = sample_cache();
+        let entries = decode(&encode(&c)).expect("own snapshot decodes");
+        assert_eq!(entries.len(), 3);
+        let restored = SynthCache::new(64);
+        for (k, v) in entries {
+            restored.load_entry(k, v);
+        }
+        for k in [key(1, 10), key(2, 10), key(3, 20)] {
+            let a = c.get(&k).expect("original");
+            let b = restored.get(&k).expect("restored");
+            assert_eq!(a.0, b.0, "gate sequence survives bit-exactly");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "error survives bit-exactly");
+        }
+    }
+
+    #[test]
+    fn load_does_not_touch_counters() {
+        let c = sample_cache();
+        let snap = encode(&c);
+        let fresh = SynthCache::new(64);
+        for (k, v) in decode(&snap).unwrap() {
+            fresh.load_entry(k, v);
+        }
+        let s = fresh.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (0, 0, 0));
+        assert_eq!(s.entries, 3);
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let full = encode(&sample_cache());
+        for n in 0..full.len() {
+            let err = decode(&full[..n]).expect_err("truncated snapshot must fail");
+            assert!(
+                matches!(err, SnapshotError::Corrupt(_) | SnapshotError::BadMagic),
+                "truncation to {n} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected() {
+        let full = encode(&sample_cache());
+        // Flip a byte in the middle of the payload and in the checksum.
+        for pos in [MAGIC.len() + 2, full.len() / 2, full.len() - 1] {
+            let mut bad = full.clone();
+            bad[pos] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at {pos} must be caught");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_explicit() {
+        let mut snap = encode(&sample_cache());
+        snap[4..8].copy_from_slice(&7u32.to_le_bytes());
+        // Re-seal so only the version is wrong, not the checksum.
+        let len = snap.len();
+        let sum = fnv1a64(&snap[..len - 8]);
+        snap[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        match decode(&snap) {
+            Err(SnapshotError::VersionMismatch { found: 7, expected }) => {
+                assert_eq!(expected, VERSION)
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        assert!(matches!(
+            decode(b"OPENQASM 2.0; // definitely not a snapshot"),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(decode(b"").is_err());
+    }
+
+    #[test]
+    fn empty_cache_roundtrips() {
+        let c = SynthCache::new(8);
+        assert_eq!(decode(&encode(&c)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn many_minimal_entries_roundtrip() {
+        // Exact rotations synthesize to empty/near-empty sequences (rz(0)
+        // is the identity), so a realistic snapshot can be dominated by
+        // minimum-size entries — the count sanity bound must accept it.
+        let c = SynthCache::new(64);
+        for i in 0..20 {
+            c.insert(key(i, 1), value(&[], 0.0));
+        }
+        assert_eq!(decode(&encode(&c)).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn file_roundtrip_and_tolerant_warm_start() {
+        let dir = std::env::temp_dir().join(format!("trasyn-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+
+        let c = sample_cache();
+        assert_eq!(save_to_file(&c, &path).unwrap(), 3);
+        let warm = SynthCache::new(64);
+        assert!(matches!(warm_from_file(&warm, &path), WarmStart::Loaded(3)));
+        assert_eq!(warm.len(), 3);
+
+        // Missing file: Absent, cache untouched.
+        let cold = SynthCache::new(64);
+        assert!(matches!(
+            warm_from_file(&cold, &dir.join("nope.snap")),
+            WarmStart::Absent
+        ));
+        assert!(cold.is_empty());
+
+        // Corrupt file: Rejected, cache untouched, no panic.
+        std::fs::write(&path, b"TSC1garbage").unwrap();
+        let cold = SynthCache::new(64);
+        assert!(matches!(
+            warm_from_file(&cold, &path),
+            WarmStart::Rejected(_)
+        ));
+        assert!(cold.is_empty());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,142 @@
+//! A stable, serializable snapshot of an [`crate::Engine`]'s counters.
+//!
+//! [`EngineStats`] is the one shape every surface reports engine state
+//! in: the server's `/metrics` endpoint, `trasyn-compile`'s end-of-run
+//! summary, and tests all read the same fields, so a counter means the
+//! same thing everywhere.
+
+use crate::backend::BackendKind;
+use crate::batch::{fmt_f64, json_string};
+use crate::cache::CacheStats;
+use std::fmt;
+
+/// Point-in-time engine counters: pool shape, hosted backends, and the
+/// shared cache's statistics.
+///
+/// The [`fmt::Display`] form is a stable single line (machine-grepable,
+/// human-readable); [`EngineStats::to_json`] is a stable JSON object.
+/// Fields are append-only across versions: existing keys keep their
+/// meaning, new counters get new keys.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineStats {
+    /// Worker threads in the synthesis pool.
+    pub threads: usize,
+    /// Backends the engine hosts, in registration order.
+    pub backends: Vec<BackendKind>,
+    /// Configured cache capacity in entries (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Shared-cache counters.
+    pub cache: CacheStats,
+}
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
+
+    /// Serializes as a JSON object:
+    ///
+    /// ```json
+    /// {"threads": 2, "backends": ["gridsynth"], "cache_capacity": 4096,
+    ///  "cache": {"hits": 9, "misses": 3, "insertions": 3, "evictions": 0,
+    ///            "entries": 3, "hit_rate": 0.75}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let backends: Vec<String> = self
+            .backends
+            .iter()
+            .map(|b| json_string(b.label()))
+            .collect();
+        format!(
+            "{{\"threads\": {}, \"backends\": [{}], \"cache_capacity\": {}, \
+             \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \
+             \"evictions\": {}, \"entries\": {}, \"hit_rate\": {}}}}}",
+            self.threads,
+            backends.join(", "),
+            self.cache_capacity,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.insertions,
+            self.cache.evictions,
+            self.cache.entries,
+            fmt_f64(self.hit_rate()),
+        )
+    }
+}
+
+impl fmt::Display for EngineStats {
+    /// One stable line, e.g.
+    /// `threads=2 backends=gridsynth cache entries=3/4096 hits=9 misses=3 evictions=0 hit_rate=75.0%`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let backends: Vec<&str> = self.backends.iter().map(|b| b.label()).collect();
+        write!(
+            f,
+            "threads={} backends={} cache entries={}/{} hits={} misses={} evictions={} hit_rate={:.1}%",
+            self.threads,
+            if backends.is_empty() { "none".to_string() } else { backends.join("+") },
+            self.cache.entries,
+            if self.cache_capacity == 0 { "unbounded".to_string() } else { self.cache_capacity.to_string() },
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            100.0 * self.hit_rate(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineStats {
+        EngineStats {
+            threads: 2,
+            backends: vec![BackendKind::Gridsynth, BackendKind::Trasyn],
+            cache_capacity: 4096,
+            cache: CacheStats {
+                hits: 9,
+                misses: 3,
+                insertions: 3,
+                evictions: 0,
+                entries: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn display_shape_is_stable() {
+        assert_eq!(
+            sample().to_string(),
+            "threads=2 backends=gridsynth+trasyn cache entries=3/4096 \
+             hits=9 misses=3 evictions=0 hit_rate=75.0%"
+        );
+        let mut unbounded = sample();
+        unbounded.cache_capacity = 0;
+        assert!(unbounded.to_string().contains("entries=3/unbounded"));
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let j = sample().to_json();
+        assert_eq!(
+            j,
+            "{\"threads\": 2, \"backends\": [\"gridsynth\", \"trasyn\"], \
+             \"cache_capacity\": 4096, \"cache\": {\"hits\": 9, \"misses\": 3, \
+             \"insertions\": 3, \"evictions\": 0, \"entries\": 3, \"hit_rate\": 0.75}}"
+        );
+    }
+
+    #[test]
+    fn hit_rate_handles_zero_lookups() {
+        let mut s = sample();
+        s.cache.hits = 0;
+        s.cache.misses = 0;
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,419 @@
+//! `trasyn-loadgen` — a closed-loop load generator for `trasyn-server`.
+//!
+//! Each connection thread plays one synchronous client: sample a request
+//! from a [`workloads::requests::RequestMix`], send it, wait for the
+//! response, repeat — so offered load adapts to server latency instead of
+//! piling up (closed-loop, the right model for a compile service called
+//! by build pipelines). At the end it prints a latency/throughput report
+//! and the server's cache hit rate from `/metrics`, giving every future
+//! serving-perf PR the same repeatable benchmark.
+//!
+//! ```text
+//! trasyn-loadgen --addr HOST:PORT [OPTIONS]
+//!
+//! options:
+//!   --connections N       concurrent closed-loop connections (default 4)
+//!   --duration-secs S     run length (default 5; ignored with --requests)
+//!   --requests N          stop after N total requests instead of a duration
+//!   --mix rz|circuits|mixed   request population (default rz)
+//!   --angle-pool N        distinct rotation angles in circulation (default 32)
+//!   --epsilon EPS         per-rotation error threshold (default 1e-2)
+//!   --backend NAME        synthesizer backend (default gridsynth)
+//!   --seed N              request-stream seed (default 1)
+//!   --smoke               instead of a load run: one compile + one batch +
+//!                         a /metrics well-formedness check, then exit
+//!   --fail-on-error       exit 1 if any request got a non-200 response
+//! ```
+//!
+//! Exit codes: 0 success, 1 request/transport failures (under
+//! `--fail-on-error` or `--smoke`), 2 usage error.
+
+use engine::BackendKind;
+use server::client::Conn;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use workloads::requests::{MixKind, RequestMix, RequestPayload};
+
+struct Options {
+    addr: String,
+    connections: usize,
+    duration: Duration,
+    requests: Option<u64>,
+    mix: MixKind,
+    angle_pool: usize,
+    epsilon: f64,
+    backend: BackendKind,
+    seed: u64,
+    smoke: bool,
+    fail_on_error: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: trasyn-loadgen --addr HOST:PORT [--connections N] [--duration-secs S] \
+     [--requests N] [--mix rz|circuits|mixed] [--angle-pool N] [--epsilon EPS] \
+     [--backend trasyn|gridsynth|annealing] [--seed N] [--smoke] [--fail-on-error]"
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        addr: String::new(),
+        connections: 4,
+        duration: Duration::from_secs(5),
+        requests: None,
+        mix: MixKind::Rz,
+        angle_pool: 32,
+        epsilon: 1e-2,
+        backend: BackendKind::Gridsynth,
+        seed: 1,
+        smoke: false,
+        fail_on_error: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--connections" => {
+                opts.connections = value("--connections")?
+                    .parse()
+                    .map_err(|_| "--connections needs an integer".to_string())?;
+            }
+            "--duration-secs" => {
+                let s: f64 = value("--duration-secs")?
+                    .parse()
+                    .map_err(|_| "--duration-secs needs a number".to_string())?;
+                if !(s.is_finite() && s > 0.0) {
+                    return Err("--duration-secs must be positive".to_string());
+                }
+                opts.duration = Duration::from_secs_f64(s);
+            }
+            "--requests" => {
+                opts.requests = Some(
+                    value("--requests")?
+                        .parse()
+                        .map_err(|_| "--requests needs an integer".to_string())?,
+                );
+            }
+            "--mix" => {
+                let v = value("--mix")?;
+                opts.mix = MixKind::parse(&v).ok_or_else(|| format!("unknown mix '{v}'"))?;
+            }
+            "--angle-pool" => {
+                opts.angle_pool = value("--angle-pool")?
+                    .parse()
+                    .map_err(|_| "--angle-pool needs an integer".to_string())?;
+            }
+            "--epsilon" => {
+                opts.epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|_| "--epsilon needs a number".to_string())?;
+            }
+            "--backend" => {
+                let v = value("--backend")?;
+                opts.backend =
+                    BackendKind::parse(&v).ok_or_else(|| format!("unknown backend '{v}'"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs an integer".to_string())?;
+            }
+            "--smoke" => opts.smoke = true,
+            "--fail-on-error" => opts.fail_on_error = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if opts.addr.is_empty() {
+        return Err("--addr is required".to_string());
+    }
+    if opts.connections == 0 {
+        return Err("--connections must be at least 1".to_string());
+    }
+    if !(server::routes::MIN_EPSILON..=server::routes::MAX_EPSILON).contains(&opts.epsilon) {
+        return Err(format!(
+            "--epsilon must be in [{}, {}]",
+            server::routes::MIN_EPSILON,
+            server::routes::MAX_EPSILON
+        ));
+    }
+    Ok(Some(opts))
+}
+
+/// The JSON body for one sampled request.
+fn body_of(req: &workloads::requests::SampledRequest, opts: &Options) -> String {
+    let common = format!(
+        "\"epsilon\": {}, \"backend\": \"{}\", \"name\": {}",
+        opts.epsilon,
+        opts.backend.label(),
+        server::json::escape(&req.name),
+    );
+    match &req.payload {
+        RequestPayload::Rz(theta) => format!("{{\"rz\": {theta}, {common}}}"),
+        RequestPayload::Circuit(c) => format!(
+            "{{\"qasm\": {}, {common}}}",
+            server::json::escape(&circuit::qasm::to_qasm(c))
+        ),
+    }
+}
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Pulls `trasyn_<name> <value>` out of a /metrics body.
+fn metric(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l[name.len() + 1..].trim().parse().ok())
+}
+
+struct WorkerReport {
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    transport_errors: u64,
+}
+
+fn worker(id: usize, opts: &Options, deadline: Instant, remaining: &AtomicU64, stop: &AtomicBool) -> WorkerReport {
+    let mut mix = RequestMix::new(opts.mix, opts.angle_pool, opts.seed.wrapping_add(id as u64));
+    let mut report = WorkerReport {
+        latencies_ms: Vec::new(),
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        transport_errors: 0,
+    };
+    let mut conn: Option<Conn> = None;
+    loop {
+        if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
+            break;
+        }
+        // Connect (or reconnect) before taking a budget unit, so failed
+        // connects don't silently burn the --requests budget.
+        let c = match conn.as_mut() {
+            Some(c) => c,
+            None => match Conn::connect(&opts.addr, CLIENT_TIMEOUT) {
+                Ok(c) => conn.insert(c),
+                Err(_) => {
+                    report.transport_errors += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            },
+        };
+        // Global request budget (u64::MAX when unlimited): CAS so the
+        // worker pool sends exactly the requested count.
+        let mut budget = remaining.load(Ordering::Relaxed);
+        let took = loop {
+            if budget == 0 {
+                break false;
+            }
+            match remaining.compare_exchange_weak(
+                budget,
+                budget - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break true,
+                Err(cur) => budget = cur,
+            }
+        };
+        if !took {
+            stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        let body = body_of(&mix.sample(), opts);
+        let t0 = Instant::now();
+        match c.request("POST", "/v1/compile", Some(&body)) {
+            Ok(resp) => {
+                report.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                match resp.status {
+                    200 => report.ok += 1,
+                    429 => report.rejected += 1,
+                    _ => report.errors += 1,
+                }
+                if !resp.keep_alive() {
+                    conn = None;
+                }
+            }
+            Err(_) => {
+                report.transport_errors += 1;
+                conn = None;
+            }
+        }
+    }
+    report
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn load_run(opts: &Options) -> ExitCode {
+    let deadline = Instant::now()
+        + if opts.requests.is_some() {
+            // Budget-driven runs still need a safety net.
+            Duration::from_secs(600)
+        } else {
+            opts.duration
+        };
+    let remaining = AtomicU64::new(opts.requests.unwrap_or(u64::MAX));
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let reports: Vec<WorkerReport> = std::thread::scope(|s| {
+        let (remaining, stop) = (&remaining, &stop);
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|i| s.spawn(move || worker(i, opts, deadline, remaining, stop)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = reports.iter().flat_map(|r| r.latencies_ms.iter().copied()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let (ok, rejected, errors, transport): (u64, u64, u64, u64) = reports.iter().fold(
+        (0, 0, 0, 0),
+        |(a, b, c, d), r| (a + r.ok, b + r.rejected, c + r.errors, d + r.transport_errors),
+    );
+    let total = ok + rejected + errors;
+
+    println!("trasyn-loadgen: {} connection(s), {:.2} s, mix={}", opts.connections, elapsed, opts.mix.label());
+    println!(
+        "  requests: {total} total — {ok} ok, {rejected} rejected (429), {errors} errors, {transport} transport failures"
+    );
+    println!("  throughput: {:.1} req/s", total as f64 / elapsed.max(1e-9));
+    println!(
+        "  latency ms: p50 {:.3}, p90 {:.3}, p99 {:.3}, max {:.3}",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0.0),
+    );
+
+    // Server-side cache view.
+    match Conn::connect(&opts.addr, CLIENT_TIMEOUT)
+        .and_then(|mut c| c.request("GET", "/metrics", None))
+    {
+        Ok(resp) if resp.status == 200 => {
+            let hits = metric(&resp.body, "trasyn_cache_hits_total").unwrap_or(0.0);
+            let misses = metric(&resp.body, "trasyn_cache_misses_total").unwrap_or(0.0);
+            let lookups = hits + misses;
+            println!(
+                "  server cache: {hits:.0} hits, {misses:.0} misses ({:.1}% hit rate)",
+                if lookups > 0.0 { 100.0 * hits / lookups } else { 0.0 }
+            );
+        }
+        _ => println!("  server cache: /metrics unavailable"),
+    }
+
+    if opts.fail_on_error && (errors > 0 || transport > 0) {
+        eprintln!("error: {errors} request error(s), {transport} transport failure(s)");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// One compile + one batch + a `/metrics` well-formedness check — the CI
+/// smoke path.
+fn smoke(opts: &Options) -> Result<(), String> {
+    let mut mix = RequestMix::new(MixKind::Mixed, opts.angle_pool, opts.seed);
+    let mut conn = Conn::connect(&opts.addr, CLIENT_TIMEOUT)
+        .map_err(|e| format!("cannot connect to {}: {e}", opts.addr))?;
+
+    // healthz
+    let resp = conn.request("GET", "/healthz", None).map_err(|e| e.to_string())?;
+    if resp.status != 200 || !resp.body.contains("\"ok\"") {
+        return Err(format!("healthz: status {} body {:?}", resp.status, resp.body));
+    }
+
+    // one single compile
+    let body = body_of(&mix.sample(), opts);
+    let resp = conn.request("POST", "/v1/compile", Some(&body)).map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("compile: status {} body {:?}", resp.status, resp.body));
+    }
+    let parsed = server::json::parse(&resp.body).map_err(|e| format!("compile response: {e}"))?;
+    for key in ["qasm", "t_count", "cache_hits", "cache_misses"] {
+        if parsed.get(key).is_none() {
+            return Err(format!("compile response missing \"{key}\""));
+        }
+    }
+
+    // one batch of two
+    let batch = format!(
+        "{{\"items\": [{}, {}]}}",
+        body_of(&mix.sample(), opts),
+        body_of(&mix.sample(), opts)
+    );
+    let resp = conn.request("POST", "/v1/batch", Some(&batch)).map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("batch: status {} body {:?}", resp.status, resp.body));
+    }
+    let parsed = server::json::parse(&resp.body).map_err(|e| format!("batch response: {e}"))?;
+    let n = parsed.get("items").and_then(|v| v.as_arr()).map(|a| a.len());
+    if n != Some(2) {
+        return Err(format!("batch response items: {n:?}, want Some(2)"));
+    }
+
+    // metrics well-formedness
+    let resp = conn.request("GET", "/metrics", None).map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("metrics: status {}", resp.status));
+    }
+    for needle in [
+        "trasyn_requests_total{endpoint=\"compile\"}",
+        "trasyn_requests_total{endpoint=\"batch\"}",
+        "trasyn_request_latency_ms_bucket{le=\"+Inf\"}",
+        "trasyn_request_latency_ms_count",
+        "trasyn_rejected_total",
+        "trasyn_queue_depth",
+        "trasyn_cache_hits_total",
+        "trasyn_cache_misses_total",
+        "trasyn_cache_entries",
+    ] {
+        if !resp.body.contains(needle) {
+            return Err(format!("metrics missing {needle:?}"));
+        }
+    }
+    let compiles = metric(&resp.body, "trasyn_requests_total{endpoint=\"compile\"}");
+    if !matches!(compiles, Some(x) if x >= 1.0) {
+        return Err(format!("metrics compile counter not incremented: {compiles:?}"));
+    }
+    println!("trasyn-loadgen: smoke ok (compile + batch + metrics)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.smoke {
+        return match smoke(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: smoke failed: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    load_run(&opts)
+}

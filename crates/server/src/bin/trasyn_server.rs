@@ -1,0 +1,254 @@
+//! `trasyn-server` — serve the compilation engine over HTTP/1.1.
+//!
+//! ```text
+//! trasyn-server [OPTIONS]
+//!
+//! options:
+//!   --addr HOST:PORT       bind address (default 127.0.0.1:8087; port 0 = ephemeral)
+//!   --addr-file FILE       write the bound address to FILE (for scripts using port 0)
+//!   --http-workers N       connection-handling threads (default 4)
+//!   --queue-depth N        bounded accept queue; overflow answers 429 (default 64)
+//!   --read-timeout-ms N    idle keep-alive read timeout (default 5000)
+//!   --threads N            synthesis worker threads per request (default 1)
+//!   --cache-capacity N     shared-cache entries, 0 = unbounded (default 65536)
+//!   --cache-file FILE      warm-start from FILE on boot, save on shutdown/signal
+//!   --backend NAME         default backend for requests (default gridsynth)
+//!   --epsilon EPS          default per-rotation error threshold (default 1e-2)
+//!   --with-trasyn          also host the trasyn backend (builds its table at boot)
+//!   --max-t N              trasyn per-tensor T budget (default 6)
+//!   --samples N            trasyn samples per pass (default 1024)
+//! ```
+//!
+//! The server runs until SIGINT/SIGTERM, then drains gracefully: the
+//! accept loop stops, queued connections are served, in-flight requests
+//! finish, and the cache snapshot is saved when `--cache-file` is set.
+//!
+//! Exit codes: 0 clean shutdown, 1 startup/save failure, 2 usage error.
+
+use engine::{AnnealingBackend, BackendKind, Engine, GridsynthBackend, TrasynBackend, WarmStart};
+use server::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Options {
+    addr: String,
+    addr_file: Option<PathBuf>,
+    http_workers: usize,
+    queue_depth: usize,
+    read_timeout_ms: u64,
+    threads: usize,
+    cache_capacity: usize,
+    cache_file: Option<PathBuf>,
+    backend: BackendKind,
+    epsilon: f64,
+    with_trasyn: bool,
+    max_t: usize,
+    samples: usize,
+}
+
+fn usage() -> &'static str {
+    "usage: trasyn-server [--addr HOST:PORT] [--addr-file FILE] [--http-workers N] \
+     [--queue-depth N] [--read-timeout-ms N] [--threads N] [--cache-capacity N] \
+     [--cache-file FILE] [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
+     [--with-trasyn] [--max-t N] [--samples N]"
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:8087".to_string(),
+        addr_file: None,
+        http_workers: 4,
+        queue_depth: 64,
+        read_timeout_ms: 5000,
+        threads: 1,
+        cache_capacity: 65536,
+        cache_file: None,
+        backend: BackendKind::Gridsynth,
+        epsilon: 1e-2,
+        with_trasyn: false,
+        max_t: 6,
+        samples: 1024,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parse_usize = |flag: &str, v: String| {
+            v.parse::<usize>()
+                .map_err(|_| format!("{flag} needs an integer"))
+        };
+        match a.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--addr-file" => opts.addr_file = Some(PathBuf::from(value("--addr-file")?)),
+            "--http-workers" => opts.http_workers = parse_usize("--http-workers", value("--http-workers")?)?,
+            "--queue-depth" => opts.queue_depth = parse_usize("--queue-depth", value("--queue-depth")?)?,
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms needs an integer".to_string())?;
+            }
+            "--threads" => opts.threads = parse_usize("--threads", value("--threads")?)?,
+            "--cache-capacity" => {
+                opts.cache_capacity = parse_usize("--cache-capacity", value("--cache-capacity")?)?
+            }
+            "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
+            "--backend" => {
+                let v = value("--backend")?;
+                opts.backend =
+                    BackendKind::parse(&v).ok_or_else(|| format!("unknown backend '{v}'"))?;
+            }
+            "--epsilon" => {
+                opts.epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|_| "--epsilon needs a number".to_string())?;
+            }
+            "--with-trasyn" => opts.with_trasyn = true,
+            "--max-t" => opts.max_t = parse_usize("--max-t", value("--max-t")?)?,
+            "--samples" => opts.samples = parse_usize("--samples", value("--samples")?)?,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if !(server::routes::MIN_EPSILON..=server::routes::MAX_EPSILON).contains(&opts.epsilon) {
+        return Err(format!(
+            "--epsilon must be in [{}, {}]",
+            server::routes::MIN_EPSILON,
+            server::routes::MAX_EPSILON
+        ));
+    }
+    if opts.http_workers == 0 {
+        return Err("--http-workers must be at least 1".to_string());
+    }
+    Ok(Some(opts))
+}
+
+/// SIGINT/SIGTERM handling without any crate dependency: `std` already
+/// links libc on every supported platform, so declaring `signal(2)` is
+/// enough. The handler only sets an atomic — everything async-signal-safe.
+#[cfg(unix)]
+mod sig {
+    use super::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut builder = Engine::builder()
+        .threads(opts.threads)
+        .cache_capacity(opts.cache_capacity)
+        .backend(GridsynthBackend::default())
+        .backend(AnnealingBackend::default());
+    if opts.with_trasyn || opts.backend == BackendKind::Trasyn {
+        eprintln!(
+            "[trasyn-server] building trasyn table (max_t = {}) ...",
+            opts.max_t
+        );
+        builder = builder.backend(TrasynBackend::with_table(opts.max_t, opts.samples));
+    }
+    let engine = Arc::new(builder.build());
+
+    let config = ServerConfig {
+        http_workers: opts.http_workers,
+        queue_depth: opts.queue_depth,
+        read_timeout: Duration::from_millis(opts.read_timeout_ms.max(1)),
+        default_epsilon: opts.epsilon,
+        default_backend: opts.backend,
+        cache_file: opts.cache_file.clone(),
+    };
+
+    let handle = match Server::start(&opts.addr, config, engine) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.addr);
+            return ExitCode::from(1);
+        }
+    };
+    match &handle.warm_start {
+        WarmStart::Loaded(n) => eprintln!("[trasyn-server] warm start: {n} cache entries"),
+        WarmStart::Absent => {}
+        WarmStart::Rejected(e) => {
+            eprintln!("[trasyn-server] warning: ignoring cache file: {e} (cold start)")
+        }
+    }
+    let addr = handle.addr();
+    if let Some(path) = &opts.addr_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(1);
+        }
+    }
+    eprintln!(
+        "[trasyn-server] listening on {addr} ({} workers, queue depth {})",
+        opts.http_workers, opts.queue_depth
+    );
+
+    sig::install();
+    while !sig::requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    eprintln!("[trasyn-server] shutting down (draining in-flight work) ...");
+    let report = handle.shutdown();
+    eprintln!(
+        "[trasyn-server] served {} requests, rejected {} (backpressure)",
+        report.requests, report.rejected
+    );
+    match report.cache_saved {
+        Some(Ok(n)) => eprintln!("[trasyn-server] saved {n} cache entries"),
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+        None => {}
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,45 @@
+//! **server** — the networked compilation service.
+//!
+//! Exposes the [`engine`] crate's concurrent compilation service over
+//! HTTP/1.1 on plain `std::net` (the workspace is std-only): any client
+//! that can speak loopback HTTP can compile rotations and OpenQASM
+//! circuits to Clifford+T and share one process-wide synthesis cache with
+//! every other client. The serving-layer concerns live here:
+//!
+//! * [`service`] — accept loop, bounded request queue with 429
+//!   backpressure, worker threads, graceful draining shutdown, and cache
+//!   snapshot persistence (warm start on boot, save on shutdown).
+//! * [`routes`] — the API: `POST /v1/compile`, `POST /v1/batch`,
+//!   `GET /healthz`, `GET /metrics`.
+//! * [`metrics`] — request/latency/queue/cache counters in Prometheus
+//!   text format, built on [`engine::EngineStats`].
+//! * [`http`] / [`json`] — minimal dependency-free HTTP/1.1 and JSON.
+//! * [`queue`] — the bounded MPMC queue behind the backpressure story.
+//! * [`client`] — a small blocking client used by `trasyn-loadgen` and
+//!   the integration tests.
+//!
+//! Two binaries ship with the crate: `trasyn-server` (the daemon) and
+//! `trasyn-loadgen` (a closed-loop load generator that drives request
+//! mixes from [`workloads::requests`] and reports latency, throughput,
+//! and cache hit rate). See the root README for endpoint examples.
+//!
+//! # Determinism
+//!
+//! The serving layer adds no nondeterminism to compilation: a
+//! `/v1/compile` response's `"qasm"` is bit-identical to what
+//! `trasyn-compile` emits for the same input and settings, at any worker
+//! count, because both are the same `Engine` call (verified by this
+//! crate's loopback tests).
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod routes;
+pub mod service;
+
+pub use client::{Conn, Response};
+pub use metrics::{Endpoint, Metrics};
+pub use queue::BoundedQueue;
+pub use service::{Server, ServerConfig, ServerHandle, ShutdownReport};

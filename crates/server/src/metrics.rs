@@ -1,0 +1,285 @@
+//! Server counters and the `/metrics` text exposition.
+//!
+//! Lock-free atomics updated on every request, rendered in the
+//! Prometheus text format (names prefixed `trasyn_`). The engine's
+//! cache/pool counters come from [`engine::EngineStats`] at render time —
+//! the same snapshot shape `trasyn-compile` prints — so the two surfaces
+//! can never disagree about what a hit is.
+
+use engine::EngineStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (milliseconds) of the latency histogram buckets; the
+/// implicit `+Inf` bucket comes after the last one. Chosen to straddle
+/// the service's realistic range: sub-millisecond cache hits up to
+/// multi-second cold trasyn syntheses.
+pub const LATENCY_BUCKETS_MS: [f64; 11] = [
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 1000.0, 10_000.0,
+];
+
+/// Request endpoints that get their own counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/compile`
+    Compile,
+    /// `POST /v1/batch`
+    Batch,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, bad methods, …).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 5] = [
+        Endpoint::Compile,
+        Endpoint::Batch,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Compile => "compile",
+            Endpoint::Batch => "batch",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Status classes that get their own counter.
+const STATUS_CODES: [u16; 7] = [200, 400, 404, 405, 413, 429, 500];
+
+/// The server's counter set. All methods take `&self`; everything is
+/// relaxed atomics (counters tolerate reorder, they only accumulate).
+pub struct Metrics {
+    requests: [AtomicU64; 5],
+    responses: [AtomicU64; STATUS_CODES.len()],
+    responses_other: AtomicU64,
+    rejected: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: Default::default(),
+            responses: Default::default(),
+            responses_other: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latency_buckets: Default::default(),
+            latency_sum_us: AtomicU64::new(0),
+            latency_count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request: endpoint, response status, wall time.
+    pub fn observe(&self, endpoint: Endpoint, status: u16, latency_ms: f64) {
+        self.count_unhandled(endpoint, status);
+        let bucket = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&ub| latency_ms <= ub)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us
+            .fetch_add((latency_ms * 1e3).max(0.0) as u64, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a response that was never *handled* (a backpressure shed):
+    /// endpoint and status counters only — no latency sample, so the
+    /// histogram and [`Metrics::request_count`] keep describing work the
+    /// server actually performed.
+    pub fn count_unhandled(&self, endpoint: Endpoint, status: u16) {
+        self.requests[endpoint.index()].fetch_add(1, Ordering::Relaxed);
+        match STATUS_CODES.iter().position(|&s| s == status) {
+            Some(i) => {
+                self.responses[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.responses_other.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records one connection shed by the bounded queue (it also gets a
+    /// 429 counted via [`Metrics::count_unhandled`] — this counter
+    /// isolates backpressure sheds from other 429 sources).
+    pub fn reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total rejected connections so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Total observed requests so far.
+    pub fn request_count(&self) -> u64 {
+        self.latency_count.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition: server counters, the
+    /// latency histogram (cumulative, as Prometheus expects), the live
+    /// queue depth, and the engine's [`EngineStats`].
+    pub fn render(&self, engine: &EngineStats, queue_depth: usize) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+
+        line("# TYPE trasyn_requests_total counter".into());
+        for e in Endpoint::ALL {
+            line(format!(
+                "trasyn_requests_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.requests[e.index()].load(Ordering::Relaxed)
+            ));
+        }
+        line("# TYPE trasyn_responses_total counter".into());
+        for (i, &s) in STATUS_CODES.iter().enumerate() {
+            line(format!(
+                "trasyn_responses_total{{status=\"{s}\"}} {}",
+                self.responses[i].load(Ordering::Relaxed)
+            ));
+        }
+        line(format!(
+            "trasyn_responses_total{{status=\"other\"}} {}",
+            self.responses_other.load(Ordering::Relaxed)
+        ));
+        line("# TYPE trasyn_rejected_total counter".into());
+        line(format!("trasyn_rejected_total {}", self.rejected()));
+
+        line("# TYPE trasyn_request_latency_ms histogram".into());
+        let mut cumulative = 0u64;
+        for (i, &ub) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            line(format!(
+                "trasyn_request_latency_ms_bucket{{le=\"{ub}\"}} {cumulative}"
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        line(format!(
+            "trasyn_request_latency_ms_bucket{{le=\"+Inf\"}} {cumulative}"
+        ));
+        line(format!(
+            "trasyn_request_latency_ms_sum {}",
+            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e3
+        ));
+        line(format!(
+            "trasyn_request_latency_ms_count {}",
+            self.latency_count.load(Ordering::Relaxed)
+        ));
+
+        line("# TYPE trasyn_queue_depth gauge".into());
+        line(format!("trasyn_queue_depth {queue_depth}"));
+
+        line("# TYPE trasyn_cache_hits_total counter".into());
+        line(format!("trasyn_cache_hits_total {}", engine.cache.hits));
+        line("# TYPE trasyn_cache_misses_total counter".into());
+        line(format!("trasyn_cache_misses_total {}", engine.cache.misses));
+        line("# TYPE trasyn_cache_insertions_total counter".into());
+        line(format!(
+            "trasyn_cache_insertions_total {}",
+            engine.cache.insertions
+        ));
+        line("# TYPE trasyn_cache_evictions_total counter".into());
+        line(format!(
+            "trasyn_cache_evictions_total {}",
+            engine.cache.evictions
+        ));
+        line("# TYPE trasyn_cache_entries gauge".into());
+        line(format!("trasyn_cache_entries {}", engine.cache.entries));
+        line("# TYPE trasyn_synthesis_threads gauge".into());
+        line(format!("trasyn_synthesis_threads {}", engine.threads));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{BackendKind, CacheStats};
+
+    fn stats() -> EngineStats {
+        EngineStats {
+            threads: 2,
+            backends: vec![BackendKind::Gridsynth],
+            cache_capacity: 64,
+            cache: CacheStats {
+                hits: 5,
+                misses: 2,
+                insertions: 2,
+                evictions: 1,
+                entries: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn observe_rolls_up_into_render() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Compile, 200, 0.3);
+        m.observe(Endpoint::Compile, 200, 3.0);
+        m.observe(Endpoint::Batch, 400, 30.0);
+        m.observe(Endpoint::Other, 404, 0.1);
+        m.reject();
+        let text = m.render(&stats(), 3);
+        for needle in [
+            "trasyn_requests_total{endpoint=\"compile\"} 2",
+            "trasyn_requests_total{endpoint=\"batch\"} 1",
+            "trasyn_responses_total{status=\"200\"} 2",
+            "trasyn_responses_total{status=\"400\"} 1",
+            "trasyn_responses_total{status=\"404\"} 1",
+            "trasyn_rejected_total 1",
+            "trasyn_request_latency_ms_count 4",
+            "trasyn_queue_depth 3",
+            "trasyn_cache_hits_total 5",
+            "trasyn_cache_misses_total 2",
+            "trasyn_cache_entries 2",
+            "trasyn_synthesis_threads 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Compile, 200, 0.2); // le 0.25
+        m.observe(Endpoint::Compile, 200, 0.4); // le 0.5
+        m.observe(Endpoint::Compile, 200, 99_999.0); // +Inf
+        let text = m.render(&stats(), 0);
+        assert!(text.contains("trasyn_request_latency_ms_bucket{le=\"0.25\"} 1"));
+        assert!(text.contains("trasyn_request_latency_ms_bucket{le=\"0.5\"} 2"));
+        assert!(text.contains("trasyn_request_latency_ms_bucket{le=\"10000\"} 2"));
+        assert!(text.contains("trasyn_request_latency_ms_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn unknown_status_goes_to_other() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Compile, 418, 1.0);
+        let text = m.render(&stats(), 0);
+        assert!(text.contains("trasyn_responses_total{status=\"other\"} 1"));
+    }
+}

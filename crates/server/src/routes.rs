@@ -1,0 +1,215 @@
+//! Request routing and the compile/batch/healthz/metrics handlers.
+//!
+//! # API
+//!
+//! * `GET /healthz` → `{"status": "ok"}`.
+//! * `GET /metrics` → Prometheus text ([`crate::metrics`]).
+//! * `POST /v1/compile` — body is a JSON object with exactly one of
+//!   `"rz"` (a rotation angle) or `"qasm"` (an OpenQASM 2.0 program),
+//!   plus optional `"epsilon"`, `"backend"`, `"transpile"`, `"name"`.
+//!   Responds with the item report plus the compiled circuit as
+//!   `"qasm"` — the same circuit `trasyn-compile` would emit for the
+//!   same input and settings, bit for bit.
+//! * `POST /v1/batch` — `{"items": [<compile objects>]}`; responds with
+//!   the engine's `BatchReport` JSON.
+//!
+//! Defaults: `epsilon` and `backend` come from
+//! [`crate::service::ServerConfig`];
+//! `transpile` defaults to `true` for `"qasm"` circuits and `false` for
+//! single `"rz"` rotations (lowering a lone rotation is pure overhead).
+
+use crate::http::{self, Request};
+use crate::json::{self, Value};
+use crate::metrics::Endpoint;
+use crate::service::Shared;
+use engine::{BackendKind, BatchItem, BatchRequest};
+use std::io::Write;
+
+/// Cap on `/v1/batch` items — a request is one unit of queue accounting,
+/// so its size must be bounded too.
+pub const MAX_BATCH_ITEMS: usize = 256;
+
+pub use engine::{MAX_EPSILON, MIN_EPSILON};
+
+/// Which metrics bucket a request belongs to.
+pub fn endpoint_of(req: &Request) -> Endpoint {
+    match (req.method.as_str(), req.path.as_str()) {
+        (_, "/v1/compile") => Endpoint::Compile,
+        (_, "/v1/batch") => Endpoint::Batch,
+        (_, "/healthz") => Endpoint::Healthz,
+        (_, "/metrics") => Endpoint::Metrics,
+        _ => Endpoint::Other,
+    }
+}
+
+/// Routes and answers one request; returns the response status.
+pub(crate) fn respond(
+    req: &Request,
+    w: &mut (impl Write + ?Sized),
+    shared: &Shared,
+    keep_alive: bool,
+) -> u16 {
+    let outcome = route(req, shared);
+    let status = match &outcome {
+        Ok((_, _)) => 200,
+        Err((status, _)) => *status,
+    };
+    let io_result = match outcome {
+        Ok((content_type, body)) => {
+            http::write_response(w, 200, content_type, body.as_bytes(), keep_alive)
+        }
+        Err((status, message)) => http::write_error(w, status, &message, keep_alive),
+    };
+    // A failed write means the peer is gone; the connection is closed by
+    // the caller either way.
+    let _ = io_result;
+    status
+}
+
+type RouteResult = Result<(&'static str, String), (u16, String)>;
+
+fn route(req: &Request, shared: &Shared) -> RouteResult {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Ok((
+            "application/json",
+            "{\"status\": \"ok\"}\n".to_string(),
+        )),
+        ("GET", "/metrics") => Ok((
+            "text/plain; version=0.0.4",
+            shared
+                .metrics
+                .render(&shared.engine.stats(), shared.queue.len()),
+        )),
+        ("POST", "/v1/compile") => compile(req, shared),
+        ("POST", "/v1/batch") => batch(req, shared),
+        (_, "/healthz" | "/metrics") | (_, "/v1/compile" | "/v1/batch") => Err((
+            405,
+            format!("method {} not allowed on {}", req.method, req.path),
+        )),
+        _ => Err((404, format!("no such endpoint: {}", req.path))),
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Value, (u16, String)> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    json::parse(text).map_err(|e| (400, e.to_string()))
+}
+
+/// Builds a [`BatchItem`] from one compile-request object.
+fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, (u16, String)> {
+    let bad = |msg: String| (400, msg);
+    if !matches!(v, Value::Obj(_)) {
+        return Err(bad(format!("item {index}: expected a JSON object")));
+    }
+    let epsilon = match v.get("epsilon") {
+        None => shared.config.default_epsilon,
+        Some(e) => e
+            .as_f64()
+            .filter(|x| (MIN_EPSILON..=MAX_EPSILON).contains(x))
+            .ok_or_else(|| {
+                bad(format!(
+                    "item {index}: \"epsilon\" must be a number in [{MIN_EPSILON}, {MAX_EPSILON}]"
+                ))
+            })?,
+    };
+    let backend = match v.get("backend") {
+        None => shared.config.default_backend,
+        Some(b) => {
+            let label = b
+                .as_str()
+                .ok_or_else(|| bad(format!("item {index}: \"backend\" must be a string")))?;
+            BackendKind::parse(label)
+                .ok_or_else(|| bad(format!("item {index}: unknown backend \"{label}\"")))?
+        }
+    };
+    let (circuit, default_name, default_transpile) = match (v.get("rz"), v.get("qasm")) {
+        (Some(_), Some(_)) => {
+            return Err(bad(format!("item {index}: give \"rz\" or \"qasm\", not both")))
+        }
+        (Some(rz), None) => {
+            let theta = rz
+                .as_f64()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| bad(format!("item {index}: \"rz\" must be a finite number")))?;
+            let mut c = circuit::Circuit::new(1);
+            c.rz(0, theta);
+            (c, "rz".to_string(), false)
+        }
+        (None, Some(qasm)) => {
+            let src = qasm
+                .as_str()
+                .ok_or_else(|| bad(format!("item {index}: \"qasm\" must be a string")))?;
+            let c = circuit::qasm::from_qasm(src).ok_or_else(|| {
+                bad(format!(
+                    "item {index}: \"qasm\" is not in the supported OpenQASM 2.0 subset"
+                ))
+            })?;
+            (c, "circuit".to_string(), true)
+        }
+        (None, None) => {
+            return Err(bad(format!("item {index}: need \"rz\" or \"qasm\"")))
+        }
+    };
+    let name = match v.get("name") {
+        None => default_name,
+        Some(n) => n
+            .as_str()
+            .ok_or_else(|| bad(format!("item {index}: \"name\" must be a string")))?
+            .to_string(),
+    };
+    let transpile = match v.get("transpile") {
+        None => default_transpile,
+        Some(t) => t
+            .as_bool()
+            .ok_or_else(|| bad(format!("item {index}: \"transpile\" must be a boolean")))?,
+    };
+    let mut item = BatchItem::new(name, circuit, epsilon, backend);
+    item.transpile = transpile;
+    Ok(item)
+}
+
+fn compile(req: &Request, shared: &Shared) -> RouteResult {
+    let body = parse_body(req)?;
+    let item = parse_item(&body, shared, 0)?;
+    let report = shared
+        .engine
+        .compile_batch(&BatchRequest::new().item(item))
+        .map_err(|e| (400, e.to_string()))?;
+    let item = report
+        .items
+        .into_iter()
+        .next()
+        .expect("single-item batch yields one report");
+    // The ItemReport shape shared with trasyn-compile's batch report,
+    // plus the compiled circuit so clients can verify bit-identity.
+    let mut body = item.to_json(true);
+    body.push('\n');
+    Ok(("application/json", body))
+}
+
+fn batch(req: &Request, shared: &Shared) -> RouteResult {
+    let body = parse_body(req)?;
+    let items = body
+        .get("items")
+        .and_then(|v| v.as_arr())
+        .ok_or((400, "\"items\" must be an array".to_string()))?;
+    if items.is_empty() {
+        return Err((400, "\"items\" must not be empty".to_string()));
+    }
+    if items.len() > MAX_BATCH_ITEMS {
+        return Err((
+            400,
+            format!("too many items: {} > {MAX_BATCH_ITEMS}", items.len()),
+        ));
+    }
+    let mut request = BatchRequest::new();
+    for (i, v) in items.iter().enumerate() {
+        request.items.push(parse_item(v, shared, i)?);
+    }
+    let report = shared
+        .engine
+        .compile_batch(&request)
+        .map_err(|e| (400, e.to_string()))?;
+    Ok(("application/json", report.to_json()))
+}

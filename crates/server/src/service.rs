@@ -1,0 +1,344 @@
+//! The compilation server: accept loop, bounded queue, worker threads,
+//! request routing, and graceful shutdown.
+//!
+//! # Architecture
+//!
+//! ```text
+//! accept thread ──try_push──► BoundedQueue ──pop──► N worker threads
+//!      │                          │                      │
+//!      └── full → 429 + close     └── depth gauge        └── HTTP/1.1
+//!                                                          keep-alive,
+//!                                                          Engine calls
+//! ```
+//!
+//! One thread accepts connections and pushes them into a
+//! [`BoundedQueue`]; when the queue is full the connection is answered
+//! `429 Too Many Requests` and closed immediately (backpressure — the
+//! server sheds load instead of buffering unbounded work). Worker threads
+//! pop connections and serve requests until the peer closes, a read
+//! times out, or shutdown begins.
+//!
+//! # Graceful shutdown
+//!
+//! [`ServerHandle::shutdown`] stops the accept loop, closes the queue
+//! (already-queued connections are still served), waits for every worker
+//! to finish its in-flight request, and finally — when a cache file is
+//! configured — saves a [`engine::snapshot`] so the next boot starts
+//! warm.
+
+use crate::http::{self, ReadError};
+use crate::metrics::{Endpoint, Metrics};
+use crate::queue::BoundedQueue;
+use crate::routes;
+use engine::snapshot::{self, WarmStart};
+use engine::{BackendKind, Engine};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration (everything except the engine itself).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// HTTP worker threads (each serves one connection at a time).
+    pub http_workers: usize,
+    /// Bounded accept-queue depth; overflow is answered 429.
+    pub queue_depth: usize,
+    /// Per-read socket timeout: bounds how long an idle keep-alive
+    /// connection can hold a worker.
+    pub read_timeout: Duration,
+    /// Epsilon used when a request does not specify one.
+    pub default_epsilon: f64,
+    /// Backend used when a request does not specify one.
+    pub default_backend: BackendKind,
+    /// When set: warm-start the cache from this snapshot on
+    /// [`Server::start`] and save back on shutdown.
+    pub cache_file: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            http_workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            default_epsilon: 1e-2,
+            default_backend: BackendKind::Gridsynth,
+            cache_file: None,
+        }
+    }
+}
+
+/// Shared state every worker sees.
+pub(crate) struct Shared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) metrics: Metrics,
+    pub(crate) queue: BoundedQueue<TcpStream>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) config: ServerConfig,
+}
+
+/// The server type; [`Server::start`] is the only entry point.
+pub struct Server;
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaves the threads running for the process
+/// lifetime (binaries call `shutdown`; tests must too).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    /// How the warm start went (Absent when no cache file configured).
+    pub warm_start: WarmStart,
+}
+
+/// What [`ServerHandle::shutdown`] observed.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Requests handled over the server's lifetime.
+    pub requests: u64,
+    /// Connections shed with 429.
+    pub rejected: u64,
+    /// Entries saved to the cache file (`None` when not configured;
+    /// `Some(Err)` contains the save error message).
+    pub cache_saved: Option<Result<usize, String>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), warm-starts the
+    /// cache when configured, and spawns the accept loop plus
+    /// `config.http_workers` workers.
+    pub fn start(
+        addr: &str,
+        config: ServerConfig,
+        engine: Arc<Engine>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+
+        let warm_start = match &config.cache_file {
+            Some(path) => snapshot::warm_from_file(engine.cache(), path),
+            None => WarmStart::Absent,
+        };
+
+        let shared = Arc::new(Shared {
+            engine,
+            metrics: Metrics::new(),
+            queue: BoundedQueue::new(config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let mut workers = Vec::with_capacity(shared.config.http_workers.max(1));
+        for i in 0..shared.config.http_workers.max(1) {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("http-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("http-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            accept: Some(accept),
+            workers,
+            warm_start,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind the server (e.g. for stats assertions in tests).
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.shared.engine)
+    }
+
+    /// Live request counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, serve every queued connection,
+    /// finish in-flight requests, join all threads, save the cache
+    /// snapshot when configured.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection. An
+        // unspecified bind IP (0.0.0.0 / ::) is not a connectable peer
+        // address everywhere, so aim the waker at the loopback of the
+        // same family.
+        let mut waker = self.addr;
+        if waker.ip().is_unspecified() {
+            waker.set_ip(match waker {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&waker, Duration::from_secs(1));
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        // No new connections can arrive now; close the queue so workers
+        // drain the backlog and exit.
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let cache_saved = self.shared.config.cache_file.as_ref().map(|path| {
+            snapshot::save_to_file(self.shared.engine.cache(), path)
+                .map_err(|e| format!("cannot save cache snapshot to {}: {e}", path.display()))
+        });
+        ShutdownReport {
+            requests: self.shared.metrics.request_count(),
+            rejected: self.shared.metrics.rejected(),
+            cache_saved,
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent errors (EMFILE during overload, ENOBUFS, …)
+                // would otherwise busy-spin this thread at 100% CPU.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The waker connection (or a raced client during shutdown).
+            return;
+        }
+        if let Err(stream) = shared.queue.try_push(stream) {
+            // Queue full: shed the connection with 429 right here. This
+            // briefly blocks the accept loop, which under overload is
+            // itself backpressure (the kernel backlog then sheds for us).
+            shed(stream, shared);
+        }
+    }
+}
+
+/// How much of a shed request's body is drained before answering 429
+/// (reduces the chance the close's RST clobbers the response without
+/// letting a large body monopolize the accept thread).
+const SHED_DRAIN_MAX: usize = 64 * 1024;
+
+/// Best-effort 429: read the request *head* only (plus a small bounded
+/// body drain), answer, close. Runs on the accept thread, so everything
+/// is double-bounded — a short socket timeout *and* a whole-read
+/// deadline — because shedding must stay cheap exactly when the server
+/// is overloaded.
+fn shed(stream: TcpStream, shared: &Shared) {
+    shared.metrics.reject();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let endpoint = match http::read_head(&mut reader, Some(deadline)) {
+        Ok((req, body_len)) => {
+            let mut drained = 0usize;
+            while drained < body_len.min(SHED_DRAIN_MAX) && Instant::now() < deadline {
+                match std::io::BufRead::fill_buf(&mut reader) {
+                    Ok([]) | Err(_) => break,
+                    Ok(buf) => {
+                        let n = buf.len().min(body_len - drained);
+                        std::io::BufRead::consume(&mut reader, n);
+                        drained += n;
+                    }
+                }
+            }
+            routes::endpoint_of(&req)
+        }
+        Err(_) => Endpoint::Other,
+    };
+    let mut w = stream;
+    let _ = http::write_error(&mut w, 429, "compile queue full, retry later", false);
+    // Status counters only — no latency sample: the request was shed,
+    // not handled, and must not skew the histogram toward zero exactly
+    // during overload.
+    shared.metrics.count_unhandled(endpoint, 429);
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.queue.pop() {
+        // Panic isolation: a bug (or violated backend precondition) while
+        // serving one connection must cost that connection, not silently
+        // retire 1/N of the server's capacity for its whole lifetime.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_connection(stream, shared)
+        }));
+        if result.is_err() {
+            eprintln!("[server] worker recovered from a panic while serving a connection");
+        }
+    }
+}
+
+/// Whole-request read deadline on worker connections: generous (bodies
+/// are ≤ 4 MiB on loopback/LAN), but finite, so a drip-feeding client
+/// cannot hold a worker past it. Idle keep-alive waits are governed by
+/// the (shorter) socket `read_timeout`, not this.
+const REQUEST_READ_DEADLINE: Duration = Duration::from_secs(10);
+
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let deadline = Instant::now() + REQUEST_READ_DEADLINE;
+        match http::read_request(&mut reader, Some(deadline)) {
+            Ok(req) => {
+                let t0 = Instant::now();
+                let endpoint = routes::endpoint_of(&req);
+                // Stop honoring keep-alive once shutdown begins: finish
+                // this request, then close.
+                let keep_alive =
+                    req.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+                let status = routes::respond(&req, &mut writer, shared, keep_alive);
+                shared.metrics.observe(
+                    endpoint,
+                    status,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                );
+                if !keep_alive || status == 500 {
+                    return;
+                }
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Io(_)) => return, // includes idle-read timeouts
+            Err(ReadError::Bad(status, msg)) => {
+                let _ = http::write_error(&mut writer, status, msg, false);
+                shared.metrics.observe(Endpoint::Other, status, 0.0);
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Loopback integration tests — the PR's acceptance criteria:
+//!
+//! 1. a warm-started server answers a previously-seen rotation without a
+//!    synthesis call (hit counter increments, miss counter does not);
+//! 2. the bounded queue returns 429 under overflow;
+//! 3. parallel server responses are bit-identical to sequential
+//!    `trasyn-compile` output.
+
+use engine::{BackendKind, Engine, GridsynthBackend};
+use server::client::Conn;
+use server::{json, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine(threads: usize) -> Arc<Engine> {
+    Arc::new(
+        Engine::builder()
+            .threads(threads)
+            .cache_capacity(4096)
+            .backend(GridsynthBackend::default())
+            .build(),
+    )
+}
+
+fn config() -> ServerConfig {
+    ServerConfig {
+        http_workers: 4,
+        queue_depth: 16,
+        read_timeout: Duration::from_millis(500),
+        default_epsilon: 1e-2,
+        default_backend: BackendKind::Gridsynth,
+        cache_file: None,
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> Conn {
+    Conn::connect(&addr.to_string(), Duration::from_secs(30)).expect("connect")
+}
+
+/// `trasyn_<name> <value>` from a /metrics exposition.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l[name.len() + 1..].trim().parse::<f64>().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}")) as u64
+}
+
+#[test]
+fn healthz_metrics_and_errors() {
+    let handle = Server::start("127.0.0.1:0", config(), engine(1)).unwrap();
+    let mut c = connect(handle.addr());
+
+    let resp = c.request("GET", "/healthz", None).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"ok\""));
+
+    // Error paths: 404, 405, bad JSON, bad schema, unknown backend.
+    assert_eq!(c.request("GET", "/nope", None).unwrap().status, 404);
+    assert_eq!(c.request("GET", "/v1/compile", None).unwrap().status, 405);
+    assert_eq!(
+        c.request("POST", "/v1/compile", Some("not json")).unwrap().status,
+        400
+    );
+    assert_eq!(
+        c.request("POST", "/v1/compile", Some("{\"epsilon\": 0.01}")).unwrap().status,
+        400,
+        "needs rz or qasm"
+    );
+    assert_eq!(
+        c.request("POST", "/v1/compile", Some("{\"rz\": 0.3, \"backend\": \"qiskit\"}"))
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        c.request("POST", "/v1/compile", Some("{\"rz\": 0.3, \"backend\": \"trasyn\"}"))
+            .unwrap()
+            .status,
+        400,
+        "backend not hosted on this engine"
+    );
+
+    // A real compile, then metrics reflect all of the above.
+    let resp = c
+        .request("POST", "/v1/compile", Some("{\"rz\": 0.37}"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let parsed = json::parse(&resp.body).unwrap();
+    assert!(parsed.get("qasm").unwrap().as_str().unwrap().contains("OPENQASM"));
+    assert_eq!(parsed.get("cache_misses").unwrap().as_f64(), Some(1.0));
+
+    let m = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(m.status, 200);
+    assert_eq!(metric(&m.body, "trasyn_requests_total{endpoint=\"compile\"}"), 6);
+    assert_eq!(metric(&m.body, "trasyn_responses_total{status=\"200\"}"), 2); // healthz + compile
+    assert_eq!(metric(&m.body, "trasyn_responses_total{status=\"400\"}"), 4);
+    assert_eq!(metric(&m.body, "trasyn_cache_misses_total"), 1);
+
+    let report = handle.shutdown();
+    assert!(report.requests >= 8);
+}
+
+#[test]
+fn out_of_range_epsilon_is_400_not_a_dead_worker() {
+    // gridsynth asserts eps < 1.0 and needs eps >= 1e-7; both must come
+    // back as 400s, and the worker must keep serving afterwards.
+    let cfg = ServerConfig {
+        http_workers: 1,
+        ..config()
+    };
+    let handle = Server::start("127.0.0.1:0", cfg, engine(1)).unwrap();
+    let mut c = connect(handle.addr());
+    for bad in ["2.0", "1.0", "1e-12", "0", "-0.1"] {
+        let body = format!("{{\"rz\": 0.3, \"epsilon\": {bad}}}");
+        let resp = c.request("POST", "/v1/compile", Some(&body)).unwrap();
+        assert_eq!(resp.status, 400, "epsilon {bad} must be rejected");
+    }
+    // The single worker is still alive and compiling.
+    let resp = c
+        .request("POST", "/v1/compile", Some("{\"rz\": 0.3, \"epsilon\": 0.01}"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn warm_started_server_hits_without_synthesis() {
+    let dir = std::env::temp_dir().join(format!("trasyn-server-warm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_file = dir.join("server.snap");
+    let mut cfg = config();
+    cfg.cache_file = Some(cache_file.clone());
+
+    // First server: compile one rotation cold, shut down (saves snapshot).
+    let first = Server::start("127.0.0.1:0", cfg.clone(), engine(1)).unwrap();
+    let mut c = connect(first.addr());
+    let body = "{\"rz\": 0.6180339887, \"epsilon\": 0.01}";
+    let resp = c.request("POST", "/v1/compile", Some(body)).unwrap();
+    assert_eq!(resp.status, 200);
+    let cold = json::parse(&resp.body).unwrap();
+    assert_eq!(cold.get("cache_misses").unwrap().as_f64(), Some(1.0));
+    let report = first.shutdown();
+    match report.cache_saved {
+        Some(Ok(n)) => assert!(n >= 1, "snapshot must contain the rotation"),
+        other => panic!("expected a saved snapshot, got {other:?}"),
+    }
+
+    // Second server: fresh engine, warm-started from the file. The same
+    // rotation is answered as a pure cache hit: the hit counter
+    // increments, the miss counter does not, and the compiled QASM is
+    // bit-identical.
+    let second = Server::start("127.0.0.1:0", cfg, engine(1)).unwrap();
+    assert!(
+        matches!(second.warm_start, engine::WarmStart::Loaded(n) if n >= 1),
+        "{:?}",
+        second.warm_start
+    );
+    let mut c = connect(second.addr());
+    let before = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(metric(&before.body, "trasyn_cache_hits_total"), 0);
+    assert_eq!(metric(&before.body, "trasyn_cache_misses_total"), 0);
+
+    let resp = c.request("POST", "/v1/compile", Some(body)).unwrap();
+    assert_eq!(resp.status, 200);
+    let warm = json::parse(&resp.body).unwrap();
+    assert_eq!(warm.get("cache_hits").unwrap().as_f64(), Some(1.0));
+    assert_eq!(warm.get("cache_misses").unwrap().as_f64(), Some(0.0));
+    assert_eq!(
+        warm.get("qasm").unwrap().as_str(),
+        cold.get("qasm").unwrap().as_str(),
+        "warm answer must be bit-identical"
+    );
+
+    let after = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(metric(&after.body, "trasyn_cache_hits_total"), 1, "hit counter increments");
+    assert_eq!(metric(&after.body, "trasyn_cache_misses_total"), 0, "miss counter does not");
+
+    second.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bounded_queue_returns_429_under_overflow() {
+    let cfg = ServerConfig {
+        http_workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(2),
+        ..config()
+    };
+    let handle = Server::start("127.0.0.1:0", cfg, engine(1)).unwrap();
+    let addr = handle.addr();
+
+    // Occupy the single worker with an idle connection (it blocks in
+    // read_request until the 2 s read timeout)...
+    let _busy = connect(addr);
+    std::thread::sleep(Duration::from_millis(300));
+    // ...and fill the queue's one slot with another.
+    let _queued = connect(addr);
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The next connection must be shed with 429.
+    let mut shed = connect(addr);
+    let resp = shed
+        .request("POST", "/v1/compile", Some("{\"rz\": 0.1}"))
+        .expect("shed connection still gets an HTTP answer");
+    assert_eq!(resp.status, 429, "bounded queue must shed with 429");
+    assert!(resp.body.contains("queue full"));
+    assert!(!resp.keep_alive(), "shed connections are closed");
+
+    assert!(handle.metrics().rejected() >= 1);
+    let report = handle.shutdown();
+    assert!(report.rejected >= 1);
+}
+
+#[test]
+fn parallel_server_responses_match_sequential_compile() {
+    // The server compiles through a 2-thread pool with 4 concurrent HTTP
+    // workers; the reference is the sequential path trasyn-compile uses
+    // (same Engine call, 1 thread, cold cache per request set).
+    let handle = Server::start("127.0.0.1:0", config(), engine(2)).unwrap();
+    let addr = handle.addr();
+
+    let mut qasm_reqs: Vec<(String, String)> = Vec::new(); // (body, name)
+    let mut mix = workloads::requests::RequestMix::new(workloads::requests::MixKind::Mixed, 6, 7);
+    for i in 0..6 {
+        let s = mix.sample();
+        let body = match &s.payload {
+            workloads::requests::RequestPayload::Rz(theta) => {
+                format!("{{\"rz\": {theta}, \"name\": \"req{i}\"}}")
+            }
+            workloads::requests::RequestPayload::Circuit(c) => format!(
+                "{{\"qasm\": {}, \"name\": \"req{i}\"}}",
+                json::escape(&circuit::qasm::to_qasm(c))
+            ),
+        };
+        qasm_reqs.push((body, format!("req{i}")));
+    }
+
+    // Fire every request from 4 client threads concurrently, twice each
+    // (second pass runs against a warm cache).
+    let responses: Vec<(usize, String)> = std::thread::scope(|s| {
+        let reqs = &qasm_reqs;
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            handles.push(s.spawn(move || {
+                let mut c = Conn::connect(&addr.to_string(), Duration::from_secs(60)).unwrap();
+                let mut out = Vec::new();
+                for pass in 0..2 {
+                    for k in 0..reqs.len() {
+                        // Stagger order per thread so requests interleave.
+                        let i = (k + t + pass) % reqs.len();
+                        let resp = c
+                            .request("POST", "/v1/compile", Some(&reqs[i].0))
+                            .expect("request");
+                        assert_eq!(resp.status, 200, "{}", resp.body);
+                        out.push((i, resp.body));
+                    }
+                }
+                out
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+
+    // Sequential reference: same requests through a 1-thread engine — the
+    // exact code path trasyn-compile's single-item batches take.
+    let reference = engine(1);
+    let mut expected: Vec<String> = Vec::new();
+    for (body, _) in &qasm_reqs {
+        let v = json::parse(body).unwrap();
+        let mut item = match (v.get("rz"), v.get("qasm")) {
+            (Some(rz), None) => {
+                let mut c = circuit::Circuit::new(1);
+                c.rz(0, rz.as_f64().unwrap());
+                let mut it = engine::BatchItem::new("x", c, 1e-2, BackendKind::Gridsynth);
+                it.transpile = false;
+                it
+            }
+            (None, Some(q)) => engine::BatchItem::new(
+                "x",
+                circuit::qasm::from_qasm(q.as_str().unwrap()).unwrap(),
+                1e-2,
+                BackendKind::Gridsynth,
+            ),
+            _ => unreachable!(),
+        };
+        item.epsilon = 1e-2;
+        let report = reference
+            .compile_batch(&engine::BatchRequest::new().item(item))
+            .unwrap();
+        expected.push(circuit::qasm::to_qasm(&report.items[0].synthesized.circuit));
+    }
+
+    assert_eq!(responses.len(), 4 * 2 * qasm_reqs.len());
+    for (i, body) in &responses {
+        let parsed = json::parse(body).unwrap();
+        assert_eq!(
+            parsed.get("qasm").unwrap().as_str().unwrap(),
+            expected[*i],
+            "response for request {i} must be bit-identical to the sequential path"
+        );
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_work() {
+    let cfg = ServerConfig {
+        http_workers: 2,
+        queue_depth: 8,
+        read_timeout: Duration::from_millis(300),
+        ..config()
+    };
+    let handle = Server::start("127.0.0.1:0", cfg, engine(1)).unwrap();
+    let addr = handle.addr();
+
+    // In-flight request racing shutdown: it must complete with a 200.
+    let worker = std::thread::spawn(move || {
+        let mut c = Conn::connect(&addr.to_string(), Duration::from_secs(30)).unwrap();
+        c.request("POST", "/v1/compile", Some("{\"rz\": 1.234}"))
+            .map(|r| r.status)
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let report = handle.shutdown();
+    assert_eq!(worker.join().unwrap().unwrap(), 200, "in-flight work drains");
+    assert!(report.requests >= 1);
+
+    // After shutdown the port no longer accepts.
+    assert!(Conn::connect(&addr.to_string(), Duration::from_millis(300)).is_err());
+}

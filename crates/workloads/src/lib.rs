@@ -15,12 +15,16 @@
 //! * [`ftalg`] — fault-tolerant algorithm kernels (QFT, QPE, Grover,
 //!   Draper adder, GHZ rotations, hardware-efficient ansatz);
 //! * [`suite`] — the named 187-circuit registry with Table 2 statistics;
-//! * [`random`] — Haar-random single-qubit unitaries for RQ1.
+//! * [`random`] — Haar-random single-qubit unitaries for RQ1;
+//! * [`requests`] — deterministic serving-workload request mixes for the
+//!   `trasyn-loadgen` load generator.
 
 pub mod ftalg;
 pub mod hamiltonian;
 pub mod qaoa;
 pub mod random;
+pub mod requests;
 pub mod suite;
 
+pub use requests::{MixKind, RequestMix, RequestPayload, SampledRequest};
 pub use suite::{benchmark_suite, BenchmarkCircuit, Category};

@@ -1,0 +1,193 @@
+//! Serving-workload request mixes.
+//!
+//! The compilation *service* sees a different shape of work than the
+//! offline evaluation suite: many small requests, heavy angle repetition
+//! (the same parametrized circuit resubmitted across users and shots),
+//! and a long tail of fresh circuits. [`RequestMix`] regenerates that
+//! shape deterministically so `trasyn-loadgen` runs — and therefore every
+//! serving benchmark built on it — are repeatable: the same seed always
+//! produces the same request stream.
+//!
+//! Cache realism comes from *finite pools*: rotation angles are drawn
+//! from a seeded pool of `angle_pool` values (a smaller pool means a
+//! hotter cache), and circuits from a fixed registry of small kernels
+//! from this crate's generators. The pool size is the experiment's knob
+//! for the cache-hit-rate axis, mirroring how cache-simulation studies
+//! sweep locality rather than assume it.
+
+use crate::ftalg::{ghz_rotation, hw_efficient_ansatz, qft};
+use crate::qaoa::random_qaoa;
+use circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which request population to draw from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MixKind {
+    /// Single `Rz` rotations from a finite angle pool.
+    Rz,
+    /// Small multi-rotation circuits from the generator registry.
+    Circuits,
+    /// 50/50 blend of the two.
+    Mixed,
+}
+
+impl MixKind {
+    /// Stable lowercase label (CLI flag values).
+    pub fn label(self) -> &'static str {
+        match self {
+            MixKind::Rz => "rz",
+            MixKind::Circuits => "circuits",
+            MixKind::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a [`MixKind::label`] string.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "rz" => Some(MixKind::Rz),
+            "circuits" => Some(MixKind::Circuits),
+            "mixed" => Some(MixKind::Mixed),
+            _ => None,
+        }
+    }
+}
+
+/// One sampled request.
+#[derive(Clone, Debug)]
+pub enum RequestPayload {
+    /// A single `Rz(θ)` rotation.
+    Rz(f64),
+    /// A whole circuit.
+    Circuit(Circuit),
+}
+
+/// A named request drawn from the mix.
+#[derive(Clone, Debug)]
+pub struct SampledRequest {
+    /// Deterministic name (`rz-17`, `qft3`, …) for request tracing.
+    pub name: String,
+    /// What to compile.
+    pub payload: RequestPayload,
+}
+
+/// A deterministic request-stream sampler.
+pub struct RequestMix {
+    kind: MixKind,
+    angles: Vec<f64>,
+    circuits: Vec<(&'static str, Circuit)>,
+    rng: StdRng,
+}
+
+impl RequestMix {
+    /// Builds a sampler. `angle_pool` is the number of distinct rotation
+    /// angles in circulation (≥ 1; a hotter cache for smaller pools);
+    /// `seed` fixes both the pool and the draw order.
+    pub fn new(kind: MixKind, angle_pool: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let angles = (0..angle_pool.max(1))
+            .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+            .collect();
+        // Small kernels only: a serving request should cost milliseconds,
+        // not the seconds the full evaluation circuits take.
+        let circuits = vec![
+            ("qft3", qft(3)),
+            ("qft4", qft(4)),
+            ("ghz4", ghz_rotation(4, 0.3)),
+            ("qaoa4", random_qaoa(4, 1, seed ^ 0x51)),
+            ("qaoa6", random_qaoa(6, 1, seed ^ 0x52)),
+            ("hwea3", hw_efficient_ansatz(3, 2, seed ^ 0x53)),
+        ];
+        RequestMix {
+            kind,
+            angles,
+            circuits,
+            rng,
+        }
+    }
+
+    /// Number of distinct angles in the pool.
+    pub fn angle_pool(&self) -> usize {
+        self.angles.len()
+    }
+
+    /// Draws the next request.
+    pub fn sample(&mut self) -> SampledRequest {
+        let rz = match self.kind {
+            MixKind::Rz => true,
+            MixKind::Circuits => false,
+            MixKind::Mixed => self.rng.gen_bool(0.5),
+        };
+        if rz {
+            let i = self.rng.gen_range(0..self.angles.len());
+            SampledRequest {
+                name: format!("rz-{i}"),
+                payload: RequestPayload::Rz(self.angles[i]),
+            }
+        } else {
+            let i = self.rng.gen_range(0..self.circuits.len());
+            let (name, c) = &self.circuits[i];
+            SampledRequest {
+                name: (*name).to_string(),
+                payload: RequestPayload::Circuit(c.clone()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for k in [MixKind::Rz, MixKind::Circuits, MixKind::Mixed] {
+            assert_eq!(MixKind::parse(k.label()), Some(k));
+        }
+        assert_eq!(MixKind::parse("poisson"), None);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RequestMix::new(MixKind::Mixed, 8, 42);
+        let mut b = RequestMix::new(MixKind::Mixed, 8, 42);
+        for _ in 0..50 {
+            let (x, y) = (a.sample(), b.sample());
+            assert_eq!(x.name, y.name);
+            match (x.payload, y.payload) {
+                (RequestPayload::Rz(p), RequestPayload::Rz(q)) => {
+                    assert_eq!(p.to_bits(), q.to_bits())
+                }
+                (RequestPayload::Circuit(p), RequestPayload::Circuit(q)) => assert_eq!(p, q),
+                _ => panic!("streams diverged in kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_restrict_population() {
+        let mut rz = RequestMix::new(MixKind::Rz, 4, 1);
+        assert_eq!(rz.angle_pool(), 4);
+        for _ in 0..20 {
+            assert!(matches!(rz.sample().payload, RequestPayload::Rz(_)));
+        }
+        let mut circ = RequestMix::new(MixKind::Circuits, 4, 1);
+        for _ in 0..20 {
+            assert!(matches!(circ.sample().payload, RequestPayload::Circuit(_)));
+        }
+    }
+
+    #[test]
+    fn finite_angle_pool_repeats() {
+        // The whole point of the pool: a long stream revisits angles, so
+        // a cache sees hits.
+        let mut m = RequestMix::new(MixKind::Rz, 3, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..60 {
+            if let RequestPayload::Rz(a) = m.sample().payload {
+                seen.insert(a.to_bits());
+            }
+        }
+        assert!(seen.len() <= 3, "pool must bound distinct angles");
+    }
+}
