@@ -3,8 +3,10 @@
 //! (Figures 9/11/13).
 
 use circuit::levels::{transpile, Basis, TranspileSetting};
+use circuit::pass::{PipelineSpec, Preset};
 use circuit::synthesize::synthesize_circuit;
 use criterion::{criterion_group, criterion_main, Criterion};
+use engine::build_pipeline;
 use gates::GateSeq;
 use qmath::Mat2;
 use sim::density::DensityMatrix;
@@ -35,6 +37,57 @@ fn bench_transpile(c: &mut Criterion) {
                     commutation: true,
                 },
             ))
+        })
+    });
+    g.finish();
+}
+
+/// The lowering pass pipeline: per-preset end-to-end cost and per-pass
+/// cost on suite circuits (a QAOA kernel and a trotterized classical
+/// Ising Hamiltonian, the shapes the paper's transpile study sweeps).
+fn bench_pipeline(c: &mut Criterion) {
+    let qaoa = random_qaoa(10, 3, 7);
+    let ising = workloads::hamiltonian::trotter_circuit(
+        &workloads::hamiltonian::random_ising(8, 0.5, 0xBE),
+        2,
+        0.37,
+    );
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for preset in Preset::ALL {
+        if preset == Preset::None {
+            continue; // nothing to measure
+        }
+        let spec = PipelineSpec::Preset(preset);
+        g.bench_function(format!("preset_{}_qaoa10", preset.label()), |b| {
+            b.iter(|| {
+                let mut work = qaoa.clone();
+                std::hint::black_box(build_pipeline(&spec, Basis::U3).run(&mut work));
+                work
+            })
+        });
+    }
+    // Per-pass cost, isolated, on the diagonal Ising workload (the shape
+    // where zx-fold does real work).
+    for pass in ["commute", "fuse", "cx-cancel", "basis=rz", "zx-fold"] {
+        let spec = PipelineSpec::parse(pass).expect("known pass");
+        g.bench_function(format!("pass_{pass}_ising8"), |b| {
+            b.iter(|| {
+                let mut work = ising.clone();
+                std::hint::black_box(build_pipeline(&spec, Basis::Rz).run(&mut work));
+                work
+            })
+        });
+    }
+    // Pipeline-object reuse: the buffer-recycling path the engine takes
+    // for every batch item.
+    let spec = PipelineSpec::Preset(Preset::Default);
+    g.bench_function("preset_default_qaoa10_reused", |b| {
+        let mut pipe = build_pipeline(&spec, Basis::U3);
+        let mut work = qaoa.clone();
+        b.iter(|| {
+            work.copy_from(&qaoa);
+            std::hint::black_box(pipe.run(&mut work));
         })
     });
     g.finish();
@@ -136,6 +189,7 @@ fn bench_simulators(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_transpile,
+    bench_pipeline,
     bench_circuit_synthesis,
     bench_phasefold,
     bench_simulators

@@ -15,13 +15,21 @@ use qmath::Mat2;
 /// become their minimal discrete gate run instead.
 pub fn to_u3_basis(c: &Circuit) -> Circuit {
     let mut out = Circuit::new(c.n_qubits());
+    lower_u3_into(c, &mut out);
+    out
+}
+
+/// Core of [`to_u3_basis`], appending into a caller-owned circuit so the
+/// pass pipeline can reuse its allocation. `out` must already have `c`'s
+/// qubit count and be empty.
+pub(crate) fn lower_u3_into(c: &Circuit, out: &mut Circuit) {
     for i in c.instrs() {
         match i.op {
             Op::Cx | Op::Gate1(_) => out.push(*i),
             op => {
                 let m = op.matrix();
                 if let Some(seq) = as_trivial(&m, 1e-9) {
-                    push_seq(&mut out, i.q0, seq);
+                    push_seq(out, i.q0, seq);
                 } else {
                     let a = decompose_u3(&m);
                     out.push(Instr {
@@ -37,7 +45,6 @@ pub fn to_u3_basis(c: &Circuit) -> Circuit {
             }
         }
     }
-    out
 }
 
 /// Lowers every rotation to the `Clifford+Rz` IR: nontrivial single-qubit
@@ -45,29 +52,34 @@ pub fn to_u3_basis(c: &Circuit) -> Circuit {
 /// first). π/4-multiple `Rz` factors are emitted as discrete gates.
 pub fn to_rz_basis(c: &Circuit) -> Circuit {
     let mut out = Circuit::new(c.n_qubits());
+    lower_rz_into(c, &mut out);
+    out
+}
+
+/// Core of [`to_rz_basis`]; same contract as [`lower_u3_into`].
+pub(crate) fn lower_rz_into(c: &Circuit, out: &mut Circuit) {
     for i in c.instrs() {
         match i.op {
             Op::Cx | Op::Gate1(_) => out.push(*i),
-            Op::Rz(a) => push_rz(&mut out, i.q0, a),
+            Op::Rz(a) => push_rz(out, i.q0, a),
             op => {
                 let m = op.matrix();
                 if let Some(seq) = as_trivial(&m, 1e-9) {
-                    push_seq(&mut out, i.q0, seq);
+                    push_seq(out, i.q0, seq);
                     continue;
                 }
                 let ang = decompose_u3(&m);
                 let (b1, b2, b3) = u3_to_three_rz(ang.theta, ang.phi, ang.lambda);
                 // Matrix product Rz(b1)·H·Rz(b2)·H·Rz(b3) reads right to
                 // left in circuit time: b3 acts first.
-                push_rz(&mut out, i.q0, b3);
+                push_rz(out, i.q0, b3);
                 out.h(i.q0);
-                push_rz(&mut out, i.q0, b2);
+                push_rz(out, i.q0, b2);
                 out.h(i.q0);
-                push_rz(&mut out, i.q0, b1);
+                push_rz(out, i.q0, b1);
             }
         }
     }
-    out
 }
 
 /// Emits `Rz(angle)` on `q`, as discrete gates when the angle is a π/4

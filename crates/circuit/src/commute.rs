@@ -12,7 +12,16 @@ use crate::ir::{Circuit, Instr, Op};
 /// them closer to another single-qubit gate on the same qubit. Applied to
 /// a fixpoint (bounded number of sweeps).
 pub fn commute_rotations(c: &Circuit) -> Circuit {
-    let mut instrs: Vec<Instr> = c.instrs().to_vec();
+    let mut out = c.clone();
+    commute_rotations_in_place(&mut out);
+    out
+}
+
+/// In-place form of [`commute_rotations`]: the pipeline's `commute` pass.
+/// Swaps never change the instruction multiset, so no reallocation (or
+/// revalidation) happens.
+pub fn commute_rotations_in_place(c: &mut Circuit) {
+    let instrs = c.raw_instrs_mut();
     let mut changed = true;
     let mut sweeps = 0usize;
     while changed && sweeps < 32 {
@@ -22,14 +31,13 @@ pub fn commute_rotations(c: &Circuit) -> Circuit {
         while i + 1 < instrs.len() {
             let a = instrs[i];
             let b = instrs[i + 1];
-            if can_swap(&a, &b) && beneficial(&instrs, i) {
+            if can_swap(&a, &b) && beneficial(instrs, i) {
                 instrs.swap(i, i + 1);
                 changed = true;
             }
             i += 1;
         }
     }
-    Circuit::from_instrs(c.n_qubits(), instrs)
 }
 
 /// `true` when instruction `a` may hop over the *next* instruction `b`

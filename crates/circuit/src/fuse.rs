@@ -15,10 +15,21 @@ use qmath::Mat2;
 /// Identity runs (within tolerance) are dropped entirely. Two-qubit gates
 /// are barriers: a run ends when its qubit participates in a CNOT.
 pub fn fuse_single_qubit(c: &Circuit) -> Circuit {
-    let mut out = Circuit::new(c.n_qubits());
-    let mut pending: Vec<Option<Mat2>> = vec![None; c.n_qubits()];
+    let mut out = Vec::with_capacity(c.len());
+    let mut pending = vec![None; c.n_qubits()];
+    fuse_into(c, &mut out, &mut pending);
+    Circuit::from_instrs(c.n_qubits(), out)
+}
 
-    let flush = |out: &mut Circuit, pending: &mut Vec<Option<Mat2>>, q: usize| {
+/// Core of [`fuse_single_qubit`], writing into caller-owned buffers so the
+/// pass pipeline can reuse them across stages. `out` is cleared; `pending`
+/// is resized to the qubit count and cleared.
+pub(crate) fn fuse_into(c: &Circuit, out: &mut Vec<Instr>, pending: &mut Vec<Option<Mat2>>) {
+    out.clear();
+    pending.clear();
+    pending.resize(c.n_qubits(), None);
+
+    let flush = |out: &mut Vec<Instr>, pending: &mut Vec<Option<Mat2>>, q: usize| {
         if let Some(m) = pending[q].take() {
             if let Some(instr) = matrix_to_instr(q, &m) {
                 out.push(instr);
@@ -30,8 +41,8 @@ pub fn fuse_single_qubit(c: &Circuit) -> Circuit {
         match i.op {
             Op::Cx => {
                 let t = i.q1.expect("cx has a target");
-                flush(&mut out, &mut pending, i.q0);
-                flush(&mut out, &mut pending, t);
+                flush(out, pending, i.q0);
+                flush(out, pending, t);
                 out.push(*i);
             }
             op => {
@@ -44,9 +55,8 @@ pub fn fuse_single_qubit(c: &Circuit) -> Circuit {
         }
     }
     for q in 0..c.n_qubits() {
-        flush(&mut out, &mut pending, q);
+        flush(out, pending, q);
     }
-    out
 }
 
 /// Converts an accumulated 2×2 unitary into an instruction, dropping

@@ -199,6 +199,33 @@ impl Circuit {
         c
     }
 
+    /// Removes every instruction, keeping the allocation and qubit count.
+    pub fn clear(&mut self) {
+        self.instrs.clear();
+    }
+
+    /// Clears the circuit and sets a new qubit count, keeping the
+    /// instruction allocation (the pass pipeline's buffer-reuse hook).
+    pub fn reset(&mut self, n_qubits: usize) {
+        self.instrs.clear();
+        self.n_qubits = n_qubits;
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing `self`'s
+    /// instruction allocation (unlike `*self = other.clone()`).
+    pub fn copy_from(&mut self, other: &Circuit) {
+        self.n_qubits = other.n_qubits;
+        self.instrs.clear();
+        self.instrs.extend_from_slice(&other.instrs);
+    }
+
+    /// In-crate access to the raw instruction vector for passes that
+    /// rewrite circuits in place. Callers must preserve the invariants
+    /// `push` checks (qubit bounds, distinct CNOT operands).
+    pub(crate) fn raw_instrs_mut(&mut self) -> &mut Vec<Instr> {
+        &mut self.instrs
+    }
+
     /// The inverse circuit: reversed instruction order with each gate
     /// inverted (rotations negate, `CX` is an involution).
     pub fn inverse(&self) -> Circuit {

@@ -1,11 +1,15 @@
 //! The 16 transpile settings of Figure 6:
 //! `{Rz, U3} × {level 0..3} × {± commutation}`.
+//!
+//! Since the pass-pipeline refactor this module is a thin veneer over
+//! [`crate::pass`]: a [`TranspileSetting`] converts to a
+//! [`PipelineSpec`] ([`TranspileSetting::spec`]) and [`transpile`] just
+//! runs that pipeline, so the figure-6 search and the serving path go
+//! through the same instrumented machinery.
 
-use crate::basis::{to_rz_basis, to_u3_basis};
-use crate::commute::commute_rotations;
-use crate::fuse::fuse_single_qubit;
-use crate::ir::{Circuit, Op};
+use crate::ir::Circuit;
 use crate::metrics::rotation_count;
+use crate::pass::{PassSpec, Pipeline, PipelineSpec};
 
 /// Target intermediate representation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -48,62 +52,82 @@ impl TranspileSetting {
     }
 }
 
-/// Transpiles `c` under a setting, returning the lowered circuit.
+impl TranspileSetting {
+    /// The pass-pipeline spec this setting means: the exact historic
+    /// ladder (commute → fuse → cx-cancel → fuse → optional commute →
+    /// fuse → basis), truncated by level. `transpile` runs this spec, so
+    /// the two forms can never drift apart.
+    pub fn spec(&self) -> PipelineSpec {
+        let mut passes = Vec::new();
+        if self.commutation {
+            passes.push(PassSpec::Commute);
+        }
+        if self.level >= 1 {
+            passes.push(PassSpec::Fuse);
+        }
+        if self.level >= 2 {
+            passes.push(PassSpec::CxCancel);
+            passes.push(PassSpec::Fuse);
+        }
+        if self.level >= 3 {
+            if self.commutation {
+                passes.push(PassSpec::Commute);
+            }
+            passes.push(PassSpec::Fuse);
+        }
+        passes.push(PassSpec::Basis(self.basis));
+        PipelineSpec::Custom(passes)
+    }
+}
+
+impl From<TranspileSetting> for PipelineSpec {
+    fn from(s: TranspileSetting) -> PipelineSpec {
+        s.spec()
+    }
+}
+
+/// Transpiles `c` under a setting, returning the lowered circuit. Thin
+/// wrapper over [`crate::pass::Pipeline`]: one clone up front, then every
+/// stage runs in place.
 pub fn transpile(c: &Circuit, setting: TranspileSetting) -> Circuit {
     let mut work = c.clone();
-    if setting.commutation {
-        work = commute_rotations(&work);
-    }
-    if setting.level >= 1 {
-        work = fuse_single_qubit(&work);
-    }
-    if setting.level >= 2 {
-        work = cancel_cx_pairs(&work);
-        work = fuse_single_qubit(&work);
-    }
-    if setting.level >= 3 {
-        if setting.commutation {
-            work = commute_rotations(&work);
-        }
-        work = fuse_single_qubit(&work);
-    }
-    match setting.basis {
-        Basis::Rz => to_rz_basis(&work),
-        Basis::U3 => to_u3_basis(&work),
-    }
+    Pipeline::from_spec(&setting.spec(), setting.basis)
+        .expect("transpile settings use only built-in passes")
+        .run(&mut work);
+    work
 }
 
 /// Picks the setting minimizing the nontrivial-rotation count for a given
 /// basis (the paper picks the best of the four levels per IR; Figure 6
 /// counts which setting wins). Returns `(setting, rotations, circuit)`.
+///
+/// Settings are evaluated *streaming*: one work buffer is reused across
+/// all eight candidates and only the current best circuit is retained, so
+/// peak memory is two circuits, not eight. Ties keep the earliest setting
+/// in [`TranspileSetting::all`] order (the historic behavior).
 pub fn best_for_basis(c: &Circuit, basis: Basis) -> (TranspileSetting, usize, Circuit) {
-    TranspileSetting::all()
-        .into_iter()
-        .filter(|s| s.basis == basis)
-        .map(|s| {
-            let t = transpile(c, s);
-            let r = rotation_count(&t);
-            (s, r, t)
-        })
-        .min_by_key(|&(_, r, _)| r)
-        .expect("at least one setting per basis")
-}
-
-/// Cancels immediately-adjacent identical CNOT pairs (level ≥ 2).
-fn cancel_cx_pairs(c: &Circuit) -> Circuit {
-    let mut out: Vec<crate::ir::Instr> = Vec::with_capacity(c.len());
-    for i in c.instrs() {
-        if i.op == Op::Cx {
-            if let Some(last) = out.last() {
-                if last.op == Op::Cx && last.q0 == i.q0 && last.q1 == i.q1 {
-                    out.pop();
-                    continue;
+    let mut work = Circuit::new(c.n_qubits());
+    let mut best: Option<(TranspileSetting, usize, Circuit)> = None;
+    for s in TranspileSetting::all().into_iter().filter(|s| s.basis == basis) {
+        work.copy_from(c);
+        Pipeline::from_spec(&s.spec(), s.basis)
+            .expect("transpile settings use only built-in passes")
+            .run(&mut work);
+        let r = rotation_count(&work);
+        if best.as_ref().is_none_or(|&(_, br, _)| r < br) {
+            // Swap the candidate in and let `work` keep (and later
+            // overwrite) the previous best's allocation.
+            match best.as_mut() {
+                Some(b) => {
+                    b.0 = s;
+                    b.1 = r;
+                    std::mem::swap(&mut b.2, &mut work);
                 }
+                None => best = Some((s, r, std::mem::take(&mut work))),
             }
         }
-        out.push(*i);
     }
-    Circuit::from_instrs(c.n_qubits(), out)
+    best.expect("at least one setting per basis")
 }
 
 #[cfg(test)]

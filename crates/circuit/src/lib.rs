@@ -10,10 +10,11 @@
 //!
 //! This crate provides the circuit IR ([`Circuit`], [`Op`]), the merge
 //! passes ([`fuse`]), the `Rz`/`Rx`-through-CNOT commutation pass
-//! ([`commute`]), the two basis lowerings ([`basis`]), the 16 transpile
-//! settings of Figure 6 ([`levels`]), resource metrics ([`metrics`]), and
-//! circuit-wide application of a single-qubit synthesizer
-//! ([`synthesize`]).
+//! ([`commute`]), the two basis lowerings ([`basis`]), the instrumented
+//! pass pipeline that sequences them ([`pass`]), the 16 transpile
+//! settings of Figure 6 as pipeline wrappers ([`levels`]), resource
+//! metrics ([`metrics`]), and circuit-wide application of a single-qubit
+//! synthesizer ([`synthesize`]).
 //!
 //! ```
 //! use circuit::Circuit;
@@ -32,9 +33,11 @@ pub mod fuse;
 pub mod ir;
 pub mod levels;
 pub mod metrics;
+pub mod pass;
 pub mod qasm;
 pub mod synthesize;
 pub mod trivial;
 
 pub use ir::{Circuit, Instr, Op};
 pub use levels::{transpile, Basis, TranspileSetting};
+pub use pass::{Pass, PassSpec, PassStats, Pipeline, PipelineSpec, Preset};

@@ -6,6 +6,7 @@
 
 use crate::ir::{Circuit, Op};
 use gates::Gate;
+use std::fmt;
 use std::fmt::Write;
 
 /// Serializes a circuit as an OpenQASM 2.0 program.
@@ -58,16 +59,59 @@ pub fn to_qasm(c: &Circuit) -> String {
     out
 }
 
-/// Parses the subset of OpenQASM 2.0 emitted by [`to_qasm`]. Returns
-/// `None` on any unsupported construct (this is a round-trip aid, not a
-/// general front end).
+/// A parse failure with its 1-based source line, so front ends (the
+/// `trasyn-compile` CLI, the server's 400 responses) can say *what*
+/// failed, not just that something did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QasmError {
+    /// 1-based line number of the offending statement (`0` for
+    /// whole-program failures like a missing `qreg`).
+    pub line: usize,
+    /// What went wrong on that line.
+    pub message: String,
+}
+
+impl QasmError {
+    fn at(line: usize, message: impl Into<String>) -> QasmError {
+        QasmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Largest register [`parse_qasm`] accepts. Generous for every workload
+/// in this workspace (the suite tops out at dozens of qubits), but small
+/// enough that per-qubit scratch allocations downstream (fusion
+/// accumulators, parity tables) stay trivially cheap — a hostile
+/// `qreg q[10000000000];` must be a parse error, not a 700 GB
+/// allocation that aborts the server.
+pub const MAX_QUBITS: usize = 4096;
+
+/// Parses the subset of OpenQASM 2.0 emitted by [`to_qasm`], reporting
+/// the first unsupported construct with its line number (this is a
+/// round-trip aid, not a general front end). Registers larger than
+/// [`MAX_QUBITS`] are rejected.
 ///
 /// Real-world QASM 2.0 trimmings are tolerated without contributing
 /// instructions: `//` comments (whole-line or trailing), blank lines, the
 /// `OPENQASM 2.0;` version line, and an `include "qelib1.inc";` line.
-pub fn from_qasm(src: &str) -> Option<Circuit> {
+pub fn parse_qasm(src: &str) -> Result<Circuit, QasmError> {
     let mut circuit: Option<Circuit> = None;
-    for raw in src.lines() {
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
         // Comments run to end of line; `//` cannot occur inside any
         // supported statement (no string literals in this subset).
         let line = match raw.split_once("//") {
@@ -77,22 +121,59 @@ pub fn from_qasm(src: &str) -> Option<Circuit> {
         if line.is_empty() || line.starts_with("OPENQASM") || line.starts_with("include") {
             continue;
         }
-        let line = line.strip_suffix(';')?;
+        let line = line
+            .strip_suffix(';')
+            .ok_or_else(|| QasmError::at(lineno, format!("missing ';' after '{line}'")))?;
         if let Some(rest) = line.strip_prefix("qreg q[") {
-            let n: usize = rest.strip_suffix(']')?.parse().ok()?;
+            let n: usize = rest
+                .strip_suffix(']')
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| QasmError::at(lineno, format!("malformed register '{line};'")))?;
+            if n > MAX_QUBITS {
+                return Err(QasmError::at(
+                    lineno,
+                    format!("register too large: {n} qubits (max {MAX_QUBITS})"),
+                ));
+            }
             circuit = Some(Circuit::new(n));
             continue;
         }
-        let c = circuit.as_mut()?;
-        let (head, args) = line.split_once(" q[")?;
+        let c = circuit
+            .as_mut()
+            .ok_or_else(|| QasmError::at(lineno, "statement before the 'qreg q[n];' declaration"))?;
+        let bad_stmt = || QasmError::at(lineno, format!("unsupported statement '{line};'"));
+        let in_range = |q: usize, c: &Circuit| {
+            if q < c.n_qubits() {
+                Ok(q)
+            } else {
+                Err(QasmError::at(
+                    lineno,
+                    format!("qubit q[{q}] out of range (register has {})", c.n_qubits()),
+                ))
+            }
+        };
+        let (head, args) = line.split_once(" q[").ok_or_else(bad_stmt)?;
         if head == "cx" {
             // "cx q[a],q[b]" split differently: args = "a],q[b]".
-            let (a, rest) = args.split_once("],q[")?;
-            let b = rest.strip_suffix(']')?;
-            c.cx(a.parse().ok()?, b.parse().ok()?);
+            let (a, b) = args
+                .split_once("],q[")
+                .and_then(|(a, rest)| Some((a, rest.strip_suffix(']')?)))
+                .ok_or_else(bad_stmt)?;
+            let (a, b) = match (a.parse(), b.parse()) {
+                (Ok(a), Ok(b)) => (in_range(a, c)?, in_range(b, c)?),
+                _ => return Err(bad_stmt()),
+            };
+            if a == b {
+                return Err(QasmError::at(lineno, format!("self-CNOT on q[{a}]")));
+            }
+            c.cx(a, b);
             continue;
         }
-        let q: usize = args.strip_suffix(']')?.parse().ok()?;
+        let q: usize = args
+            .strip_suffix(']')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(bad_stmt)?;
+        let q = in_range(q, c)?;
         if let Some(g) = match head {
             "h" => Some(Gate::H),
             "s" => Some(Gate::S),
@@ -108,22 +189,28 @@ pub fn from_qasm(src: &str) -> Option<Circuit> {
             continue;
         }
         // Parametrized forms: name(params).
-        let (name, params) = head.split_once('(')?;
-        let params = params.strip_suffix(')')?;
+        let (name, params) = head.split_once('(').ok_or_else(bad_stmt)?;
+        let params = params.strip_suffix(')').ok_or_else(bad_stmt)?;
         let vals: Vec<f64> = params
             .split(',')
             .map(|s| s.trim().parse::<f64>())
             .collect::<Result<_, _>>()
-            .ok()?;
+            .map_err(|_| bad_stmt())?;
         match (name, vals.as_slice()) {
             ("rz", [a]) => c.rz(q, *a),
             ("rx", [a]) => c.rx(q, *a),
             ("ry", [a]) => c.ry(q, *a),
             ("u3", [t, p, l]) => c.u3(q, *t, *p, *l),
-            _ => return None,
+            _ => return Err(bad_stmt()),
         }
     }
-    circuit
+    circuit.ok_or_else(|| QasmError::at(0, "no 'qreg q[n];' declaration"))
+}
+
+/// `Option` shim over [`parse_qasm`] for call sites that only care
+/// whether the program parses.
+pub fn from_qasm(src: &str) -> Option<Circuit> {
+    parse_qasm(src).ok()
 }
 
 #[cfg(test)]
@@ -195,6 +282,55 @@ rz(0.25) q[1];
     fn comment_only_and_empty_sources_have_no_register() {
         assert!(from_qasm("// nothing here\n\n").is_none());
         assert!(from_qasm("").is_none());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_qasm("OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("frobnicate"), "{err}");
+        assert_eq!(err.to_string(), format!("line 3: {}", err.message));
+
+        let err = parse_qasm("qreg q[2];\nh q[0]").unwrap_err();
+        assert_eq!(err.line, 2, "missing semicolon: {err}");
+        assert!(err.message.contains("';'"));
+
+        let err = parse_qasm("h q[0];\nqreg q[1];").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("qreg"), "{err}");
+
+        let err = parse_qasm("// only comments\n").unwrap_err();
+        assert_eq!(err.line, 0, "whole-program failure has no line");
+        assert!(err.to_string().contains("no 'qreg"));
+    }
+
+    #[test]
+    fn out_of_range_qubits_are_errors_not_panics() {
+        // The old Option parser panicked on these (Circuit::push asserts);
+        // hostile network input must produce a clean error instead.
+        let err = parse_qasm("qreg q[2];\nrz(0.3) q[5];").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("out of range"), "{err}");
+
+        let err = parse_qasm("qreg q[2];\ncx q[0],q[7];").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("out of range"), "{err}");
+
+        let err = parse_qasm("qreg q[2];\ncx q[1],q[1];").unwrap_err();
+        assert!(err.message.contains("self-CNOT"), "{err}");
+    }
+
+    #[test]
+    fn oversized_registers_are_rejected_cheaply() {
+        // A 22-byte hostile request must not become a multi-hundred-GB
+        // per-qubit scratch allocation downstream.
+        let err = parse_qasm("qreg q[10000000000];").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("too large"), "{err}");
+        // The boundary itself parses.
+        let c = parse_qasm(&format!("qreg q[{MAX_QUBITS}];")).unwrap();
+        assert_eq!(c.n_qubits(), MAX_QUBITS);
+        assert!(parse_qasm(&format!("qreg q[{}];", MAX_QUBITS + 1)).is_err());
     }
 
     mod roundtrip_property {

@@ -9,6 +9,8 @@
 
 use crate::backend::BackendKind;
 use crate::cache::CacheStats;
+use crate::stats::PassTotals;
+use circuit::pass::{PassStats, PipelineSpec};
 use circuit::synthesize::SynthesizedCircuit;
 use circuit::Circuit;
 
@@ -23,22 +25,30 @@ pub struct BatchItem {
     pub epsilon: f64,
     /// Which backend synthesizes this item's rotations.
     pub backend: BackendKind,
-    /// When `true`, lower through the best transpile setting for the
-    /// backend's basis ([`BackendKind::basis`]) before synthesis; when
-    /// `false` the circuit is synthesized as-is.
-    pub transpile: bool,
+    /// The lowering pipeline run before synthesis. Presets lower to the
+    /// backend's basis ([`BackendKind::basis`]); `none` synthesizes the
+    /// circuit as-is. The JSON/CLI surfaces keep the pre-pipeline
+    /// `transpile: true/false` flag as a deprecated alias for
+    /// `default`/`none`.
+    pub pipeline: PipelineSpec,
 }
 
 impl BatchItem {
-    /// An item with transpilation enabled.
+    /// An item lowered through the `default` preset.
     pub fn new(name: impl Into<String>, circuit: Circuit, epsilon: f64, backend: BackendKind) -> Self {
         BatchItem {
             name: name.into(),
             circuit,
             epsilon,
             backend,
-            transpile: true,
+            pipeline: PipelineSpec::default(),
         }
+    }
+
+    /// Sets the lowering pipeline, builder style.
+    pub fn pipeline(mut self, spec: PipelineSpec) -> Self {
+        self.pipeline = spec;
+        self
     }
 }
 
@@ -74,6 +84,11 @@ pub struct ItemReport {
     pub epsilon: f64,
     /// Qubit count.
     pub n_qubits: usize,
+    /// Canonical spec string of the lowering pipeline that ran.
+    pub pipeline: String,
+    /// Per-pass instrumentation from the lowering pipeline, in run order
+    /// (empty for the `none` pipeline).
+    pub passes: Vec<PassStats>,
     /// The discrete circuit plus error/rotation accounting.
     pub synthesized: SynthesizedCircuit,
     /// T count of the compiled circuit.
@@ -97,15 +112,17 @@ impl ItemReport {
     /// the compiled circuit is appended as a `"qasm"` string (clients use
     /// it to verify bit-identity across surfaces).
     pub fn to_json(&self, include_qasm: bool) -> String {
+        let passes: Vec<String> = self.passes.iter().map(pass_stats_json).collect();
         let mut s = format!(
             "{{\"name\": {}, \"backend\": {}, \"epsilon\": {}, \"n_qubits\": {}, \
-             \"rotations\": {}, \"distinct_rotations\": {}, \"t_count\": {}, \
+             \"pipeline\": {}, \"rotations\": {}, \"distinct_rotations\": {}, \"t_count\": {}, \
              \"clifford_count\": {}, \"total_error\": {}, \"cache_hits\": {}, \
-             \"cache_misses\": {}, \"wall_ms\": {}",
+             \"cache_misses\": {}, \"wall_ms\": {}, \"passes\": [{}]",
             json_string(&self.name),
             json_string(self.backend.label()),
             fmt_f64(self.epsilon),
             self.n_qubits,
+            json_string(&self.pipeline),
             self.synthesized.rotations,
             self.synthesized.distinct_rotations,
             self.t_count,
@@ -114,6 +131,7 @@ impl ItemReport {
             self.cache_hits,
             self.cache_misses,
             fmt_f64(self.wall_ms),
+            passes.join(", "),
         );
         if include_qasm {
             s.push_str(", \"qasm\": ");
@@ -122,6 +140,20 @@ impl ItemReport {
         s.push('}');
         s
     }
+}
+
+/// One [`PassStats`] as a JSON object.
+pub fn pass_stats_json(s: &PassStats) -> String {
+    format!(
+        "{{\"name\": {}, \"wall_ms\": {}, \"instrs_before\": {}, \"instrs_after\": {}, \
+         \"rotations_before\": {}, \"rotations_after\": {}}}",
+        json_string(s.name),
+        fmt_f64(s.wall_ms),
+        s.instrs_before,
+        s.instrs_after,
+        s.rotations_before,
+        s.rotations_after,
+    )
 }
 
 /// Aggregate outcome of a [`BatchRequest`].
@@ -143,6 +175,9 @@ pub struct BatchReport {
     pub total_t_count: usize,
     /// Sum of per-item summed synthesis errors.
     pub total_error: f64,
+    /// Per-pass lowering totals aggregated across the batch's items,
+    /// first-appearance order.
+    pub passes: Vec<PassTotals>,
     /// Shared-cache counters after the batch.
     pub cache: CacheStats,
 }
@@ -164,7 +199,13 @@ impl BatchReport {
         push_kv(&mut s, 2, "insertions", &self.cache.insertions.to_string(), true);
         push_kv(&mut s, 2, "evictions", &self.cache.evictions.to_string(), true);
         push_kv(&mut s, 2, "entries", &self.cache.entries.to_string(), false);
-        s.push_str("  },\n  \"items\": [\n");
+        s.push_str("  },\n  \"passes\": [\n");
+        for (i, p) in self.passes.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&p.to_json());
+            s.push_str(if i + 1 == self.passes.len() { "\n" } else { ",\n" });
+        }
+        s.push_str("  ],\n  \"items\": [\n");
         for (i, it) in self.items.iter().enumerate() {
             s.push_str("    ");
             s.push_str(&it.to_json(false));

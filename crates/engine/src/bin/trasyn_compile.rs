@@ -11,7 +11,12 @@
 //!   --cache-capacity N     shared-cache entries, 0 = unbounded (default 4096)
 //!   --samples N            trasyn samples per pass (default 1024)
 //!   --max-t N              trasyn per-tensor T budget (default 6)
-//!   --no-transpile         synthesize rotations as-is, skip basis lowering
+//!   --pipeline SPEC        lowering pipeline: a preset (none|fast|default|
+//!                          aggressive|zx) or a comma-separated pass list
+//!                          (commute, fuse, cx-cancel, zx-fold, basis=u3,
+//!                          basis=rz); default `default`. Prints a per-pass
+//!                          table (time, instructions, rotations) to stderr.
+//!   --no-transpile         deprecated alias for `--pipeline none`
 //!   --emit-qasm DIR        write each compiled circuit as DIR/<name>.qasm
 //!   --out FILE             write the JSON report to FILE (default stdout)
 //!   --cache-file FILE      warm-start the cache from FILE if present and
@@ -25,7 +30,7 @@
 
 use engine::{
     AnnealingBackend, BackendKind, BatchItem, BatchRequest, Engine, GridsynthBackend,
-    TrasynBackend,
+    PipelineSpec, TrasynBackend,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -38,7 +43,7 @@ struct Options {
     cache_capacity: usize,
     samples: usize,
     max_t: usize,
-    transpile: bool,
+    pipeline: PipelineSpec,
     emit_qasm: Option<PathBuf>,
     out: Option<PathBuf>,
     cache_file: Option<PathBuf>,
@@ -46,7 +51,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: trasyn-compile [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
-     [--threads N] [--cache-capacity N] [--samples N] [--max-t N] [--no-transpile] \
+     [--threads N] [--cache-capacity N] [--samples N] [--max-t N] \
+     [--pipeline none|fast|default|aggressive|zx|PASS,PASS,...] [--no-transpile] \
      [--emit-qasm DIR] [--out FILE] [--cache-file FILE] <FILE.qasm>..."
 }
 
@@ -60,7 +66,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         cache_capacity: 4096,
         samples: 1024,
         max_t: 6,
-        transpile: true,
+        pipeline: PipelineSpec::default(),
         emit_qasm: None,
         out: None,
         cache_file: None,
@@ -103,7 +109,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .parse()
                     .map_err(|_| "--max-t needs an integer".to_string())?;
             }
-            "--no-transpile" => opts.transpile = false,
+            "--pipeline" => {
+                let v = value("--pipeline")?;
+                opts.pipeline = PipelineSpec::parse(&v).map_err(|e| e.to_string())?;
+            }
+            // Deprecated alias from the `transpile: bool` era.
+            "--no-transpile" => opts.pipeline = PipelineSpec::none(),
             "--emit-qasm" => opts.emit_qasm = Some(PathBuf::from(value("--emit-qasm")?)),
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
@@ -198,15 +209,18 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         };
-        let c = match circuit::qasm::from_qasm(&src) {
-            Some(c) => c,
-            None => {
-                eprintln!("error: {} is not in the supported OpenQASM subset", f.display());
+        let c = match circuit::qasm::parse_qasm(&src) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "error: {} is not in the supported OpenQASM subset ({e})",
+                    f.display()
+                );
                 return ExitCode::from(1);
             }
         };
-        let mut item = BatchItem::new(unique_stem(f, &mut used_names), c, opts.epsilon, opts.backend);
-        item.transpile = opts.transpile;
+        let item = BatchItem::new(unique_stem(f, &mut used_names), c, opts.epsilon, opts.backend)
+            .pipeline(opts.pipeline.clone());
         req.items.push(item);
     }
 
@@ -257,6 +271,7 @@ fn main() -> ExitCode {
         }
     }
 
+    print_pass_table(&opts.pipeline, &report);
     eprintln!(
         "[trasyn-compile] {} circuit(s): {} batch hits, {} misses, total T count {} | {}",
         report.items.len(),
@@ -266,4 +281,23 @@ fn main() -> ExitCode {
         eng.stats(),
     );
     ExitCode::SUCCESS
+}
+
+/// Prints the aggregated per-pass table for the batch to stderr.
+fn print_pass_table(pipeline: &PipelineSpec, report: &engine::BatchReport) {
+    if report.passes.is_empty() {
+        eprintln!("[trasyn-compile] pipeline {pipeline}: no lowering passes");
+        return;
+    }
+    eprintln!("[trasyn-compile] pipeline {pipeline}: pass table");
+    eprintln!(
+        "  {:<12} {:>5} {:>10}  {:>16}  {:>16}",
+        "pass", "runs", "ms", "instructions", "rotations"
+    );
+    for p in &report.passes {
+        eprintln!(
+            "  {:<12} {:>5} {:>10.3}  {:>7} -> {:>6}  {:>7} -> {:>6}",
+            p.name, p.runs, p.wall_ms, p.instrs_in, p.instrs_out, p.rotations_in, p.rotations_out
+        );
+    }
 }

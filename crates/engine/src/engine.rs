@@ -21,10 +21,11 @@
 use crate::backend::{BackendKind, SettingsKey, Synthesizer};
 use crate::batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
 use crate::cache::{CacheKey, SynthCache};
+use crate::pipeline::build_pipeline;
 use crate::pool::WorkerPool;
-use crate::stats::EngineStats;
-use circuit::levels::best_for_basis;
+use crate::stats::{aggregate_passes, EngineStats, PassTotals};
 use circuit::metrics::{clifford_count, t_count};
+use circuit::pass::{PassStats, Pipeline, PipelineSpec};
 use circuit::synthesize::{
     quantize_unitary, synthesize_circuit_with, CachedSynthesis, RotationCache,
 };
@@ -33,7 +34,7 @@ use gates::GateSeq;
 use qmath::Mat2;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Errors an [`Engine`] call can report.
@@ -108,6 +109,7 @@ impl EngineBuilder {
             cache,
             pool: WorkerPool::new(self.threads),
             backends: self.backends,
+            pass_totals: Mutex::new(Vec::new()),
         }
     }
 }
@@ -118,6 +120,9 @@ pub struct Engine {
     cache: Arc<SynthCache>,
     pool: WorkerPool,
     backends: Vec<Box<dyn Synthesizer>>,
+    /// Lifetime per-pass lowering totals (first-appearance order inside
+    /// the lock; sorted by name in [`Engine::stats`]).
+    pass_totals: Mutex<Vec<PassTotals>>,
 }
 
 /// One distinct rotation awaiting synthesis.
@@ -200,11 +205,33 @@ impl Engine {
     /// by `/metrics`, `trasyn-compile`'s summary, and tests (see
     /// [`EngineStats`]).
     pub fn stats(&self) -> EngineStats {
+        let mut passes = self
+            .pass_totals
+            .lock()
+            .expect("pass-totals lock poisoned")
+            .clone();
+        passes.sort_by(|a, b| a.name.cmp(&b.name));
         EngineStats {
             threads: self.pool.threads(),
             backends: self.backends(),
             cache_capacity: self.cache.capacity(),
             cache: self.cache.stats(),
+            passes,
+        }
+    }
+
+    /// Folds a batch's per-pass totals into the engine's lifetime
+    /// counters.
+    fn record_passes(&self, totals: &[PassTotals]) {
+        if totals.is_empty() {
+            return;
+        }
+        let mut table = self.pass_totals.lock().expect("pass-totals lock poisoned");
+        for t in totals {
+            match table.iter_mut().find(|e| e.name == t.name) {
+                Some(e) => e.merge(t),
+                None => table.push(t.clone()),
+            }
         }
     }
 
@@ -215,16 +242,28 @@ impl Engine {
             .ok_or(EngineError::BackendUnavailable(kind))
     }
 
-    /// Compiles one circuit as-is (no transpilation) through `backend` at
-    /// threshold `eps`. Equivalent to a single-item [`Engine::compile_batch`].
+    /// Compiles one circuit as-is (the `none` pipeline) through `backend`
+    /// at threshold `eps`. Equivalent to a single-item
+    /// [`Engine::compile_batch`].
     pub fn compile(
         &self,
         c: &Circuit,
         backend: BackendKind,
         eps: f64,
     ) -> Result<ItemReport, EngineError> {
-        let mut item = BatchItem::new("circuit", c.clone(), eps, backend);
-        item.transpile = false;
+        self.compile_with(c, PipelineSpec::none(), backend, eps)
+    }
+
+    /// Compiles one circuit through an explicit lowering pipeline, then
+    /// `backend` at threshold `eps`.
+    pub fn compile_with(
+        &self,
+        c: &Circuit,
+        pipeline: PipelineSpec,
+        backend: BackendKind,
+        eps: f64,
+    ) -> Result<ItemReport, EngineError> {
+        let item = BatchItem::new("circuit", c.clone(), eps, backend).pipeline(pipeline);
         let report = self.compile_batch(&BatchRequest::new().item(item))?;
         Ok(report
             .items
@@ -250,10 +289,21 @@ impl Engine {
             .map(|it| self.backend_index(it.backend))
             .collect::<Result<_, _>>()?;
 
-        // Phase 1 (sequential): lower each item and scan its distinct
-        // rotations against the shared cache, queueing misses. `None`
-        // lowering means "compile `item.circuit` as-is" — no copy made.
-        let mut lowered: Vec<(Option<Circuit>, f64)> = Vec::with_capacity(req.items.len());
+        // Phase 1 (sequential): run each item's lowering pipeline and
+        // scan its distinct rotations against the shared cache, queueing
+        // misses. `None` lowering means the `none` pipeline — the item's
+        // circuit is compiled as-is, no copy made. Passes run in place on
+        // one clone per item, and pipelines are built once per distinct
+        // (spec, basis) so pass scratch buffers are reused across items —
+        // instead of the historic clone-per-stage ladder. The pipeline
+        // map is deliberately batch-local, not an Engine field: sharing
+        // it would put a lock around `Pipeline::run` (passes take `&mut
+        // self`) and serialize lowering across concurrent callers, which
+        // costs far more than rebuilding a handful of boxed passes per
+        // batch.
+        let mut pipelines: HashMap<(PipelineSpec, circuit::Basis), Pipeline> = HashMap::new();
+        let mut lowered: Vec<(Option<Circuit>, Vec<PassStats>, f64)> =
+            Vec::with_capacity(req.items.len());
         let mut resolved: HashMap<CacheKey, CachedSynthesis> = HashMap::new();
         let mut queued: HashSet<CacheKey> = HashSet::new();
         let mut jobs: Vec<Job> = Vec::new();
@@ -261,10 +311,17 @@ impl Engine {
         let mut item_misses: Vec<u64> = Vec::with_capacity(req.items.len());
         for (it, &bidx) in req.items.iter().zip(&backend_idx) {
             let t_item = Instant::now();
-            let low = it.transpile.then(|| {
-                let (_, _, low) = best_for_basis(&it.circuit, it.backend.basis());
-                low
-            });
+            let basis = it.backend.basis();
+            let (low, pass_stats) = if it.pipeline.is_empty(basis) {
+                (None, Vec::new())
+            } else {
+                let pipe = pipelines
+                    .entry((it.pipeline.clone(), basis))
+                    .or_insert_with(|| build_pipeline(&it.pipeline, basis));
+                let mut work = it.circuit.clone();
+                let stats = pipe.run(&mut work);
+                (Some(work), stats)
+            };
             let circuit = low.as_ref().unwrap_or(&it.circuit);
             let settings = self.backends[bidx].settings_key(it.epsilon);
             let mut seen: HashSet<[i64; 8]> = HashSet::new();
@@ -300,7 +357,7 @@ impl Engine {
             }
             item_hits.push(hits);
             item_misses.push(misses);
-            lowered.push((low, t_item.elapsed().as_secs_f64() * 1e3));
+            lowered.push((low, pass_stats, t_item.elapsed().as_secs_f64() * 1e3));
         }
 
         // Phase 2 (parallel): synthesize every queued rotation on the
@@ -321,7 +378,7 @@ impl Engine {
         let mut items = Vec::with_capacity(req.items.len());
         for (i, (it, &bidx)) in req.items.iter().zip(&backend_idx).enumerate() {
             let t_item = Instant::now();
-            let (low, lower_ms) = &lowered[i];
+            let (low, pass_stats, lower_ms) = std::mem::take(&mut lowered[i]);
             let circuit = low.as_ref().unwrap_or(&it.circuit);
             let settings = self.backends[bidx].settings_key(it.epsilon);
             let mut adapter = Resolved {
@@ -340,6 +397,8 @@ impl Engine {
                 backend: it.backend,
                 epsilon: it.epsilon,
                 n_qubits: synthesized.circuit.n_qubits(),
+                pipeline: it.pipeline.to_string(),
+                passes: pass_stats,
                 t_count: t_count(&synthesized.circuit),
                 clifford_count: clifford_count(&synthesized.circuit),
                 cache_hits: item_hits[i],
@@ -349,6 +408,9 @@ impl Engine {
             });
         }
 
+        let passes = aggregate_passes(items.iter().flat_map(|i| i.passes.iter()));
+        self.record_passes(&passes);
+
         Ok(BatchReport {
             threads: self.pool.threads(),
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
@@ -357,6 +419,7 @@ impl Engine {
             cache_misses: item_misses.iter().sum(),
             total_t_count: items.iter().map(|i| i.t_count).sum(),
             total_error: items.iter().map(|i| i.synthesized.total_error).sum(),
+            passes,
             cache: self.cache.stats(),
             items,
         })

@@ -21,9 +21,13 @@
 //!   in parallel and hands results back in job order.
 //! * [`backend`] — the [`backend::Synthesizer`] trait plus trasyn,
 //!   gridsynth, and annealing implementations.
+//! * [`pipeline`] — resolves a [`circuit::pass::PipelineSpec`] (preset or
+//!   spec string) into a runnable lowering pipeline, injecting the
+//!   `zx-fold` adapter from `zxopt`; the single builder the CLI, server,
+//!   and repro driver all share.
 //! * [`batch`] — [`batch::BatchRequest`] / [`batch::BatchReport`]: per-item
-//!   epsilon and backend choice, aggregate error/T-count/timing/cache
-//!   stats, JSON serialization.
+//!   epsilon, backend, and lowering-pipeline choice, aggregate
+//!   error/T-count/timing/cache/per-pass stats, JSON serialization.
 //! * [`snapshot`] — versioned, checksummed binary snapshots of the cache
 //!   for warm starts (`--cache-file` in the CLI, the server's persistent
 //!   cache); corrupt or mismatched files degrade to a cold cache, never a
@@ -74,6 +78,7 @@ pub mod batch;
 pub mod cache;
 pub mod engine;
 mod fnv;
+pub mod pipeline;
 pub mod pool;
 pub mod snapshot;
 pub mod stats;
@@ -84,7 +89,9 @@ pub use backend::{
 };
 pub use batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
 pub use cache::{CacheKey, CacheStats, SynthCache};
+pub use circuit::pass::{PassSpec, PassStats, PipelineSpec, PipelineSpecError, Preset};
 pub use engine::{Engine, EngineBuilder, EngineError};
+pub use pipeline::build_pipeline;
 pub use pool::WorkerPool;
 pub use snapshot::{SnapshotError, WarmStart};
-pub use stats::EngineStats;
+pub use stats::{EngineStats, PassTotals};

@@ -1,0 +1,57 @@
+//! The engine's pipeline builder: the one place every front-end resolves
+//! a [`PipelineSpec`] into a runnable [`Pipeline`].
+//!
+//! `circuit::pass` owns the spec grammar and the built-in passes, but
+//! cannot host the `zx-fold` pass (the `zxopt` crate depends on
+//! `circuit`, not the other way around). [`build_pipeline`] closes that
+//! gap by injecting [`zxopt::ZxFoldPass`]. Because the CLI, the batch
+//! engine, the server, and the repro driver all build pipelines through
+//! this function, equal specs produce bit-identical lowered circuits on
+//! every surface — the refactor's determinism contract.
+
+use circuit::pass::{PassSpec, Pipeline, PipelineSpec};
+use circuit::Basis;
+
+/// Builds the runnable pipeline for `spec`, lowering for `basis` (the
+/// synthesis backend's preferred IR; see
+/// [`crate::BackendKind::basis`]). Infallible: every [`PassSpec`] has a
+/// builder here — the built-ins from `circuit::pass` plus the `zx-fold`
+/// adapter from `zxopt`.
+pub fn build_pipeline(spec: &PipelineSpec, basis: Basis) -> Pipeline {
+    Pipeline::from_spec_with(spec, basis, |p| match p {
+        PassSpec::ZxFold => Some(Box::new(zxopt::ZxFoldPass)),
+        _ => None,
+    })
+    .expect("built-in passes plus the zx-fold adapter cover every PassSpec")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::metrics::t_count;
+    use circuit::{Circuit, Preset};
+    use gates::Gate;
+
+    #[test]
+    fn every_preset_builds_for_both_bases() {
+        for p in Preset::ALL {
+            for basis in [Basis::U3, Basis::Rz] {
+                let spec = PipelineSpec::Preset(p);
+                let pipe = build_pipeline(&spec, basis);
+                assert_eq!(pipe.len(), spec.passes(basis).len());
+            }
+        }
+    }
+
+    #[test]
+    fn zx_fold_resolves_and_folds() {
+        let spec = PipelineSpec::parse("zx-fold").unwrap();
+        let mut c = Circuit::new(1);
+        c.gate(0, Gate::T);
+        c.gate(0, Gate::T);
+        let stats = build_pipeline(&spec, Basis::U3).run(&mut c);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "zx-fold");
+        assert_eq!(t_count(&c), 0, "T·T folds to S: {c}");
+    }
+}

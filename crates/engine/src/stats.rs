@@ -8,7 +8,101 @@
 use crate::backend::BackendKind;
 use crate::batch::{fmt_f64, json_string};
 use crate::cache::CacheStats;
+use circuit::pass::PassStats;
 use std::fmt;
+
+/// Lifetime totals for one named lowering pass, aggregated across every
+/// pipeline run (all items, all requests). The rotation/instruction sums
+/// let consumers compute reduction rates without tracking each run.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PassTotals {
+    /// The pass's stable name (its spec token, e.g. `"fuse"`).
+    pub name: String,
+    /// How many times the pass ran.
+    pub runs: u64,
+    /// Total wall-clock milliseconds across all runs.
+    pub wall_ms: f64,
+    /// Summed instruction counts entering the pass.
+    pub instrs_in: u64,
+    /// Summed instruction counts leaving the pass.
+    pub instrs_out: u64,
+    /// Summed nontrivial-rotation counts entering the pass.
+    pub rotations_in: u64,
+    /// Summed nontrivial-rotation counts leaving the pass.
+    pub rotations_out: u64,
+}
+
+impl PassTotals {
+    /// Starts a zeroed total for `name`.
+    pub fn named(name: &str) -> PassTotals {
+        PassTotals {
+            name: name.to_string(),
+            ..PassTotals::default()
+        }
+    }
+
+    /// Folds one pass run into the totals.
+    pub fn absorb(&mut self, s: &PassStats) {
+        self.runs += 1;
+        self.wall_ms += s.wall_ms;
+        self.instrs_in += s.instrs_before as u64;
+        self.instrs_out += s.instrs_after as u64;
+        self.rotations_in += s.rotations_before as u64;
+        self.rotations_out += s.rotations_after as u64;
+    }
+
+    /// Folds another total (for the same pass name) into this one — the
+    /// single place the field-by-field merge lives, shared by batch
+    /// aggregation consumers and the engine's lifetime counters.
+    pub fn merge(&mut self, other: &PassTotals) {
+        debug_assert_eq!(self.name, other.name, "merging totals of different passes");
+        self.runs += other.runs;
+        self.wall_ms += other.wall_ms;
+        self.instrs_in += other.instrs_in;
+        self.instrs_out += other.instrs_out;
+        self.rotations_in += other.rotations_in;
+        self.rotations_out += other.rotations_out;
+    }
+
+    /// Net rotations removed (negative when the pass *adds* rotations,
+    /// as `basis=rz` does on mixed-axis circuits).
+    pub fn rotations_removed(&self) -> i64 {
+        self.rotations_in as i64 - self.rotations_out as i64
+    }
+
+    /// Serializes as a JSON object (one stable shape for batch reports
+    /// and [`EngineStats::to_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\": {}, \"runs\": {}, \"wall_ms\": {}, \"instrs_in\": {}, \
+             \"instrs_out\": {}, \"rotations_in\": {}, \"rotations_out\": {}}}",
+            json_string(&self.name),
+            self.runs,
+            fmt_f64(self.wall_ms),
+            self.instrs_in,
+            self.instrs_out,
+            self.rotations_in,
+            self.rotations_out,
+        )
+    }
+}
+
+/// Aggregates per-run [`PassStats`] into per-pass totals, first-appearance
+/// order.
+pub fn aggregate_passes<'a>(stats: impl IntoIterator<Item = &'a PassStats>) -> Vec<PassTotals> {
+    let mut out: Vec<PassTotals> = Vec::new();
+    for s in stats {
+        match out.iter_mut().find(|t| t.name == s.name) {
+            Some(t) => t.absorb(s),
+            None => {
+                let mut t = PassTotals::named(s.name);
+                t.absorb(s);
+                out.push(t);
+            }
+        }
+    }
+    out
+}
 
 /// Point-in-time engine counters: pool shape, hosted backends, and the
 /// shared cache's statistics.
@@ -27,6 +121,9 @@ pub struct EngineStats {
     pub cache_capacity: usize,
     /// Shared-cache counters.
     pub cache: CacheStats,
+    /// Lifetime lowering-pass totals, sorted by pass name (stable across
+    /// request interleavings).
+    pub passes: Vec<PassTotals>,
 }
 
 impl EngineStats {
@@ -40,12 +137,13 @@ impl EngineStats {
         }
     }
 
-    /// Serializes as a JSON object:
+    /// Serializes as a JSON object (keys are append-only; `"passes"`
+    /// joined in the pipeline refactor):
     ///
     /// ```json
     /// {"threads": 2, "backends": ["gridsynth"], "cache_capacity": 4096,
     ///  "cache": {"hits": 9, "misses": 3, "insertions": 3, "evictions": 0,
-    ///            "entries": 3, "hit_rate": 0.75}}
+    ///            "entries": 3, "hit_rate": 0.75}, "passes": []}
     /// ```
     pub fn to_json(&self) -> String {
         let backends: Vec<String> = self
@@ -53,10 +151,12 @@ impl EngineStats {
             .iter()
             .map(|b| json_string(b.label()))
             .collect();
+        let passes: Vec<String> = self.passes.iter().map(|p| p.to_json()).collect();
         format!(
             "{{\"threads\": {}, \"backends\": [{}], \"cache_capacity\": {}, \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \
-             \"evictions\": {}, \"entries\": {}, \"hit_rate\": {}}}}}",
+             \"evictions\": {}, \"entries\": {}, \"hit_rate\": {}}}, \
+             \"passes\": [{}]}}",
             self.threads,
             backends.join(", "),
             self.cache_capacity,
@@ -66,6 +166,7 @@ impl EngineStats {
             self.cache.evictions,
             self.cache.entries,
             fmt_f64(self.hit_rate()),
+            passes.join(", "),
         )
     }
 }
@@ -106,6 +207,7 @@ mod tests {
                 evictions: 0,
                 entries: 3,
             },
+            passes: Vec::new(),
         }
     }
 
@@ -128,8 +230,61 @@ mod tests {
             j,
             "{\"threads\": 2, \"backends\": [\"gridsynth\", \"trasyn\"], \
              \"cache_capacity\": 4096, \"cache\": {\"hits\": 9, \"misses\": 3, \
-             \"insertions\": 3, \"evictions\": 0, \"entries\": 3, \"hit_rate\": 0.75}}"
+             \"insertions\": 3, \"evictions\": 0, \"entries\": 3, \"hit_rate\": 0.75}, \
+             \"passes\": []}"
         );
+        let mut with_pass = sample();
+        let mut t = PassTotals::named("fuse");
+        t.absorb(&PassStats {
+            name: "fuse",
+            wall_ms: 0.5,
+            instrs_before: 10,
+            instrs_after: 6,
+            rotations_before: 4,
+            rotations_after: 2,
+        });
+        with_pass.passes.push(t);
+        assert!(with_pass.to_json().contains(
+            "\"passes\": [{\"name\": \"fuse\", \"runs\": 1, \"wall_ms\": 0.5, \
+             \"instrs_in\": 10, \"instrs_out\": 6, \"rotations_in\": 4, \"rotations_out\": 2}]"
+        ));
+    }
+
+    #[test]
+    fn pass_aggregation_is_first_appearance_ordered() {
+        let runs = [
+            PassStats {
+                name: "commute",
+                wall_ms: 1.0,
+                instrs_before: 8,
+                instrs_after: 8,
+                rotations_before: 3,
+                rotations_after: 3,
+            },
+            PassStats {
+                name: "fuse",
+                wall_ms: 2.0,
+                instrs_before: 8,
+                instrs_after: 5,
+                rotations_before: 3,
+                rotations_after: 1,
+            },
+            PassStats {
+                name: "commute",
+                wall_ms: 0.5,
+                instrs_before: 5,
+                instrs_after: 5,
+                rotations_before: 1,
+                rotations_after: 1,
+            },
+        ];
+        let totals = aggregate_passes(runs.iter());
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].name, "commute");
+        assert_eq!(totals[0].runs, 2);
+        assert!((totals[0].wall_ms - 1.5).abs() < 1e-12);
+        assert_eq!(totals[1].name, "fuse");
+        assert_eq!(totals[1].rotations_removed(), 2);
     }
 
     #[test]

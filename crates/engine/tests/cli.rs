@@ -117,6 +117,63 @@ fn usage_errors_exit_2() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr_of(&out).contains("no input files"));
+    let out = run(&["--pipeline", "warp9", smoke_qasm().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("warp9"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn malformed_qasm_error_names_the_line() {
+    let dir = tmp_dir("qasmline");
+    let bad = dir.join("bad.qasm");
+    std::fs::write(&bad, "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nwarp q[1];\n").unwrap();
+    let out = run(&["--backend", "gridsynth", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = stderr_of(&out);
+    let errs = error_lines(&stderr);
+    assert_eq!(errs.len(), 1, "{stderr:?}");
+    assert!(errs[0].contains("line 4"), "error must carry the line: {}", errs[0]);
+    assert!(errs[0].contains("warp"), "error must quote the statement: {}", errs[0]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pipeline_presets_compile_and_report_passes() {
+    // `--pipeline zx` must run phase folding and emit the pass table plus
+    // per-pass JSON; `--no-transpile` stays a working alias for `none`.
+    let dir = tmp_dir("pipeline");
+    let report = dir.join("report.json");
+    let out = run(&[
+        "--backend",
+        "gridsynth",
+        "--pipeline",
+        "zx",
+        "--out",
+        report.to_str().unwrap(),
+        smoke_qasm().to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("pipeline zx: pass table"), "{stderr}");
+    assert!(stderr.contains("zx-fold"), "{stderr}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"pipeline\": \"zx\""), "{json}");
+    assert!(json.contains("\"name\": \"zx-fold\""), "{json}");
+    assert!(json.contains("\"passes\""), "{json}");
+
+    let out = run(&[
+        "--backend",
+        "gridsynth",
+        "--no-transpile",
+        "--out",
+        report.to_str().unwrap(),
+        smoke_qasm().to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("no lowering passes"), "{}", stderr_of(&out));
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"pipeline\": \"none\""), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -122,29 +122,45 @@ impl Ctx {
         out
     }
 
-    /// The trasyn (U3) workflow on a circuit: best U3 transpile setting,
-    /// then direct synthesis of every rotation through the engine with
-    /// error threshold `eps_rot` per rotation. Returns the lowered
-    /// circuit and synthesis output.
+    /// The trasyn (U3) workflow on a circuit: the rotation-minimizing U3
+    /// transpile setting, re-expressed as a pipeline spec and run through
+    /// the engine's lowering pipeline, then direct synthesis of every
+    /// rotation with error threshold `eps_rot` per rotation. Returns the
+    /// lowered circuit and synthesis output.
     pub fn u3_workflow(&self, c: &Circuit, eps_rot: f64) -> (Circuit, SynthesizedCircuit) {
-        let (_, _, lowered) = best_for_basis(c, Basis::U3);
-        let report = self
-            .engine
-            .compile(&lowered, BackendKind::Trasyn, eps_rot)
-            .expect("engine hosts the trasyn backend");
-        (lowered, report.synthesized)
+        self.workflow(c, Basis::U3, BackendKind::Trasyn, eps_rot)
     }
 
-    /// The gridsynth (Rz) workflow: best Rz transpile setting, then
-    /// Ross–Selinger synthesis of every rotation through the engine.
+    /// The gridsynth (Rz) workflow: the best Rz transpile setting as a
+    /// pipeline spec, then Ross–Selinger synthesis through the engine.
     /// `eps_rot` is the *per-rotation* error threshold (callers scale it
     /// by the rotation ratio to match circuit-level error budgets, §4.3).
     pub fn rz_workflow(&self, c: &Circuit, eps_rot: f64) -> (Circuit, SynthesizedCircuit) {
-        let (_, _, lowered) = best_for_basis(c, Basis::Rz);
+        self.workflow(c, Basis::Rz, BackendKind::Gridsynth, eps_rot)
+    }
+
+    fn workflow(
+        &self,
+        c: &Circuit,
+        basis: Basis,
+        backend: BackendKind,
+        eps_rot: f64,
+    ) -> (Circuit, SynthesizedCircuit) {
+        // The paper's methodology: search the basis's settings for the
+        // rotation-minimizing one (streaming — only the current best is
+        // retained), then hand the *original* circuit plus the winning
+        // spec to the engine, whose pass pipeline redoes the lowering on
+        // the production path (same passes, bit-identical circuit).
+        let (setting, _, lowered) = best_for_basis(c, basis);
         let report = self
             .engine
-            .compile(&lowered, BackendKind::Gridsynth, eps_rot)
-            .expect("engine hosts the gridsynth backend");
+            .compile_with(c, setting.spec(), backend, eps_rot)
+            .expect("engine hosts this backend");
+        debug_assert_eq!(
+            report.pipeline,
+            setting.spec().to_string(),
+            "engine must echo the winning spec"
+        );
         (lowered, report.synthesized)
     }
 }

@@ -123,7 +123,7 @@ pub fn fig6(ctx: &Ctx) {
     }
     println!("Figure 6: settings achieving the fewest rotations ({} circuits)", suite.len());
     println!(
-        "{:<6} {:<6} {:<13} {:>6}",
+        "{:<6} {:<6} {:<13} {:>6}  pipeline spec",
         "basis", "level", "commutation", "wins"
     );
     let mut rows = Vec::new();
@@ -134,14 +134,17 @@ pub fn fig6(ctx: &Ctx) {
             Basis::Rz => "Rz",
             Basis::U3 => "U3",
         };
+        // Every setting is a pass-pipeline spec now; print and record the
+        // spec string so winners can be replayed with `--pipeline`.
+        let spec = s.spec().to_string();
         println!(
-            "{:<6} {:<6} {:<13} {:>6}",
+            "{:<6} {:<6} {:<13} {:>6}  {spec}",
             basis,
             s.level,
             if s.commutation { "with" } else { "without" },
             w
         );
-        rows.push(format!("{basis},{},{},{w}", s.level, s.commutation));
+        rows.push(format!("{basis},{},{},{w},\"{spec}\"", s.level, s.commutation));
         match s.basis {
             Basis::U3 => u3_wins += w,
             Basis::Rz => rz_wins += w,
@@ -150,7 +153,7 @@ pub fn fig6(ctx: &Ctx) {
     println!("  U3 total wins: {u3_wins}   Rz total wins: {rz_wins} (paper: U3 wins most circuits)");
     write_csv(
         &ctx.out("fig6_setting_wins.csv"),
-        "basis,level,commutation,wins",
+        "basis,level,commutation,wins,pipeline_spec",
         &rows,
     );
     // Also record the commutation benefit on QAOA explicitly (§3.4).

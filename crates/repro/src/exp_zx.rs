@@ -4,6 +4,18 @@ use crate::context::Ctx;
 use crate::exp_circuits::{eps_rot, run_both};
 use crate::util::{geomean, write_csv};
 use circuit::metrics::{clifford_count, gate_count, t_count, t_depth};
+use circuit::pass::PipelineSpec;
+use circuit::{Basis, Circuit};
+
+/// Runs the post-synthesis optimizer as the production `zx-fold` pass —
+/// the same adapter the `zx` pipeline preset uses on the serving path —
+/// instead of calling `zxopt::optimize` directly.
+fn zx_fold(c: &Circuit) -> Circuit {
+    let spec = PipelineSpec::parse("zx-fold").expect("zx-fold is a known pass");
+    let mut out = c.clone();
+    engine::build_pipeline(&spec, Basis::U3).run(&mut out);
+    out
+}
 
 /// Figure 14: T / T-depth / Clifford ratios between the two workflows
 /// before and after the PyZX-style optimizer.
@@ -24,8 +36,8 @@ pub fn fig14(ctx: &Ctx) {
         if gate_count(&pair.u3.circuit) > 50_000 || gate_count(&pair.rz.circuit) > 50_000 {
             continue;
         }
-        let u3_opt = zxopt::optimize(&pair.u3.circuit);
-        let rz_opt = zxopt::optimize(&pair.rz.circuit);
+        let u3_opt = zx_fold(&pair.u3.circuit);
+        let rz_opt = zx_fold(&pair.rz.circuit);
         let r = |a: usize, b: usize| a as f64 / b.max(1) as f64;
         let bt = r(t_count(&pair.rz.circuit), t_count(&pair.u3.circuit));
         let at = r(t_count(&rz_opt), t_count(&u3_opt));

@@ -145,12 +145,15 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     Ok(Some(opts))
 }
 
-/// The JSON body for one sampled request.
+/// The JSON body for one sampled request. The mix's lowering pipeline
+/// rides along as the `"pipeline"` spec string, so a load run exercises
+/// the same pass diversity a real serving fleet sees.
 fn body_of(req: &workloads::requests::SampledRequest, opts: &Options) -> String {
     let common = format!(
-        "\"epsilon\": {}, \"backend\": \"{}\", \"name\": {}",
+        "\"epsilon\": {}, \"backend\": \"{}\", \"pipeline\": \"{}\", \"name\": {}",
         opts.epsilon,
         opts.backend.label(),
+        req.pipeline,
         server::json::escape(&req.name),
     );
     match &req.payload {
@@ -379,6 +382,8 @@ fn smoke(opts: &Options) -> Result<(), String> {
         "trasyn_cache_hits_total",
         "trasyn_cache_misses_total",
         "trasyn_cache_entries",
+        "trasyn_pass_runs_total",
+        "trasyn_pass_wall_ms_total",
     ] {
         if !resp.body.contains(needle) {
             return Err(format!("metrics missing {needle:?}"));

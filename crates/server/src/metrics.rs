@@ -211,6 +211,34 @@ impl Metrics {
         line(format!("trasyn_cache_entries {}", engine.cache.entries));
         line("# TYPE trasyn_synthesis_threads gauge".into());
         line(format!("trasyn_synthesis_threads {}", engine.threads));
+
+        // Per-pass lowering counters (sorted by pass name in EngineStats,
+        // so the exposition is stable across request interleavings).
+        line("# TYPE trasyn_pass_runs_total counter".into());
+        for p in &engine.passes {
+            line(format!("trasyn_pass_runs_total{{pass=\"{}\"}} {}", p.name, p.runs));
+        }
+        line("# TYPE trasyn_pass_wall_ms_total counter".into());
+        for p in &engine.passes {
+            line(format!(
+                "trasyn_pass_wall_ms_total{{pass=\"{}\"}} {}",
+                p.name, p.wall_ms
+            ));
+        }
+        line("# TYPE trasyn_pass_rotations_in_total counter".into());
+        for p in &engine.passes {
+            line(format!(
+                "trasyn_pass_rotations_in_total{{pass=\"{}\"}} {}",
+                p.name, p.rotations_in
+            ));
+        }
+        line("# TYPE trasyn_pass_rotations_out_total counter".into());
+        for p in &engine.passes {
+            line(format!(
+                "trasyn_pass_rotations_out_total{{pass=\"{}\"}} {}",
+                p.name, p.rotations_out
+            ));
+        }
         out
     }
 }
@@ -221,6 +249,11 @@ mod tests {
     use engine::{BackendKind, CacheStats};
 
     fn stats() -> EngineStats {
+        let mut fuse = engine::PassTotals::named("fuse");
+        fuse.runs = 3;
+        fuse.wall_ms = 1.25;
+        fuse.rotations_in = 12;
+        fuse.rotations_out = 7;
         EngineStats {
             threads: 2,
             backends: vec![BackendKind::Gridsynth],
@@ -232,6 +265,7 @@ mod tests {
                 evictions: 1,
                 entries: 2,
             },
+            passes: vec![fuse],
         }
     }
 
@@ -257,6 +291,10 @@ mod tests {
             "trasyn_cache_misses_total 2",
             "trasyn_cache_entries 2",
             "trasyn_synthesis_threads 2",
+            "trasyn_pass_runs_total{pass=\"fuse\"} 3",
+            "trasyn_pass_wall_ms_total{pass=\"fuse\"} 1.25",
+            "trasyn_pass_rotations_in_total{pass=\"fuse\"} 12",
+            "trasyn_pass_rotations_out_total{pass=\"fuse\"} 7",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -6,23 +6,26 @@
 //! * `GET /metrics` → Prometheus text ([`crate::metrics`]).
 //! * `POST /v1/compile` — body is a JSON object with exactly one of
 //!   `"rz"` (a rotation angle) or `"qasm"` (an OpenQASM 2.0 program),
-//!   plus optional `"epsilon"`, `"backend"`, `"transpile"`, `"name"`.
-//!   Responds with the item report plus the compiled circuit as
-//!   `"qasm"` — the same circuit `trasyn-compile` would emit for the
+//!   plus optional `"epsilon"`, `"backend"`, `"pipeline"`, `"name"`
+//!   (and the deprecated `"transpile"` boolean, an alias for pipeline
+//!   `"default"`/`"none"`). Responds with the item report — including
+//!   the per-pass lowering stats — plus the compiled circuit as
+//!   `"qasm"`: the same circuit `trasyn-compile` would emit for the
 //!   same input and settings, bit for bit.
 //! * `POST /v1/batch` — `{"items": [<compile objects>]}`; responds with
 //!   the engine's `BatchReport` JSON.
 //!
 //! Defaults: `epsilon` and `backend` come from
 //! [`crate::service::ServerConfig`];
-//! `transpile` defaults to `true` for `"qasm"` circuits and `false` for
-//! single `"rz"` rotations (lowering a lone rotation is pure overhead).
+//! `pipeline` defaults to `"default"` for `"qasm"` circuits and
+//! `"none"` for single `"rz"` rotations (lowering a lone rotation is
+//! pure overhead). An unknown `"pipeline"` spec is a 400.
 
 use crate::http::{self, Request};
 use crate::json::{self, Value};
 use crate::metrics::Endpoint;
 use crate::service::Shared;
-use engine::{BackendKind, BatchItem, BatchRequest};
+use engine::{BackendKind, BatchItem, BatchRequest, PipelineSpec};
 use std::io::Write;
 
 /// Cap on `/v1/batch` items — a request is one unit of queue accounting,
@@ -123,7 +126,7 @@ fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, (u1
                 .ok_or_else(|| bad(format!("item {index}: unknown backend \"{label}\"")))?
         }
     };
-    let (circuit, default_name, default_transpile) = match (v.get("rz"), v.get("qasm")) {
+    let (circuit, default_name, default_pipeline) = match (v.get("rz"), v.get("qasm")) {
         (Some(_), Some(_)) => {
             return Err(bad(format!("item {index}: give \"rz\" or \"qasm\", not both")))
         }
@@ -134,18 +137,18 @@ fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, (u1
                 .ok_or_else(|| bad(format!("item {index}: \"rz\" must be a finite number")))?;
             let mut c = circuit::Circuit::new(1);
             c.rz(0, theta);
-            (c, "rz".to_string(), false)
+            (c, "rz".to_string(), PipelineSpec::none())
         }
         (None, Some(qasm)) => {
             let src = qasm
                 .as_str()
                 .ok_or_else(|| bad(format!("item {index}: \"qasm\" must be a string")))?;
-            let c = circuit::qasm::from_qasm(src).ok_or_else(|| {
+            let c = circuit::qasm::parse_qasm(src).map_err(|e| {
                 bad(format!(
-                    "item {index}: \"qasm\" is not in the supported OpenQASM 2.0 subset"
+                    "item {index}: \"qasm\" is not in the supported OpenQASM 2.0 subset: {e}"
                 ))
             })?;
-            (c, "circuit".to_string(), true)
+            (c, "circuit".to_string(), PipelineSpec::default())
         }
         (None, None) => {
             return Err(bad(format!("item {index}: need \"rz\" or \"qasm\"")))
@@ -158,15 +161,29 @@ fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, (u1
             .ok_or_else(|| bad(format!("item {index}: \"name\" must be a string")))?
             .to_string(),
     };
-    let transpile = match v.get("transpile") {
-        None => default_transpile,
-        Some(t) => t
-            .as_bool()
-            .ok_or_else(|| bad(format!("item {index}: \"transpile\" must be a boolean")))?,
+    let pipeline = match (v.get("pipeline"), v.get("transpile")) {
+        (Some(_), Some(_)) => {
+            return Err(bad(format!(
+                "item {index}: give \"pipeline\" or the deprecated \"transpile\", not both"
+            )))
+        }
+        (Some(p), None) => {
+            let spec = p
+                .as_str()
+                .ok_or_else(|| bad(format!("item {index}: \"pipeline\" must be a string")))?;
+            PipelineSpec::parse(spec).map_err(|e| bad(format!("item {index}: {e}")))?
+        }
+        // Deprecated boolean alias from the pre-pipeline API.
+        (None, Some(t)) => match t.as_bool() {
+            Some(true) => PipelineSpec::default(),
+            Some(false) => PipelineSpec::none(),
+            None => {
+                return Err(bad(format!("item {index}: \"transpile\" must be a boolean")))
+            }
+        },
+        (None, None) => default_pipeline,
     };
-    let mut item = BatchItem::new(name, circuit, epsilon, backend);
-    item.transpile = transpile;
-    Ok(item)
+    Ok(BatchItem::new(name, circuit, epsilon, backend).pipeline(pipeline))
 }
 
 fn compile(req: &Request, shared: &Shared) -> RouteResult {

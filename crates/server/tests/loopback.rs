@@ -272,9 +272,8 @@ fn parallel_server_responses_match_sequential_compile() {
             (Some(rz), None) => {
                 let mut c = circuit::Circuit::new(1);
                 c.rz(0, rz.as_f64().unwrap());
-                let mut it = engine::BatchItem::new("x", c, 1e-2, BackendKind::Gridsynth);
-                it.transpile = false;
-                it
+                engine::BatchItem::new("x", c, 1e-2, BackendKind::Gridsynth)
+                    .pipeline(engine::PipelineSpec::none())
             }
             (None, Some(q)) => engine::BatchItem::new(
                 "x",
@@ -300,6 +299,86 @@ fn parallel_server_responses_match_sequential_compile() {
             "response for request {i} must be bit-identical to the sequential path"
         );
     }
+
+    handle.shutdown();
+}
+
+#[test]
+fn pipeline_requests_fold_and_match_the_engine_path() {
+    // Acceptance criterion: a `"pipeline": "zx"` request runs ZX phase
+    // folding on the serving path, reports per-pass stats, and produces
+    // the bit-identical circuit the engine/CLI path produces for the same
+    // spec; unknown specs are 400s; the deprecated transpile flag still
+    // works; /metrics exports the per-pass counters.
+    let handle = Server::start("127.0.0.1:0", config(), engine(2)).unwrap();
+    let mut c = connect(handle.addr());
+
+    // A two-layer diagonal circuit with fold opportunities: the same
+    // parity phase appears on both sides of a CX pair.
+    let mut circ = circuit::Circuit::new(2);
+    circ.rz(0, 0.4);
+    circ.cx(0, 1);
+    circ.rz(1, 0.7);
+    circ.cx(0, 1);
+    circ.rz(1, 0.7);
+    circ.rz(0, 0.4);
+    let qasm = circuit::qasm::to_qasm(&circ);
+
+    let body = format!(
+        "{{\"qasm\": {}, \"pipeline\": \"zx\", \"epsilon\": 0.01}}",
+        json::escape(&qasm)
+    );
+    let resp = c.request("POST", "/v1/compile", Some(&body)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let parsed = json::parse(&resp.body).unwrap();
+    assert_eq!(parsed.get("pipeline").unwrap().as_str(), Some("zx"));
+    let passes = parsed.get("passes").unwrap().as_arr().unwrap();
+    let names: Vec<&str> = passes
+        .iter()
+        .map(|p| p.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(names.contains(&"zx-fold"), "zx preset must run folding: {names:?}");
+    assert!(names.contains(&"basis=rz"), "zx lowers to Clifford+Rz: {names:?}");
+
+    // Bit-identity with the engine path for the same spec.
+    let reference = engine(1);
+    let spec = engine::PipelineSpec::parse("zx").unwrap();
+    let report = reference
+        .compile_with(&circ, spec, BackendKind::Gridsynth, 1e-2)
+        .unwrap();
+    assert_eq!(
+        parsed.get("qasm").unwrap().as_str().unwrap(),
+        circuit::qasm::to_qasm(&report.synthesized.circuit),
+        "server and engine must agree bit for bit on equal specs"
+    );
+
+    // Deprecated alias still accepted; pipeline+transpile together is not.
+    let ok = format!("{{\"qasm\": {}, \"transpile\": false}}", json::escape(&qasm));
+    assert_eq!(c.request("POST", "/v1/compile", Some(&ok)).unwrap().status, 200);
+    let both = format!(
+        "{{\"qasm\": {}, \"transpile\": true, \"pipeline\": \"zx\"}}",
+        json::escape(&qasm)
+    );
+    assert_eq!(c.request("POST", "/v1/compile", Some(&both)).unwrap().status, 400);
+
+    // Unknown spec → 400 naming the bad token.
+    let bad = format!("{{\"qasm\": {}, \"pipeline\": \"warp9\"}}", json::escape(&qasm));
+    let resp = c.request("POST", "/v1/compile", Some(&bad)).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("warp9"), "{}", resp.body);
+
+    // Per-pass counters exported.
+    let m = c.request("GET", "/metrics", None).unwrap();
+    assert!(m.body.contains("trasyn_pass_runs_total{pass=\"zx-fold\"} 1"), "{}", m.body);
+    assert!(m.body.contains("trasyn_pass_rotations_in_total{pass=\"zx-fold\"}"));
+
+    // QASM parse failures carry line numbers through the 400 body.
+    let bad_qasm = json::escape("OPENQASM 2.0;\nqreg q[1];\nwarp q[0];\n");
+    let resp = c
+        .request("POST", "/v1/compile", Some(&format!("{{\"qasm\": {bad_qasm}}}")))
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("line 3"), "{}", resp.body);
 
     handle.shutdown();
 }

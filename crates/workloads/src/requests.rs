@@ -62,6 +62,13 @@ pub enum RequestPayload {
     Circuit(Circuit),
 }
 
+/// Lowering-pipeline presets circulated through circuit requests, with
+/// sampling weights mirroring a serving fleet: most callers take the
+/// default, a tail asks for the cheap or the ZX-heavy pipeline. (Spec
+/// strings, not `circuit::pass` values, so this crate needs no new
+/// dependency edge and the strings flow straight into request JSON.)
+pub const CIRCUIT_PIPELINES: [&str; 4] = ["default", "default", "zx", "fast"];
+
 /// A named request drawn from the mix.
 #[derive(Clone, Debug)]
 pub struct SampledRequest {
@@ -69,6 +76,9 @@ pub struct SampledRequest {
     pub name: String,
     /// What to compile.
     pub payload: RequestPayload,
+    /// Lowering-pipeline spec string for the request (`"none"` for bare
+    /// rotations; drawn from [`CIRCUIT_PIPELINES`] for circuits).
+    pub pipeline: &'static str,
 }
 
 /// A deterministic request-stream sampler.
@@ -123,13 +133,16 @@ impl RequestMix {
             SampledRequest {
                 name: format!("rz-{i}"),
                 payload: RequestPayload::Rz(self.angles[i]),
+                pipeline: "none",
             }
         } else {
             let i = self.rng.gen_range(0..self.circuits.len());
+            let p = self.rng.gen_range(0..CIRCUIT_PIPELINES.len());
             let (name, c) = &self.circuits[i];
             SampledRequest {
                 name: (*name).to_string(),
                 payload: RequestPayload::Circuit(c.clone()),
+                pipeline: CIRCUIT_PIPELINES[p],
             }
         }
     }
@@ -154,6 +167,7 @@ mod tests {
         for _ in 0..50 {
             let (x, y) = (a.sample(), b.sample());
             assert_eq!(x.name, y.name);
+            assert_eq!(x.pipeline, y.pipeline);
             match (x.payload, y.payload) {
                 (RequestPayload::Rz(p), RequestPayload::Rz(q)) => {
                     assert_eq!(p.to_bits(), q.to_bits())
@@ -169,12 +183,19 @@ mod tests {
         let mut rz = RequestMix::new(MixKind::Rz, 4, 1);
         assert_eq!(rz.angle_pool(), 4);
         for _ in 0..20 {
-            assert!(matches!(rz.sample().payload, RequestPayload::Rz(_)));
+            let s = rz.sample();
+            assert!(matches!(s.payload, RequestPayload::Rz(_)));
+            assert_eq!(s.pipeline, "none", "bare rotations skip lowering");
         }
         let mut circ = RequestMix::new(MixKind::Circuits, 4, 1);
-        for _ in 0..20 {
-            assert!(matches!(circ.sample().payload, RequestPayload::Circuit(_)));
+        let mut pipelines = std::collections::HashSet::new();
+        for _ in 0..40 {
+            let s = circ.sample();
+            assert!(matches!(s.payload, RequestPayload::Circuit(_)));
+            assert!(CIRCUIT_PIPELINES.contains(&s.pipeline));
+            pipelines.insert(s.pipeline);
         }
+        assert!(pipelines.len() > 1, "mix exercises multiple pipelines");
     }
 
     #[test]

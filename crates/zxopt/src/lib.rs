@@ -8,6 +8,8 @@
 //! per-wire algebraic peephole ([`peephole_1q`]); together they are the
 //! [`optimize`] entry point used by the Figure 14 experiment.
 
+pub mod pass;
 pub mod phasefold;
 
+pub use pass::ZxFoldPass;
 pub use phasefold::{optimize, peephole_1q, phase_fold};
