@@ -56,6 +56,22 @@ pub fn to_rz_basis(c: &Circuit) -> Circuit {
     out
 }
 
+/// Off-diagonal tolerance below which a unitary is lowered as a bare
+/// `Rz` instead of the generic three-`Rz` split. The emitted rotation is
+/// within ~2×tol of the true operator — inside the per-instruction float
+/// slack every verification bound budgets for.
+const DIAGONAL_TOL: f64 = 1e-9;
+
+/// If `m` is diagonal up to global phase (within [`DIAGONAL_TOL`]), the
+/// `Rz` angle it implements.
+fn diagonal_rz_angle(m: &Mat2) -> Option<f64> {
+    if m.e[1].abs() > DIAGONAL_TOL || m.e[2].abs() > DIAGONAL_TOL {
+        return None;
+    }
+    // m = e^{iα}·diag(e^{−iθ/2}, e^{iθ/2}).
+    Some((m.e[3] / m.e[0]).arg())
+}
+
 /// Core of [`to_rz_basis`]; same contract as [`lower_u3_into`].
 pub(crate) fn lower_rz_into(c: &Circuit, out: &mut Circuit) {
     for i in c.instrs() {
@@ -66,6 +82,16 @@ pub(crate) fn lower_rz_into(c: &Circuit, out: &mut Circuit) {
                 let m = op.matrix();
                 if let Some(seq) = as_trivial(&m, 1e-9) {
                     push_seq(out, i.q0, seq);
+                    continue;
+                }
+                // A diagonal that arrived as `U3 {theta ≈ 0}` (gate
+                // fusion emits those) must lower to ONE `Rz`: the generic
+                // split below would emit `Rz·H·Rz(0)·H·Rz` — a gauge
+                // `±π/2` smeared across an `H·H` pair that phase folding
+                // cannot see through, which made `zx`-preset recompiles
+                // oscillate forever instead of reaching a fixed point.
+                if let Some(theta) = diagonal_rz_angle(&m) {
+                    push_rz(out, i.q0, theta);
                     continue;
                 }
                 let ang = decompose_u3(&m);
@@ -167,6 +193,28 @@ mod tests {
         c.rx(0, 0.777);
         let r = to_rz_basis(&c);
         assert_eq!(rotation_count(&r), 1, "{r}");
+    }
+
+    #[test]
+    fn fused_diagonal_u3_lowers_to_one_rz() {
+        // Gate fusion emits diagonal runs as `U3 {theta ≈ 0}`; lowering
+        // one through the generic three-Rz split used to produce
+        // `Sdg·H·H·Rz`, whose ±π/2 gauge made zx-preset recompiles
+        // oscillate forever. It must become a single bare Rz.
+        let mut c = Circuit::new(1);
+        c.u3(0, 0.0, -0.4746, 0.0);
+        let r = to_rz_basis(&c);
+        assert_eq!(r.len(), 1, "{r}");
+        assert!(matches!(r.instrs()[0].op, Op::Rz(_)), "{r}");
+        // Semantics: U3(0, φ, 0) is Rz(φ) up to global phase.
+        assert!(r.instrs()[0]
+            .op
+            .matrix()
+            .approx_eq_phase(&Mat2::rz(-0.4746), 1e-9));
+        // A diagonal that is ALSO trivial still snaps to discrete gates.
+        let mut t = Circuit::new(1);
+        t.u3(0, 0.0, std::f64::consts::FRAC_PI_2, 0.0);
+        assert_eq!(rotation_count(&to_rz_basis(&t)), 0);
     }
 
     #[test]

@@ -68,9 +68,17 @@ fn disjoint(a: &Instr, b: &Instr) -> bool {
 }
 
 /// Only hop a rotation over a CNOT when somewhere to the right there is
-/// another single-qubit gate on the same qubit to merge with (prevents
+/// another **rotation** on the same qubit to merge with (prevents
 /// aimless churn and guarantees sweep termination together with the
 /// sweep bound).
+///
+/// Discrete single-qubit gates are looked *through*, not counted: fusion
+/// merges a rotation with adjacent Cliffords into one `U3` either way,
+/// which leaves the nontrivial-rotation count unchanged — hopping toward
+/// a lone Clifford gains nothing, and chasing those hops made re-running
+/// a preset on its own output keep rewriting it (basis lowering emits
+/// `Rz` next to `H` barriers; the old predicate then shuffled them
+/// across CNOTs on every recompile).
 fn beneficial(instrs: &[Instr], i: usize) -> bool {
     let a = instrs[i];
     if !a.op.is_rotation() {
@@ -98,7 +106,10 @@ fn beneficial(instrs: &[Instr], i: usize) -> bool {
                     }
                 }
             }
-            _ if b.q0 == a.q0 && b.q1.is_none() => return true,
+            // A discrete 1q gate merges transparently under fusion, so it
+            // falls through to the catch-all and the scan continues to a
+            // real merge partner behind it.
+            _ if b.q0 == a.q0 && b.q1.is_none() && b.op.is_rotation() => return true,
             _ => {}
         }
     }
@@ -203,5 +214,35 @@ mod tests {
         c.cx(0, 1);
         let out = commute_rotations(&c);
         assert_eq!(out.instrs(), c.instrs());
+    }
+
+    #[test]
+    fn lone_clifford_is_not_a_merge_target() {
+        // Hopping toward a lone H cannot reduce the nontrivial-rotation
+        // count (the merged U3 is still one nontrivial rotation), and
+        // chasing it made recompiles of basis-lowered output churn. The
+        // rotation must stay put.
+        use gates::Gate;
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3);
+        c.cx(0, 1);
+        c.gate(0, Gate::H);
+        let out = commute_rotations(&c);
+        assert_eq!(out.instrs(), c.instrs(), "{out}");
+    }
+
+    #[test]
+    fn discrete_gates_are_looked_through_to_a_rotation_partner() {
+        // rz; cx; T; rz — the T merges transparently under fusion, so
+        // the far rotation is still a real partner: the hop must happen
+        // and fusion must collapse the wire to one rotation run.
+        use gates::Gate;
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.3);
+        c.cx(0, 1);
+        c.gate(0, Gate::T);
+        c.rz(0, 0.4);
+        let out = fuse_single_qubit(&commute_rotations(&c));
+        assert_eq!(rotation_count(&out), 1, "{out}");
     }
 }

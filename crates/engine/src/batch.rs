@@ -31,10 +31,17 @@ pub struct BatchItem {
     /// `transpile: true/false` flag as a deprecated alias for
     /// `default`/`none`.
     pub pipeline: PipelineSpec,
+    /// When `true`, the compiled circuit is checked against this item's
+    /// *input* circuit (pipeline and synthesis end to end) by the
+    /// `verify` crate, and the resulting [`verify::Certificate`] is
+    /// attached to the [`ItemReport`]. Circuits beyond
+    /// [`verify::MAX_ORACLE_QUBITS`] are reported without a certificate
+    /// (unverifiable, not failed).
+    pub verify: bool,
 }
 
 impl BatchItem {
-    /// An item lowered through the `default` preset.
+    /// An item lowered through the `default` preset, without verification.
     pub fn new(name: impl Into<String>, circuit: Circuit, epsilon: f64, backend: BackendKind) -> Self {
         BatchItem {
             name: name.into(),
@@ -42,12 +49,19 @@ impl BatchItem {
             epsilon,
             backend,
             pipeline: PipelineSpec::default(),
+            verify: false,
         }
     }
 
     /// Sets the lowering pipeline, builder style.
     pub fn pipeline(mut self, spec: PipelineSpec) -> Self {
         self.pipeline = spec;
+        self
+    }
+
+    /// Requests an equivalence certificate for this item, builder style.
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 }
@@ -103,6 +117,10 @@ pub struct ItemReport {
     /// Wall-clock milliseconds spent on this item outside the shared
     /// synthesis phase (lowering + splicing).
     pub wall_ms: f64,
+    /// Equivalence certificate for compiled-vs-requested, present iff the
+    /// item asked for verification ([`BatchItem::verify`]) *and* the
+    /// circuit fit the oracle ([`verify::MAX_ORACLE_QUBITS`]).
+    pub certificate: Option<verify::Certificate>,
 }
 
 impl ItemReport {
@@ -133,6 +151,10 @@ impl ItemReport {
             fmt_f64(self.wall_ms),
             passes.join(", "),
         );
+        if let Some(cert) = &self.certificate {
+            s.push_str(", \"certificate\": ");
+            s.push_str(&cert.to_json());
+        }
         if include_qasm {
             s.push_str(", \"qasm\": ");
             s.push_str(&json_string(&circuit::qasm::to_qasm(&self.synthesized.circuit)));

@@ -17,6 +17,10 @@
 //!                          basis=rz); default `default`. Prints a per-pass
 //!                          table (time, instructions, rotations) to stderr.
 //!   --no-transpile         deprecated alias for `--pipeline none`
+//!   --verify               attach an equivalence certificate to every item
+//!                          (compiled vs requested circuit, exact-ring /
+//!                          operator-norm / statevector oracle) and exit 1
+//!                          if any certificate fails
 //!   --emit-qasm DIR        write each compiled circuit as DIR/<name>.qasm
 //!   --out FILE             write the JSON report to FILE (default stdout)
 //!   --cache-file FILE      warm-start the cache from FILE if present and
@@ -44,6 +48,7 @@ struct Options {
     samples: usize,
     max_t: usize,
     pipeline: PipelineSpec,
+    verify: bool,
     emit_qasm: Option<PathBuf>,
     out: Option<PathBuf>,
     cache_file: Option<PathBuf>,
@@ -53,7 +58,7 @@ fn usage() -> &'static str {
     "usage: trasyn-compile [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
      [--threads N] [--cache-capacity N] [--samples N] [--max-t N] \
      [--pipeline none|fast|default|aggressive|zx|PASS,PASS,...] [--no-transpile] \
-     [--emit-qasm DIR] [--out FILE] [--cache-file FILE] <FILE.qasm>..."
+     [--verify] [--emit-qasm DIR] [--out FILE] [--cache-file FILE] <FILE.qasm>..."
 }
 
 /// `Ok(None)` means `--help` was requested: print usage, exit 0.
@@ -67,6 +72,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         samples: 1024,
         max_t: 6,
         pipeline: PipelineSpec::default(),
+        verify: false,
         emit_qasm: None,
         out: None,
         cache_file: None,
@@ -115,6 +121,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             // Deprecated alias from the `transpile: bool` era.
             "--no-transpile" => opts.pipeline = PipelineSpec::none(),
+            "--verify" => opts.verify = true,
             "--emit-qasm" => opts.emit_qasm = Some(PathBuf::from(value("--emit-qasm")?)),
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
@@ -220,7 +227,8 @@ fn main() -> ExitCode {
             }
         };
         let item = BatchItem::new(unique_stem(f, &mut used_names), c, opts.epsilon, opts.backend)
-            .pipeline(opts.pipeline.clone());
+            .pipeline(opts.pipeline.clone())
+            .verify(opts.verify);
         req.items.push(item);
     }
 
@@ -280,7 +288,38 @@ fn main() -> ExitCode {
         report.total_t_count,
         eng.stats(),
     );
+
+    if opts.verify && !print_verify_summary(&report) {
+        return ExitCode::from(1);
+    }
     ExitCode::SUCCESS
+}
+
+/// Prints per-item certificate lines and the verification summary to
+/// stderr; returns `false` when any certificate failed.
+fn print_verify_summary(report: &engine::BatchReport) -> bool {
+    let (mut ok, mut failed, mut skipped) = (0usize, 0usize, 0usize);
+    for item in &report.items {
+        match &item.certificate {
+            Some(cert) if cert.equivalent => {
+                ok += 1;
+                eprintln!("[trasyn-compile] verify {}: {cert}", item.name);
+            }
+            Some(cert) => {
+                failed += 1;
+                eprintln!("[trasyn-compile] verify {}: {cert}", item.name);
+            }
+            None => {
+                skipped += 1;
+                eprintln!(
+                    "[trasyn-compile] verify {}: skipped (circuit exceeds the oracle's qubit limit)",
+                    item.name
+                );
+            }
+        }
+    }
+    eprintln!("[trasyn-compile] verify: {ok} ok, {failed} failed, {skipped} skipped");
+    failed == 0
 }
 
 /// Prints the aggregated per-pass table for the batch to stderr.

@@ -34,6 +34,7 @@ use gates::GateSeq;
 use qmath::Mat2;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -110,6 +111,8 @@ impl EngineBuilder {
             pool: WorkerPool::new(self.threads),
             backends: self.backends,
             pass_totals: Mutex::new(Vec::new()),
+            verify_ok: AtomicU64::new(0),
+            verify_fail: AtomicU64::new(0),
         }
     }
 }
@@ -123,6 +126,10 @@ pub struct Engine {
     /// Lifetime per-pass lowering totals (first-appearance order inside
     /// the lock; sorted by name in [`Engine::stats`]).
     pass_totals: Mutex<Vec<PassTotals>>,
+    /// Lifetime count of passing equivalence certificates.
+    verify_ok: AtomicU64,
+    /// Lifetime count of failing equivalence certificates.
+    verify_fail: AtomicU64,
 }
 
 /// One distinct rotation awaiting synthesis.
@@ -217,7 +224,49 @@ impl Engine {
             cache_capacity: self.cache.capacity(),
             cache: self.cache.stats(),
             passes,
+            verify_ok: self.verify_ok.load(Ordering::Relaxed),
+            verify_fail: self.verify_fail.load(Ordering::Relaxed),
         }
+    }
+
+    /// Runs the end-to-end equivalence check for one item: the compiled
+    /// circuit against the *requested* circuit, within the item's summed
+    /// synthesis error (metric-converted, see [`verify::error_bound`])
+    /// plus pipeline float slack.
+    ///
+    /// Only circuits beyond the oracle's qubit limit yield `None` (a
+    /// genuine skip, no counter touched). Every other checker error —
+    /// qubit-count mismatch, unsimulable instruction — means the compile
+    /// produced something structurally wrong and becomes a *failing*
+    /// certificate ([`verify::CheckMethod::Structural`], infinite
+    /// distance), so it counts toward `verify_fail` and fails
+    /// `trasyn-compile --verify` instead of passing silently.
+    fn certify(
+        &self,
+        input: &Circuit,
+        synthesized: &circuit::synthesize::SynthesizedCircuit,
+    ) -> Option<verify::Certificate> {
+        let bound = verify::error_bound(
+            synthesized.total_error,
+            input.len() + synthesized.circuit.len(),
+        );
+        let cert = match verify::verify_circuits(input, &synthesized.circuit, bound) {
+            Ok(cert) => cert,
+            Err(verify::VerifyError::TooLarge { .. }) => return None,
+            Err(_) => verify::Certificate {
+                method: verify::CheckMethod::Structural,
+                equivalent: false,
+                distance: f64::INFINITY,
+                bound,
+                n_qubits: input.n_qubits(),
+            },
+        };
+        if cert.equivalent {
+            self.verify_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.verify_fail.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(cert)
     }
 
     /// Folds a batch's per-pass totals into the engine's lifetime
@@ -392,6 +441,11 @@ impl Engine {
                 |m| backend.synthesize(m, it.epsilon),
                 &mut adapter,
             );
+            let certificate = if it.verify {
+                self.certify(&it.circuit, &synthesized)
+            } else {
+                None
+            };
             items.push(ItemReport {
                 name: it.name.clone(),
                 backend: it.backend,
@@ -404,6 +458,7 @@ impl Engine {
                 cache_hits: item_hits[i],
                 cache_misses: item_misses[i],
                 wall_ms: lower_ms + t_item.elapsed().as_secs_f64() * 1e3,
+                certificate,
                 synthesized,
             });
         }
@@ -510,6 +565,74 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"cache_hits\""));
         assert!(json.contains("\"items\""));
+    }
+
+    #[test]
+    fn verify_attaches_passing_certificates_and_counts_them() {
+        let c = sample_circuit();
+        let e = engine(2);
+        let req = BatchRequest::new().item(
+            BatchItem::new("a", c, 1e-2, BackendKind::Gridsynth).verify(true),
+        );
+        let report = e.compile_batch(&req).unwrap();
+        let cert = report.items[0]
+            .certificate
+            .as_ref()
+            .expect("2-qubit circuit fits the oracle");
+        assert!(cert.equivalent, "{cert}");
+        assert!(cert.distance <= cert.bound);
+        assert_eq!(cert.n_qubits, 2);
+        let stats = e.stats();
+        assert_eq!((stats.verify_ok, stats.verify_fail), (1, 0));
+        // The certificate reaches the JSON report.
+        let json = report.items[0].to_json(false);
+        assert!(json.contains("\"certificate\": {\"method\""), "{json}");
+
+        // Unverified items carry no certificate and touch no counter.
+        let plain = e
+            .compile(&sample_circuit(), BackendKind::Gridsynth, 1e-2)
+            .unwrap();
+        assert!(plain.certificate.is_none());
+        assert!(!plain.to_json(false).contains("certificate"));
+        assert_eq!(e.stats().verify_ok, 1);
+    }
+
+    #[test]
+    fn structural_mismatch_is_a_failing_certificate_not_a_skip() {
+        // certify() must fail closed: a compile that changed the qubit
+        // count (a hypothetical splice/pipeline bug) is the worst
+        // miscompile class and may never be reported as "skipped".
+        let e = engine(1);
+        let input = Circuit::new(2);
+        let synthesized = circuit::synthesize::SynthesizedCircuit {
+            circuit: Circuit::new(3),
+            total_error: 0.0,
+            rotations: 0,
+            distinct_rotations: 0,
+        };
+        let cert = e.certify(&input, &synthesized).expect("failing, not skipped");
+        assert!(!cert.equivalent, "{cert}");
+        assert_eq!(cert.method, verify::CheckMethod::Structural);
+        assert!(cert.distance.is_infinite());
+        assert!(cert.to_json().contains("\"distance\": null"), "{}", cert.to_json());
+        assert_eq!(e.stats().verify_fail, 1);
+        assert_eq!(e.stats().verify_ok, 0);
+    }
+
+    #[test]
+    fn verify_skips_oracle_oversized_circuits_without_failing() {
+        let mut big = Circuit::new(verify::MAX_ORACLE_QUBITS + 1);
+        for q in 0..big.n_qubits() {
+            big.rz(q, 0.1 + q as f64 * 0.05);
+        }
+        let e = engine(1);
+        let req = BatchRequest::new().item(
+            BatchItem::new("big", big, 1e-2, BackendKind::Gridsynth).verify(true),
+        );
+        let report = e.compile_batch(&req).unwrap();
+        assert!(report.items[0].certificate.is_none(), "unverifiable, not failed");
+        let stats = e.stats();
+        assert_eq!((stats.verify_ok, stats.verify_fail), (0, 0));
     }
 
     #[test]

@@ -35,6 +35,12 @@
 //! * [`stats::EngineStats`] — one stable counters shape (Display + JSON)
 //!   shared by the server's `/metrics`, `trasyn-compile`'s summary, and
 //!   tests.
+//! * verification — items with [`batch::BatchItem::verify`] set get an
+//!   end-to-end equivalence [`verify::Certificate`] (compiled circuit vs
+//!   requested circuit, checked by the `verify` crate's exact-ring /
+//!   operator-norm / statevector oracle), attached to the
+//!   [`batch::ItemReport`] and counted in [`stats::EngineStats`]
+//!   (`verify_ok` / `verify_fail`).
 //! * [`engine::Engine`] — the façade tying the above together, plus the
 //!   `trasyn-compile` binary (`src/bin/trasyn_compile.rs`) that feeds it
 //!   OpenQASM.
@@ -95,3 +101,4 @@ pub use pipeline::build_pipeline;
 pub use pool::WorkerPool;
 pub use snapshot::{SnapshotError, WarmStart};
 pub use stats::{EngineStats, PassTotals};
+pub use verify::{Certificate, CheckMethod};

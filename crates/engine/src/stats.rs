@@ -124,6 +124,12 @@ pub struct EngineStats {
     /// Lifetime lowering-pass totals, sorted by pass name (stable across
     /// request interleavings).
     pub passes: Vec<PassTotals>,
+    /// Lifetime passing equivalence certificates (items compiled with
+    /// `verify: true` whose output was certified equivalent).
+    pub verify_ok: u64,
+    /// Lifetime failing equivalence certificates — any nonzero value is a
+    /// miscompile alarm.
+    pub verify_fail: u64,
 }
 
 impl EngineStats {
@@ -138,12 +144,14 @@ impl EngineStats {
     }
 
     /// Serializes as a JSON object (keys are append-only; `"passes"`
-    /// joined in the pipeline refactor):
+    /// joined in the pipeline refactor, `"verify"` in the verification
+    /// subsystem):
     ///
     /// ```json
     /// {"threads": 2, "backends": ["gridsynth"], "cache_capacity": 4096,
     ///  "cache": {"hits": 9, "misses": 3, "insertions": 3, "evictions": 0,
-    ///            "entries": 3, "hit_rate": 0.75}, "passes": []}
+    ///            "entries": 3, "hit_rate": 0.75}, "passes": [],
+    ///  "verify": {"ok": 0, "fail": 0}}
     /// ```
     pub fn to_json(&self) -> String {
         let backends: Vec<String> = self
@@ -156,7 +164,7 @@ impl EngineStats {
             "{{\"threads\": {}, \"backends\": [{}], \"cache_capacity\": {}, \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \
              \"evictions\": {}, \"entries\": {}, \"hit_rate\": {}}}, \
-             \"passes\": [{}]}}",
+             \"passes\": [{}], \"verify\": {{\"ok\": {}, \"fail\": {}}}}}",
             self.threads,
             backends.join(", "),
             self.cache_capacity,
@@ -167,18 +175,20 @@ impl EngineStats {
             self.cache.entries,
             fmt_f64(self.hit_rate()),
             passes.join(", "),
+            self.verify_ok,
+            self.verify_fail,
         )
     }
 }
 
 impl fmt::Display for EngineStats {
-    /// One stable line, e.g.
-    /// `threads=2 backends=gridsynth cache entries=3/4096 hits=9 misses=3 evictions=0 hit_rate=75.0%`.
+    /// One stable line (fields are append-only), e.g.
+    /// `threads=2 backends=gridsynth cache entries=3/4096 hits=9 misses=3 evictions=0 hit_rate=75.0% verify_ok=0 verify_fail=0`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let backends: Vec<&str> = self.backends.iter().map(|b| b.label()).collect();
         write!(
             f,
-            "threads={} backends={} cache entries={}/{} hits={} misses={} evictions={} hit_rate={:.1}%",
+            "threads={} backends={} cache entries={}/{} hits={} misses={} evictions={} hit_rate={:.1}% verify_ok={} verify_fail={}",
             self.threads,
             if backends.is_empty() { "none".to_string() } else { backends.join("+") },
             self.cache.entries,
@@ -187,6 +197,8 @@ impl fmt::Display for EngineStats {
             self.cache.misses,
             self.cache.evictions,
             100.0 * self.hit_rate(),
+            self.verify_ok,
+            self.verify_fail,
         )
     }
 }
@@ -208,6 +220,8 @@ mod tests {
                 entries: 3,
             },
             passes: Vec::new(),
+            verify_ok: 4,
+            verify_fail: 1,
         }
     }
 
@@ -216,7 +230,7 @@ mod tests {
         assert_eq!(
             sample().to_string(),
             "threads=2 backends=gridsynth+trasyn cache entries=3/4096 \
-             hits=9 misses=3 evictions=0 hit_rate=75.0%"
+             hits=9 misses=3 evictions=0 hit_rate=75.0% verify_ok=4 verify_fail=1"
         );
         let mut unbounded = sample();
         unbounded.cache_capacity = 0;
@@ -231,7 +245,7 @@ mod tests {
             "{\"threads\": 2, \"backends\": [\"gridsynth\", \"trasyn\"], \
              \"cache_capacity\": 4096, \"cache\": {\"hits\": 9, \"misses\": 3, \
              \"insertions\": 3, \"evictions\": 0, \"entries\": 3, \"hit_rate\": 0.75}, \
-             \"passes\": []}"
+             \"passes\": [], \"verify\": {\"ok\": 4, \"fail\": 1}}"
         );
         let mut with_pass = sample();
         let mut t = PassTotals::named("fuse");

@@ -1,0 +1,199 @@
+//! Regression tests for `SynthCache` key separation.
+//!
+//! The cache-key contract says an entry may be shared only when the
+//! quantized unitary **and** every output-relevant backend setting match.
+//! A key collision across epsilon bits, seeds, or backend parameters
+//! would serve a synthesis produced under different settings — an
+//! aliasing miscompile that the differential fuzzer would observe and
+//! blame on whatever path happened to hit the stale entry. These tests
+//! pin the separation at both the `SettingsKey` level and through a live
+//! engine.
+
+use baselines::AnnealConfig;
+use circuit::Circuit;
+use engine::{
+    AnnealingBackend, BackendKind, CacheKey, Engine, GridsynthBackend, SynthCache, Synthesizer,
+    TrasynBackend,
+};
+use gridsynth::RzOptions;
+use std::sync::Arc;
+use trasyn::{SynthesisConfig, Trasyn};
+
+fn one_rotation() -> Circuit {
+    let mut c = Circuit::new(1);
+    c.rz(0, 0.37);
+    c
+}
+
+#[test]
+fn epsilon_bit_patterns_split_keys_down_to_one_ulp() {
+    let b = GridsynthBackend::default();
+    let eps = 1e-2f64;
+    let bumped = f64::from_bits(eps.to_bits() + 1);
+    assert_ne!(
+        b.settings_key(eps),
+        b.settings_key(bumped),
+        "one ulp of epsilon must split the cache key"
+    );
+    assert_eq!(b.settings_key(eps), b.settings_key(eps));
+}
+
+#[test]
+fn annealing_seed_splits_keys() {
+    let a = AnnealingBackend::new(AnnealConfig {
+        seed: 1,
+        ..AnnealConfig::default()
+    });
+    let b = AnnealingBackend::new(AnnealConfig {
+        seed: 2,
+        ..AnnealConfig::default()
+    });
+    assert_ne!(a.settings_key(1e-2), b.settings_key(1e-2));
+}
+
+#[test]
+fn annealing_budget_parameters_split_keys() {
+    let base = AnnealConfig::default();
+    let a = AnnealingBackend::new(base);
+    for (label, cfg) in [
+        ("length", AnnealConfig { length: base.length + 1, ..base }),
+        ("max_iters", AnnealConfig { max_iters: base.max_iters + 1, ..base }),
+        ("restarts", AnnealConfig { restarts: base.restarts + 1, ..base }),
+        ("t0", AnnealConfig { t0: base.t0 * 1.5, ..base }),
+    ] {
+        let b = AnnealingBackend::new(cfg);
+        assert_ne!(
+            a.settings_key(1e-2),
+            b.settings_key(1e-2),
+            "{label} must be part of the key"
+        );
+    }
+}
+
+#[test]
+fn trasyn_seed_and_budgets_split_keys() {
+    let table = Arc::new(Trasyn::new(2));
+    let base = SynthesisConfig {
+        samples: 64,
+        budgets: vec![2, 2],
+        ..SynthesisConfig::default()
+    };
+    let a = TrasynBackend::new(Arc::clone(&table), base.clone());
+    let seeded = TrasynBackend::new(
+        Arc::clone(&table),
+        SynthesisConfig {
+            seed: base.seed.wrapping_add(1),
+            ..base.clone()
+        },
+    );
+    assert_ne!(a.settings_key(0.2), seeded.settings_key(0.2), "seed");
+    let sampled = TrasynBackend::new(
+        Arc::clone(&table),
+        SynthesisConfig {
+            samples: base.samples + 1,
+            ..base.clone()
+        },
+    );
+    assert_ne!(a.settings_key(0.2), sampled.settings_key(0.2), "samples");
+    let budgeted = TrasynBackend::new(
+        table,
+        SynthesisConfig {
+            budgets: vec![2, 2, 2],
+            ..base
+        },
+    );
+    assert_ne!(a.settings_key(0.2), budgeted.settings_key(0.2), "budgets");
+}
+
+#[test]
+fn gridsynth_grid_options_split_keys() {
+    let a = GridsynthBackend::default();
+    let opts = RzOptions::default();
+    let b = GridsynthBackend::new(RzOptions {
+        max_k: opts.max_k + 1,
+        ..opts
+    });
+    assert_ne!(a.settings_key(1e-2), b.settings_key(1e-2), "max_k");
+    let c = GridsynthBackend::new(RzOptions {
+        candidates_per_k: opts.candidates_per_k + 1,
+        ..opts
+    });
+    assert_ne!(a.settings_key(1e-2), c.settings_key(1e-2), "candidates_per_k");
+}
+
+#[test]
+fn backend_kind_splits_keys_for_the_same_unitary() {
+    let g = GridsynthBackend::default();
+    let a = AnnealingBackend::default();
+    let kg = g.settings_key(1e-2);
+    let ka = a.settings_key(1e-2);
+    assert_ne!(kg, ka);
+    // And through the cache itself: same unitary, different settings.
+    let cache = SynthCache::new(16);
+    let unitary = [1i64, 0, 0, 0, 0, 0, 1, 0];
+    cache.insert(
+        CacheKey { unitary, settings: kg },
+        Arc::new(([gates::Gate::T].into_iter().collect(), 0.1)),
+    );
+    assert!(
+        cache.get(&CacheKey { unitary, settings: ka }).is_none(),
+        "an entry synthesized by gridsynth must never serve annealing"
+    );
+}
+
+#[test]
+fn seed_partitions_a_shared_cache_end_to_end() {
+    // Two engines over ONE shared cache, identical except for the
+    // annealing seed: the second compile must re-synthesize everything.
+    let cache = Arc::new(SynthCache::new(1024));
+    let mk = |seed: u64| {
+        Engine::builder()
+            .threads(1)
+            .shared_cache(Arc::clone(&cache))
+            .backend(AnnealingBackend::new(AnnealConfig {
+                seed,
+                max_iters: 500,
+                restarts: 1,
+                ..AnnealConfig::default()
+            }))
+            .build()
+    };
+    let e1 = mk(1);
+    let e2 = mk(2);
+    let first = e1
+        .compile(&one_rotation(), BackendKind::Annealing, 0.3)
+        .unwrap();
+    assert_eq!(first.cache_misses, 1);
+    let second = e2
+        .compile(&one_rotation(), BackendKind::Annealing, 0.3)
+        .unwrap();
+    assert_eq!(
+        (second.cache_hits, second.cache_misses),
+        (0, 1),
+        "a different seed must never hit the other seed's entry"
+    );
+}
+
+#[test]
+fn epsilon_partitions_a_shared_cache_down_to_the_bit() {
+    let e = Engine::builder()
+        .threads(1)
+        .backend(GridsynthBackend::default())
+        .build();
+    let eps = 1e-2f64;
+    let bumped = f64::from_bits(eps.to_bits() + 1);
+    let first = e.compile(&one_rotation(), BackendKind::Gridsynth, eps).unwrap();
+    assert_eq!(first.cache_misses, 1);
+    let second = e
+        .compile(&one_rotation(), BackendKind::Gridsynth, bumped)
+        .unwrap();
+    assert_eq!(
+        (second.cache_hits, second.cache_misses),
+        (0, 1),
+        "one ulp of epsilon must miss"
+    );
+    // Exactly equal settings DO share — separation must not overshoot
+    // into never-hitting.
+    let third = e.compile(&one_rotation(), BackendKind::Gridsynth, eps).unwrap();
+    assert_eq!((third.cache_hits, third.cache_misses), (1, 0));
+}

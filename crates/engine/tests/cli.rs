@@ -40,6 +40,55 @@ fn smoke_qasm() -> PathBuf {
 }
 
 #[test]
+fn verify_flag_attaches_certificates_and_exits_zero() {
+    let dir = tmp_dir("verify");
+    let out_file = dir.join("report.json");
+    let out = run(&[
+        "--backend",
+        "gridsynth",
+        "--epsilon",
+        "1e-2",
+        "--threads",
+        "2",
+        "--verify",
+        "--out",
+        out_file.to_str().unwrap(),
+        smoke_qasm().to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr_of(&out));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains("verify: 1 ok, 0 failed, 0 skipped"),
+        "missing verify summary: {stderr}"
+    );
+    assert!(stderr.contains("verify smoke: ok ("), "{stderr}");
+    let json = std::fs::read_to_string(&out_file).unwrap();
+    assert!(json.contains("\"certificate\": {\"method\""), "{json}");
+    assert!(json.contains("\"equivalent\": true"), "{json}");
+    // Engine counters in the summary line reflect the pass.
+    assert!(stderr.contains("verify_ok=1 verify_fail=0"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn without_verify_flag_no_certificate_is_emitted() {
+    let dir = tmp_dir("noverify");
+    let out_file = dir.join("report.json");
+    let out = run(&[
+        "--backend",
+        "gridsynth",
+        "--out",
+        out_file.to_str().unwrap(),
+        smoke_qasm().to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = std::fs::read_to_string(&out_file).unwrap();
+    assert!(!json.contains("certificate"), "{json}");
+    assert!(!stderr_of(&out).contains("verify:"), "{}", stderr_of(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn malformed_qasm_is_a_clean_error() {
     let dir = tmp_dir("badqasm");
     let bad = dir.join("bad.qasm");

@@ -123,6 +123,16 @@ impl ExactMat2 {
             .min_by_key(key_tuple)
             .expect("eight candidates")
     }
+
+    /// `true` when the two matrices are equal up to one of the 8 global
+    /// phases `ω^j` — for ring-valued unitaries this *is* "equal up to
+    /// global phase" (the unit-modulus units of `Z[ω, 1/√2]` are exactly
+    /// the `ω^j`), so this predicate is what the `verify` subsystem's
+    /// exact equivalence certificates rest on. No floating point is
+    /// consulted.
+    pub fn phase_equivalent(&self, other: &ExactMat2) -> bool {
+        self.phase_canonical() == other.phase_canonical()
+    }
 }
 
 /// Total ordering key for canonicalization: the raw coordinates of every
@@ -206,6 +216,17 @@ mod tests {
         let a = ExactMat2::from_seq(&[Gate::H, Gate::T].into_iter().collect());
         let b = ExactMat2::from_seq(&[Gate::T, Gate::H].into_iter().collect());
         assert_ne!(a.phase_canonical(), b.phase_canonical());
+    }
+
+    #[test]
+    fn phase_equivalence_matches_canonical_equality() {
+        // T·T ≡ S exactly; X·Y ≡ Z up to the phase i = ω².
+        let tt = ExactMat2::gate(Gate::T) * ExactMat2::gate(Gate::T);
+        assert!(tt.phase_equivalent(&ExactMat2::gate(Gate::S)));
+        let xy = ExactMat2::gate(Gate::X) * ExactMat2::gate(Gate::Y);
+        assert!(xy.phase_equivalent(&ExactMat2::gate(Gate::Z)));
+        // T vs T† differ by no allowed phase.
+        assert!(!ExactMat2::gate(Gate::T).phase_equivalent(&ExactMat2::gate(Gate::Tdg)));
     }
 
     #[test]

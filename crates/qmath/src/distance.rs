@@ -64,8 +64,12 @@ pub fn operator_norm_distance(u: &Mat2, v: &Mat2) -> f64 {
     if a < 1e-300 {
         return (*u - *v).operator_norm();
     }
-    let phase = t.scale(1.0 / a);
-    // Optimal alignment phase is arg(Tr(U†V)) for 2x2 unitaries.
+    // The Frobenius-optimal multiplier for V is conj(t)/|t|: with
+    // U = e^{iα}V, t = Tr(U†V) = 2e^{−iα}, and V must be scaled by
+    // e^{+iα} to cancel the phase. (Scaling by t/|t| instead *doubles*
+    // the phase error — a bug this module shipped with until the verify
+    // subsystem's oracle caught it on phase-shifted compiles.)
+    let phase = t.conj().scale(1.0 / a);
     (*u - v.scale(phase)).operator_norm()
 }
 
@@ -125,6 +129,34 @@ mod tests {
             let o = operator_norm_distance(&u, &v);
             assert!(d <= o + 1e-9, "trace distance should lower-bound");
             assert!((d - o).abs() < 0.3 * o + 1e-9, "d={d}, o={o}");
+        }
+    }
+
+    #[test]
+    fn operator_norm_distance_is_zero_up_to_phase() {
+        // Regression: the phase alignment used t/|t| instead of
+        // conj(t)/|t|, so a pure global phase produced distance
+        // 2·|sin φ| instead of 0.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let u = haar_mat2(&mut rng);
+            for phi in [0.3f64, 1.2, -2.0, 3.0] {
+                let v = u.scale(Complex64::cis(phi));
+                let d = operator_norm_distance(&u, &v);
+                assert!(d < 1e-9, "phi = {phi}: distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn operator_norm_distance_upper_bounds_phase_shifted_perturbations() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let u = haar_mat2(&mut rng);
+            let v = (u * Mat2::rz(1e-3)).scale(Complex64::cis(0.9));
+            let d = operator_norm_distance(&u, &v);
+            assert!(d < 1e-3, "phase must not inflate the distance: {d}");
+            assert!(d > 1e-5, "the perturbation itself must register: {d}");
         }
     }
 

@@ -17,11 +17,16 @@
 //! * [`queue`] — the bounded MPMC queue behind the backpressure story.
 //! * [`client`] — a small blocking client used by `trasyn-loadgen` and
 //!   the integration tests.
+//! * [`fuzz`] — the differential fuzzing harness: seeded circuits through
+//!   {CLI-equivalent engine batch × thread counts × warm/cold cache ×
+//!   server loopback}, pairwise bit-identity cross-checks, the `verify`
+//!   oracle, and shrunk QASM repro artifacts on mismatch.
 //!
-//! Two binaries ship with the crate: `trasyn-server` (the daemon) and
+//! Three binaries ship with the crate: `trasyn-server` (the daemon),
 //! `trasyn-loadgen` (a closed-loop load generator that drives request
 //! mixes from [`workloads::requests`] and reports latency, throughput,
-//! and cache hit rate). See the root README for endpoint examples.
+//! and cache hit rate), and `trasyn-fuzz` (the differential fuzzer; its
+//! `--smoke` mode is a CI gate). See the root README for usage.
 //!
 //! # Determinism
 //!
@@ -32,6 +37,7 @@
 //! crate's loopback tests).
 
 pub mod client;
+pub mod fuzz;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -40,6 +46,7 @@ pub mod routes;
 pub mod service;
 
 pub use client::{Conn, Response};
+pub use fuzz::{FuzzConfig, FuzzReport, Harness};
 pub use metrics::{Endpoint, Metrics};
 pub use queue::BoundedQueue;
 pub use service::{Server, ServerConfig, ServerHandle, ShutdownReport};

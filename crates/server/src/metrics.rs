@@ -211,6 +211,10 @@ impl Metrics {
         line(format!("trasyn_cache_entries {}", engine.cache.entries));
         line("# TYPE trasyn_synthesis_threads gauge".into());
         line(format!("trasyn_synthesis_threads {}", engine.threads));
+        line("# TYPE trasyn_verify_ok_total counter".into());
+        line(format!("trasyn_verify_ok_total {}", engine.verify_ok));
+        line("# TYPE trasyn_verify_fail_total counter".into());
+        line(format!("trasyn_verify_fail_total {}", engine.verify_fail));
 
         // Per-pass lowering counters (sorted by pass name in EngineStats,
         // so the exposition is stable across request interleavings).
@@ -266,6 +270,8 @@ mod tests {
                 entries: 2,
             },
             passes: vec![fuse],
+            verify_ok: 6,
+            verify_fail: 2,
         }
     }
 
@@ -291,6 +297,8 @@ mod tests {
             "trasyn_cache_misses_total 2",
             "trasyn_cache_entries 2",
             "trasyn_synthesis_threads 2",
+            "trasyn_verify_ok_total 6",
+            "trasyn_verify_fail_total 2",
             "trasyn_pass_runs_total{pass=\"fuse\"} 3",
             "trasyn_pass_wall_ms_total{pass=\"fuse\"} 1.25",
             "trasyn_pass_rotations_in_total{pass=\"fuse\"} 12",

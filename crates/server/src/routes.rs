@@ -6,11 +6,14 @@
 //! * `GET /metrics` → Prometheus text ([`crate::metrics`]).
 //! * `POST /v1/compile` — body is a JSON object with exactly one of
 //!   `"rz"` (a rotation angle) or `"qasm"` (an OpenQASM 2.0 program),
-//!   plus optional `"epsilon"`, `"backend"`, `"pipeline"`, `"name"`
-//!   (and the deprecated `"transpile"` boolean, an alias for pipeline
-//!   `"default"`/`"none"`). Responds with the item report — including
-//!   the per-pass lowering stats — plus the compiled circuit as
-//!   `"qasm"`: the same circuit `trasyn-compile` would emit for the
+//!   plus optional `"epsilon"`, `"backend"`, `"pipeline"`, `"name"`,
+//!   `"verify"` (a boolean: attach an equivalence certificate for the
+//!   compiled circuit, counted in `/metrics` as
+//!   `trasyn_verify_{ok,fail}_total`), and the deprecated `"transpile"`
+//!   boolean, an alias for pipeline `"default"`/`"none"`. Responds with
+//!   the item report — including the per-pass lowering stats and the
+//!   `"certificate"` when verification ran — plus the compiled circuit
+//!   as `"qasm"`: the same circuit `trasyn-compile` would emit for the
 //!   same input and settings, bit for bit.
 //! * `POST /v1/batch` — `{"items": [<compile objects>]}`; responds with
 //!   the engine's `BatchReport` JSON.
@@ -183,7 +186,15 @@ fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, (u1
         },
         (None, None) => default_pipeline,
     };
-    Ok(BatchItem::new(name, circuit, epsilon, backend).pipeline(pipeline))
+    let verify = match v.get("verify") {
+        None => false,
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| bad(format!("item {index}: \"verify\" must be a boolean")))?,
+    };
+    Ok(BatchItem::new(name, circuit, epsilon, backend)
+        .pipeline(pipeline)
+        .verify(verify))
 }
 
 fn compile(req: &Request, shared: &Shared) -> RouteResult {

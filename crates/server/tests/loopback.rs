@@ -408,3 +408,69 @@ fn graceful_shutdown_drains_queued_work() {
     // After shutdown the port no longer accepts.
     assert!(Conn::connect(&addr.to_string(), Duration::from_millis(300)).is_err());
 }
+
+#[test]
+fn verify_flag_returns_certificates_and_counts_in_metrics() {
+    let handle = Server::start("127.0.0.1:0", config(), engine(2)).unwrap();
+    let mut c = connect(handle.addr());
+
+    // A verified compile carries a passing certificate in the response.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/compile",
+            Some("{\"rz\": 0.37, \"verify\": true}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let v = json::parse(&resp.body).expect("response is JSON");
+    let cert = v.get("certificate").expect("certificate present");
+    assert_eq!(
+        cert.get("equivalent").and_then(|b| b.as_bool()),
+        Some(true),
+        "{}",
+        resp.body
+    );
+    assert!(cert.get("method").and_then(|m| m.as_str()).is_some());
+    let distance = cert.get("distance").and_then(|d| d.as_f64()).unwrap();
+    let bound = cert.get("bound").and_then(|d| d.as_f64()).unwrap();
+    assert!(distance <= bound, "{}", resp.body);
+
+    // An unverified compile has no certificate key.
+    let resp = c
+        .request("POST", "/v1/compile", Some("{\"rz\": 0.37}"))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(!resp.body.contains("certificate"), "{}", resp.body);
+
+    // A non-boolean "verify" is a 400, not a silent default.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/compile",
+            Some("{\"rz\": 0.37, \"verify\": \"yes\"}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("must be a boolean"), "{}", resp.body);
+
+    // Batch items verify independently; /metrics exports the counters.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/batch",
+            Some("{\"items\": [{\"rz\": 0.5, \"verify\": true}, {\"rz\": -0.9}]}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let batch = json::parse(&resp.body).unwrap();
+    let items = batch.get("items").and_then(|i| i.as_arr()).unwrap();
+    assert!(items[0].get("certificate").is_some(), "{}", resp.body);
+    assert!(items[1].get("certificate").is_none(), "{}", resp.body);
+
+    let m = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(metric(&m.body, "trasyn_verify_ok_total"), 2);
+    assert_eq!(metric(&m.body, "trasyn_verify_fail_total"), 0);
+
+    handle.shutdown();
+}

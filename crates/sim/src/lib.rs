@@ -27,4 +27,4 @@ pub mod trajectory;
 
 pub use channel::Ptm;
 pub use density::DensityMatrix;
-pub use statevector::State;
+pub use statevector::{SimError, State};

@@ -1,0 +1,177 @@
+//! The serializable verification certificate.
+
+use std::fmt;
+
+/// Which checking tier produced a [`Certificate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckMethod {
+    /// Exact composition in `D[ω]`, equality up to `ω^j` global phase.
+    /// No floating point is consulted; a passing certificate has
+    /// `distance == 0.0` by construction.
+    ExactRing,
+    /// Numeric single-qubit composition; the distance is the
+    /// phase-minimized operator norm `min_φ ‖U − e^{iφ}V‖`.
+    OperatorNorm,
+    /// Statevector-column oracle with an exact largest-singular-value
+    /// bound on `‖U − e^{iφ}V‖` (dimensions up to
+    /// `2^`[`crate::SVD_ORACLE_QUBITS`]).
+    StatevectorSvd,
+    /// Statevector-column oracle bounded by the Frobenius norm of
+    /// `U − e^{iφ}V` — still a certified upper bound on the operator
+    /// norm, but looser by up to `2^{n/2}`.
+    StatevectorFrobenius,
+    /// No distance could be computed because the circuits are not even
+    /// structurally comparable (qubit-count mismatch, unsimulable
+    /// instruction) — always a *failing* certificate with infinite
+    /// distance, never a skip: a compile that changed the qubit count is
+    /// the worst miscompile class there is.
+    Structural,
+}
+
+impl CheckMethod {
+    /// Stable lowercase label used in JSON and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CheckMethod::ExactRing => "exact-ring",
+            CheckMethod::OperatorNorm => "operator-norm",
+            CheckMethod::StatevectorSvd => "statevector-svd",
+            CheckMethod::StatevectorFrobenius => "statevector-frobenius",
+            CheckMethod::Structural => "structural",
+        }
+    }
+}
+
+impl fmt::Display for CheckMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The outcome of one equivalence check: method, verdict, and the
+/// certified distance bound it rests on.
+///
+/// `distance` is always a certified **upper bound** on the
+/// phase-minimized operator-norm distance between the two circuits'
+/// unitaries (exactly `0.0` for a passing [`CheckMethod::ExactRing`]
+/// check); `equivalent` is `distance <= bound`. Serializes to a stable
+/// single-line JSON object via [`Certificate::to_json`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Certificate {
+    /// The checking tier that decided this certificate.
+    pub method: CheckMethod,
+    /// `true` when the circuits are certified equivalent within `bound`.
+    pub equivalent: bool,
+    /// Certified upper bound on the operator-norm distance.
+    pub distance: f64,
+    /// The allowed distance (synthesis error budget plus float slack).
+    pub bound: f64,
+    /// Qubit count of the compared circuits.
+    pub n_qubits: usize,
+}
+
+impl Certificate {
+    /// Serializes as a single-line JSON object with a stable, append-only
+    /// key set:
+    ///
+    /// ```json
+    /// {"method": "exact-ring", "equivalent": true, "distance": 0, "bound": 0.01, "n_qubits": 1}
+    /// ```
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"method\": \"{}\", \"equivalent\": {}, \"distance\": {}, \"bound\": {}, \
+             \"n_qubits\": {}}}",
+            self.method.label(),
+            self.equivalent,
+            json_f64(self.distance),
+            json_f64(self.bound),
+            self.n_qubits,
+        )
+    }
+}
+
+impl fmt::Display for Certificate {
+    /// One stable human-readable line, e.g.
+    /// `ok (exact-ring, distance 0 <= bound 0.01, 1 qubit(s))`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, distance {} {} bound {}, {} qubit(s))",
+            if self.equivalent { "ok" } else { "FAIL" },
+            self.method,
+            self.distance,
+            if self.equivalent { "<=" } else { ">" },
+            self.bound,
+            self.n_qubits,
+        )
+    }
+}
+
+/// JSON number formatting: non-finite values have no JSON literal and
+/// become `null` (matching the convention of every JSON writer in this
+/// workspace).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let c = Certificate {
+            method: CheckMethod::ExactRing,
+            equivalent: true,
+            distance: 0.0,
+            bound: 0.01,
+            n_qubits: 1,
+        };
+        assert_eq!(
+            c.to_json(),
+            "{\"method\": \"exact-ring\", \"equivalent\": true, \"distance\": 0, \
+             \"bound\": 0.01, \"n_qubits\": 1}"
+        );
+    }
+
+    #[test]
+    fn display_reports_verdict() {
+        let c = Certificate {
+            method: CheckMethod::OperatorNorm,
+            equivalent: false,
+            distance: 0.5,
+            bound: 0.01,
+            n_qubits: 1,
+        };
+        let s = c.to_string();
+        assert!(s.starts_with("FAIL"), "{s}");
+        assert!(s.contains("operator-norm"), "{s}");
+    }
+
+    #[test]
+    fn non_finite_distances_become_null() {
+        let c = Certificate {
+            method: CheckMethod::StatevectorSvd,
+            equivalent: false,
+            distance: f64::INFINITY,
+            bound: 0.01,
+            n_qubits: 2,
+        };
+        assert!(c.to_json().contains("\"distance\": null"), "{}", c.to_json());
+    }
+
+    #[test]
+    fn method_labels_are_stable() {
+        assert_eq!(CheckMethod::ExactRing.label(), "exact-ring");
+        assert_eq!(CheckMethod::OperatorNorm.label(), "operator-norm");
+        assert_eq!(CheckMethod::StatevectorSvd.label(), "statevector-svd");
+        assert_eq!(
+            CheckMethod::StatevectorFrobenius.label(),
+            "statevector-frobenius"
+        );
+        assert_eq!(CheckMethod::Structural.label(), "structural");
+    }
+}

@@ -1,0 +1,420 @@
+//! The equivalence checker behind [`Certificate`]s.
+
+use crate::certificate::{Certificate, CheckMethod};
+use circuit::{Circuit, Op};
+use gates::{ExactMat2, Gate, GateSeq};
+use qmath::distance::operator_norm_distance;
+use qmath::{CMatrix, Complex64, Mat2};
+use sim::{SimError, State};
+use std::fmt;
+
+/// Largest qubit count the statevector oracle accepts. Beyond this the
+/// full-unitary comparison (`4^n` amplitudes) stops being "minutes, not
+/// hours" territory; callers must treat larger circuits as unverifiable
+/// rather than silently skipping them.
+pub const MAX_ORACLE_QUBITS: usize = 8;
+
+/// Largest qubit count for which the oracle bounds the distance by an
+/// exact largest singular value (the workspace Jacobi SVD is intended for
+/// matrices up to ~16×16). Between this and [`MAX_ORACLE_QUBITS`] the
+/// Frobenius norm is used — still a certified upper bound, just looser.
+pub const SVD_ORACLE_QUBITS: usize = 4;
+
+/// Why a pair of circuits could not be checked at all (as opposed to
+/// checking and failing, which is a non-`equivalent` [`Certificate`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The circuits act on different numbers of qubits.
+    QubitMismatch {
+        /// Reference circuit's qubit count.
+        reference: usize,
+        /// Candidate circuit's qubit count.
+        candidate: usize,
+    },
+    /// The circuits exceed [`MAX_ORACLE_QUBITS`].
+    TooLarge {
+        /// The offending qubit count.
+        n_qubits: usize,
+    },
+    /// A circuit could not be simulated (malformed instruction).
+    Sim(SimError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::QubitMismatch {
+                reference,
+                candidate,
+            } => write!(
+                f,
+                "qubit count mismatch: reference has {reference}, candidate has {candidate}"
+            ),
+            VerifyError::TooLarge { n_qubits } => write!(
+                f,
+                "{n_qubits} qubits exceed the {MAX_ORACLE_QUBITS}-qubit oracle limit"
+            ),
+            VerifyError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<SimError> for VerifyError {
+    fn from(e: SimError) -> VerifyError {
+        VerifyError::Sim(e)
+    }
+}
+
+/// Float slack added on top of a synthesis error budget when checking a
+/// compiled circuit against its request: the lowering pipeline is
+/// semantics-preserving only up to floating-point noise — gate fusion
+/// drops identity runs within `1e-10`, the basis lowerings snap trivial
+/// rotations within `1e-9` ([`circuit::trivial::as_trivial`]), and every
+/// `U3` re-composition rounds. Each instruction can contribute at most a
+/// few `1e-9` of operator-norm drift, so the slack scales with size while
+/// staying far below every practical epsilon.
+pub fn float_slack(total_instrs: usize) -> f64 {
+    1e-8 + 4e-9 * total_instrs as f64
+}
+
+/// Metric conversion from the synthesis backends' reported per-rotation
+/// error (the paper's Eq. 2 trace distance `D(U,V) = sin x`, with
+/// `e^{±ix}` the phase-aligned eigenvalues of `U†V`) to the operator
+/// norm this crate certifies (`min_φ ‖U − e^{iφ}V‖ = 2 sin(x/2) =
+/// D / cos(x/2)`). The worst-case ratio over `D ≤ 0.5` (the largest
+/// epsilon any front-end accepts) is `sqrt(2 / (1 + sqrt(0.75))) ≈
+/// 1.036`; the constant rounds it up.
+pub const TRACE_TO_OPERATOR_FACTOR: f64 = 1.04;
+
+/// The certified-distance budget for a compile whose backends reported a
+/// summed Eq. 2 synthesis error of `total_error`: the metric-converted
+/// error plus [`float_slack`] for `total_instrs` instructions across
+/// input and output.
+pub fn error_bound(total_error: f64, total_instrs: usize) -> f64 {
+    total_error * TRACE_TO_OPERATOR_FACTOR + float_slack(total_instrs)
+}
+
+/// If the circuit is single-qubit and fully discrete, its gate sequence
+/// in **matrix order** (leftmost factor = last instruction in circuit
+/// time). `None` when a rotation or CNOT is present.
+pub fn discrete_1q_seq(c: &Circuit) -> Option<GateSeq> {
+    if c.n_qubits() != 1 {
+        return None;
+    }
+    let mut gates: Vec<Gate> = Vec::with_capacity(c.len());
+    for i in c.instrs().iter().rev() {
+        match i.op {
+            Op::Gate1(g) => gates.push(g),
+            _ => return None,
+        }
+    }
+    Some(GateSeq::from_gates(gates))
+}
+
+/// Exact ring equality of two Clifford+T sequences up to a global phase
+/// `ω^j` — no floating point anywhere.
+pub fn sequences_exactly_equal(a: &GateSeq, b: &GateSeq) -> bool {
+    ExactMat2::from_seq(a).phase_equivalent(&ExactMat2::from_seq(b))
+}
+
+/// Certifies a synthesized Clifford+T sequence against the rotation
+/// matrix it replaces. The sequence is composed **exactly** in `D[ω]`
+/// (one float conversion at the very end, no per-gate float
+/// accumulation); the certified distance is the phase-minimized operator
+/// norm against `target`.
+pub fn verify_sequence(target: &Mat2, seq: &GateSeq, bound: f64) -> Certificate {
+    let composed = ExactMat2::from_seq(seq).to_mat2();
+    let distance = operator_norm_distance(target, &composed);
+    Certificate {
+        method: CheckMethod::OperatorNorm,
+        equivalent: distance <= bound,
+        distance,
+        bound,
+        n_qubits: 1,
+    }
+}
+
+/// The numeric single-qubit operator of a circuit (matrix order: later
+/// instructions multiply on the left).
+fn circuit_matrix_1q(c: &Circuit) -> Mat2 {
+    let mut m = Mat2::identity();
+    for i in c.instrs() {
+        m = i.op.matrix() * m;
+    }
+    m
+}
+
+/// The full `2^n × 2^n` unitary of a circuit, built column by column
+/// through the statevector simulator (column `j` is the evolution of
+/// basis state `|j⟩`).
+///
+/// This is the oracle's view of a circuit — independent of every
+/// composition rule the compiler itself uses.
+pub fn circuit_unitary(c: &Circuit) -> Result<CMatrix, VerifyError> {
+    let n = c.n_qubits();
+    if n > MAX_ORACLE_QUBITS {
+        return Err(VerifyError::TooLarge { n_qubits: n });
+    }
+    let dim = 1usize << n;
+    let mut u = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        let mut s = State::basis(n, col);
+        s.try_apply_circuit(c)?;
+        for (row, amp) in s.amplitudes().iter().enumerate() {
+            u[(row, col)] = *amp;
+        }
+    }
+    Ok(u)
+}
+
+/// Checks `candidate ≡ reference` up to global phase, within `bound`,
+/// using the strongest applicable tier (see the crate docs):
+///
+/// 1. single-qubit, both discrete → exact ring equality (distance `0`);
+/// 2. single-qubit otherwise (or on exact mismatch) → phase-minimized
+///    operator norm of the composed 2×2 matrices;
+/// 3. multi-qubit up to [`SVD_ORACLE_QUBITS`] → statevector oracle with
+///    an exact `σ_max` bound;
+/// 4. multi-qubit up to [`MAX_ORACLE_QUBITS`] → statevector oracle with
+///    a Frobenius bound.
+///
+/// An exact-ring *mismatch* falls through to the numeric tier rather than
+/// failing outright: two discrete circuits can legitimately differ by an
+/// approximation the request's epsilon allows (a synthesized trivial
+/// rotation), and the certificate should then report the honest numeric
+/// distance.
+pub fn verify_circuits(
+    reference: &Circuit,
+    candidate: &Circuit,
+    bound: f64,
+) -> Result<Certificate, VerifyError> {
+    if reference.n_qubits() != candidate.n_qubits() {
+        return Err(VerifyError::QubitMismatch {
+            reference: reference.n_qubits(),
+            candidate: candidate.n_qubits(),
+        });
+    }
+    let n = reference.n_qubits();
+    if n <= 1 {
+        if let (Some(a), Some(b)) = (discrete_1q_seq(reference), discrete_1q_seq(candidate)) {
+            if sequences_exactly_equal(&a, &b) {
+                return Ok(Certificate {
+                    method: CheckMethod::ExactRing,
+                    equivalent: true,
+                    distance: 0.0,
+                    bound,
+                    n_qubits: n,
+                });
+            }
+        }
+        let distance =
+            operator_norm_distance(&circuit_matrix_1q(reference), &circuit_matrix_1q(candidate));
+        return Ok(Certificate {
+            method: CheckMethod::OperatorNorm,
+            equivalent: distance <= bound,
+            distance,
+            bound,
+            n_qubits: n,
+        });
+    }
+    if n > MAX_ORACLE_QUBITS {
+        return Err(VerifyError::TooLarge { n_qubits: n });
+    }
+    let u = circuit_unitary(reference)?;
+    let v = circuit_unitary(candidate)?;
+    // Align global phase at the Frobenius-optimal multiplier
+    // conj(Tr(U†V))/|Tr(U†V)| (with U = e^{iα}V the trace is N·e^{−iα},
+    // so V is scaled by e^{+iα}); any fixed phase yields a valid upper
+    // bound on min_φ ‖U − e^{iφ}V‖.
+    let t = (u.adjoint() * v.clone()).trace();
+    let phase = if t.abs() < 1e-300 {
+        Complex64::ONE
+    } else {
+        t.conj().scale(1.0 / t.abs())
+    };
+    let diff = &u - &v.scale(phase);
+    let (method, distance) = if n <= SVD_ORACLE_QUBITS {
+        let s = qmath::decomp::svd(&diff).s;
+        (
+            CheckMethod::StatevectorSvd,
+            s.first().copied().unwrap_or(0.0),
+        )
+    } else {
+        (CheckMethod::StatevectorFrobenius, diff.frobenius_norm())
+    };
+    Ok(Certificate {
+        method,
+        equivalent: distance <= bound,
+        distance,
+        bound,
+        n_qubits: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(gs: &[Gate]) -> GateSeq {
+        GateSeq::from_gates(gs.to_vec())
+    }
+
+    fn circuit_1q(gs: &[Gate]) -> Circuit {
+        let mut c = Circuit::new(1);
+        for &g in gs {
+            c.gate(0, g);
+        }
+        c
+    }
+
+    #[test]
+    fn exact_ring_certifies_phase_equivalent_discrete_circuits() {
+        // X·Y ≡ Z up to the global phase i = ω²: exactly equivalent in
+        // the ring, even though no float comparison could call it exact.
+        let a = circuit_1q(&[Gate::Y, Gate::X]); // circuit time: Y then X ⇒ matrix X·Y
+        let b = circuit_1q(&[Gate::Z]);
+        let cert = verify_circuits(&a, &b, 0.0).unwrap();
+        assert_eq!(cert.method, CheckMethod::ExactRing);
+        assert!(cert.equivalent);
+        assert_eq!(cert.distance, 0.0);
+    }
+
+    #[test]
+    fn exact_ring_rejects_the_phase_fold_parity_bug_shape() {
+        // The PR 1 miscompile: X;T emitted as X;Tdg. Same gates, wrong
+        // phase sign — a float tolerance of 0.38 would let it through,
+        // the ring does not.
+        let good = circuit_1q(&[Gate::X, Gate::T]);
+        let bad = circuit_1q(&[Gate::X, Gate::Tdg]);
+        let cert = verify_circuits(&good, &bad, 1e-9).unwrap();
+        assert!(!cert.equivalent, "{cert}");
+        assert_eq!(cert.method, CheckMethod::OperatorNorm);
+        assert!(cert.distance > 0.3, "T vs Tdg differ by ~2·sin(π/8)");
+    }
+
+    #[test]
+    fn sequences_exact_equality_is_phase_robust() {
+        assert!(sequences_exactly_equal(
+            &seq(&[Gate::T, Gate::T]),
+            &seq(&[Gate::S])
+        ));
+        assert!(!sequences_exactly_equal(
+            &seq(&[Gate::T]),
+            &seq(&[Gate::Tdg])
+        ));
+        // H·T·H vs T·H·T: genuinely different operators.
+        assert!(!sequences_exactly_equal(
+            &seq(&[Gate::H, Gate::T, Gate::H]),
+            &seq(&[Gate::T, Gate::H, Gate::T])
+        ));
+    }
+
+    #[test]
+    fn operator_norm_tier_handles_rotations() {
+        let mut a = Circuit::new(1);
+        a.rz(0, 0.3);
+        let mut b = Circuit::new(1);
+        b.rz(0, 0.3 + 1e-4);
+        let cert = verify_circuits(&a, &b, 1e-3).unwrap();
+        assert_eq!(cert.method, CheckMethod::OperatorNorm);
+        assert!(cert.equivalent, "{cert}");
+        assert!(cert.distance > 1e-6 && cert.distance < 1e-3, "{cert}");
+        let tight = verify_circuits(&a, &b, 1e-6).unwrap();
+        assert!(!tight.equivalent);
+    }
+
+    #[test]
+    fn statevector_svd_tier_certifies_multi_qubit_equivalence() {
+        // CX pair cancellation with a phase gate in a commuting position.
+        let mut a = Circuit::new(2);
+        a.gate(1, Gate::T);
+        a.cx(0, 1);
+        a.cx(0, 1);
+        a.gate(1, Gate::T);
+        let mut b = Circuit::new(2);
+        b.gate(1, Gate::S);
+        let cert = verify_circuits(&a, &b, 1e-10).unwrap();
+        assert_eq!(cert.method, CheckMethod::StatevectorSvd);
+        assert!(cert.equivalent, "{cert}");
+        assert!(cert.distance < 1e-12, "{cert}");
+    }
+
+    #[test]
+    fn statevector_svd_tier_measures_real_differences() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        a.cx(0, 1);
+        let mut b = a.clone();
+        b.rz(1, 0.01);
+        let cert = verify_circuits(&a, &b, 1e-4).unwrap();
+        assert!(!cert.equivalent, "{cert}");
+        // Rz(θ) is within θ/2 + O(θ³) of identity in operator norm.
+        assert!((cert.distance - 0.005).abs() < 1e-4, "{cert}");
+    }
+
+    #[test]
+    fn frobenius_tier_kicks_in_above_svd_limit() {
+        let n = SVD_ORACLE_QUBITS + 1;
+        let mut a = Circuit::new(n);
+        for q in 0..n {
+            a.h(q);
+        }
+        let cert = verify_circuits(&a, &a, 1e-10).unwrap();
+        assert_eq!(cert.method, CheckMethod::StatevectorFrobenius);
+        assert!(cert.equivalent, "{cert}");
+    }
+
+    #[test]
+    fn oracle_refuses_oversized_circuits() {
+        let big = Circuit::new(MAX_ORACLE_QUBITS + 1);
+        let err = verify_circuits(&big, &big, 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::TooLarge {
+                n_qubits: MAX_ORACLE_QUBITS + 1
+            }
+        );
+        assert!(err.to_string().contains("oracle limit"));
+    }
+
+    #[test]
+    fn qubit_mismatch_is_an_error_not_a_verdict() {
+        let a = Circuit::new(1);
+        let b = Circuit::new(2);
+        let err = verify_circuits(&a, &b, 1.0).unwrap_err();
+        assert!(matches!(err, VerifyError::QubitMismatch { .. }));
+    }
+
+    #[test]
+    fn verify_sequence_composes_exactly() {
+        // HTH approximates Rx(π/4)… poorly; against its own matrix the
+        // distance is 0 within float conversion.
+        let s = seq(&[Gate::H, Gate::T, Gate::S, Gate::H, Gate::Tdg]);
+        let target = ExactMat2::from_seq(&s).to_mat2();
+        let cert = verify_sequence(&target, &s, 1e-12);
+        assert!(cert.equivalent, "{cert}");
+        let off = verify_sequence(&Mat2::rz(0.3), &seq(&[Gate::T]), 1e-3);
+        assert!(!off.equivalent);
+    }
+
+    #[test]
+    fn circuit_unitary_matches_known_gates() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let u = circuit_unitary(&c).unwrap();
+        // CX with control q0 (MSB): swaps |10⟩ and |11⟩.
+        assert!(u[(2, 3)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(u[(3, 2)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(u[(0, 0)].approx_eq(Complex64::ONE, 1e-12));
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn float_slack_grows_with_size_but_stays_small() {
+        assert!(float_slack(0) < 1e-7);
+        assert!(float_slack(1000) < 1e-4);
+        assert!(float_slack(10) > float_slack(0));
+    }
+}

@@ -1,0 +1,46 @@
+//! **verify** — exact equivalence certificates for compiled circuits.
+//!
+//! Four independent front-ends lower the same rotations in this workspace
+//! (the `trasyn-compile` CLI, the engine batch API at any thread count,
+//! the HTTP server, the repro driver). This crate turns "those agree"
+//! from a sampled property into a *checked* one: given the circuit a
+//! request asked for and the Clifford+T circuit a compile path produced,
+//! [`verify_circuits`] returns a serializable [`Certificate`] that either
+//! certifies equivalence up to global phase or reports a certified
+//! distance bound violation.
+//!
+//! Three checking tiers, strongest applicable tier wins:
+//!
+//! * **Exact ring** ([`CheckMethod::ExactRing`]) — single-qubit circuits
+//!   whose instructions are all discrete Clifford+T gates compose in the
+//!   exact ring `D[ω]` ([`gates::ExactMat2`], entries in
+//!   [`rings::DOmega`]); equivalence up to one of the 8 global phases
+//!   `ω^j` is decided by [`gates::ExactMat2::phase_canonical`] equality —
+//!   **no float tolerance anywhere**. (Unit-modulus units of `Z[ω, 1/√2]`
+//!   are exactly the `ω^j`, so "up to global phase" and "up to `ω^j`"
+//!   coincide for ring-valued matrices.)
+//! * **Operator norm** ([`CheckMethod::OperatorNorm`]) — single-qubit
+//!   circuits with rotations compose numerically; the certified distance
+//!   is `min_φ ‖U − e^{iφ}V‖` ([`qmath::distance::operator_norm_distance`]).
+//! * **Statevector oracle** ([`CheckMethod::StatevectorSvd`] /
+//!   [`CheckMethod::StatevectorFrobenius`]) — multi-qubit circuits are
+//!   applied column-by-column to computational basis states
+//!   ([`sim::State`]); the difference `U − e^{iφ}V` (at the
+//!   Frobenius-optimal phase `φ = arg Tr(U†V)`) is bounded by its largest
+//!   singular value (exact, via [`qmath::decomp::svd`], up to
+//!   [`SVD_ORACLE_QUBITS`] qubits) or by its Frobenius norm (a valid but
+//!   looser upper bound, up to [`MAX_ORACLE_QUBITS`] qubits).
+//!
+//! Every reported `distance` is a certified **upper bound** on the
+//! phase-minimized operator-norm distance, so `distance <= bound` really
+//! certifies the compiled circuit is within the requested error budget.
+
+mod certificate;
+mod check;
+
+pub use certificate::{Certificate, CheckMethod};
+pub use check::{
+    circuit_unitary, discrete_1q_seq, error_bound, float_slack, sequences_exactly_equal,
+    verify_circuits, verify_sequence, VerifyError, MAX_ORACLE_QUBITS, SVD_ORACLE_QUBITS,
+    TRACE_TO_OPERATOR_FACTOR,
+};

@@ -1,0 +1,65 @@
+//! End-to-end certification of real synthesizer output.
+
+use gates::ExactMat2;
+use proptest::prelude::*;
+use qmath::Mat2;
+use verify::{verify_sequence, CheckMethod, TRACE_TO_OPERATOR_FACTOR};
+
+#[test]
+fn gridsynth_rz_output_is_certified_within_epsilon() {
+    for (angle, eps) in [
+        (0.37, 1e-2),
+        (-1.2, 1e-3),
+        (2.9, 1e-2),
+        (0.001, 1e-3),
+    ] {
+        let r = gridsynth::synthesize_rz(angle, eps).expect("gridsynth converges");
+        // The backend reports Eq. 2 trace distance; the certificate
+        // bounds the operator norm, so convert the budget.
+        let cert = verify_sequence(&Mat2::rz(angle), &r.seq, eps * TRACE_TO_OPERATOR_FACTOR);
+        assert!(cert.equivalent, "angle {angle}, eps {eps}: {cert}");
+        assert_eq!(cert.method, CheckMethod::OperatorNorm);
+        assert!(cert.distance > 0.0, "approximation is never exact generically");
+    }
+}
+
+#[test]
+fn certificate_rejects_a_wrong_synthesis() {
+    // The right sequence for the wrong angle: far outside epsilon.
+    let r = gridsynth::synthesize_rz(0.37, 1e-3).expect("converges");
+    let cert = verify_sequence(&Mat2::rz(1.9), &r.seq, 1e-3 * TRACE_TO_OPERATOR_FACTOR);
+    assert!(!cert.equivalent, "{cert}");
+    assert!(cert.distance > 0.5, "{cert}");
+}
+
+#[test]
+fn exact_synthesis_is_certified_in_the_ring() {
+    // Clifford+T group members resynthesize exactly; the certificate for
+    // the composed sequences must be ring-exact, not float-tolerant.
+    let seq: gates::GateSeq = [
+        gates::Gate::H,
+        gates::Gate::T,
+        gates::Gate::S,
+        gates::Gate::H,
+        gates::Gate::Tdg,
+    ]
+    .into_iter()
+    .collect();
+    let m = ExactMat2::from_seq(&seq);
+    let out = gridsynth::exact_synth::exact_synthesize(m).expect("group member");
+    assert!(verify::sequences_exactly_equal(&seq, &out));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every gridsynth Rz synthesis across random angles/epsilons is
+    /// certified by the exact-composition checker.
+    #[test]
+    fn random_rz_syntheses_certify(angle in -3.1f64..3.1, eps_exp in 1.0f64..3.0) {
+        let eps = 10f64.powf(-eps_exp);
+        let r = gridsynth::synthesize_rz(angle, eps).expect("gridsynth converges");
+        let cert = verify_sequence(&Mat2::rz(angle), &r.seq, eps * TRACE_TO_OPERATOR_FACTOR);
+        prop_assert!(cert.equivalent, "angle {angle}, eps {eps}: {cert}");
+    }
+}

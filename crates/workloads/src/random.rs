@@ -1,9 +1,12 @@
-//! Haar-random unitary targets for RQ1.
+//! Haar-random unitary targets (RQ1) and seeded random circuits for the
+//! differential fuzzer.
 
+use circuit::Circuit;
+use gates::Gate;
 use qmath::haar::haar_mat2;
 use qmath::Mat2;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Samples `n` Haar-random single-qubit unitaries with a fixed seed —
 /// the RQ1 benchmark set (paper: 1000 unitaries; the repro harness scales
@@ -11,6 +14,78 @@ use rand::SeedableRng;
 pub fn haar_targets(n: usize, seed: u64) -> Vec<Mat2> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| haar_mat2(&mut rng)).collect()
+}
+
+/// The discrete gates [`random_circuit`] draws from.
+const DISCRETE: [Gate; 8] = [
+    Gate::H,
+    Gate::S,
+    Gate::Sdg,
+    Gate::T,
+    Gate::Tdg,
+    Gate::X,
+    Gate::Y,
+    Gate::Z,
+];
+
+/// A seeded random mixed circuit: rotations (`Rz`/`Rx`/`Ry`/`U3`, with a
+/// bias toward π/4-multiple angles so trivial-rotation paths are
+/// exercised), discrete Clifford+T gates, and CNOTs. Deterministic for a
+/// fixed `(n_qubits, ops, seed)` — the differential fuzzer's main case
+/// generator.
+pub fn random_circuit(n_qubits: usize, ops: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n_qubits);
+    if n_qubits == 0 {
+        return c;
+    }
+    let angle = |rng: &mut StdRng| -> f64 {
+        if rng.gen_range(0..4) == 0 {
+            // π/4 multiples hit the trivial-rotation and exact paths.
+            rng.gen_range(-8i32..9) as f64 * std::f64::consts::FRAC_PI_4
+        } else {
+            rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI)
+        }
+    };
+    for _ in 0..ops {
+        let q = rng.gen_range(0..n_qubits);
+        match rng.gen_range(0..8) {
+            0 => c.rz(q, angle(&mut rng)),
+            1 => c.rx(q, angle(&mut rng)),
+            2 => c.ry(q, angle(&mut rng)),
+            3 => {
+                let (t, p, l) = (angle(&mut rng), angle(&mut rng), angle(&mut rng));
+                c.u3(q, t, p, l);
+            }
+            4 if n_qubits > 1 => {
+                let t = (q + 1 + rng.gen_range(0..n_qubits - 1)) % n_qubits;
+                c.cx(q, t);
+            }
+            _ => c.gate(q, DISCRETE[rng.gen_range(0..DISCRETE.len())]),
+        }
+    }
+    c
+}
+
+/// A seeded random circuit of **discrete** Clifford+T gates plus CNOTs —
+/// no rotations, so compiled output can be checked in the exact ring on
+/// one qubit and stays synthesis-free on the `none` pipeline.
+pub fn random_discrete_circuit(n_qubits: usize, ops: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n_qubits);
+    if n_qubits == 0 {
+        return c;
+    }
+    for _ in 0..ops {
+        let q = rng.gen_range(0..n_qubits);
+        if n_qubits > 1 && rng.gen_range(0..5) == 0 {
+            let t = (q + 1 + rng.gen_range(0..n_qubits - 1)) % n_qubits;
+            c.cx(q, t);
+        } else {
+            c.gate(q, DISCRETE[rng.gen_range(0..DISCRETE.len())]);
+        }
+    }
+    c
 }
 
 #[cfg(test)]
@@ -32,5 +107,28 @@ mod tests {
         let a = haar_targets(5, 1);
         let b = haar_targets(5, 2);
         assert!(!a[0].approx_eq(&b[0], 1e-6));
+    }
+
+    #[test]
+    fn random_circuits_are_reproducible_and_valid() {
+        let a = random_circuit(3, 40, 17);
+        let b = random_circuit(3, 40, 17);
+        assert_eq!(a, b, "seeded generation must be deterministic");
+        assert_eq!(a.n_qubits(), 3);
+        assert!(a.len() <= 40);
+        assert_ne!(a, random_circuit(3, 40, 18), "seeds must matter");
+        // Single-qubit generation never emits CNOTs (no valid target).
+        let one = random_circuit(1, 30, 5);
+        assert!(one.instrs().iter().all(|i| i.q1.is_none()));
+        // Zero-qubit requests yield an empty circuit, not a panic.
+        assert!(random_circuit(0, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn discrete_circuits_contain_no_rotations() {
+        let c = random_discrete_circuit(2, 60, 9);
+        assert!(c.instrs().iter().all(|i| !i.op.is_rotation()));
+        assert_eq!(c, random_discrete_circuit(2, 60, 9));
+        assert!(random_discrete_circuit(0, 10, 1).is_empty());
     }
 }

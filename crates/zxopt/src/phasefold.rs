@@ -4,6 +4,59 @@ use circuit::{Circuit, Instr, Op};
 use gates::{Gate, GateSeq};
 use std::collections::HashMap;
 
+/// Meta-testing hook: deliberately reintroduce the PR 1 `phase_fold`
+/// parity-miscompile family so the differential verification harness can
+/// prove it catches real semantics bugs.
+///
+/// The original bug ignored the parity-complement bit, miscompiling
+/// phases folded across `X` conjugations (`X; T` emitted as `X; T†`).
+/// The injected mutation masks the complement bit where fold slots
+/// accumulate their sign, so e.g. `T; X; T` — which correctly cancels to
+/// a bare `X` — folds to `S; X` instead. (A pure *emission*-sign flip
+/// would be an involution that [`optimize`]'s two folding iterations
+/// silently undo; masking at accumulation is not self-inverse, so the
+/// miscompile survives to the compiled circuit.)
+///
+/// The hook exists only under `#[cfg(test)]` or the `mutation-hooks`
+/// cargo feature (enabled solely by the `server` crate's
+/// dev-dependencies, for the mutation meta-test): production builds
+/// compile the unmasked bit access with no switch and no atomic load.
+#[cfg(any(test, feature = "mutation-hooks"))]
+#[doc(hidden)]
+pub mod mutation {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static PARITY_BUG: AtomicBool = AtomicBool::new(false);
+
+    /// Turns the injected parity bug on or off. The switch is
+    /// process-global: tests sharing a binary run on concurrent threads,
+    /// so every test touching it must serialize on a common lock for its
+    /// whole body (see the server crate's mutation meta-test).
+    pub fn set_parity_bug(on: bool) {
+        PARITY_BUG.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the injected parity bug is currently active.
+    pub fn parity_bug() -> bool {
+        PARITY_BUG.load(Ordering::SeqCst)
+    }
+
+    /// The wire-complement bit as the folding pass sees it: the real bit,
+    /// or `false` when the injected bug is active.
+    pub(crate) fn effective_neg(neg: bool) -> bool {
+        neg && !parity_bug()
+    }
+}
+
+/// Without the hook, the complement bit is used as-is (zero cost).
+#[cfg(not(any(test, feature = "mutation-hooks")))]
+mod mutation {
+    #[inline(always)]
+    pub(crate) fn effective_neg(neg: bool) -> bool {
+        neg
+    }
+}
+
 /// An affine parity over path variables: a GF(2) sum of variables plus a
 /// negation bit. Diagonal phase gates act on the value of this parity, so
 /// equal parities accumulate their phases (Amy-style phase folding).
@@ -110,7 +163,7 @@ pub fn phase_fold(c: &Circuit) -> Circuit {
             Op::Gate1(g) => match phase_units(g) {
                 Some(k) => {
                     let q = i.q0;
-                    let neg = parity[q].neg;
+                    let neg = mutation::effective_neg(parity[q].neg);
                     let sign = if neg { -1 } else { 1 };
                     let key = normalized_key(&parity[q]);
                     let entry = fold.entry(key).or_insert_with(|| {
@@ -133,7 +186,7 @@ pub fn phase_fold(c: &Circuit) -> Circuit {
             },
             Op::Rz(a) => {
                 let q = i.q0;
-                let neg = parity[q].neg;
+                let neg = mutation::effective_neg(parity[q].neg);
                 let sign = if neg { -1.0 } else { 1.0 };
                 let key = normalized_key(&parity[q]);
                 let entry = fold.entry(key).or_insert_with(|| {
@@ -158,7 +211,10 @@ pub fn phase_fold(c: &Circuit) -> Circuit {
         // The accumulated phase is relative to the un-negated parity; the
         // emission point sees the wire with `first_neg` applied, so a
         // complemented wire realizes the negated phase (the leftover global
-        // phase is dropped, like everywhere else in this pass).
+        // phase is dropped, like everywhere else in this pass). Under the
+        // injected `mutation` the stored `first_neg` is already masked to
+        // `false`, so the whole complement handling disappears — the PR 1
+        // miscompile family.
         let ph = if first_neg {
             Phase {
                 eighths: -ph.eighths,

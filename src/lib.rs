@@ -15,5 +15,6 @@ pub use qmath;
 pub use rings;
 pub use sim;
 pub use trasyn;
+pub use verify;
 pub use workloads;
 pub use zxopt;

@@ -1,0 +1,180 @@
+//! Pipeline idempotence: re-running lowering on its own output must not
+//! oscillate.
+//!
+//! Building this property test surfaced (and this PR fixed) two real
+//! rewrite pumps:
+//!
+//! 1. `basis=rz` lowered fused diagonals (`U3 {theta ≈ 0}`) through the
+//!    generic three-`Rz` split, emitting `Sdg·H·H·Rz` whose `±π/2` gauge
+//!    phase folding pushed across CNOTs on *every* recompile — the `zx`
+//!    preset cycled forever with period 4.
+//! 2. `commute` hopped rotations over CNOTs toward lone Clifford gates,
+//!    where merging cannot reduce the nontrivial-rotation count, so each
+//!    recompile of basis-lowered output kept shuffling instructions.
+//!
+//! With both fixed, every individual pass and every preset in the `U3`
+//! basis (plus `none`/`fast` in both bases) is a strict one-step fixed
+//! point, pinned below. `default`/`aggressive`/`zx` on `Rz`-lowered
+//! output still converge only eventually: lowering runs last, so it can
+//! expose genuine cross-CNOT diagonal merges that only the *next* run's
+//! commute/fold can exploit — re-running is then a real optimization,
+//! not churn — and rare `zx` cases cycle through gauge-equivalent
+//! Clifford placements of equal cost (a wire-segment canonical form is
+//! future work, tracked in the README). For those presets we pin
+//! semantic stability instead: every re-run output is certified
+//! equivalent by the `verify` oracle.
+
+use circuit::pass::{PassSpec, PipelineSpec};
+use circuit::{Basis, Circuit, Op};
+use engine::build_pipeline;
+use proptest::prelude::*;
+
+/// Circular angle distance (angles live on the circle; wrapping at ±π
+/// must not count as a difference).
+fn angle_diff(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(2.0 * std::f64::consts::PI);
+    d.min(2.0 * std::f64::consts::PI - d)
+}
+
+fn ops_match(a: &circuit::Instr, b: &circuit::Instr, tol: f64) -> bool {
+    if a.q0 != b.q0 || a.q1 != b.q1 {
+        return false;
+    }
+    match (a.op, b.op) {
+        (Op::Rz(x), Op::Rz(y)) | (Op::Rx(x), Op::Rx(y)) | (Op::Ry(x), Op::Ry(y)) => {
+            angle_diff(x, y) < tol
+        }
+        (
+            Op::U3 { theta: t1, phi: p1, lambda: l1 },
+            Op::U3 { theta: t2, phi: p2, lambda: l2 },
+        ) => angle_diff(t1, t2) < tol && angle_diff(p1, p2) < tol && angle_diff(l1, l2) < tol,
+        (Op::Gate1(g), Op::Gate1(h)) => g == h,
+        (Op::Cx, Op::Cx) => true,
+        _ => false,
+    }
+}
+
+/// Structural equality: same shape, same gates, angles within `tol`
+/// (angle re-composition through `U3` drifts by ~1e-15 per roundtrip).
+fn structurally_equal(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    a.n_qubits() == b.n_qubits()
+        && a.len() == b.len()
+        && a.instrs()
+            .iter()
+            .zip(b.instrs().iter())
+            .all(|(x, y)| ops_match(x, y, tol))
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (1usize..=3, 0usize..=20, 0u64..1_000_000_000)
+        .prop_map(|(n, ops, seed)| workloads::random::random_circuit(n, ops, seed))
+}
+
+/// The strictly idempotent pipeline instantiations: every single pass,
+/// plus the presets whose output contains no bare `Rz` sitting upstream
+/// of later merge partners.
+fn strict_specs() -> Vec<(PipelineSpec, Basis)> {
+    let mut out = Vec::new();
+    for tok in ["commute", "fuse", "cx-cancel", "zx-fold", "basis=u3", "basis=rz"] {
+        let spec = PipelineSpec::Custom(vec![PassSpec::parse(tok).expect("valid token")]);
+        out.push((spec.clone(), Basis::U3));
+        out.push((spec, Basis::Rz));
+    }
+    for preset in ["none", "fast"] {
+        let spec = PipelineSpec::parse(preset).expect("valid preset");
+        out.push((spec.clone(), Basis::U3));
+        out.push((spec, Basis::Rz));
+    }
+    for preset in ["default", "aggressive"] {
+        out.push((PipelineSpec::parse(preset).expect("valid preset"), Basis::U3));
+    }
+    out
+}
+
+/// The remaining preset instantiations, held to semantic stability.
+fn eventual_specs() -> Vec<(PipelineSpec, Basis)> {
+    vec![
+        (PipelineSpec::parse("default").unwrap(), Basis::Rz),
+        (PipelineSpec::parse("aggressive").unwrap(), Basis::Rz),
+        (PipelineSpec::parse("zx").unwrap(), Basis::U3),
+        (PipelineSpec::parse("zx").unwrap(), Basis::Rz),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strict one-step fixed point: `p(p(c))` is structurally identical
+    /// to `p(c)` for every individual pass and every U3-lowering preset.
+    #[test]
+    fn passes_and_u3_presets_are_idempotent(c in arb_circuit()) {
+        for (spec, basis) in strict_specs() {
+            let mut once = c.clone();
+            build_pipeline(&spec, basis).run(&mut once);
+            let mut twice = once.clone();
+            build_pipeline(&spec, basis).run(&mut twice);
+            prop_assert!(
+                structurally_equal(&once, &twice, 1e-9),
+                "pipeline {spec} (basis {basis:?}) rewrote its own output:\nonce:\n{once}\ntwice:\n{twice}\ninput:\n{c}"
+            );
+        }
+    }
+
+    /// Rz-lowered presets: successive re-runs may keep optimizing (and
+    /// rare zx cases wander between gauge-equivalent forms), but every
+    /// iterate must stay certified-equivalent to the first — rewriting
+    /// without oscillating in *meaning*.
+    #[test]
+    fn rz_presets_rewrite_semantics_preserving(c in arb_circuit()) {
+        for (spec, basis) in eventual_specs() {
+            let mut first = c.clone();
+            build_pipeline(&spec, basis).run(&mut first);
+            let mut cur = first.clone();
+            for iter in 0..3 {
+                let mut next = cur.clone();
+                build_pipeline(&spec, basis).run(&mut next);
+                let bound = verify::float_slack(first.len() + next.len());
+                let cert = verify::verify_circuits(&first, &next, bound)
+                    .expect("≤3 qubits fits the oracle");
+                prop_assert!(
+                    cert.equivalent,
+                    "pipeline {spec} (basis {basis:?}) drifted semantically at re-run {iter}: {cert}\nfirst:\n{first}\ncurrent:\n{next}"
+                );
+                if structurally_equal(&cur, &next, 1e-9) {
+                    break; // reached the fixed point early
+                }
+                cur = next;
+            }
+        }
+    }
+
+    /// The former zx 4-cycle shape (diagonal phases pumped across an
+    /// `H·Z·H` conjugation and a CNOT) now reaches a structural fixed
+    /// point within a few re-runs — before the `basis=rz` diagonal fix
+    /// it cycled with period 4 forever, the angles shifting by π/2 per
+    /// recompile.
+    #[test]
+    fn former_zx_oscillator_converges(a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let mut c = Circuit::new(2);
+        c.rz(0, a);
+        c.h(0);
+        c.gate(0, gates::Gate::Z);
+        c.h(0);
+        c.cx(0, 1);
+        c.rz(0, b);
+        let spec = PipelineSpec::parse("zx").expect("valid preset");
+        let mut cur = c.clone();
+        build_pipeline(&spec, Basis::Rz).run(&mut cur);
+        let mut converged = false;
+        for _ in 0..4 {
+            let mut next = cur.clone();
+            build_pipeline(&spec, Basis::Rz).run(&mut next);
+            if structurally_equal(&cur, &next, 1e-9) {
+                converged = true;
+                break;
+            }
+            cur = next;
+        }
+        prop_assert!(converged, "oscillation regressed for (a, b) = ({a}, {b}):\n{cur}");
+    }
+}
