@@ -28,7 +28,7 @@ pub fn brute_force_synthesize(target: &Mat2, max_t: usize) -> (GateSeq, f64) {
         for c in cliffords {
             let full = *m * c.matrix.to_mat2();
             let err = unitary_distance(target, &full);
-            if best.as_ref().map(|b| err < b.1).unwrap_or(true) {
+            if best.as_ref().is_none_or(|b| err < b.1) {
                 let mut s = seq.clone();
                 s.extend_seq(&c.seq);
                 *best = Some((s.simplified(), err));

@@ -25,7 +25,7 @@ fn bench_transpile(c: &mut Criterion) {
             for s in TranspileSetting::all() {
                 std::hint::black_box(transpile(&qaoa, s));
             }
-        })
+        });
     });
     g.bench_function("u3_level3_commute", |b| {
         b.iter(|| {
@@ -37,7 +37,7 @@ fn bench_transpile(c: &mut Criterion) {
                     commutation: true,
                 },
             ))
-        })
+        });
     });
     g.finish();
 }
@@ -64,7 +64,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 let mut work = qaoa.clone();
                 std::hint::black_box(build_pipeline(&spec, Basis::U3).run(&mut work));
                 work
-            })
+            });
         });
     }
     // Per-pass cost, isolated, on the diagonal Ising workload (the shape
@@ -76,7 +76,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 let mut work = ising.clone();
                 std::hint::black_box(build_pipeline(&spec, Basis::Rz).run(&mut work));
                 work
-            })
+            });
         });
     }
     // Pipeline-object reuse: the buffer-recycling path the engine takes
@@ -88,7 +88,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             work.copy_from(&qaoa);
             std::hint::black_box(pipe.run(&mut work));
-        })
+        });
     });
     g.finish();
 }
@@ -115,7 +115,7 @@ fn bench_circuit_synthesis(c: &mut Criterion) {
                     1e-3,
                 )
             }))
-        })
+        });
     });
     g.finish();
 }
@@ -138,7 +138,7 @@ fn bench_phasefold(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_phasefold");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     g.bench_function("optimize_1440_gates", |b| {
-        b.iter(|| std::hint::black_box(zxopt::optimize(&circ)))
+        b.iter(|| std::hint::black_box(zxopt::optimize(&circ)));
     });
     g.finish();
 }
@@ -153,7 +153,7 @@ fn bench_simulators(c: &mut Criterion) {
             let mut s = State::zero(10);
             s.apply_circuit(&qaoa);
             std::hint::black_box(s.norm_sqr())
-        })
+        });
     });
     let small = random_qaoa(6, 1, 5);
     let lowered = transpile(
@@ -181,7 +181,7 @@ fn bench_simulators(c: &mut Criterion) {
             let mut rho = DensityMatrix::zero(6);
             rho.apply_noisy_circuit(&discrete.circuit, &model);
             std::hint::black_box(rho.trace())
-        })
+        });
     });
     g.finish();
 }

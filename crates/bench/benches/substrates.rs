@@ -25,7 +25,7 @@ fn bench_enumeration(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     for t in [3usize, 5] {
         g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| std::hint::black_box(UnitaryTable::build(t)))
+            b.iter(|| std::hint::black_box(UnitaryTable::build(t)));
         });
     }
     g.finish();
@@ -41,7 +41,7 @@ fn bench_sampling(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let mps = TraceMps::new(table, &[6, 6]);
             let mut rng = StdRng::seed_from_u64(1);
-            b.iter(|| std::hint::black_box(sample_sequences(&mps, &u, k, &mut rng)))
+            b.iter(|| std::hint::black_box(sample_sequences(&mps, &u, k, &mut rng)));
         });
     }
     g.finish();
@@ -52,7 +52,7 @@ fn bench_gridsynth_stages(c: &mut Criterion) {
     let mut g = c.benchmark_group("gridsynth_stages");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
     g.bench_function("grid_candidates_k20", |b| {
-        b.iter(|| std::hint::black_box(grid::candidates(0.937, 1e-2, 20, 16)))
+        b.iter(|| std::hint::black_box(grid::candidates(0.937, 1e-2, 20, 16)));
     });
     g.bench_function("diophantine", |b| {
         let mut k = 0i128;
@@ -61,7 +61,7 @@ fn bench_gridsynth_stages(c: &mut Criterion) {
             // A family of doubly-positive values.
             let xi = ZRoot2::new(40 + (k % 17), 3 + (k % 5));
             std::hint::black_box(solve_norm_equation(xi))
-        })
+        });
     });
     g.bench_function("exact_synthesis_t20", |b| {
         use gates::{ExactMat2, Gate, GateSeq};
@@ -73,7 +73,7 @@ fn bench_gridsynth_stages(c: &mut Criterion) {
             })
             .collect();
         let m = ExactMat2::from_seq(&seq);
-        b.iter(|| std::hint::black_box(exact_synthesize(m)))
+        b.iter(|| std::hint::black_box(exact_synthesize(m)));
     });
     g.finish();
 }

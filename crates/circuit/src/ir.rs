@@ -279,7 +279,7 @@ impl fmt::Display for Circuit {
                 (Op::Rx(a), _) => writeln!(f, "  rx({a:.6}) q{}", i.q0)?,
                 (Op::Ry(a), _) => writeln!(f, "  ry({a:.6}) q{}", i.q0)?,
                 (Op::U3 { theta, phi, lambda }, _) => {
-                    writeln!(f, "  u3({theta:.6},{phi:.6},{lambda:.6}) q{}", i.q0)?
+                    writeln!(f, "  u3({theta:.6},{phi:.6},{lambda:.6}) q{}", i.q0)?;
                 }
                 (Op::Gate1(g), _) => writeln!(f, "  {} q{}", g.symbol(), i.q0)?,
                 (Op::Cx, None) => unreachable!(),

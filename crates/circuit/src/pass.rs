@@ -390,7 +390,28 @@ impl Pipeline {
     /// Runs every pass in order, in place, returning one [`PassStats`]
     /// per pass.
     pub fn run(&mut self, c: &mut Circuit) -> Vec<PassStats> {
-        self.passes.iter_mut().map(|p| p.run(c)).collect()
+        self.run_observed(c, |_, _| {})
+    }
+
+    /// [`Pipeline::run`] with a between-stages hook: after each pass,
+    /// `observe` sees that pass's [`PassStats`] and the circuit as the
+    /// next stage will receive it. This is the seam static checkers hang
+    /// off of (the `lint` crate's `CheckedPipeline` verifies each pass's
+    /// declared postconditions here); the observer cannot mutate the
+    /// circuit, so observed and unobserved runs are bit-identical.
+    pub fn run_observed(
+        &mut self,
+        c: &mut Circuit,
+        mut observe: impl FnMut(&PassStats, &Circuit),
+    ) -> Vec<PassStats> {
+        self.passes
+            .iter_mut()
+            .map(|p| {
+                let stats = p.run(c);
+                observe(&stats, c);
+                stats
+            })
+            .collect()
     }
 }
 

@@ -38,6 +38,13 @@ pub struct BatchItem {
     /// [`verify::MAX_ORACLE_QUBITS`] are reported without a certificate
     /// (unverifiable, not failed).
     pub verify: bool,
+    /// When `true`, the input circuit and pipeline spec are statically
+    /// linted before any synthesis work: error-severity findings fail
+    /// the batch with `EngineError::Lint`, warnings land in
+    /// [`ItemReport::diagnostics`], and the compiled output is checked
+    /// for gate-set conformance. Pass-contract checking
+    /// (`lint::CheckedPipeline`) runs regardless of this flag.
+    pub lint: bool,
 }
 
 impl BatchItem {
@@ -50,6 +57,7 @@ impl BatchItem {
             backend,
             pipeline: PipelineSpec::default(),
             verify: false,
+            lint: false,
         }
     }
 
@@ -62,6 +70,12 @@ impl BatchItem {
     /// Requests an equivalence certificate for this item, builder style.
     pub fn verify(mut self, verify: bool) -> Self {
         self.verify = verify;
+        self
+    }
+
+    /// Requests static lint for this item, builder style.
+    pub fn lint(mut self, lint: bool) -> Self {
+        self.lint = lint;
         self
     }
 }
@@ -121,6 +135,11 @@ pub struct ItemReport {
     /// item asked for verification ([`BatchItem::verify`]) *and* the
     /// circuit fit the oracle ([`verify::MAX_ORACLE_QUBITS`]).
     pub certificate: Option<verify::Certificate>,
+    /// Static-analysis findings for this item: pass-contract violations
+    /// (always collected) plus, when the item asked for lint
+    /// ([`BatchItem::lint`]), input warnings and output gate-set
+    /// findings. Empty for a clean compile.
+    pub diagnostics: Vec<lint::Diagnostic>,
 }
 
 impl ItemReport {
@@ -154,6 +173,10 @@ impl ItemReport {
         if let Some(cert) = &self.certificate {
             s.push_str(", \"certificate\": ");
             s.push_str(&cert.to_json());
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str(", \"diagnostics\": ");
+            s.push_str(&lint::diagnostics_json(&self.diagnostics));
         }
         if include_qasm {
             s.push_str(", \"qasm\": ");

@@ -21,6 +21,12 @@
 //!                          (compiled vs requested circuit, exact-ring /
 //!                          operator-norm / statevector oracle) and exit 1
 //!                          if any certificate fails
+//!   --lint                 statically lint every item (input circuit,
+//!                          pipeline spec, compiled output gate-set);
+//!                          error-severity findings reject the batch and
+//!                          exit 1, warnings are printed to stderr and
+//!                          attached to the report as "diagnostics"
+//!   --deny-warnings        with --lint: exit 1 on warnings too
 //!   --emit-qasm DIR        write each compiled circuit as DIR/<name>.qasm
 //!   --out FILE             write the JSON report to FILE (default stdout)
 //!   --cache-file FILE      warm-start the cache from FILE if present and
@@ -49,6 +55,8 @@ struct Options {
     max_t: usize,
     pipeline: PipelineSpec,
     verify: bool,
+    lint: bool,
+    deny_warnings: bool,
     emit_qasm: Option<PathBuf>,
     out: Option<PathBuf>,
     cache_file: Option<PathBuf>,
@@ -58,7 +66,8 @@ fn usage() -> &'static str {
     "usage: trasyn-compile [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
      [--threads N] [--cache-capacity N] [--samples N] [--max-t N] \
      [--pipeline none|fast|default|aggressive|zx|PASS,PASS,...] [--no-transpile] \
-     [--verify] [--emit-qasm DIR] [--out FILE] [--cache-file FILE] <FILE.qasm>..."
+     [--verify] [--lint] [--deny-warnings] [--emit-qasm DIR] [--out FILE] \
+     [--cache-file FILE] <FILE.qasm>..."
 }
 
 /// `Ok(None)` means `--help` was requested: print usage, exit 0.
@@ -73,6 +82,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         max_t: 6,
         pipeline: PipelineSpec::default(),
         verify: false,
+        lint: false,
+        deny_warnings: false,
         emit_qasm: None,
         out: None,
         cache_file: None,
@@ -122,6 +133,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             // Deprecated alias from the `transpile: bool` era.
             "--no-transpile" => opts.pipeline = PipelineSpec::none(),
             "--verify" => opts.verify = true,
+            "--lint" => opts.lint = true,
+            "--deny-warnings" => opts.deny_warnings = true,
             "--emit-qasm" => opts.emit_qasm = Some(PathBuf::from(value("--emit-qasm")?)),
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
@@ -148,9 +161,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
 /// keep distinct report names and `--emit-qasm` output paths.
 fn unique_stem(p: &Path, used: &mut std::collections::HashSet<String>) -> String {
     let base = p
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "circuit".to_string());
+        .file_stem().map_or_else(|| "circuit".to_string(), |s| s.to_string_lossy().into_owned());
     let mut name = base.clone();
     let mut n = 2usize;
     while !used.insert(name.clone()) {
@@ -228,12 +239,20 @@ fn main() -> ExitCode {
         };
         let item = BatchItem::new(unique_stem(f, &mut used_names), c, opts.epsilon, opts.backend)
             .pipeline(opts.pipeline.clone())
-            .verify(opts.verify);
+            .verify(opts.verify)
+            .lint(opts.lint);
         req.items.push(item);
     }
 
     let report = match eng.compile_batch(&req) {
         Ok(r) => r,
+        Err(engine::EngineError::Lint { item, diagnostics }) => {
+            eprintln!("error: item '{item}' failed lint:");
+            for d in &diagnostics {
+                eprintln!("  {d}");
+            }
+            return ExitCode::from(1);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(1);
@@ -292,7 +311,30 @@ fn main() -> ExitCode {
     if opts.verify && !print_verify_summary(&report) {
         return ExitCode::from(1);
     }
+    if opts.lint && !print_lint_summary(&report, opts.deny_warnings) {
+        return ExitCode::from(1);
+    }
     ExitCode::SUCCESS
+}
+
+/// Prints per-item lint diagnostics and the summary to stderr; returns
+/// `false` when the run should fail (error-severity findings survived
+/// to the report — e.g. pass-contract or output gate-set violations — or
+/// any finding at all under `--deny-warnings`).
+fn print_lint_summary(report: &engine::BatchReport, deny_warnings: bool) -> bool {
+    let (mut errors, mut warnings) = (0usize, 0usize);
+    for item in &report.items {
+        for d in &item.diagnostics {
+            if d.severity == engine::LintSeverity::Error {
+                errors += 1;
+            } else {
+                warnings += 1;
+            }
+            eprintln!("[trasyn-compile] lint {}: {d}", item.name);
+        }
+    }
+    eprintln!("[trasyn-compile] lint: {errors} error(s), {warnings} warning(s)");
+    errors == 0 && (!deny_warnings || warnings == 0)
 }
 
 /// Prints per-item certificate lines and the verification summary to

@@ -25,7 +25,7 @@ use crate::pipeline::build_pipeline;
 use crate::pool::WorkerPool;
 use crate::stats::{aggregate_passes, EngineStats, PassTotals};
 use circuit::metrics::{clifford_count, t_count};
-use circuit::pass::{PassStats, Pipeline, PipelineSpec};
+use circuit::pass::{PassStats, PipelineSpec};
 use circuit::synthesize::{
     quantize_unitary, synthesize_circuit_with, CachedSynthesis, RotationCache,
 };
@@ -43,6 +43,18 @@ use std::time::Instant;
 pub enum EngineError {
     /// The request named a backend the engine was not built with.
     BackendUnavailable(BackendKind),
+    /// An item that requested lint ([`BatchItem::lint`]) had
+    /// error-severity findings in its input circuit or pipeline spec; the
+    /// batch was rejected before any synthesis work. The diagnostics keep
+    /// their structured form so API surfaces (the server's 400 bodies,
+    /// `trasyn-compile --lint`) can forward them machine-readably.
+    Lint {
+        /// Name of the offending item.
+        item: String,
+        /// All findings for that item (errors and any warnings found
+        /// alongside them).
+        diagnostics: Vec<lint::Diagnostic>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -50,6 +62,23 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::BackendUnavailable(k) => {
                 write!(f, "backend '{}' is not configured on this engine", k.label())
+            }
+            EngineError::Lint { item, diagnostics } => {
+                let first = diagnostics
+                    .iter()
+                    .find(|d| d.severity == lint::Severity::Error)
+                    .or_else(|| diagnostics.first());
+                match first {
+                    Some(d) if diagnostics.len() > 1 => write!(
+                        f,
+                        "item '{}' failed lint: {} (+{} more)",
+                        item,
+                        d,
+                        diagnostics.len() - 1
+                    ),
+                    Some(d) => write!(f, "item '{item}' failed lint: {d}"),
+                    None => write!(f, "item '{item}' failed lint"),
+                }
             }
         }
     }
@@ -113,6 +142,8 @@ impl EngineBuilder {
             pass_totals: Mutex::new(Vec::new()),
             verify_ok: AtomicU64::new(0),
             verify_fail: AtomicU64::new(0),
+            lint_errors: AtomicU64::new(0),
+            lint_warnings: AtomicU64::new(0),
         }
     }
 }
@@ -130,6 +161,10 @@ pub struct Engine {
     verify_ok: AtomicU64,
     /// Lifetime count of failing equivalence certificates.
     verify_fail: AtomicU64,
+    /// Lifetime count of error-severity lint diagnostics.
+    lint_errors: AtomicU64,
+    /// Lifetime count of warning-severity lint diagnostics.
+    lint_warnings: AtomicU64,
 }
 
 /// One distinct rotation awaiting synthesis.
@@ -226,7 +261,28 @@ impl Engine {
             passes,
             verify_ok: self.verify_ok.load(Ordering::Relaxed),
             verify_fail: self.verify_fail.load(Ordering::Relaxed),
+            lint_errors: self.lint_errors.load(Ordering::Relaxed),
+            lint_warnings: self.lint_warnings.load(Ordering::Relaxed),
         }
+    }
+
+    /// Folds a slice of diagnostics into the lifetime lint counters and
+    /// returns whether any of them is error-severity.
+    fn record_diagnostics(&self, diags: &[lint::Diagnostic]) -> bool {
+        let (errors, warnings) = diags.iter().fold((0u64, 0u64), |(e, w), d| {
+            if d.severity == lint::Severity::Error {
+                (e + 1, w)
+            } else {
+                (e, w + 1)
+            }
+        });
+        if errors > 0 {
+            self.lint_errors.fetch_add(errors, Ordering::Relaxed);
+        }
+        if warnings > 0 {
+            self.lint_warnings.fetch_add(warnings, Ordering::Relaxed);
+        }
+        errors > 0
     }
 
     /// Runs the end-to-end equivalence check for one item: the compiled
@@ -338,6 +394,27 @@ impl Engine {
             .map(|it| self.backend_index(it.backend))
             .collect::<Result<_, _>>()?;
 
+        // Phase 0 (static): items that asked for lint get their pipeline
+        // spec and input circuit checked before any synthesis work.
+        // Error-severity findings reject the whole batch (like an unknown
+        // backend); warnings ride along into the item's report.
+        let mut item_diags: Vec<Vec<lint::Diagnostic>> = vec![Vec::new(); req.items.len()];
+        for (i, it) in req.items.iter().enumerate() {
+            if !it.lint {
+                continue;
+            }
+            let mut diags = lint::lint_spec(&it.pipeline, it.backend.basis());
+            diags.extend(lint::lint_circuit(&it.circuit));
+            let has_errors = self.record_diagnostics(&diags);
+            if has_errors {
+                return Err(EngineError::Lint {
+                    item: it.name.clone(),
+                    diagnostics: diags,
+                });
+            }
+            item_diags[i] = diags;
+        }
+
         // Phase 1 (sequential): run each item's lowering pipeline and
         // scan its distinct rotations against the shared cache, queueing
         // misses. `None` lowering means the `none` pipeline — the item's
@@ -350,7 +427,8 @@ impl Engine {
         // self`) and serialize lowering across concurrent callers, which
         // costs far more than rebuilding a handful of boxed passes per
         // batch.
-        let mut pipelines: HashMap<(PipelineSpec, circuit::Basis), Pipeline> = HashMap::new();
+        let mut pipelines: HashMap<(PipelineSpec, circuit::Basis), lint::CheckedPipeline> =
+            HashMap::new();
         let mut lowered: Vec<(Option<Circuit>, Vec<PassStats>, f64)> =
             Vec::with_capacity(req.items.len());
         let mut resolved: HashMap<CacheKey, CachedSynthesis> = HashMap::new();
@@ -366,9 +444,26 @@ impl Engine {
             } else {
                 let pipe = pipelines
                     .entry((it.pipeline.clone(), basis))
-                    .or_insert_with(|| build_pipeline(&it.pipeline, basis));
+                    .or_insert_with(|| {
+                        lint::CheckedPipeline::new(build_pipeline(&it.pipeline, basis))
+                    });
                 let mut work = it.circuit.clone();
                 let stats = pipe.run(&mut work);
+                let violations = pipe.take_violations();
+                if !violations.is_empty() {
+                    // A pass broke its own postcondition: a compiler bug,
+                    // not a bad request. Debug/test builds stop the world;
+                    // release builds surface it through the item's
+                    // diagnostics and the lint_errors counter so the
+                    // fuzzer can shrink it.
+                    debug_assert!(
+                        false,
+                        "pipeline '{}' broke its pass contracts: {violations:?}",
+                        it.pipeline
+                    );
+                    self.record_diagnostics(&violations);
+                    item_diags[lowered.len()].extend(violations);
+                }
                 (Some(work), stats)
             };
             let circuit = low.as_ref().unwrap_or(&it.circuit);
@@ -446,6 +541,16 @@ impl Engine {
             } else {
                 None
             };
+            let mut diagnostics = std::mem::take(&mut item_diags[i]);
+            if it.lint {
+                // Fail open like verify: conformance findings on the
+                // *output* are reported and counted, not turned into an
+                // error return — the compile already happened.
+                let out_diags =
+                    lint::lint_output(&synthesized.circuit, lint::Expectation::CliffordT, it.epsilon);
+                self.record_diagnostics(&out_diags);
+                diagnostics.extend(out_diags);
+            }
             items.push(ItemReport {
                 name: it.name.clone(),
                 backend: it.backend,
@@ -459,6 +564,7 @@ impl Engine {
                 cache_misses: item_misses[i],
                 wall_ms: lower_ms + t_item.elapsed().as_secs_f64() * 1e3,
                 certificate,
+                diagnostics,
                 synthesized,
             });
         }
@@ -633,6 +739,64 @@ mod tests {
         assert!(report.items[0].certificate.is_none(), "unverifiable, not failed");
         let stats = e.stats();
         assert_eq!((stats.verify_ok, stats.verify_fail), (0, 0));
+    }
+
+    #[test]
+    fn lint_rejects_bad_input_before_synthesis() {
+        let e = engine(1);
+        let mut c = Circuit::new(1);
+        c.rz(0, f64::NAN);
+        let req = BatchRequest::new().item(
+            BatchItem::new("bad", c, 1e-2, BackendKind::Gridsynth).lint(true),
+        );
+        let err = e.compile_batch(&req).unwrap_err();
+        match &err {
+            EngineError::Lint { item, diagnostics } => {
+                assert_eq!(item, "bad");
+                assert!(diagnostics.iter().any(|d| d.code == "L0103"), "{diagnostics:?}");
+            }
+            other => panic!("expected lint error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("L0103"), "{err}");
+        assert!(e.stats().lint_errors >= 1);
+    }
+
+    #[test]
+    fn lint_warnings_ride_into_the_report() {
+        let e = engine(1);
+        let mut c = Circuit::new(3); // qubit 2 never used -> L0105 warning
+        c.rz(0, 0.4);
+        c.cx(0, 1);
+        let req = BatchRequest::new().item(
+            BatchItem::new("warned", c, 1e-2, BackendKind::Gridsynth).lint(true),
+        );
+        let report = e.compile_batch(&req).unwrap();
+        let diags = &report.items[0].diagnostics;
+        assert!(diags.iter().any(|d| d.code == "L0105"), "{diags:?}");
+        assert!(report.items[0].to_json(false).contains("\"diagnostics\": [{\"code\": \"L0105\""));
+        let stats = e.stats();
+        assert_eq!(stats.lint_errors, 0);
+        assert!(stats.lint_warnings >= 1);
+
+        // A clean un-linted compile carries no diagnostics key at all.
+        let plain = e
+            .compile(&sample_circuit(), BackendKind::Gridsynth, 1e-2)
+            .unwrap();
+        assert!(plain.diagnostics.is_empty());
+        assert!(!plain.to_json(false).contains("diagnostics"));
+    }
+
+    #[test]
+    fn lint_passes_clean_compiles_with_conformant_output() {
+        // Clean input + synthesis: the Clifford+T output conformance
+        // check must stay silent (synthesis replaces every rotation).
+        let e = engine(2);
+        let req = BatchRequest::new().item(
+            BatchItem::new("clean", sample_circuit(), 1e-2, BackendKind::Gridsynth).lint(true),
+        );
+        let report = e.compile_batch(&req).unwrap();
+        assert_eq!(report.items[0].diagnostics, Vec::new());
+        assert_eq!(e.stats().lint_errors, 0);
     }
 
     #[test]

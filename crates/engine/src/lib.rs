@@ -97,6 +97,9 @@ pub use batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
 pub use cache::{CacheKey, CacheStats, SynthCache};
 pub use circuit::pass::{PassSpec, PassStats, PipelineSpec, PipelineSpecError, Preset};
 pub use engine::{Engine, EngineBuilder, EngineError};
+pub use lint::{
+    diagnostics_json, CheckedPipeline, Diagnostic as LintDiagnostic, Severity as LintSeverity,
+};
 pub use pipeline::build_pipeline;
 pub use pool::WorkerPool;
 pub use snapshot::{SnapshotError, WarmStart};

@@ -25,8 +25,7 @@ impl WorkerPool {
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+                .map_or(1, |n| n.get())
         } else {
             threads
         };

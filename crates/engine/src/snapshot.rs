@@ -414,7 +414,7 @@ mod tests {
         snap[len - 8..].copy_from_slice(&sum.to_le_bytes());
         match decode(&snap) {
             Err(SnapshotError::VersionMismatch { found: 7, expected }) => {
-                assert_eq!(expected, VERSION)
+                assert_eq!(expected, VERSION);
             }
             other => panic!("expected VersionMismatch, got {other:?}"),
         }

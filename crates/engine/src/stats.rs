@@ -130,6 +130,13 @@ pub struct EngineStats {
     /// Lifetime failing equivalence certificates — any nonzero value is a
     /// miscompile alarm.
     pub verify_fail: u64,
+    /// Lifetime error-severity lint diagnostics (input/spec errors that
+    /// failed a batch, output gate-set errors, and pass-contract
+    /// violations — the latter are a miscompile alarm like
+    /// [`EngineStats::verify_fail`]).
+    pub lint_errors: u64,
+    /// Lifetime warning-severity lint diagnostics.
+    pub lint_warnings: u64,
 }
 
 impl EngineStats {
@@ -151,7 +158,7 @@ impl EngineStats {
     /// {"threads": 2, "backends": ["gridsynth"], "cache_capacity": 4096,
     ///  "cache": {"hits": 9, "misses": 3, "insertions": 3, "evictions": 0,
     ///            "entries": 3, "hit_rate": 0.75}, "passes": [],
-    ///  "verify": {"ok": 0, "fail": 0}}
+    ///  "verify": {"ok": 0, "fail": 0}, "lint": {"errors": 0, "warnings": 0}}
     /// ```
     pub fn to_json(&self) -> String {
         let backends: Vec<String> = self
@@ -164,7 +171,8 @@ impl EngineStats {
             "{{\"threads\": {}, \"backends\": [{}], \"cache_capacity\": {}, \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \
              \"evictions\": {}, \"entries\": {}, \"hit_rate\": {}}}, \
-             \"passes\": [{}], \"verify\": {{\"ok\": {}, \"fail\": {}}}}}",
+             \"passes\": [{}], \"verify\": {{\"ok\": {}, \"fail\": {}}}, \
+             \"lint\": {{\"errors\": {}, \"warnings\": {}}}}}",
             self.threads,
             backends.join(", "),
             self.cache_capacity,
@@ -177,18 +185,20 @@ impl EngineStats {
             passes.join(", "),
             self.verify_ok,
             self.verify_fail,
+            self.lint_errors,
+            self.lint_warnings,
         )
     }
 }
 
 impl fmt::Display for EngineStats {
     /// One stable line (fields are append-only), e.g.
-    /// `threads=2 backends=gridsynth cache entries=3/4096 hits=9 misses=3 evictions=0 hit_rate=75.0% verify_ok=0 verify_fail=0`.
+    /// `threads=2 backends=gridsynth cache entries=3/4096 hits=9 misses=3 evictions=0 hit_rate=75.0% verify_ok=0 verify_fail=0 lint_errors=0 lint_warnings=0`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let backends: Vec<&str> = self.backends.iter().map(|b| b.label()).collect();
         write!(
             f,
-            "threads={} backends={} cache entries={}/{} hits={} misses={} evictions={} hit_rate={:.1}% verify_ok={} verify_fail={}",
+            "threads={} backends={} cache entries={}/{} hits={} misses={} evictions={} hit_rate={:.1}% verify_ok={} verify_fail={} lint_errors={} lint_warnings={}",
             self.threads,
             if backends.is_empty() { "none".to_string() } else { backends.join("+") },
             self.cache.entries,
@@ -199,6 +209,8 @@ impl fmt::Display for EngineStats {
             100.0 * self.hit_rate(),
             self.verify_ok,
             self.verify_fail,
+            self.lint_errors,
+            self.lint_warnings,
         )
     }
 }
@@ -222,6 +234,8 @@ mod tests {
             passes: Vec::new(),
             verify_ok: 4,
             verify_fail: 1,
+            lint_errors: 2,
+            lint_warnings: 7,
         }
     }
 
@@ -230,7 +244,8 @@ mod tests {
         assert_eq!(
             sample().to_string(),
             "threads=2 backends=gridsynth+trasyn cache entries=3/4096 \
-             hits=9 misses=3 evictions=0 hit_rate=75.0% verify_ok=4 verify_fail=1"
+             hits=9 misses=3 evictions=0 hit_rate=75.0% verify_ok=4 verify_fail=1 \
+             lint_errors=2 lint_warnings=7"
         );
         let mut unbounded = sample();
         unbounded.cache_capacity = 0;
@@ -245,7 +260,8 @@ mod tests {
             "{\"threads\": 2, \"backends\": [\"gridsynth\", \"trasyn\"], \
              \"cache_capacity\": 4096, \"cache\": {\"hits\": 9, \"misses\": 3, \
              \"insertions\": 3, \"evictions\": 0, \"entries\": 3, \"hit_rate\": 0.75}, \
-             \"passes\": [], \"verify\": {\"ok\": 4, \"fail\": 1}}"
+             \"passes\": [], \"verify\": {\"ok\": 4, \"fail\": 1}, \
+             \"lint\": {\"errors\": 2, \"warnings\": 7}}"
         );
         let mut with_pass = sample();
         let mut t = PassTotals::named("fuse");

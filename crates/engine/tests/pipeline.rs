@@ -167,7 +167,7 @@ fn equal_specs_are_bit_identical_across_threads_and_surfaces() {
         .compile_with(&c, spec.clone(), BackendKind::Gridsynth, 1e-2)
         .unwrap();
     let pooled = engine_of(8)
-        .compile_with(&c, spec.clone(), BackendKind::Gridsynth, 1e-2)
+        .compile_with(&c, spec, BackendKind::Gridsynth, 1e-2)
         .unwrap();
     assert_eq!(single.synthesized.circuit, pooled.synthesized.circuit);
     assert_eq!(single.pipeline, "zx");

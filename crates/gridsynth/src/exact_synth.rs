@@ -132,7 +132,7 @@ fn state_key(s: &ColState) -> ([i128; 8], u32) {
             [na.a0, na.a1, na.a2, na.a3, nb.a0, nb.a1, nb.a2, nb.a3],
             k,
         );
-        if best.as_ref().map(|b0| key < *b0).unwrap_or(true) {
+        if best.as_ref().is_none_or(|b0| key < *b0) {
             best = Some(key);
         }
     }

@@ -1,0 +1,159 @@
+//! Golden tests pinning `trasyn-lint`'s machine-readable output shape
+//! and exit codes, plus the rule meta-tests: every rule must *fire* on
+//! its seeded defect class (`workloads::lintcorpus`) and stay *silent*
+//! on the full 187-circuit benchmark corpus.
+//!
+//! The `--json` shape is a compatibility surface (CI and editor
+//! integrations parse it), so these tests compare exact strings: any
+//! change to the shape or to a lint-code assignment is a deliberate,
+//! reviewed diff here.
+
+use lint::{lint_instrs, lint_spec, Severity};
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+/// Runs the `trasyn-lint` binary, returning (stdout, stderr, exit code).
+fn run_lint(args: &[&str], stdin: Option<&str>) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_trasyn-lint"));
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn trasyn-lint");
+    if let Some(text) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(text.as_bytes())
+            .expect("write stdin");
+    }
+    let out = child.wait_with_output().expect("wait trasyn-lint");
+    (
+        String::from_utf8(out.stdout).expect("stdout utf8"),
+        String::from_utf8(out.stderr).expect("stderr utf8"),
+        out.status.code().expect("exit code"),
+    )
+}
+
+#[test]
+fn json_shape_is_golden_for_a_warning() {
+    let (stdout, stderr, code) = run_lint(
+        &["--json", "-"],
+        Some("OPENQASM 2.0;\nqreg q[2];\nrz(0.37) q[0];\n"),
+    );
+    assert_eq!(stderr, "");
+    assert_eq!(code, 0, "warnings alone exit 0");
+    assert_eq!(
+        stdout,
+        "{\"lint_version\": 1, \"inputs\": [{\"name\": \"-\", \"diagnostics\": \
+         [{\"code\": \"L0105\", \"severity\": \"warning\", \"index\": null, \
+         \"message\": \"1 of 2 declared qubit(s) never used: [1]\"}]}], \
+         \"errors\": 0, \"warnings\": 1}\n"
+    );
+}
+
+#[test]
+fn json_shape_is_golden_for_a_spec_error() {
+    let (stdout, _, code) = run_lint(&["--json", "--pipeline", "commute,blur"], None);
+    assert_eq!(code, 1, "error severity exits 1");
+    assert_eq!(
+        stdout,
+        "{\"lint_version\": 1, \"inputs\": [{\"name\": \"pipeline:commute,blur\", \
+         \"diagnostics\": [{\"code\": \"L0301\", \"severity\": \"error\", \"index\": null, \
+         \"message\": \"unknown pipeline pass or preset 'blur' (presets: none, fast, \
+         default, aggressive, zx; passes: commute, fuse, cx-cancel, zx-fold, basis=u3, \
+         basis=rz)\"}]}], \"errors\": 1, \"warnings\": 0}\n"
+    );
+}
+
+#[test]
+fn clean_input_is_clean_in_both_formats() {
+    let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+    let (stdout, _, code) = run_lint(&["--json", "-"], Some(src));
+    assert_eq!(code, 0);
+    assert_eq!(
+        stdout,
+        "{\"lint_version\": 1, \"inputs\": [{\"name\": \"-\", \"diagnostics\": []}], \
+         \"errors\": 0, \"warnings\": 0}\n"
+    );
+    let (stdout, _, code) = run_lint(&["-"], Some(src));
+    assert_eq!(code, 0);
+    assert_eq!(stdout, "-: ok\n0 error(s), 0 warning(s)\n");
+}
+
+#[test]
+fn deny_warnings_flips_the_exit_code() {
+    let src = "qreg q[2];\nrz(0.37) q[0];\n";
+    let (_, _, code) = run_lint(&["-"], Some(src));
+    assert_eq!(code, 0);
+    let (stdout, _, code) = run_lint(&["--deny-warnings", "-"], Some(src));
+    assert_eq!(code, 1);
+    assert!(stdout.contains("0 error(s), 1 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn unreadable_or_unparseable_input_exits_2() {
+    let (_, stderr, code) = run_lint(&["/nonexistent/file.qasm"], None);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("/nonexistent/file.qasm"), "{stderr}");
+    let (_, stderr, code) = run_lint(&["-"], Some("this is not qasm"));
+    assert_eq!(code, 2);
+    assert!(stderr.contains("not parseable"), "{stderr}");
+}
+
+#[test]
+fn every_seeded_circuit_defect_fires_its_rule() {
+    for case in workloads::lintcorpus::circuit_cases() {
+        let diags = lint_instrs(case.n_qubits, &case.instrs);
+        assert!(
+            diags.iter().any(|d| d.code == case.expect_code),
+            "case '{}' must fire {}; got {:?}",
+            case.name,
+            case.expect_code,
+            diags
+        );
+    }
+}
+
+#[test]
+fn every_seeded_spec_defect_fires_its_rule() {
+    for case in workloads::lintcorpus::spec_cases() {
+        let spec = circuit::PipelineSpec::parse(case.spec).expect("corpus specs parse");
+        for basis in [circuit::Basis::U3, circuit::Basis::Rz] {
+            let diags = lint_spec(&spec, basis);
+            assert!(
+                diags.iter().any(|d| d.code == case.expect_code),
+                "case '{}' (basis {basis:?}) must fire {}; got {:?}",
+                case.name,
+                case.expect_code,
+                diags
+            );
+        }
+    }
+}
+
+#[test]
+fn rules_stay_silent_on_the_benchmark_suite() {
+    // The full 187-circuit evaluation corpus is well-formed production
+    // input: no rule may fire at error severity on any of it. The one
+    // admissible warning is L0105 (unused qubit) — random-Pauli Trotter
+    // circuits can legitimately never touch a qubit when no sampled
+    // Pauli string lands on it.
+    let mut checked = 0usize;
+    for bench in workloads::benchmark_suite() {
+        let diags = lint::lint_circuit(&bench.circuit);
+        assert!(
+            !diags.iter().any(|d| d.severity == Severity::Error),
+            "{}: lint errors on suite circuit: {diags:?}",
+            bench.name
+        );
+        assert!(
+            diags.iter().all(|d| d.code == "L0105"),
+            "{}: unexpected warnings on suite circuit: {diags:?}",
+            bench.name
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 187, "the whole corpus is covered");
+}

@@ -59,7 +59,7 @@ pub fn lq(a: &CMatrix) -> Lq {
             let k = qrows.len();
             l[(r, k)] = norm.into();
             let inv = 1.0 / norm;
-            for ve in v.iter_mut() {
+            for ve in &mut v {
                 *ve = ve.scale(inv);
             }
             qrows.push(v);

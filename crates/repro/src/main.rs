@@ -38,9 +38,7 @@ fn main() {
     let cmd = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && Some(*i) != out_pos.map(|p| p + 1))
-        .map(|(_, a)| a.clone())
-        .unwrap_or_else(|| "help".to_string());
+        .find(|(i, a)| !a.starts_with("--") && Some(*i) != out_pos.map(|p| p + 1)).map_or_else(|| "help".to_string(), |(_, a)| a.clone());
 
     if cmd == "help" {
         eprintln!(

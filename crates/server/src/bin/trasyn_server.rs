@@ -95,7 +95,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--threads" => opts.threads = parse_usize("--threads", value("--threads")?)?,
             "--cache-capacity" => {
-                opts.cache_capacity = parse_usize("--cache-capacity", value("--cache-capacity")?)?
+                opts.cache_capacity = parse_usize("--cache-capacity", value("--cache-capacity")?)?;
             }
             "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
             "--backend" => {
@@ -131,7 +131,19 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
 /// SIGINT/SIGTERM handling without any crate dependency: `std` already
 /// links libc on every supported platform, so declaring `signal(2)` is
 /// enough. The handler only sets an atomic — everything async-signal-safe.
+///
+/// The sole `unsafe` in the workspace lives here (the workspace denies
+/// `unsafe_code`); the allow is scoped to this module so any new unsafe
+/// elsewhere still fails the build.
+//
+// SAFETY: the `signal` extern matches the libc prototype `void
+// (*signal(int, void (*)(int)))(int)` up to the handler pointer being
+// returned as `usize` (only compared against nothing — the return is
+// ignored). `on_signal` is async-signal-safe: it performs exactly one
+// atomic store, no allocation, locking, or formatting. Installation
+// happens once from `main` before any worker thread exists.
 #[cfg(unix)]
+#[allow(unsafe_code)]
 mod sig {
     use super::{AtomicBool, Ordering};
 
@@ -216,7 +228,7 @@ fn main() -> ExitCode {
         WarmStart::Loaded(n) => eprintln!("[trasyn-server] warm start: {n} cache entries"),
         WarmStart::Absent => {}
         WarmStart::Rejected(e) => {
-            eprintln!("[trasyn-server] warning: ignoring cache file: {e} (cold start)")
+            eprintln!("[trasyn-server] warning: ignoring cache file: {e} (cold start)");
         }
     }
     let addr = handle.addr();

@@ -19,6 +19,12 @@
 //! `verify` crate's oracle (exact ring / operator norm / statevector —
 //! see [`verify::verify_circuits`]).
 //!
+//! Every engine-path compile also runs under static checking: items are
+//! submitted with `lint: true` and the engine runs each lowering
+//! pipeline as a [`engine::CheckedPipeline`], so a pass-contract
+//! violation (`L04xx`) or a non-Clifford+T output (`L02xx`) is a
+//! failure exactly like a bit mismatch — and gets shrunk the same way.
+//!
 //! On a mismatch the failing circuit is shrunk by greedy chunked
 //! instruction removal (ddmin-style: halves, quarters, …, single
 //! instructions, re-running the full differential check on every
@@ -187,6 +193,14 @@ impl Harness {
 
     /// Compiles `c` on one engine path, returning the emitted QASM and
     /// the summed synthesis error.
+    ///
+    /// Every compile runs with `lint: true`, and the engine runs every
+    /// lowering pipeline as a `lint::CheckedPipeline` — so a pass that
+    /// breaks its postconditions, or an output that leaves the
+    /// Clifford+T gate set, surfaces here as an error-severity
+    /// diagnostic and becomes a shrinkable failure like any output
+    /// mismatch (in release builds, where the engine's `debug_assert`
+    /// on contract violations is compiled out).
     fn compile_engine(
         &self,
         eng: &Engine,
@@ -195,11 +209,19 @@ impl Harness {
     ) -> Result<(String, f64), String> {
         self.compiles.set(self.compiles.get() + 1);
         let item = BatchItem::new("fuzz", c.clone(), self.cfg.epsilon, self.cfg.backend)
-            .pipeline(pipeline.clone());
+            .pipeline(pipeline.clone())
+            .lint(true);
         let report = eng
             .compile_batch(&BatchRequest::new().item(item))
             .map_err(|e| format!("engine error: {e}"))?;
         let it = &report.items[0];
+        if let Some(d) = it
+            .diagnostics
+            .iter()
+            .find(|d| d.severity == engine::LintSeverity::Error)
+        {
+            return Err(format!("lint: {d}"));
+        }
         Ok((to_qasm(&it.synthesized.circuit), it.synthesized.total_error))
     }
 
@@ -464,13 +486,13 @@ fn generate_case(cfg: &FuzzConfig, i: usize) -> Circuit {
 /// failure.
 pub fn run_fuzz(cfg: FuzzConfig) -> std::io::Result<FuzzReport> {
     let pipelines = pipeline_mix();
-    let harness = Harness::new(cfg.clone())?;
+    let harness = Harness::new(cfg)?;
     let mut report = FuzzReport {
-        cases: cfg.cases,
+        cases: harness.cfg.cases,
         ..FuzzReport::default()
     };
-    for i in 0..cfg.cases {
-        let circuit = generate_case(&cfg, i);
+    for i in 0..report.cases {
+        let circuit = generate_case(&harness.cfg, i);
         let pipeline = &pipelines[i % pipelines.len()];
         if let Some(failure) = harness.check_case(i, &circuit, pipeline) {
             report.failures.push(failure);
@@ -491,15 +513,12 @@ pub fn run_fuzz(cfg: FuzzConfig) -> std::io::Result<FuzzReport> {
 pub fn replay_file(
     path: &Path,
     pipeline: &PipelineSpec,
-    cfg: FuzzConfig,
+    mut cfg: FuzzConfig,
 ) -> Result<Option<Failure>, String> {
     let src = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let circuit = parse_qasm(&src).map_err(|e| format!("{}: {e}", path.display()))?;
-    let cfg = FuzzConfig {
-        out_dir: None,
-        ..cfg
-    };
+    cfg.out_dir = None;
     let harness = Harness::new(cfg).map_err(|e| format!("harness start failed: {e}"))?;
     let failure = harness.check_case(usize::MAX, &circuit, pipeline);
     harness.finish();

@@ -267,7 +267,27 @@ pub fn write_error(
     message: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let body = format!("{{\"error\": {}}}\n", crate::json::escape(message));
+    write_error_with(w, status, message, None, keep_alive)
+}
+
+/// [`write_error`] carrying structured lint diagnostics: the body becomes
+/// `{"error": "...", "diagnostics": [...]}` where `diagnostics` is a
+/// pre-rendered JSON array (the `lint` crate's diagnostic shape), so
+/// clients can act on stable codes instead of parsing the message.
+pub fn write_error_with(
+    w: &mut (impl Write + ?Sized),
+    status: u16,
+    message: &str,
+    diagnostics_json: Option<&str>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = match diagnostics_json {
+        None => format!("{{\"error\": {}}}\n", crate::json::escape(message)),
+        Some(d) => format!(
+            "{{\"error\": {}, \"diagnostics\": {d}}}\n",
+            crate::json::escape(message)
+        ),
+    };
     write_response(w, status, "application/json", body.as_bytes(), keep_alive)
 }
 

@@ -215,6 +215,10 @@ impl Metrics {
         line(format!("trasyn_verify_ok_total {}", engine.verify_ok));
         line("# TYPE trasyn_verify_fail_total counter".into());
         line(format!("trasyn_verify_fail_total {}", engine.verify_fail));
+        line("# TYPE trasyn_lint_error_total counter".into());
+        line(format!("trasyn_lint_error_total {}", engine.lint_errors));
+        line("# TYPE trasyn_lint_warning_total counter".into());
+        line(format!("trasyn_lint_warning_total {}", engine.lint_warnings));
 
         // Per-pass lowering counters (sorted by pass name in EngineStats,
         // so the exposition is stable across request interleavings).
@@ -272,6 +276,8 @@ mod tests {
             passes: vec![fuse],
             verify_ok: 6,
             verify_fail: 2,
+            lint_errors: 4,
+            lint_warnings: 9,
         }
     }
 
@@ -299,6 +305,8 @@ mod tests {
             "trasyn_synthesis_threads 2",
             "trasyn_verify_ok_total 6",
             "trasyn_verify_fail_total 2",
+            "trasyn_lint_error_total 4",
+            "trasyn_lint_warning_total 9",
             "trasyn_pass_runs_total{pass=\"fuse\"} 3",
             "trasyn_pass_wall_ms_total{pass=\"fuse\"} 1.25",
             "trasyn_pass_rotations_in_total{pass=\"fuse\"} 12",

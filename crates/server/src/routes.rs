@@ -9,12 +9,16 @@
 //!   plus optional `"epsilon"`, `"backend"`, `"pipeline"`, `"name"`,
 //!   `"verify"` (a boolean: attach an equivalence certificate for the
 //!   compiled circuit, counted in `/metrics` as
-//!   `trasyn_verify_{ok,fail}_total`), and the deprecated `"transpile"`
-//!   boolean, an alias for pipeline `"default"`/`"none"`. Responds with
-//!   the item report — including the per-pass lowering stats and the
-//!   `"certificate"` when verification ran — plus the compiled circuit
-//!   as `"qasm"`: the same circuit `trasyn-compile` would emit for the
-//!   same input and settings, bit for bit.
+//!   `trasyn_verify_{ok,fail}_total`), `"lint"` (a boolean: statically
+//!   check the circuit and pipeline spec before compiling — lint
+//!   *errors* fail the request with a 400, warnings ride into the
+//!   report's `"diagnostics"`; counted in `/metrics` as
+//!   `trasyn_lint_{error,warning}_total`), and the deprecated
+//!   `"transpile"` boolean, an alias for pipeline `"default"`/`"none"`.
+//!   Responds with the item report — including the per-pass lowering
+//!   stats and the `"certificate"` when verification ran — plus the
+//!   compiled circuit as `"qasm"`: the same circuit `trasyn-compile`
+//!   would emit for the same input and settings, bit for bit.
 //! * `POST /v1/batch` — `{"items": [<compile objects>]}`; responds with
 //!   the engine's `BatchReport` JSON.
 //!
@@ -23,6 +27,14 @@
 //! `pipeline` defaults to `"default"` for `"qasm"` circuits and
 //! `"none"` for single `"rz"` rotations (lowering a lone rotation is
 //! pure overhead). An unknown `"pipeline"` spec is a 400.
+//!
+//! # Structured errors
+//!
+//! Error bodies are `{"error": "..."}`. When the failure carries lint
+//! diagnostics — a lint-rejected item or an unparsable `"pipeline"`
+//! spec — the body gains a `"diagnostics"` array in the `lint` crate's
+//! stable JSON shape, so clients can branch on codes like `L0103`
+//! instead of scraping the message.
 
 use crate::http::{self, Request};
 use crate::json::{self, Value};
@@ -58,13 +70,19 @@ pub(crate) fn respond(
     let outcome = route(req, shared);
     let status = match &outcome {
         Ok((_, _)) => 200,
-        Err((status, _)) => *status,
+        Err(e) => e.status,
     };
     let io_result = match outcome {
         Ok((content_type, body)) => {
             http::write_response(w, 200, content_type, body.as_bytes(), keep_alive)
         }
-        Err((status, message)) => http::write_error(w, status, &message, keep_alive),
+        Err(e) => http::write_error_with(
+            w,
+            e.status,
+            &e.message,
+            e.diagnostics.as_deref(),
+            keep_alive,
+        ),
     };
     // A failed write means the peer is gone; the connection is closed by
     // the caller either way.
@@ -72,7 +90,43 @@ pub(crate) fn respond(
     status
 }
 
-type RouteResult = Result<(&'static str, String), (u16, String)>;
+/// A route failure: HTTP status, human-readable message, and — when the
+/// failure came from the lint layer — the structured diagnostics as a
+/// pre-rendered JSON array (see the module docs' *Structured errors*).
+pub(crate) struct ApiError {
+    pub status: u16,
+    pub message: String,
+    pub diagnostics: Option<String>,
+}
+
+impl From<(u16, String)> for ApiError {
+    fn from((status, message): (u16, String)) -> Self {
+        ApiError {
+            status,
+            message,
+            diagnostics: None,
+        }
+    }
+}
+
+/// Maps an engine failure to a 400, carrying the structured diagnostics
+/// when the failure was a lint rejection.
+fn engine_error(e: engine::EngineError) -> ApiError {
+    let message = e.to_string();
+    let diagnostics = match e {
+        engine::EngineError::Lint { diagnostics, .. } => {
+            Some(engine::diagnostics_json(&diagnostics))
+        }
+        _ => None,
+    };
+    ApiError {
+        status: 400,
+        message,
+        diagnostics,
+    }
+}
+
+type RouteResult = Result<(&'static str, String), ApiError>;
 
 fn route(req: &Request, shared: &Shared) -> RouteResult {
     match (req.method.as_str(), req.path.as_str()) {
@@ -91,8 +145,9 @@ fn route(req: &Request, shared: &Shared) -> RouteResult {
         (_, "/healthz" | "/metrics") | (_, "/v1/compile" | "/v1/batch") => Err((
             405,
             format!("method {} not allowed on {}", req.method, req.path),
-        )),
-        _ => Err((404, format!("no such endpoint: {}", req.path))),
+        )
+            .into()),
+        _ => Err((404, format!("no such endpoint: {}", req.path)).into()),
     }
 }
 
@@ -103,8 +158,8 @@ fn parse_body(req: &Request) -> Result<Value, (u16, String)> {
 }
 
 /// Builds a [`BatchItem`] from one compile-request object.
-fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, (u16, String)> {
-    let bad = |msg: String| (400, msg);
+fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, ApiError> {
+    let bad = |msg: String| ApiError::from((400, msg));
     if !matches!(v, Value::Obj(_)) {
         return Err(bad(format!("item {index}: expected a JSON object")));
     }
@@ -174,7 +229,13 @@ fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, (u1
             let spec = p
                 .as_str()
                 .ok_or_else(|| bad(format!("item {index}: \"pipeline\" must be a string")))?;
-            PipelineSpec::parse(spec).map_err(|e| bad(format!("item {index}: {e}")))?
+            PipelineSpec::parse(spec).map_err(|e| ApiError {
+                status: 400,
+                message: format!("item {index}: {e}"),
+                diagnostics: Some(engine::diagnostics_json(&[lint::spec_error_diagnostic(
+                    &e,
+                )])),
+            })?
         }
         // Deprecated boolean alias from the pre-pipeline API.
         (None, Some(t)) => match t.as_bool() {
@@ -192,9 +253,16 @@ fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, (u1
             .as_bool()
             .ok_or_else(|| bad(format!("item {index}: \"verify\" must be a boolean")))?,
     };
+    let lint = match v.get("lint") {
+        None => false,
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| bad(format!("item {index}: \"lint\" must be a boolean")))?,
+    };
     Ok(BatchItem::new(name, circuit, epsilon, backend)
         .pipeline(pipeline)
-        .verify(verify))
+        .verify(verify)
+        .lint(lint))
 }
 
 fn compile(req: &Request, shared: &Shared) -> RouteResult {
@@ -203,7 +271,7 @@ fn compile(req: &Request, shared: &Shared) -> RouteResult {
     let report = shared
         .engine
         .compile_batch(&BatchRequest::new().item(item))
-        .map_err(|e| (400, e.to_string()))?;
+        .map_err(engine_error)?;
     let item = report
         .items
         .into_iter()
@@ -223,13 +291,14 @@ fn batch(req: &Request, shared: &Shared) -> RouteResult {
         .and_then(|v| v.as_arr())
         .ok_or((400, "\"items\" must be an array".to_string()))?;
     if items.is_empty() {
-        return Err((400, "\"items\" must not be empty".to_string()));
+        return Err((400, "\"items\" must not be empty".to_string()).into());
     }
     if items.len() > MAX_BATCH_ITEMS {
         return Err((
             400,
             format!("too many items: {} > {MAX_BATCH_ITEMS}", items.len()),
-        ));
+        )
+            .into());
     }
     let mut request = BatchRequest::new();
     for (i, v) in items.iter().enumerate() {
@@ -238,6 +307,6 @@ fn batch(req: &Request, shared: &Shared) -> RouteResult {
     let report = shared
         .engine
         .compile_batch(&request)
-        .map_err(|e| (400, e.to_string()))?;
+        .map_err(engine_error)?;
     Ok(("application/json", report.to_json()))
 }

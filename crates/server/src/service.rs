@@ -147,7 +147,7 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("http-accept".into())
-                .spawn(move || accept_loop(listener, &shared))?
+                .spawn(move || accept_loop(&listener, &shared))?
         };
 
         Ok(ServerHandle {
@@ -214,19 +214,16 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Shared) {
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
     loop {
-        let stream = match listener.accept() {
-            Ok((s, _)) => s,
-            Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Persistent errors (EMFILE during overload, ENOBUFS, …)
-                // would otherwise busy-spin this thread at 100% CPU.
-                std::thread::sleep(Duration::from_millis(50));
-                continue;
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
             }
+            // Persistent errors (EMFILE during overload, ENOBUFS, …)
+            // would otherwise busy-spin this thread at 100% CPU.
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
         };
         if shared.shutdown.load(Ordering::SeqCst) {
             // The waker connection (or a raced client during shutdown).
@@ -290,7 +287,7 @@ fn worker_loop(shared: &Shared) {
         // serving one connection must cost that connection, not silently
         // retire 1/N of the server's capacity for its whole lifetime.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            serve_connection(stream, shared)
+            serve_connection(stream, shared);
         }));
         if result.is_err() {
             eprintln!("[server] worker recovered from a panic while serving a connection");

@@ -129,7 +129,7 @@ fn warm_started_server_hits_without_synthesis() {
     std::fs::create_dir_all(&dir).unwrap();
     let cache_file = dir.join("server.snap");
     let mut cfg = config();
-    cfg.cache_file = Some(cache_file.clone());
+    cfg.cache_file = Some(cache_file);
 
     // First server: compile one rotation cold, shut down (saves snapshot).
     let first = Server::start("127.0.0.1:0", cfg.clone(), engine(1)).unwrap();
@@ -471,6 +471,89 @@ fn verify_flag_returns_certificates_and_counts_in_metrics() {
     let m = c.request("GET", "/metrics", None).unwrap();
     assert_eq!(metric(&m.body, "trasyn_verify_ok_total"), 2);
     assert_eq!(metric(&m.body, "trasyn_verify_fail_total"), 0);
+
+    handle.shutdown();
+}
+
+#[test]
+fn lint_flag_surfaces_diagnostics_and_counts_in_metrics() {
+    let handle = Server::start("127.0.0.1:0", config(), engine(2)).unwrap();
+    let mut c = connect(handle.addr());
+
+    // A linted compile of a 2-qubit program that only touches qubit 0:
+    // the L0105 unused-qubit warning rides into the report, the compile
+    // still succeeds.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/compile",
+            Some("{\"qasm\": \"qreg q[2];\\nrz(0.37) q[0];\\n\", \"lint\": true}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let v = json::parse(&resp.body).expect("response is JSON");
+    let diags = v
+        .get("diagnostics")
+        .and_then(|d| d.as_arr())
+        .expect("diagnostics present");
+    assert!(
+        diags.iter().any(|d| {
+            d.get("code").and_then(|c| c.as_str()) == Some("L0105")
+                && d.get("severity").and_then(|s| s.as_str()) == Some("warning")
+        }),
+        "{}",
+        resp.body
+    );
+
+    // The same compile without the flag has no diagnostics key.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/compile",
+            Some("{\"qasm\": \"qreg q[2];\\nrz(0.37) q[0];\\n\"}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(!resp.body.contains("diagnostics"), "{}", resp.body);
+
+    // An unparsable pipeline spec is a 400 whose body carries the L0301
+    // diagnostic as structured JSON, not just prose.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/compile",
+            Some("{\"rz\": 0.37, \"pipeline\": \"commute,blur\"}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    let v = json::parse(&resp.body).expect("error body is JSON");
+    assert!(v.get("error").is_some(), "{}", resp.body);
+    let diags = v
+        .get("diagnostics")
+        .and_then(|d| d.as_arr())
+        .expect("structured diagnostics on the 400");
+    assert_eq!(
+        diags[0].get("code").and_then(|c| c.as_str()),
+        Some("L0301"),
+        "{}",
+        resp.body
+    );
+
+    // A non-boolean "lint" is a 400, not a silent default.
+    let resp = c
+        .request(
+            "POST",
+            "/v1/compile",
+            Some("{\"rz\": 0.37, \"lint\": 1}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("must be a boolean"), "{}", resp.body);
+
+    // /metrics exports the lint counters; the warning above is counted.
+    let m = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(metric(&m.body, "trasyn_lint_error_total"), 0);
+    assert!(metric(&m.body, "trasyn_lint_warning_total") >= 1, "{}", m.body);
 
     handle.shutdown();
 }

@@ -77,7 +77,7 @@ fn improve_once(seq: &GateSeq, table: &UnitaryTable) -> Option<GateSeq> {
                     + 100 * (ws as isize - es as isize)
                     + 10 * (wh as isize - eh as isize)
                     + (wl as isize - el as isize);
-                if saving > 0 && best.as_ref().map(|b| saving > b.3).unwrap_or(true) {
+                if saving > 0 && best.as_ref().is_none_or(|b| saving > b.3) {
                     best = Some((start, end, entry.seq.clone(), saving));
                 }
             }

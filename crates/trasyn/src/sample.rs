@@ -225,8 +225,7 @@ pub fn sample_best<R: Rng + ?Sized>(
             .expect("non-empty site");
         if best
             .as_ref()
-            .map(|b| f.norm_sqr() > b.trace.norm_sqr())
-            .unwrap_or(true)
+            .is_none_or(|b| f.norm_sqr() > b.trace.norm_sqr())
         {
             let mut idx = p.indices.clone();
             idx.push(s);
@@ -299,8 +298,7 @@ mod tests {
         let c1 = draws
             .iter()
             .find(|&&(i, _)| i == 1)
-            .map(|&(_, c)| c)
-            .unwrap_or(0);
+            .map_or(0, |&(_, c)| c);
         let frac = c1 as f64 / 40_000.0;
         assert!((frac - 0.75).abs() < 0.02, "frac = {frac}");
     }

@@ -112,8 +112,7 @@ impl Trasyn {
                 let got = self.synthesize_once(target, &cfg.budgets[..l], cfg.samples, &mut rng);
                 let better = best
                     .as_ref()
-                    .map(|b| got.error < b.error)
-                    .unwrap_or(true);
+                    .is_none_or(|b| got.error < b.error);
                 if better {
                     best = Some(got);
                 }

@@ -17,10 +17,13 @@
 //! * [`suite`] — the named 187-circuit registry with Table 2 statistics;
 //! * [`random`] — Haar-random single-qubit unitaries for RQ1;
 //! * [`requests`] — deterministic serving-workload request mixes for the
-//!   `trasyn-loadgen` load generator.
+//!   `trasyn-loadgen` load generator;
+//! * [`lintcorpus`] — adversarial inputs for the `lint` crate's
+//!   meta-tests: one seeded defect per lint rule family.
 
 pub mod ftalg;
 pub mod hamiltonian;
+pub mod lintcorpus;
 pub mod qaoa;
 pub mod random;
 pub mod requests;

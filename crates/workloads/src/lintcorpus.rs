@@ -1,0 +1,169 @@
+//! Adversarial lint corpora: seeded defective inputs, one per lint
+//! rule family.
+//!
+//! The `lint` crate's meta-tests walk these cases to prove every rule
+//! actually *fires* on the defect class it documents — and the suite
+//! circuits ([`crate::suite::benchmark_suite`]) to prove the rules stay
+//! silent on well-formed production inputs. Keeping the corpus here (not
+//! inside `lint`) makes the defect classes reusable: the fuzzer and
+//! future property tests can draw from the same seeded bad inputs.
+//!
+//! Cases carry **raw instruction lists**, not [`circuit::Circuit`]s,
+//! because the
+//! IR builder's `push` asserts the very invariants (qubit bounds,
+//! distinct CX operands) the lint rules exist to report on circuits
+//! built by other means — the corpus has to hand the linter instructions
+//! the builder would refuse.
+
+use circuit::{Instr, Op};
+
+/// One seeded defective circuit: the lint rule named by
+/// [`LintCase::expect_code`] must report on it.
+pub struct LintCase {
+    /// Stable case label (used in test failure messages).
+    pub name: &'static str,
+    /// Declared width the instructions are linted against.
+    pub n_qubits: usize,
+    /// The raw instructions (possibly unbuildable via `Circuit::push`).
+    pub instrs: Vec<Instr>,
+    /// The diagnostic code that must appear, e.g. `"L0101"`.
+    pub expect_code: &'static str,
+}
+
+fn instr1(op: Op, q0: usize) -> Instr {
+    Instr { op, q0, q1: None }
+}
+
+fn cx(q0: usize, q1: usize) -> Instr {
+    Instr {
+        op: Op::Cx,
+        q0,
+        q1: Some(q1),
+    }
+}
+
+/// One seeded defective circuit per `L01xx` rule.
+pub fn circuit_cases() -> Vec<LintCase> {
+    vec![
+        LintCase {
+            name: "qubit-out-of-bounds",
+            n_qubits: 2,
+            instrs: vec![instr1(Op::Rz(0.3), 0), instr1(Op::Rz(0.5), 5)],
+            expect_code: "L0101",
+        },
+        LintCase {
+            name: "cx-target-out-of-bounds",
+            n_qubits: 2,
+            instrs: vec![cx(0, 7)],
+            expect_code: "L0101",
+        },
+        LintCase {
+            name: "self-cx",
+            n_qubits: 2,
+            instrs: vec![cx(1, 1)],
+            expect_code: "L0102",
+        },
+        LintCase {
+            name: "nan-rotation-angle",
+            n_qubits: 1,
+            instrs: vec![instr1(Op::Rz(f64::NAN), 0)],
+            expect_code: "L0103",
+        },
+        LintCase {
+            name: "infinite-u3-angle",
+            n_qubits: 1,
+            instrs: vec![instr1(
+                Op::U3 {
+                    theta: 0.1,
+                    phi: f64::INFINITY,
+                    lambda: 0.0,
+                },
+                0,
+            )],
+            expect_code: "L0103",
+        },
+        LintCase {
+            name: "subnormal-angle",
+            n_qubits: 1,
+            instrs: vec![instr1(Op::Rz(1.0e-320), 0)],
+            expect_code: "L0104",
+        },
+        LintCase {
+            name: "unused-qubit",
+            n_qubits: 3,
+            instrs: vec![instr1(Op::Rz(0.4), 0), cx(0, 1)],
+            expect_code: "L0105",
+        },
+    ]
+}
+
+/// One malformed pipeline spec per `L03xx` well-formedness rule
+/// (beyond parse — these all *parse*; [`SpecCase::expect_code`] names
+/// the semantic defect `lint_spec` must report).
+pub struct SpecCase {
+    /// Stable case label.
+    pub name: &'static str,
+    /// The spec string (parseable by `PipelineSpec::parse`).
+    pub spec: &'static str,
+    /// The diagnostic code that must appear, e.g. `"L0302"`.
+    pub expect_code: &'static str,
+}
+
+/// The seeded bad-spec corpus.
+pub fn spec_cases() -> Vec<SpecCase> {
+    vec![
+        SpecCase {
+            name: "duplicate-basis",
+            spec: "commute,basis=rz,basis=u3",
+            expect_code: "L0302",
+        },
+        SpecCase {
+            name: "fuse-after-rz-basis",
+            spec: "basis=rz,fuse",
+            expect_code: "L0303",
+        },
+        SpecCase {
+            name: "repeated-zx-fold",
+            spec: "basis=rz,zx-fold,zx-fold",
+            expect_code: "L0304",
+        },
+        SpecCase {
+            name: "rebasis-after-zx-fold",
+            spec: "basis=rz,zx-fold,basis=u3",
+            expect_code: "L0302",
+        },
+        SpecCase {
+            name: "zx-fold-without-rz-basis",
+            spec: "commute,zx-fold",
+            expect_code: "L0305",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circuit::pass::PipelineSpec;
+
+    #[test]
+    fn spec_cases_all_parse() {
+        // The L03xx corpus is semantic defects, not syntax errors: every
+        // spec must survive PipelineSpec::parse so the linter is the
+        // only thing that can reject it.
+        for case in spec_cases() {
+            assert!(
+                PipelineSpec::parse(case.spec).is_ok(),
+                "case {} must parse",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn circuit_cases_cover_every_l01_rule() {
+        let codes: Vec<&str> = circuit_cases().iter().map(|c| c.expect_code).collect();
+        for code in ["L0101", "L0102", "L0103", "L0104", "L0105"] {
+            assert!(codes.contains(&code), "no case seeds {code}");
+        }
+    }
+}

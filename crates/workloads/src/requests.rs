@@ -170,7 +170,7 @@ mod tests {
             assert_eq!(x.pipeline, y.pipeline);
             match (x.payload, y.payload) {
                 (RequestPayload::Rz(p), RequestPayload::Rz(q)) => {
-                    assert_eq!(p.to_bits(), q.to_bits())
+                    assert_eq!(p.to_bits(), q.to_bits());
                 }
                 (RequestPayload::Circuit(p), RequestPayload::Circuit(q)) => assert_eq!(p, q),
                 _ => panic!("streams diverged in kind"),

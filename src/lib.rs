@@ -11,6 +11,7 @@ pub use circuit;
 pub use engine;
 pub use gates;
 pub use gridsynth;
+pub use lint;
 pub use qmath;
 pub use rings;
 pub use sim;

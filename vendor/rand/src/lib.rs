@@ -40,7 +40,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
     }
     #[inline]
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
@@ -94,7 +94,7 @@ pub trait Rng: RngCore {
 
     #[inline]
     fn fill(&mut self, dest: &mut [u8]) {
-        self.fill_bytes(dest)
+        self.fill_bytes(dest);
     }
 }
 
