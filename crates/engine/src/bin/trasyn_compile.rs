@@ -28,6 +28,12 @@
 //!                          attached to the report as "diagnostics"
 //!   --deny-warnings        with --lint: exit 1 on warnings too
 //!   --emit-qasm DIR        write each compiled circuit as DIR/<name>.qasm
+//!   --trace FILE           trace the whole compile and write it as a
+//!                          chrome://tracing / Perfetto `trace_event` JSON
+//!                          file (per-pass, cache-lookup, per-rotation
+//!                          synthesis, splice, and verify spans)
+//!   --trace-tree FILE      write the same trace as a self-describing JSON
+//!                          span tree (wall/own time per span)
 //!   --out FILE             write the JSON report to FILE (default stdout)
 //!   --cache-file FILE      warm-start the cache from FILE if present and
 //!                          save the (possibly grown) cache back on exit;
@@ -58,6 +64,8 @@ struct Options {
     lint: bool,
     deny_warnings: bool,
     emit_qasm: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    trace_tree_out: Option<PathBuf>,
     out: Option<PathBuf>,
     cache_file: Option<PathBuf>,
 }
@@ -66,8 +74,8 @@ fn usage() -> &'static str {
     "usage: trasyn-compile [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
      [--threads N] [--cache-capacity N] [--samples N] [--max-t N] \
      [--pipeline none|fast|default|aggressive|zx|PASS,PASS,...] [--no-transpile] \
-     [--verify] [--lint] [--deny-warnings] [--emit-qasm DIR] [--out FILE] \
-     [--cache-file FILE] <FILE.qasm>..."
+     [--verify] [--lint] [--deny-warnings] [--emit-qasm DIR] [--trace FILE] \
+     [--trace-tree FILE] [--out FILE] [--cache-file FILE] <FILE.qasm>..."
 }
 
 /// `Ok(None)` means `--help` was requested: print usage, exit 0.
@@ -85,6 +93,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         lint: false,
         deny_warnings: false,
         emit_qasm: None,
+        trace_out: None,
+        trace_tree_out: None,
         out: None,
         cache_file: None,
     };
@@ -136,6 +146,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--lint" => opts.lint = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--emit-qasm" => opts.emit_qasm = Some(PathBuf::from(value("--emit-qasm")?)),
+            "--trace" => opts.trace_out = Some(PathBuf::from(value("--trace")?)),
+            "--trace-tree" => {
+                opts.trace_tree_out = Some(PathBuf::from(value("--trace-tree")?));
+            }
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
             "--help" | "-h" => return Ok(None),
@@ -244,7 +258,20 @@ fn main() -> ExitCode {
         req.items.push(item);
     }
 
-    let report = match eng.compile_batch(&req) {
+    // Trace the whole batch when asked: sample-all, ring of one, no slow
+    // threshold — this CLI run *is* the one trace of interest.
+    let want_trace = opts.trace_out.is_some() || opts.trace_tree_out.is_some();
+    let tracer = trace::Tracer::new(trace::TraceConfig {
+        enabled: want_trace,
+        sample_every: 1,
+        ring: 1,
+        slow_ms: 0.0,
+        ..trace::TraceConfig::default()
+    });
+    let ctx = tracer.begin("trasyn-compile");
+    let root = ctx.as_ref().map(trace::TraceCtx::root);
+
+    let report = match eng.compile_batch_traced(&req, root.as_ref()) {
         Ok(r) => r,
         Err(engine::EngineError::Lint { item, diagnostics }) => {
             eprintln!("error: item '{item}' failed lint:");
@@ -258,6 +285,33 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+
+    if let Some(ctx) = ctx {
+        ctx.attr("items", report.items.len());
+        ctx.attr("backend", opts.backend.label());
+        let summary = tracer.finish(ctx);
+        let finished = tracer.recent();
+        if let Some(t) = finished.first() {
+            if let Some(path) = &opts.trace_out {
+                let json = trace::chrome_trace_json(&finished);
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("error: cannot write trace file {}: {e}", path.display());
+                    return ExitCode::from(1);
+                }
+            }
+            if let Some(path) = &opts.trace_tree_out {
+                if let Err(e) = std::fs::write(path, t.to_json()) {
+                    eprintln!("error: cannot write trace file {}: {e}", path.display());
+                    return ExitCode::from(1);
+                }
+            }
+            eprintln!(
+                "[trasyn-compile] trace: {} spans over {:.3} ms",
+                t.tree().span_count(),
+                summary.duration_ms,
+            );
+        }
+    }
 
     if let Some(dir) = &opts.emit_qasm {
         if let Err(e) = std::fs::create_dir_all(dir) {

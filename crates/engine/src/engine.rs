@@ -36,7 +36,8 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+use trace::{Span, SpanHandle};
 
 /// Errors an [`Engine`] call can report.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -385,6 +386,25 @@ impl Engine {
     /// resolved (shared-cache entry or queued by an earlier item of this
     /// batch); a *miss* is a distinct rotation this item enqueued.
     pub fn compile_batch(&self, req: &BatchRequest) -> Result<BatchReport, EngineError> {
+        self.compile_batch_traced(req, None)
+    }
+
+    /// [`Engine::compile_batch`] with request-scoped tracing: when
+    /// `parent` is given, every phase records child spans under it —
+    /// `lint`, per-item `lower` (with `pass:<name>` children carrying the
+    /// exact [`PassStats`] numbers) and `cache-lookup`, one `synthesis`
+    /// span whose `synthesize` children land on the worker threads that
+    /// ran them, then per-item `splice`, `verify`, and `lint-output`.
+    ///
+    /// Tracing is observation-only: the compiled output is byte-identical
+    /// with `parent` absent, present, or sampled out (the differential
+    /// fuzzer's server path runs with tracing on and compares against the
+    /// untraced paths bit for bit).
+    pub fn compile_batch_traced(
+        &self,
+        req: &BatchRequest,
+        parent: Option<&SpanHandle>,
+    ) -> Result<BatchReport, EngineError> {
         let t0 = Instant::now();
         // Resolve backends up front: an unknown backend fails the batch
         // before any synthesis work starts.
@@ -399,20 +419,23 @@ impl Engine {
         // Error-severity findings reject the whole batch (like an unknown
         // backend); warnings ride along into the item's report.
         let mut item_diags: Vec<Vec<lint::Diagnostic>> = vec![Vec::new(); req.items.len()];
-        for (i, it) in req.items.iter().enumerate() {
-            if !it.lint {
-                continue;
+        if req.items.iter().any(|it| it.lint) {
+            let _lint_span = parent.map(|p| p.child("lint"));
+            for (i, it) in req.items.iter().enumerate() {
+                if !it.lint {
+                    continue;
+                }
+                let mut diags = lint::lint_spec(&it.pipeline, it.backend.basis());
+                diags.extend(lint::lint_circuit(&it.circuit));
+                let has_errors = self.record_diagnostics(&diags);
+                if has_errors {
+                    return Err(EngineError::Lint {
+                        item: it.name.clone(),
+                        diagnostics: diags,
+                    });
+                }
+                item_diags[i] = diags;
             }
-            let mut diags = lint::lint_spec(&it.pipeline, it.backend.basis());
-            diags.extend(lint::lint_circuit(&it.circuit));
-            let has_errors = self.record_diagnostics(&diags);
-            if has_errors {
-                return Err(EngineError::Lint {
-                    item: it.name.clone(),
-                    diagnostics: diags,
-                });
-            }
-            item_diags[i] = diags;
         }
 
         // Phase 1 (sequential): run each item's lowering pipeline and
@@ -448,7 +471,34 @@ impl Engine {
                         lint::CheckedPipeline::new(build_pipeline(&it.pipeline, basis))
                     });
                 let mut work = it.circuit.clone();
-                let stats = pipe.run(&mut work);
+                let lower_span = parent.map(|p| {
+                    let mut s = p.child("lower");
+                    s.attr("item", it.name.as_str());
+                    s.attr("pipeline", it.pipeline.to_string());
+                    s
+                });
+                let stats = match &lower_span {
+                    // Pass spans are reconstructed from each pass's own
+                    // wall-clock measurement (end = observer call time),
+                    // so the recorded `pass:*` durations equal the
+                    // PassStats numbers in the report.
+                    Some(s) => {
+                        let h = s.handle();
+                        pipe.run_observed(&mut work, |ps, _| {
+                            let end = Instant::now();
+                            let start = end
+                                .checked_sub(Duration::from_secs_f64(ps.wall_ms.max(0.0) / 1e3))
+                                .unwrap_or(end);
+                            let mut sp = h.child_at(&format!("pass:{}", ps.name), start, end);
+                            sp.attr("instrs_before", ps.instrs_before);
+                            sp.attr("instrs_after", ps.instrs_after);
+                            sp.attr("rotations_before", ps.rotations_before);
+                            sp.attr("rotations_after", ps.rotations_after);
+                        })
+                    }
+                    None => pipe.run(&mut work),
+                };
+                drop(lower_span);
                 let violations = pipe.take_violations();
                 if !violations.is_empty() {
                     // A pass broke its own postcondition: a compiler bug,
@@ -468,6 +518,11 @@ impl Engine {
             };
             let circuit = low.as_ref().unwrap_or(&it.circuit);
             let settings = self.backends[bidx].settings_key(it.epsilon);
+            let mut scan_span = parent.map(|p| {
+                let mut s = p.child("cache-lookup");
+                s.attr("item", it.name.as_str());
+                s
+            });
             let mut seen: HashSet<[i64; 8]> = HashSet::new();
             let (mut hits, mut misses) = (0u64, 0u64);
             for instr in circuit.instrs() {
@@ -499,6 +554,11 @@ impl Engine {
                     });
                 }
             }
+            if let Some(s) = scan_span.as_mut() {
+                s.attr("hits", hits);
+                s.attr("misses", misses);
+            }
+            drop(scan_span);
             item_hits.push(hits);
             item_misses.push(misses);
             lowered.push((low, pass_stats, t_item.elapsed().as_secs_f64() * 1e3));
@@ -508,9 +568,25 @@ impl Engine {
         // pool; reinsertion happens in job order, so cache eviction order
         // is reproducible too.
         let t_synth = Instant::now();
-        let results = self
-            .pool
-            .run(&jobs, |job| self.backends[job.backend_idx].synthesize(&job.target, job.eps));
+        let synth_span = parent.map(|p| {
+            let mut s = p.child("synthesis");
+            s.attr("jobs", jobs.len());
+            s
+        });
+        // SpanHandle is Send + Sync, so per-job child spans can be
+        // created directly on the pool's worker threads; each record
+        // carries its worker's `synth-N` thread label.
+        let synth_handle = synth_span.as_ref().map(Span::handle);
+        let results = self.pool.run(&jobs, |job| {
+            let _sp = synth_handle.as_ref().map(|h| {
+                let mut sp = h.child("synthesize");
+                sp.attr("backend", self.backends[job.backend_idx].kind().label());
+                sp.attr("epsilon", job.eps);
+                sp
+            });
+            self.backends[job.backend_idx].synthesize(&job.target, job.eps)
+        });
+        drop(synth_span);
         let synthesis_ms = t_synth.elapsed().as_secs_f64() * 1e3;
         for (job, r) in jobs.iter().zip(results) {
             let v = self.cache.insert(job.key, Arc::new(r));
@@ -531,18 +607,34 @@ impl Engine {
                 overflow: HashMap::new(),
             };
             let backend = &self.backends[bidx];
+            let splice_span = parent.map(|p| {
+                let mut s = p.child("splice");
+                s.attr("item", it.name.as_str());
+                s
+            });
             let synthesized = synthesize_circuit_with(
                 circuit,
                 |m| backend.synthesize(m, it.epsilon),
                 &mut adapter,
             );
+            drop(splice_span);
             let certificate = if it.verify {
-                self.certify(&it.circuit, &synthesized)
+                let mut verify_span = parent.map(|p| {
+                    let mut s = p.child("verify");
+                    s.attr("item", it.name.as_str());
+                    s
+                });
+                let cert = self.certify(&it.circuit, &synthesized);
+                if let (Some(s), Some(c)) = (verify_span.as_mut(), cert.as_ref()) {
+                    s.attr("equivalent", c.equivalent);
+                }
+                cert
             } else {
                 None
             };
             let mut diagnostics = std::mem::take(&mut item_diags[i]);
             if it.lint {
+                let _lint_span = parent.map(|p| p.child("lint-output"));
                 // Fail open like verify: conformance findings on the
                 // *output* are reported and counted, not turned into an
                 // error return — the compile already happened.

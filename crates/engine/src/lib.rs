@@ -44,6 +44,12 @@
 //! * [`engine::Engine`] — the façade tying the above together, plus the
 //!   `trasyn-compile` binary (`src/bin/trasyn_compile.rs`) that feeds it
 //!   OpenQASM.
+//! * tracing — [`engine::Engine::compile_batch_traced`] accepts a parent
+//!   [`SpanHandle`] (from the `trace` crate) and records child spans for
+//!   every phase: `lint`, per-item `lower` (with `pass:<name>` children),
+//!   `cache-lookup`, `synthesis` (with per-job `synthesize` children on
+//!   the worker threads), `splice`, `verify`, and `lint-output`.
+//!   Observation-only: traced and untraced outputs are byte-identical.
 //!
 //! # Cache-key contract
 //!
@@ -104,4 +110,5 @@ pub use pipeline::build_pipeline;
 pub use pool::WorkerPool;
 pub use snapshot::{SnapshotError, WarmStart};
 pub use stats::{EngineStats, PassTotals};
+pub use trace::SpanHandle;
 pub use verify::{Certificate, CheckMethod};

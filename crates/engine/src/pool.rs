@@ -62,21 +62,27 @@ impl WorkerPool {
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         std::thread::scope(|s| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let worker = &worker;
-                s.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    // A send error means the receiver is gone, which only
-                    // happens if the collector below panicked; stop early.
-                    if tx.send((i, worker(&jobs[i]))).is_err() {
-                        break;
-                    }
-                });
+                // Named threads so trace records (and debuggers) show
+                // `synth-N` instead of an anonymous ThreadId.
+                std::thread::Builder::new()
+                    .name(format!("synth-{w}"))
+                    .spawn_scoped(s, move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        // A send error means the receiver is gone, which
+                        // only happens if the collector below panicked;
+                        // stop early.
+                        if tx.send((i, worker(&jobs[i]))).is_err() {
+                            break;
+                        }
+                    })
+                    .expect("spawn synthesis worker");
             }
             drop(tx);
             for (i, r) in rx {

@@ -249,11 +249,26 @@ impl CheckedPipeline {
     /// them with [`CheckedPipeline::violations`] or
     /// [`CheckedPipeline::take_violations`].
     pub fn run(&mut self, c: &mut Circuit) -> Vec<PassStats> {
+        self.run_observed(c, |_, _| {})
+    }
+
+    /// Like [`CheckedPipeline::run`], but also invokes `observe` with
+    /// each pass's stats and output circuit *before* the contract checks
+    /// for that stage run — the seam the engine's tracing uses to absorb
+    /// per-pass timing into spans without perturbing what is checked.
+    /// The observer cannot mutate the circuit, so output stays
+    /// bit-identical to the unobserved pipeline.
+    pub fn run_observed(
+        &mut self,
+        c: &mut Circuit,
+        mut observe: impl FnMut(&PassStats, &Circuit),
+    ) -> Vec<PassStats> {
         self.violations.clear();
         let violations = &mut self.violations;
         let mut clean = structural_errors(c.n_qubits(), c.instrs()).is_empty();
         let mut n_prev = c.n_qubits();
         self.inner.run_observed(c, |stats, circ| {
+            observe(stats, circ);
             violations.extend(check_stage(n_prev, clean, stats, circ));
             // A defect is attributed to the stage that introduced it,
             // then suppresses structural re-checks downstream.

@@ -21,8 +21,17 @@
 //!   --backend NAME        synthesizer backend (default gridsynth)
 //!   --seed N              request-stream seed (default 1)
 //!   --smoke               instead of a load run: one compile + one batch +
-//!                         a /metrics well-formedness check, then exit
+//!                         /metrics and /debug/traces well-formedness checks,
+//!                         then exit
 //!   --fail-on-error       exit 1 if any request got a non-200 response
+//!   --json FILE           also write the run as a machine-readable snapshot
+//!                         (schema "trasyn-bench-server/v1": config,
+//!                         throughput, latency percentiles, cache hit rate,
+//!                         queue-wait vs service-time means) — the format of
+//!                         the checked-in BENCH_server.json perf trajectory
+//!   --trace-summary       after the run, fetch /debug/traces and print the
+//!                         slowest retained traces with their top-level span
+//!                         breakdown (queue-wait / parse / compile / write)
 //! ```
 //!
 //! Exit codes: 0 success, 1 request/transport failures (under
@@ -47,12 +56,15 @@ struct Options {
     seed: u64,
     smoke: bool,
     fail_on_error: bool,
+    json_out: Option<std::path::PathBuf>,
+    trace_summary: bool,
 }
 
 fn usage() -> &'static str {
     "usage: trasyn-loadgen --addr HOST:PORT [--connections N] [--duration-secs S] \
      [--requests N] [--mix rz|circuits|mixed] [--angle-pool N] [--epsilon EPS] \
-     [--backend trasyn|gridsynth|annealing] [--seed N] [--smoke] [--fail-on-error]"
+     [--backend trasyn|gridsynth|annealing] [--seed N] [--smoke] [--fail-on-error] \
+     [--json FILE] [--trace-summary]"
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -68,6 +80,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         seed: 1,
         smoke: false,
         fail_on_error: false,
+        json_out: None,
+        trace_summary: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -125,6 +139,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             }
             "--smoke" => opts.smoke = true,
             "--fail-on-error" => opts.fail_on_error = true,
+            "--json" => opts.json_out = Some(std::path::PathBuf::from(value("--json")?)),
+            "--trace-summary" => opts.trace_summary = true,
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -261,6 +277,197 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// JSON number formatting for the snapshot: non-finite values (e.g. a
+/// 0/0 mean on an empty run) become 0 so the file always parses.
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// The server-side half of the report, scraped from one `/metrics` pull.
+#[derive(Default)]
+struct ServerStats {
+    available: bool,
+    cache_hits: f64,
+    cache_misses: f64,
+    queue_wait_ms_mean: f64,
+    service_ms_mean: f64,
+    slow_requests: f64,
+}
+
+impl ServerStats {
+    fn scrape(addr: &str) -> Self {
+        let resp = match Conn::connect(addr, CLIENT_TIMEOUT)
+            .and_then(|mut c| c.request("GET", "/metrics", None))
+        {
+            Ok(r) if r.status == 200 => r,
+            _ => return Self::default(),
+        };
+        let m = |name: &str| metric(&resp.body, name).unwrap_or(0.0);
+        let mean = |sum: f64, count: f64| if count > 0.0 { sum / count } else { 0.0 };
+        ServerStats {
+            available: true,
+            cache_hits: m("trasyn_cache_hits_total"),
+            cache_misses: m("trasyn_cache_misses_total"),
+            queue_wait_ms_mean: mean(m("trasyn_queue_wait_ms_sum"), m("trasyn_queue_wait_ms_count")),
+            service_ms_mean: mean(m("trasyn_service_ms_sum"), m("trasyn_service_ms_count")),
+            slow_requests: m("trasyn_slow_requests_total"),
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups > 0.0 {
+            self.cache_hits / lookups
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Fetch `/debug/traces` and print the slowest retained traces with their
+/// top-level span breakdown — the CLI view of "why was this request slow".
+fn print_trace_summary(opts: &Options) {
+    let resp = match Conn::connect(&opts.addr, CLIENT_TIMEOUT)
+        .and_then(|mut c| c.request("GET", "/debug/traces", None))
+    {
+        Ok(r) if r.status == 200 => r,
+        _ => {
+            println!("  traces: /debug/traces unavailable (tracing disabled?)");
+            return;
+        }
+    };
+    let parsed = match server::json::parse(&resp.body) {
+        Ok(v) => v,
+        Err(e) => {
+            println!("  traces: unparseable /debug/traces body ({e})");
+            return;
+        }
+    };
+    let Some(arr) = parsed.as_arr() else {
+        println!("  traces: /debug/traces did not return an array");
+        return;
+    };
+    let mut traces: Vec<_> = arr
+        .iter()
+        .filter_map(|t| {
+            Some((
+                t.get("duration_ms")?.as_f64()?,
+                t.get("slow").and_then(|v| v.as_bool()).unwrap_or(false),
+                t.get("name")?.as_str()?,
+                t.get("spans")?,
+            ))
+        })
+        .collect();
+    traces.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    println!("  trace summary: {} retained trace(s), slowest first", traces.len());
+    for (duration_ms, slow, name, spans) in traces.iter().take(5) {
+        let mut breakdown = String::new();
+        let mut add = |n: &str, d: f64| {
+            if !breakdown.is_empty() {
+                breakdown.push_str(", ");
+            }
+            breakdown.push_str(&format!("{n} {d:.3}"));
+        };
+        if let Some(children) = spans.get("children").and_then(|v| v.as_arr()) {
+            for c in children {
+                let (Some(n), Some(d)) = (
+                    c.get("name").and_then(|v| v.as_str()),
+                    c.get("duration_ms").and_then(|v| v.as_f64()),
+                ) else {
+                    continue;
+                };
+                // `handle` wraps the whole route body; its children (parse /
+                // compile / write) are the informative split.
+                let grandchildren = (n == "handle")
+                    .then(|| c.get("children").and_then(|v| v.as_arr()))
+                    .flatten()
+                    .filter(|g| !g.is_empty());
+                match grandchildren {
+                    Some(gs) => {
+                        for g in gs {
+                            if let (Some(gn), Some(gd)) = (
+                                g.get("name").and_then(|v| v.as_str()),
+                                g.get("duration_ms").and_then(|v| v.as_f64()),
+                            ) {
+                                add(gn, gd);
+                            }
+                        }
+                    }
+                    None => add(n, d),
+                }
+            }
+        }
+        println!(
+            "    {duration_ms:9.3} ms{} {name} [{breakdown}]",
+            if *slow { " SLOW" } else { "" }
+        );
+    }
+}
+
+/// The `--json` snapshot: schema `trasyn-bench-server/v1`, the checked-in
+/// perf-trajectory format (`BENCH_server.json`, regenerated by
+/// `scripts/bench_snapshot.sh`).
+fn snapshot_json(
+    opts: &Options,
+    elapsed: f64,
+    totals: (u64, u64, u64, u64),
+    latencies: &[f64],
+    server: &ServerStats,
+) -> String {
+    let (ok, rejected, errors, transport) = totals;
+    let total = ok + rejected + errors;
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"trasyn-bench-server/v1\",\n");
+    s.push_str(&format!(
+        "  \"config\": {{\"connections\": {}, \"mix\": \"{}\", \"angle_pool\": {}, \"epsilon\": {}, \"backend\": \"{}\", \"seed\": {}, \"requests\": {}}},\n",
+        opts.connections,
+        opts.mix.label(),
+        opts.angle_pool,
+        jnum(opts.epsilon),
+        opts.backend.label(),
+        opts.seed,
+        opts.requests.map_or("null".to_string(), |n| n.to_string()),
+    ));
+    s.push_str(&format!("  \"elapsed_secs\": {},\n", jnum(elapsed)));
+    s.push_str(&format!(
+        "  \"requests\": {{\"total\": {total}, \"ok\": {ok}, \"rejected\": {rejected}, \"errors\": {errors}, \"transport_errors\": {transport}}},\n"
+    ));
+    s.push_str(&format!(
+        "  \"throughput_rps\": {},\n",
+        jnum(total as f64 / elapsed.max(1e-9))
+    ));
+    s.push_str(&format!(
+        "  \"latency_ms\": {{\"p50\": {}, \"p90\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}, \"mean\": {}}},\n",
+        jnum(percentile(latencies, 0.50)),
+        jnum(percentile(latencies, 0.90)),
+        jnum(percentile(latencies, 0.95)),
+        jnum(percentile(latencies, 0.99)),
+        jnum(latencies.last().copied().unwrap_or(0.0)),
+        jnum(mean),
+    ));
+    s.push_str(&format!(
+        "  \"server\": {{\"available\": {}, \"cache_hits\": {:.0}, \"cache_misses\": {:.0}, \"cache_hit_rate\": {}, \"queue_wait_ms_mean\": {}, \"service_ms_mean\": {}, \"slow_requests\": {:.0}}}\n",
+        server.available,
+        server.cache_hits,
+        server.cache_misses,
+        jnum(server.hit_rate()),
+        jnum(server.queue_wait_ms_mean),
+        jnum(server.service_ms_mean),
+        server.slow_requests,
+    ));
+    s.push_str("}\n");
+    s
+}
+
 fn load_run(opts: &Options) -> ExitCode {
     let deadline = Instant::now()
         + if opts.requests.is_some() {
@@ -295,27 +502,43 @@ fn load_run(opts: &Options) -> ExitCode {
     );
     println!("  throughput: {:.1} req/s", total as f64 / elapsed.max(1e-9));
     println!(
-        "  latency ms: p50 {:.3}, p90 {:.3}, p99 {:.3}, max {:.3}",
+        "  latency ms: p50 {:.3}, p90 {:.3}, p95 {:.3}, p99 {:.3}, max {:.3}",
         percentile(&latencies, 0.50),
         percentile(&latencies, 0.90),
+        percentile(&latencies, 0.95),
         percentile(&latencies, 0.99),
         latencies.last().copied().unwrap_or(0.0),
     );
 
-    // Server-side cache view.
-    match Conn::connect(&opts.addr, CLIENT_TIMEOUT)
-        .and_then(|mut c| c.request("GET", "/metrics", None))
-    {
-        Ok(resp) if resp.status == 200 => {
-            let hits = metric(&resp.body, "trasyn_cache_hits_total").unwrap_or(0.0);
-            let misses = metric(&resp.body, "trasyn_cache_misses_total").unwrap_or(0.0);
-            let lookups = hits + misses;
-            println!(
-                "  server cache: {hits:.0} hits, {misses:.0} misses ({:.1}% hit rate)",
-                if lookups > 0.0 { 100.0 * hits / lookups } else { 0.0 }
-            );
+    // Server-side view: cache effectiveness plus the queue-wait/service
+    // split, all from one /metrics pull.
+    let server = ServerStats::scrape(&opts.addr);
+    if server.available {
+        println!(
+            "  server cache: {:.0} hits, {:.0} misses ({:.1}% hit rate)",
+            server.cache_hits,
+            server.cache_misses,
+            100.0 * server.hit_rate(),
+        );
+        println!(
+            "  server time: queue-wait mean {:.3} ms, service mean {:.3} ms, {:.0} slow request(s)",
+            server.queue_wait_ms_mean, server.service_ms_mean, server.slow_requests,
+        );
+    } else {
+        println!("  server: /metrics unavailable");
+    }
+
+    if opts.trace_summary {
+        print_trace_summary(opts);
+    }
+
+    if let Some(path) = &opts.json_out {
+        let json = snapshot_json(opts, elapsed, (ok, rejected, errors, transport), &latencies, &server);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(1);
         }
-        _ => println!("  server cache: /metrics unavailable"),
+        println!("  snapshot: wrote {}", path.display());
     }
 
     if opts.fail_on_error && (errors > 0 || transport > 0) {
@@ -384,6 +607,11 @@ fn smoke(opts: &Options) -> Result<(), String> {
         "trasyn_cache_entries",
         "trasyn_pass_runs_total",
         "trasyn_pass_wall_ms_total",
+        "trasyn_queue_wait_ms_bucket{le=\"+Inf\"}",
+        "trasyn_queue_wait_ms_count",
+        "trasyn_service_ms_bucket{le=\"+Inf\"}",
+        "trasyn_service_ms_count",
+        "trasyn_slow_requests_total",
     ] {
         if !resp.body.contains(needle) {
             return Err(format!("metrics missing {needle:?}"));
@@ -393,7 +621,38 @@ fn smoke(opts: &Options) -> Result<(), String> {
     if !matches!(compiles, Some(x) if x >= 1.0) {
         return Err(format!("metrics compile counter not incremented: {compiles:?}"));
     }
-    println!("trasyn-loadgen: smoke ok (compile + batch + metrics)");
+
+    // /debug/traces shape: a JSON array; when tracing is on (the default
+    // server config) the compile/batch requests above must be retained,
+    // each with a trace id and a span tree.
+    let resp = conn.request("GET", "/debug/traces", None).map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("debug/traces: status {}", resp.status));
+    }
+    let parsed =
+        server::json::parse(&resp.body).map_err(|e| format!("debug/traces response: {e}"))?;
+    let traces = parsed
+        .as_arr()
+        .ok_or_else(|| "debug/traces did not return an array".to_string())?;
+    if traces.is_empty() {
+        return Err("debug/traces returned no traces with tracing enabled".to_string());
+    }
+    for t in traces {
+        for key in ["trace_id", "name", "duration_ms", "spans"] {
+            if t.get(key).is_none() {
+                return Err(format!("debug/traces entry missing \"{key}\""));
+            }
+        }
+    }
+    // Malformed filter params must be rejected, not ignored.
+    let resp = conn
+        .request("GET", "/debug/traces?min_ms=bogus", None)
+        .map_err(|e| e.to_string())?;
+    if resp.status != 400 {
+        return Err(format!("debug/traces?min_ms=bogus: status {}, want 400", resp.status));
+    }
+
+    println!("trasyn-loadgen: smoke ok (compile + batch + metrics + traces)");
     Ok(())
 }
 

@@ -17,6 +17,14 @@
 //!   --with-trasyn          also host the trasyn backend (builds its table at boot)
 //!   --max-t N              trasyn per-tensor T budget (default 6)
 //!   --samples N            trasyn samples per pass (default 1024)
+//!   --no-trace             disable request tracing entirely
+//!   --trace-sample N       trace 1 in N requests (default 1 = every request;
+//!                          0 = sampling off, slow outliers still retained)
+//!   --trace-ring N         retained finished traces, newest win (default 64)
+//!   --trace-slow-ms X      slow-request threshold in ms; slower requests are
+//!                          always retained and counted in
+//!                          trasyn_slow_requests_total (default 250, 0 = off)
+//!   --trace-seed N         sampling seed, for reproducible 1-in-N picks
 //! ```
 //!
 //! The server runs until SIGINT/SIGTERM, then drains gracefully: the
@@ -47,13 +55,15 @@ struct Options {
     with_trasyn: bool,
     max_t: usize,
     samples: usize,
+    trace: trace::TraceConfig,
 }
 
 fn usage() -> &'static str {
     "usage: trasyn-server [--addr HOST:PORT] [--addr-file FILE] [--http-workers N] \
      [--queue-depth N] [--read-timeout-ms N] [--threads N] [--cache-capacity N] \
      [--cache-file FILE] [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
-     [--with-trasyn] [--max-t N] [--samples N]"
+     [--with-trasyn] [--max-t N] [--samples N] [--no-trace] [--trace-sample N] \
+     [--trace-ring N] [--trace-slow-ms X] [--trace-seed N]"
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -71,6 +81,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         with_trasyn: false,
         max_t: 6,
         samples: 1024,
+        trace: trace::TraceConfig::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -111,6 +122,27 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--with-trasyn" => opts.with_trasyn = true,
             "--max-t" => opts.max_t = parse_usize("--max-t", value("--max-t")?)?,
             "--samples" => opts.samples = parse_usize("--samples", value("--samples")?)?,
+            "--no-trace" => opts.trace.enabled = false,
+            "--trace-sample" => {
+                opts.trace.sample_every = value("--trace-sample")?
+                    .parse()
+                    .map_err(|_| "--trace-sample needs an integer".to_string())?;
+            }
+            "--trace-ring" => {
+                opts.trace.ring = parse_usize("--trace-ring", value("--trace-ring")?)?;
+            }
+            "--trace-slow-ms" => {
+                opts.trace.slow_ms = value("--trace-slow-ms")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or_else(|| "--trace-slow-ms needs a non-negative number".to_string())?;
+            }
+            "--trace-seed" => {
+                opts.trace.seed = value("--trace-seed")?
+                    .parse()
+                    .map_err(|_| "--trace-seed needs an integer".to_string())?;
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -215,6 +247,7 @@ fn main() -> ExitCode {
         default_epsilon: opts.epsilon,
         default_backend: opts.backend,
         cache_file: opts.cache_file.clone(),
+        trace: opts.trace.clone(),
     };
 
     let handle = match Server::start(&opts.addr, config, engine) {

@@ -171,6 +171,15 @@ impl Harness {
             let config = ServerConfig {
                 default_epsilon: cfg.epsilon,
                 default_backend: cfg.backend,
+                // Trace every request: the server path then doubles as
+                // the proof that tracing is observation-only — its
+                // responses are compared bit-for-bit against the
+                // untraced in-process paths.
+                trace: trace::TraceConfig {
+                    enabled: true,
+                    sample_every: 1,
+                    ..trace::TraceConfig::default()
+                },
                 ..ServerConfig::default()
             };
             Some(Server::start("127.0.0.1:0", config, server_engine)?)

@@ -5,6 +5,18 @@
 //! cache/pool counters come from [`engine::EngineStats`] at render time —
 //! the same snapshot shape `trasyn-compile` prints — so the two surfaces
 //! can never disagree about what a hit is.
+//!
+//! Latency is exposed as three histograms over the same bucket bounds:
+//! `trasyn_request_latency_ms` (end-to-end, the historic family),
+//! `trasyn_queue_wait_ms` (accept → worker pickup), and
+//! `trasyn_service_ms` (request read → response written), so dashboards
+//! can tell queueing delay from compute. `trasyn_slow_requests_total`
+//! counts requests past the tracer's slow threshold — including ones the
+//! sampler would otherwise have dropped.
+//!
+//! Metric names are **append-only**: renaming or dropping a family
+//! breaks downstream scrapers, so the golden test in
+//! `tests/metrics_golden.rs` pins the full render shape.
 
 use engine::EngineStats;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,25 +40,30 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// `GET /debug/traces`
+    Debug,
     /// Anything else (404s, bad methods, …).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 5] = [
+    const ALL: [Endpoint; 6] = [
         Endpoint::Compile,
         Endpoint::Batch,
         Endpoint::Healthz,
         Endpoint::Metrics,
+        Endpoint::Debug,
         Endpoint::Other,
     ];
 
-    fn label(self) -> &'static str {
+    /// The `endpoint="..."` label value in `/metrics`.
+    pub fn label(self) -> &'static str {
         match self {
             Endpoint::Compile => "compile",
             Endpoint::Batch => "batch",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Debug => "debug",
             Endpoint::Other => "other",
         }
     }
@@ -59,16 +76,60 @@ impl Endpoint {
 /// Status classes that get their own counter.
 const STATUS_CODES: [u16; 7] = [200, 400, 404, 405, 413, 429, 500];
 
+/// One latency histogram: fixed [`LATENCY_BUCKETS_MS`] bounds plus
+/// `+Inf`, a microsecond-resolution sum, and a sample count.
+#[derive(Default)]
+struct Hist {
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Hist {
+    fn observe(&self, ms: f64) {
+        let bucket = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&ub| ms <= ub)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us
+            .fetch_add((ms * 1e3).max(0.0) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the histogram family (cumulative buckets, as Prometheus
+    /// expects) through the caller's line sink.
+    fn render(&self, name: &str, line: &mut impl FnMut(String)) {
+        line(format!("# TYPE {name} histogram"));
+        let mut cumulative = 0u64;
+        for (i, &ub) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            line(format!("{name}_bucket{{le=\"{ub}\"}} {cumulative}"));
+        }
+        cumulative += self.buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
+        line(format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}"));
+        line(format!(
+            "{name}_sum {}",
+            self.sum_us.load(Ordering::Relaxed) as f64 / 1e3
+        ));
+        line(format!("{name}_count {}", self.count.load(Ordering::Relaxed)));
+    }
+}
+
 /// The server's counter set. All methods take `&self`; everything is
 /// relaxed atomics (counters tolerate reorder, they only accumulate).
 pub struct Metrics {
-    requests: [AtomicU64; 5],
+    requests: [AtomicU64; 6],
     responses: [AtomicU64; STATUS_CODES.len()],
     responses_other: AtomicU64,
     rejected: AtomicU64,
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
-    latency_sum_us: AtomicU64,
-    latency_count: AtomicU64,
+    slow: AtomicU64,
+    /// End-to-end latency (queue wait + service), the historic family.
+    latency: Hist,
+    /// Time between accept and a worker picking the connection up.
+    queue_wait: Hist,
+    /// Time between request read and response written.
+    service: Hist,
 }
 
 impl Default for Metrics {
@@ -78,9 +139,10 @@ impl Default for Metrics {
             responses: Default::default(),
             responses_other: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
-            latency_buckets: Default::default(),
-            latency_sum_us: AtomicU64::new(0),
-            latency_count: AtomicU64::new(0),
+            slow: AtomicU64::new(0),
+            latency: Hist::default(),
+            queue_wait: Hist::default(),
+            service: Hist::default(),
         }
     }
 }
@@ -91,17 +153,16 @@ impl Metrics {
         Self::default()
     }
 
-    /// Records one handled request: endpoint, response status, wall time.
-    pub fn observe(&self, endpoint: Endpoint, status: u16, latency_ms: f64) {
+    /// Records one handled request: endpoint, response status, and the
+    /// two halves of its wall time — queue wait (accept → worker pickup;
+    /// `0` past the first request of a keep-alive connection) and
+    /// service time (request read → response written). The historic
+    /// `trasyn_request_latency_ms` family observes their sum.
+    pub fn observe(&self, endpoint: Endpoint, status: u16, queue_wait_ms: f64, service_ms: f64) {
         self.count_unhandled(endpoint, status);
-        let bucket = LATENCY_BUCKETS_MS
-            .iter()
-            .position(|&ub| latency_ms <= ub)
-            .unwrap_or(LATENCY_BUCKETS_MS.len());
-        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us
-            .fetch_add((latency_ms * 1e3).max(0.0) as u64, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency.observe(queue_wait_ms + service_ms);
+        self.queue_wait.observe(queue_wait_ms);
+        self.service.observe(service_ms);
     }
 
     /// Records a response that was never *handled* (a backpressure shed):
@@ -132,9 +193,20 @@ impl Metrics {
         self.rejected.load(Ordering::Relaxed)
     }
 
+    /// Records one request whose total latency crossed the tracer's
+    /// slow-request threshold.
+    pub fn note_slow(&self) {
+        self.slow.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total slow requests so far.
+    pub fn slow_total(&self) -> u64 {
+        self.slow.load(Ordering::Relaxed)
+    }
+
     /// Total observed requests so far.
     pub fn request_count(&self) -> u64 {
-        self.latency_count.load(Ordering::Relaxed)
+        self.latency.count.load(Ordering::Relaxed)
     }
 
     /// Renders the Prometheus text exposition: server counters, the
@@ -168,27 +240,12 @@ impl Metrics {
         ));
         line("# TYPE trasyn_rejected_total counter".into());
         line(format!("trasyn_rejected_total {}", self.rejected()));
+        line("# TYPE trasyn_slow_requests_total counter".into());
+        line(format!("trasyn_slow_requests_total {}", self.slow_total()));
 
-        line("# TYPE trasyn_request_latency_ms histogram".into());
-        let mut cumulative = 0u64;
-        for (i, &ub) in LATENCY_BUCKETS_MS.iter().enumerate() {
-            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
-            line(format!(
-                "trasyn_request_latency_ms_bucket{{le=\"{ub}\"}} {cumulative}"
-            ));
-        }
-        cumulative += self.latency_buckets[LATENCY_BUCKETS_MS.len()].load(Ordering::Relaxed);
-        line(format!(
-            "trasyn_request_latency_ms_bucket{{le=\"+Inf\"}} {cumulative}"
-        ));
-        line(format!(
-            "trasyn_request_latency_ms_sum {}",
-            self.latency_sum_us.load(Ordering::Relaxed) as f64 / 1e3
-        ));
-        line(format!(
-            "trasyn_request_latency_ms_count {}",
-            self.latency_count.load(Ordering::Relaxed)
-        ));
+        self.latency.render("trasyn_request_latency_ms", &mut line);
+        self.queue_wait.render("trasyn_queue_wait_ms", &mut line);
+        self.service.render("trasyn_service_ms", &mut line);
 
         line("# TYPE trasyn_queue_depth gauge".into());
         line(format!("trasyn_queue_depth {queue_depth}"));
@@ -284,20 +341,25 @@ mod tests {
     #[test]
     fn observe_rolls_up_into_render() {
         let m = Metrics::new();
-        m.observe(Endpoint::Compile, 200, 0.3);
-        m.observe(Endpoint::Compile, 200, 3.0);
-        m.observe(Endpoint::Batch, 400, 30.0);
-        m.observe(Endpoint::Other, 404, 0.1);
+        m.observe(Endpoint::Compile, 200, 0.1, 0.2);
+        m.observe(Endpoint::Compile, 200, 1.0, 2.0);
+        m.observe(Endpoint::Batch, 400, 10.0, 20.0);
+        m.observe(Endpoint::Other, 404, 0.0, 0.1);
         m.reject();
+        m.note_slow();
         let text = m.render(&stats(), 3);
         for needle in [
             "trasyn_requests_total{endpoint=\"compile\"} 2",
             "trasyn_requests_total{endpoint=\"batch\"} 1",
+            "trasyn_requests_total{endpoint=\"debug\"} 0",
             "trasyn_responses_total{status=\"200\"} 2",
             "trasyn_responses_total{status=\"400\"} 1",
             "trasyn_responses_total{status=\"404\"} 1",
             "trasyn_rejected_total 1",
+            "trasyn_slow_requests_total 1",
             "trasyn_request_latency_ms_count 4",
+            "trasyn_queue_wait_ms_count 4",
+            "trasyn_service_ms_count 4",
             "trasyn_queue_depth 3",
             "trasyn_cache_hits_total 5",
             "trasyn_cache_misses_total 2",
@@ -319,9 +381,9 @@ mod tests {
     #[test]
     fn histogram_buckets_are_cumulative_and_end_at_inf() {
         let m = Metrics::new();
-        m.observe(Endpoint::Compile, 200, 0.2); // le 0.25
-        m.observe(Endpoint::Compile, 200, 0.4); // le 0.5
-        m.observe(Endpoint::Compile, 200, 99_999.0); // +Inf
+        m.observe(Endpoint::Compile, 200, 0.0, 0.2); // le 0.25
+        m.observe(Endpoint::Compile, 200, 0.0, 0.4); // le 0.5
+        m.observe(Endpoint::Compile, 200, 0.0, 99_999.0); // +Inf
         let text = m.render(&stats(), 0);
         assert!(text.contains("trasyn_request_latency_ms_bucket{le=\"0.25\"} 1"));
         assert!(text.contains("trasyn_request_latency_ms_bucket{le=\"0.5\"} 2"));
@@ -330,9 +392,23 @@ mod tests {
     }
 
     #[test]
+    fn queue_wait_and_service_split_the_total() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Compile, 200, 2.0, 4.0);
+        let text = m.render(&stats(), 0);
+        // The historic family keeps observing the end-to-end total.
+        assert!(text.contains("trasyn_request_latency_ms_sum 6"), "{text}");
+        assert!(text.contains("trasyn_queue_wait_ms_sum 2"), "{text}");
+        assert!(text.contains("trasyn_service_ms_sum 4"), "{text}");
+        assert!(text.contains("trasyn_queue_wait_ms_bucket{le=\"2.5\"} 1"));
+        assert!(text.contains("trasyn_service_ms_bucket{le=\"2.5\"} 0"));
+        assert!(text.contains("trasyn_service_ms_bucket{le=\"5\"} 1"));
+    }
+
+    #[test]
     fn unknown_status_goes_to_other() {
         let m = Metrics::new();
-        m.observe(Endpoint::Compile, 418, 1.0);
+        m.observe(Endpoint::Compile, 418, 0.0, 1.0);
         let text = m.render(&stats(), 0);
         assert!(text.contains("trasyn_responses_total{status=\"other\"} 1"));
     }

@@ -4,6 +4,14 @@
 //!
 //! * `GET /healthz` → `{"status": "ok"}`.
 //! * `GET /metrics` → Prometheus text ([`crate::metrics`]).
+//! * `GET /debug/traces` → the tracer's retained request traces as a
+//!   JSON array, newest first — each a self-describing span tree
+//!   (queue-wait, parse, per-pass lowering, cache lookup, per-rotation
+//!   synthesis, splice, verify, write) with wall/own times.
+//!   `?min_ms=N` keeps only traces at least `N` ms end-to-end,
+//!   `&limit=N` caps the count; unknown or malformed parameters are a
+//!   400. Sampling, ring size, and the always-retained slow threshold
+//!   come from [`crate::service::ServerConfig::trace`].
 //! * `POST /v1/compile` — body is a JSON object with exactly one of
 //!   `"rz"` (a rotation angle) or `"qasm"` (an OpenQASM 2.0 program),
 //!   plus optional `"epsilon"`, `"backend"`, `"pipeline"`, `"name"`,
@@ -42,6 +50,7 @@ use crate::metrics::Endpoint;
 use crate::service::Shared;
 use engine::{BackendKind, BatchItem, BatchRequest, PipelineSpec};
 use std::io::Write;
+use trace::SpanHandle;
 
 /// Cap on `/v1/batch` items — a request is one unit of queue accounting,
 /// so its size must be bounded too.
@@ -49,29 +58,45 @@ pub const MAX_BATCH_ITEMS: usize = 256;
 
 pub use engine::{MAX_EPSILON, MIN_EPSILON};
 
+/// The request path without its query string.
+pub fn path_of(req: &Request) -> &str {
+    req.path.split('?').next().unwrap_or(&req.path)
+}
+
+/// The request's query string (text after the first `?`), if any.
+pub fn query_of(req: &Request) -> Option<&str> {
+    req.path.split_once('?').map(|(_, q)| q)
+}
+
 /// Which metrics bucket a request belongs to.
 pub fn endpoint_of(req: &Request) -> Endpoint {
-    match (req.method.as_str(), req.path.as_str()) {
-        (_, "/v1/compile") => Endpoint::Compile,
-        (_, "/v1/batch") => Endpoint::Batch,
-        (_, "/healthz") => Endpoint::Healthz,
-        (_, "/metrics") => Endpoint::Metrics,
+    match path_of(req) {
+        "/v1/compile" => Endpoint::Compile,
+        "/v1/batch" => Endpoint::Batch,
+        "/healthz" => Endpoint::Healthz,
+        "/metrics" => Endpoint::Metrics,
+        "/debug/traces" => Endpoint::Debug,
         _ => Endpoint::Other,
     }
 }
 
-/// Routes and answers one request; returns the response status.
+/// Routes and answers one request; returns the response status. `span`
+/// (the request's `handle` span, when this request is traced) gets
+/// per-stage children: the handlers' `parse`/`compile` spans and the
+/// final `write`.
 pub(crate) fn respond(
     req: &Request,
     w: &mut (impl Write + ?Sized),
     shared: &Shared,
     keep_alive: bool,
+    span: Option<&SpanHandle>,
 ) -> u16 {
-    let outcome = route(req, shared);
+    let outcome = route(req, shared, span);
     let status = match &outcome {
         Ok((_, _)) => 200,
         Err(e) => e.status,
     };
+    let _write_span = span.map(|s| s.child("write"));
     let io_result = match outcome {
         Ok((content_type, body)) => {
             http::write_response(w, 200, content_type, body.as_bytes(), keep_alive)
@@ -128,8 +153,8 @@ fn engine_error(e: engine::EngineError) -> ApiError {
 
 type RouteResult = Result<(&'static str, String), ApiError>;
 
-fn route(req: &Request, shared: &Shared) -> RouteResult {
-    match (req.method.as_str(), req.path.as_str()) {
+fn route(req: &Request, shared: &Shared, span: Option<&SpanHandle>) -> RouteResult {
+    match (req.method.as_str(), path_of(req)) {
         ("GET", "/healthz") => Ok((
             "application/json",
             "{\"status\": \"ok\"}\n".to_string(),
@@ -140,15 +165,66 @@ fn route(req: &Request, shared: &Shared) -> RouteResult {
                 .metrics
                 .render(&shared.engine.stats(), shared.queue.len()),
         )),
-        ("POST", "/v1/compile") => compile(req, shared),
-        ("POST", "/v1/batch") => batch(req, shared),
-        (_, "/healthz" | "/metrics") | (_, "/v1/compile" | "/v1/batch") => Err((
-            405,
-            format!("method {} not allowed on {}", req.method, req.path),
-        )
-            .into()),
-        _ => Err((404, format!("no such endpoint: {}", req.path)).into()),
+        ("GET", "/debug/traces") => debug_traces(req, shared),
+        ("POST", "/v1/compile") => compile(req, shared, span),
+        ("POST", "/v1/batch") => batch(req, shared, span),
+        (_, "/healthz" | "/metrics" | "/debug/traces") | (_, "/v1/compile" | "/v1/batch") => {
+            Err((
+                405,
+                format!("method {} not allowed on {}", req.method, path_of(req)),
+            )
+                .into())
+        }
+        _ => Err((404, format!("no such endpoint: {}", path_of(req))).into()),
     }
+}
+
+/// `GET /debug/traces[?min_ms=N][&limit=N]` — the tracer's retained ring
+/// as a JSON array, newest first. `min_ms` filters to traces at least
+/// that long end-to-end (`min_ms=0` returns everything retained);
+/// `limit` caps the count. Unknown or malformed parameters are a 400 —
+/// a silently ignored typo in `min_ms` would *look* like "no slow
+/// requests".
+fn debug_traces(req: &Request, shared: &Shared) -> RouteResult {
+    let mut min_ms = 0.0f64;
+    let mut limit = usize::MAX;
+    for pair in query_of(req).unwrap_or("").split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match k {
+            "min_ms" => {
+                min_ms = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or((400, format!("\"min_ms\" must be a non-negative number, got \"{v}\"")))?;
+            }
+            "limit" => {
+                limit = v
+                    .parse::<usize>()
+                    .map_err(|_| (400, format!("\"limit\" must be an integer, got \"{v}\"")))?;
+            }
+            other => {
+                return Err((400, format!("unknown query parameter \"{other}\"")).into());
+            }
+        }
+    }
+    let mut out = String::from("[");
+    let mut first = true;
+    for t in shared
+        .tracer
+        .recent()
+        .iter()
+        .filter(|t| t.duration_ms >= min_ms)
+        .take(limit)
+    {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&t.to_json());
+    }
+    out.push_str("]\n");
+    Ok(("application/json", out))
 }
 
 fn parse_body(req: &Request) -> Result<Value, (u16, String)> {
@@ -265,13 +341,18 @@ fn parse_item(v: &Value, shared: &Shared, index: usize) -> Result<BatchItem, Api
         .lint(lint))
 }
 
-fn compile(req: &Request, shared: &Shared) -> RouteResult {
+fn compile(req: &Request, shared: &Shared, span: Option<&SpanHandle>) -> RouteResult {
+    let parse_span = span.map(|s| s.child("parse"));
     let body = parse_body(req)?;
     let item = parse_item(&body, shared, 0)?;
+    drop(parse_span);
+    let compile_span = span.map(|s| s.child("compile"));
+    let compile_handle = compile_span.as_ref().map(trace::Span::handle);
     let report = shared
         .engine
-        .compile_batch(&BatchRequest::new().item(item))
+        .compile_batch_traced(&BatchRequest::new().item(item), compile_handle.as_ref())
         .map_err(engine_error)?;
+    drop(compile_span);
     let item = report
         .items
         .into_iter()
@@ -284,7 +365,8 @@ fn compile(req: &Request, shared: &Shared) -> RouteResult {
     Ok(("application/json", body))
 }
 
-fn batch(req: &Request, shared: &Shared) -> RouteResult {
+fn batch(req: &Request, shared: &Shared, span: Option<&SpanHandle>) -> RouteResult {
+    let parse_span = span.map(|s| s.child("parse"));
     let body = parse_body(req)?;
     let items = body
         .get("items")
@@ -304,9 +386,13 @@ fn batch(req: &Request, shared: &Shared) -> RouteResult {
     for (i, v) in items.iter().enumerate() {
         request.items.push(parse_item(v, shared, i)?);
     }
+    drop(parse_span);
+    let compile_span = span.map(|s| s.child("compile"));
+    let compile_handle = compile_span.as_ref().map(trace::Span::handle);
     let report = shared
         .engine
-        .compile_batch(&request)
+        .compile_batch_traced(&request, compile_handle.as_ref())
         .map_err(engine_error)?;
+    drop(compile_span);
     Ok(("application/json", report.to_json()))
 }

@@ -57,6 +57,11 @@ pub struct ServerConfig {
     /// When set: warm-start the cache from this snapshot on
     /// [`Server::start`] and save back on shutdown.
     pub cache_file: Option<PathBuf>,
+    /// Request tracing: sampling rate, retained-trace ring size, and the
+    /// slow-request threshold (see [`trace::TraceConfig`]). Tracing is
+    /// observation-only — responses are byte-identical with it on, off,
+    /// or sampled out.
+    pub trace: trace::TraceConfig,
 }
 
 impl Default for ServerConfig {
@@ -68,15 +73,24 @@ impl Default for ServerConfig {
             default_epsilon: 1e-2,
             default_backend: BackendKind::Gridsynth,
             cache_file: None,
+            trace: trace::TraceConfig::default(),
         }
     }
+}
+
+/// A connection waiting in the accept queue, stamped so queue wait can
+/// be measured (and traced) from the moment the accept loop saw it.
+pub(crate) struct QueuedConn {
+    pub(crate) stream: TcpStream,
+    pub(crate) accepted_at: Instant,
 }
 
 /// Shared state every worker sees.
 pub(crate) struct Shared {
     pub(crate) engine: Arc<Engine>,
     pub(crate) metrics: Metrics,
-    pub(crate) queue: BoundedQueue<TcpStream>,
+    pub(crate) tracer: trace::Tracer,
+    pub(crate) queue: BoundedQueue<QueuedConn>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) config: ServerConfig,
 }
@@ -128,6 +142,7 @@ impl Server {
         let shared = Arc::new(Shared {
             engine,
             metrics: Metrics::new(),
+            tracer: trace::Tracer::new(config.trace.clone()),
             queue: BoundedQueue::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
             config,
@@ -174,6 +189,11 @@ impl ServerHandle {
     /// Live request counters.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// The request tracer (e.g. for retained-trace assertions in tests).
+    pub fn tracer(&self) -> &trace::Tracer {
+        &self.shared.tracer
     }
 
     /// Graceful shutdown: stop accepting, serve every queued connection,
@@ -229,11 +249,15 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             // The waker connection (or a raced client during shutdown).
             return;
         }
-        if let Err(stream) = shared.queue.try_push(stream) {
+        let conn = QueuedConn {
+            stream,
+            accepted_at: Instant::now(),
+        };
+        if let Err(conn) = shared.queue.try_push(conn) {
             // Queue full: shed the connection with 429 right here. This
             // briefly blocks the accept loop, which under overload is
             // itself backpressure (the kernel backlog then sheds for us).
-            shed(stream, shared);
+            shed(conn.stream, shared);
         }
     }
 }
@@ -282,12 +306,12 @@ fn shed(stream: TcpStream, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(stream) = shared.queue.pop() {
+    while let Some(conn) = shared.queue.pop() {
         // Panic isolation: a bug (or violated backend precondition) while
         // serving one connection must cost that connection, not silently
         // retire 1/N of the server's capacity for its whole lifetime.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            serve_connection(stream, shared);
+            serve_connection(conn, shared);
         }));
         if result.is_err() {
             eprintln!("[server] worker recovered from a panic while serving a connection");
@@ -301,7 +325,12 @@ fn worker_loop(shared: &Shared) {
 /// the (shorter) socket `read_timeout`, not this.
 const REQUEST_READ_DEADLINE: Duration = Duration::from_secs(10);
 
-fn serve_connection(stream: TcpStream, shared: &Shared) {
+fn serve_connection(conn: QueuedConn, shared: &Shared) {
+    let QueuedConn {
+        stream,
+        accepted_at,
+    } = conn;
+    let popped_at = Instant::now();
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_nodelay(true);
     let mut reader = match stream.try_clone() {
@@ -309,22 +338,78 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => return,
     };
     let mut writer = stream;
+    let mut first = true;
     loop {
         let deadline = Instant::now() + REQUEST_READ_DEADLINE;
         match http::read_request(&mut reader, Some(deadline)) {
             Ok(req) => {
-                let t0 = Instant::now();
+                let read_done = Instant::now();
                 let endpoint = routes::endpoint_of(&req);
                 // Stop honoring keep-alive once shutdown begins: finish
                 // this request, then close.
                 let keep_alive =
                     req.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
-                let status = routes::respond(&req, &mut writer, shared, keep_alive);
-                shared.metrics.observe(
-                    endpoint,
-                    status,
-                    t0.elapsed().as_secs_f64() * 1e3,
-                );
+                // Queue wait belongs to the *first* request only: later
+                // keep-alive requests were never in the accept queue.
+                let queue_wait_ms = if first {
+                    popped_at.saturating_duration_since(accepted_at).as_secs_f64() * 1e3
+                } else {
+                    0.0
+                };
+                // Trace base: connection accept for the first request
+                // (so queue wait shows up inside the trace), request
+                // read completion after that — idle keep-alive gaps are
+                // the client's time, not this request's.
+                let name = format!("{} {}", req.method, routes::path_of(&req));
+                let base = if first { accepted_at } else { read_done };
+                let ctx = shared.tracer.begin_at(&name, base);
+                let status = match &ctx {
+                    Some(ctx) => {
+                        let root = ctx.root();
+                        if first {
+                            let mut qs = root.child_at("queue-wait", accepted_at, popped_at);
+                            qs.attr("depth", shared.queue.len());
+                            qs.end();
+                            root.child_at("read", popped_at, read_done).end();
+                        }
+                        let mut handle_span = root.child("handle");
+                        let status = routes::respond(
+                            &req,
+                            &mut writer,
+                            shared,
+                            keep_alive,
+                            Some(&handle_span.handle()),
+                        );
+                        handle_span.attr("endpoint", endpoint.label());
+                        handle_span.attr("status", status);
+                        status
+                    }
+                    None => routes::respond(&req, &mut writer, shared, keep_alive, None),
+                };
+                let service_ms = read_done.elapsed().as_secs_f64() * 1e3;
+                shared
+                    .metrics
+                    .observe(endpoint, status, queue_wait_ms, service_ms);
+                match ctx {
+                    Some(ctx) => {
+                        ctx.attr("endpoint", endpoint.label());
+                        ctx.attr("status", status);
+                        ctx.attr("queue_wait_ms", queue_wait_ms);
+                        ctx.attr("service_ms", service_ms);
+                        if shared.tracer.finish(ctx).slow {
+                            shared.metrics.note_slow();
+                        }
+                    }
+                    None => {
+                        // Tracing disabled: the slow counter must still
+                        // count outliers against the configured threshold.
+                        let slow_ms = shared.config.trace.slow_ms;
+                        if slow_ms > 0.0 && queue_wait_ms + service_ms >= slow_ms {
+                            shared.metrics.note_slow();
+                        }
+                    }
+                }
+                first = false;
                 if !keep_alive || status == 500 {
                     return;
                 }
@@ -333,7 +418,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
             Err(ReadError::Io(_)) => return, // includes idle-read timeouts
             Err(ReadError::Bad(status, msg)) => {
                 let _ = http::write_error(&mut writer, status, msg, false);
-                shared.metrics.observe(Endpoint::Other, status, 0.0);
+                shared.metrics.observe(Endpoint::Other, status, 0.0, 0.0);
                 return;
             }
         }

@@ -30,6 +30,7 @@ fn config() -> ServerConfig {
         default_epsilon: 1e-2,
         default_backend: BackendKind::Gridsynth,
         cache_file: None,
+        ..ServerConfig::default()
     }
 }
 

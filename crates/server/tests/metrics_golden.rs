@@ -1,0 +1,63 @@
+//! Golden test pinning the exact `/metrics` render shape.
+//!
+//! Metric names are append-only contract: dashboards and scrapers key on
+//! the family names, label sets, and bucket bounds below. Any rename,
+//! removal, or bucket change shows up here as a full-text diff and must
+//! be treated as a breaking change (add a new family instead). Adding
+//! new families *after* existing ones is the supported evolution and
+//! only requires extending the golden text.
+
+use engine::{BackendKind, CacheStats, EngineStats, PassTotals};
+use server::{Endpoint, Metrics};
+
+/// Deterministic engine-side snapshot: two passes (to pin the sorted,
+/// stable pass ordering) and non-zero counters everywhere so a dropped
+/// field can't hide behind a default zero.
+fn stats() -> EngineStats {
+    let mut fuse = PassTotals::named("fuse");
+    fuse.runs = 3;
+    fuse.wall_ms = 1.25;
+    fuse.rotations_in = 12;
+    fuse.rotations_out = 7;
+    let mut zx = PassTotals::named("zx-fold");
+    zx.runs = 1;
+    zx.wall_ms = 0.5;
+    zx.rotations_in = 4;
+    zx.rotations_out = 2;
+    EngineStats {
+        threads: 2,
+        backends: vec![BackendKind::Gridsynth],
+        cache_capacity: 64,
+        cache: CacheStats {
+            hits: 5,
+            misses: 2,
+            insertions: 2,
+            evictions: 1,
+            entries: 2,
+        },
+        passes: vec![fuse, zx],
+        verify_ok: 6,
+        verify_fail: 2,
+        lint_errors: 4,
+        lint_warnings: 9,
+    }
+}
+
+const EXPECTED: &str = include_str!("golden/metrics.txt");
+
+#[test]
+fn metrics_render_matches_golden() {
+    let m = Metrics::new();
+    // One request with a 1 ms queue wait and a 2 ms service time: lands
+    // in the le="1", le="2.5", and (total) le="5" buckets respectively.
+    m.observe(Endpoint::Compile, 200, 1.0, 2.0);
+    m.reject();
+    m.note_slow();
+    let actual = m.render(&stats(), 3);
+    assert_eq!(
+        actual, EXPECTED,
+        "\n/metrics render changed. Metric names and bucket bounds are \
+         append-only; if this change is intentional *and* additive, update \
+         crates/server/tests/golden/metrics.txt.\n\n--- actual ---\n{actual}"
+    );
+}

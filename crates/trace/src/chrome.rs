@@ -1,0 +1,154 @@
+//! chrome://tracing (`trace_event`) export: the JSON object format with
+//! `"ph": "X"` complete events, loadable directly in Perfetto or
+//! `chrome://tracing` as a flamegraph.
+//!
+//! Mapping: each trace becomes one *process* (`pid` = trace id, named
+//! after the trace), each thread label observed in the trace becomes one
+//! *track* (`tid`, named via `"M"` thread-name metadata events), and each
+//! span becomes one complete event with `ts`/`dur` in microseconds.
+
+use crate::span::SpanRecord;
+use crate::tracer::FinishedTrace;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Renders one or more finished traces as a chrome://tracing JSON
+/// object: `{"displayTimeUnit": "ms", "traceEvents": [...]}`.
+pub fn chrome_trace_json(traces: &[Arc<FinishedTrace>]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    let mut first = true;
+    for t in traces {
+        write_trace(t, &mut out, &mut first);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn write_trace(t: &FinishedTrace, out: &mut String, first: &mut bool) {
+    let pid = t.id;
+    let mut sep = |out: &mut String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+    };
+
+    sep(out);
+    let _ = write!(
+        out,
+        "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \"name\": \"process_name\", \
+         \"args\": {{\"name\": {}}}}}",
+        crate::json_string(&format!("trasyn request {} ({})", t.id, t.name)),
+    );
+
+    // Stable thread-label → tid mapping: first appearance in record
+    // order (records are sorted by start time). The root's empty label
+    // shares tid 0 with the process-name track.
+    let mut tids: HashMap<&str, u64> = HashMap::new();
+    tids.insert("", 0);
+    for r in &t.records {
+        let next = tids.len() as u64;
+        let tid = *tids.entry(r.thread.as_str()).or_insert(next);
+        if tid == next && !r.thread.is_empty() {
+            sep(out);
+            let _ = write!(
+                out,
+                "{{\"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \
+                 \"name\": \"thread_name\", \"args\": {{\"name\": {}}}}}",
+                crate::json_string(&r.thread),
+            );
+        }
+    }
+
+    for r in &t.records {
+        sep(out);
+        write_span(pid, tids[r.thread.as_str()], r, out);
+    }
+}
+
+fn write_span(pid: u64, tid: u64, r: &SpanRecord, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"ph\": \"X\", \"pid\": {pid}, \"tid\": {tid}, \"cat\": \"trasyn\", \
+         \"name\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{",
+        crate::json_string(&r.name),
+        r.start_us,
+        r.end_us - r.start_us,
+    );
+    for (i, (k, v)) in r.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", crate::json_string(k), v.to_json());
+    }
+    out.push_str("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AttrValue;
+
+    fn trace() -> Arc<FinishedTrace> {
+        Arc::new(FinishedTrace {
+            id: 3,
+            name: "POST /v1/compile".to_string(),
+            duration_ms: 2.0,
+            slow: false,
+            sampled: true,
+            started_unix_ms: 1_700_000_000_000,
+            records: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    name: "POST /v1/compile".to_string(),
+                    start_us: 0,
+                    end_us: 2000,
+                    thread: String::new(),
+                    attrs: vec![("status", AttrValue::U64(200))],
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: 1,
+                    name: "synthesize".to_string(),
+                    start_us: 100,
+                    end_us: 1800,
+                    thread: "synth-0".to_string(),
+                    attrs: Vec::new(),
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn chrome_export_has_complete_and_metadata_events() {
+        let json = chrome_trace_json(&[trace()]);
+        for needle in [
+            "\"displayTimeUnit\": \"ms\"",
+            "\"traceEvents\": [",
+            "\"ph\": \"M\"",
+            "\"name\": \"process_name\"",
+            "\"name\": \"thread_name\"",
+            "\"name\": \"synth-0\"",
+            "\"ph\": \"X\"",
+            "\"ts\": 100",
+            "\"dur\": 1700",
+            "\"pid\": 3",
+            "\"status\": 200",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(json.trim_end().ends_with("]}"), "well-terminated object");
+    }
+
+    #[test]
+    fn multiple_traces_share_one_event_array() {
+        let json = chrome_trace_json(&[trace(), trace()]);
+        assert_eq!(json.matches("process_name").count(), 2);
+        // No doubled array separators or trailing commas.
+        assert!(!json.contains(",,"));
+        assert!(!json.contains(", ]"));
+    }
+}

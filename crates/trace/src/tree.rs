@@ -1,0 +1,193 @@
+//! Span-tree assembly: nesting, own-time, and the JSON tree render.
+
+use crate::span::{AttrValue, SpanRecord, ROOT_SPAN_ID};
+use std::collections::HashMap;
+
+/// One node of the assembled span tree. All times are milliseconds;
+/// `start_ms` is relative to the trace base.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Span name.
+    pub name: String,
+    /// Start offset from the trace base.
+    pub start_ms: f64,
+    /// Wall duration (start to end).
+    pub duration_ms: f64,
+    /// Self time: duration minus the summed durations of direct
+    /// children, clamped at 0 (children created on concurrent threads
+    /// can overlap and sum past the parent).
+    pub own_ms: f64,
+    /// Thread label the span ended on (empty for the root, which is
+    /// closed by the tracer).
+    pub thread: String,
+    /// Typed attributes.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+    /// Child spans, ordered by `(start, id)`.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Assembles the tree from a trace's records. Records whose parent
+    /// id is missing (a span outliving its parent guard — a caller bug,
+    /// but not worth losing data over) reattach to the root.
+    pub(crate) fn build(records: &[SpanRecord]) -> SpanNode {
+        let ids: std::collections::HashSet<u64> = records.iter().map(|r| r.id).collect();
+        let mut children_of: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+        let mut root: Option<&SpanRecord> = None;
+        for r in records {
+            if r.id == ROOT_SPAN_ID {
+                root = Some(r);
+            } else if ids.contains(&r.parent) {
+                children_of.entry(r.parent).or_default().push(r);
+            } else {
+                children_of.entry(ROOT_SPAN_ID).or_default().push(r);
+            }
+        }
+        match root {
+            Some(r) => Self::node(r, &children_of),
+            // No root record (a trace finished without one): synthesize
+            // an empty root spanning nothing.
+            None => SpanNode {
+                name: String::new(),
+                start_ms: 0.0,
+                duration_ms: 0.0,
+                own_ms: 0.0,
+                thread: String::new(),
+                attrs: Vec::new(),
+                children: Vec::new(),
+            },
+        }
+    }
+
+    fn node(r: &SpanRecord, children_of: &HashMap<u64, Vec<&SpanRecord>>) -> SpanNode {
+        let children: Vec<SpanNode> = children_of
+            .get(&r.id)
+            .map(|kids| kids.iter().map(|k| Self::node(k, children_of)).collect())
+            .unwrap_or_default();
+        let duration_ms = r.duration_ms();
+        let child_ms: f64 = children.iter().map(|c| c.duration_ms).sum();
+        SpanNode {
+            name: r.name.clone(),
+            start_ms: r.start_us as f64 / 1e3,
+            duration_ms,
+            own_ms: (duration_ms - child_ms).max(0.0),
+            thread: r.thread.clone(),
+            attrs: r.attrs.clone(),
+            children,
+        }
+    }
+
+    /// Total node count of this subtree (including `self`).
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::span_count).sum::<usize>()
+    }
+
+    /// Renders the node (recursively) as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"name\": {}, \"start_ms\": {}, \"duration_ms\": {}, \"own_ms\": {}",
+            crate::json_string(&self.name),
+            crate::fmt_f64(self.start_ms),
+            crate::fmt_f64(self.duration_ms),
+            crate::fmt_f64(self.own_ms),
+        ));
+        if !self.thread.is_empty() {
+            out.push_str(&format!(", \"thread\": {}", crate::json_string(&self.thread)));
+        }
+        if !self.attrs.is_empty() {
+            out.push_str(", \"attrs\": {");
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", crate::json_string(k), v.to_json()));
+            }
+            out.push('}');
+        }
+        out.push_str(", \"children\": [");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            c.write_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, name: &str, start_us: u64, end_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            end_us,
+            thread: "t".to_string(),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn own_time_subtracts_children_and_clamps() {
+        let records = vec![
+            rec(1, 0, "root", 0, 10_000),
+            rec(2, 1, "a", 1_000, 4_000),
+            rec(3, 1, "b", 4_000, 9_000),
+            rec(4, 2, "a1", 1_000, 4_000),
+        ];
+        let tree = SpanNode::build(&records);
+        assert_eq!(tree.name, "root");
+        assert_eq!(tree.span_count(), 4);
+        assert!((tree.duration_ms - 10.0).abs() < 1e-9);
+        // root own = 10 - (3 + 5) = 2 ms
+        assert!((tree.own_ms - 2.0).abs() < 1e-9, "own {}", tree.own_ms);
+        let a = &tree.children[0];
+        assert_eq!(a.name, "a");
+        // a's child covers all of a: own time clamps to 0.
+        assert!(a.own_ms.abs() < 1e-9);
+        assert_eq!(a.children[0].name, "a1");
+        assert!((a.children[0].own_ms - 3.0).abs() < 1e-9, "leaf own = duration");
+    }
+
+    #[test]
+    fn children_keep_start_order() {
+        let records = vec![
+            rec(1, 0, "root", 0, 100),
+            rec(2, 1, "late", 50, 60),
+            rec(3, 1, "early", 10, 20),
+        ];
+        // build() consumes records as sorted by the tracer.
+        let mut sorted = records;
+        sorted.sort_by_key(|r| (r.start_us, r.id));
+        let tree = SpanNode::build(&sorted);
+        let names: Vec<&str> = tree.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["early", "late"]);
+    }
+
+    #[test]
+    fn orphans_reattach_to_root() {
+        let records = vec![rec(1, 0, "root", 0, 100), rec(5, 99, "orphan", 10, 20)];
+        let tree = SpanNode::build(&records);
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].name, "orphan");
+    }
+
+    #[test]
+    fn json_shape_has_nested_children() {
+        let records = vec![rec(1, 0, "root", 0, 2000), rec(2, 1, "child", 0, 1000)];
+        let json = SpanNode::build(&records).to_json();
+        assert!(json.contains("\"name\": \"root\""), "{json}");
+        assert!(json.contains("\"children\": [{\"name\": \"child\""), "{json}");
+        assert!(json.contains("\"own_ms\": 1"), "{json}");
+    }
+}

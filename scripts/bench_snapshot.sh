@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_server.json — the checked-in serving-perf trajectory.
+#
+# One command, fixed seed and workload, so successive snapshots are
+# comparable run-to-run on the same machine. Absolute milliseconds still
+# vary with hardware; when reading the trajectory across commits, track
+# ratios (throughput, hit rate, queue-wait vs service split), not raw ms.
+#
+#   scripts/bench_snapshot.sh                 # writes BENCH_server.json
+#   REQUESTS=500 OUT=bench.json scripts/bench_snapshot.sh
+#
+# Knobs (env): REQUESTS, CONNECTIONS, MIX, SEED, OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${REQUESTS:-2000}"
+CONNECTIONS="${CONNECTIONS:-4}"
+MIX="${MIX:-mixed}"
+SEED="${SEED:-42}"
+OUT="${OUT:-BENCH_server.json}"
+
+cargo build --release -p server
+
+ADDR_FILE="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -f "$ADDR_FILE"
+}
+trap cleanup EXIT
+
+./target/release/trasyn-server \
+    --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
+    --http-workers 4 --queue-depth 64 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$ADDR_FILE" ] && break
+    sleep 0.1
+done
+[ -s "$ADDR_FILE" ] || { echo "error: server did not report its address" >&2; exit 1; }
+
+./target/release/trasyn-loadgen \
+    --addr "$(cat "$ADDR_FILE")" \
+    --connections "$CONNECTIONS" --requests "$REQUESTS" --mix "$MIX" --seed "$SEED" \
+    --json "$OUT" --trace-summary --fail-on-error
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=""
+echo "wrote $OUT"

@@ -15,6 +15,7 @@ pub use lint;
 pub use qmath;
 pub use rings;
 pub use sim;
+pub use trace;
 pub use trasyn;
 pub use verify;
 pub use workloads;
