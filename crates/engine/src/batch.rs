@@ -9,7 +9,7 @@
 
 use crate::backend::BackendKind;
 use crate::cache::CacheStats;
-use crate::stats::PassTotals;
+use crate::stats::{PassTotals, WorkTotals};
 use circuit::pass::{PassStats, PipelineSpec};
 use circuit::synthesize::SynthesizedCircuit;
 use circuit::Circuit;
@@ -225,6 +225,9 @@ pub struct BatchReport {
     pub passes: Vec<PassTotals>,
     /// Shared-cache counters after the batch.
     pub cache: CacheStats,
+    /// Synthesis work counters for this batch (per-job deltas summed in
+    /// job order, plus the cache probes of the phase-1 scan).
+    pub work: WorkTotals,
 }
 
 impl BatchReport {
@@ -244,7 +247,9 @@ impl BatchReport {
         push_kv(&mut s, 2, "insertions", &self.cache.insertions.to_string(), true);
         push_kv(&mut s, 2, "evictions", &self.cache.evictions.to_string(), true);
         push_kv(&mut s, 2, "entries", &self.cache.entries.to_string(), false);
-        s.push_str("  },\n  \"passes\": [\n");
+        s.push_str("  },\n");
+        push_kv(&mut s, 1, "work", &self.work.to_json(), true);
+        s.push_str("  \"passes\": [\n");
         for (i, p) in self.passes.iter().enumerate() {
             s.push_str("    ");
             s.push_str(&p.to_json());

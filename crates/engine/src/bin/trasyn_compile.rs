@@ -21,6 +21,9 @@
 //!                          (compiled vs requested circuit, exact-ring /
 //!                          operator-norm / statevector oracle) and exit 1
 //!                          if any certificate fails
+//!   --profile              enable allocation accounting and print a
+//!                          profile summary (work counters, per-phase
+//!                          allocations, pool utilization) to stderr
 //!   --lint                 statically lint every item (input circuit,
 //!                          pipeline spec, compiled output gate-set);
 //!                          error-severity findings reject the batch and
@@ -61,6 +64,7 @@ struct Options {
     max_t: usize,
     pipeline: PipelineSpec,
     verify: bool,
+    profile: bool,
     lint: bool,
     deny_warnings: bool,
     emit_qasm: Option<PathBuf>,
@@ -74,7 +78,7 @@ fn usage() -> &'static str {
     "usage: trasyn-compile [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
      [--threads N] [--cache-capacity N] [--samples N] [--max-t N] \
      [--pipeline none|fast|default|aggressive|zx|PASS,PASS,...] [--no-transpile] \
-     [--verify] [--lint] [--deny-warnings] [--emit-qasm DIR] [--trace FILE] \
+     [--verify] [--profile] [--lint] [--deny-warnings] [--emit-qasm DIR] [--trace FILE] \
      [--trace-tree FILE] [--out FILE] [--cache-file FILE] <FILE.qasm>..."
 }
 
@@ -90,6 +94,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         max_t: 6,
         pipeline: PipelineSpec::default(),
         verify: false,
+        profile: false,
         lint: false,
         deny_warnings: false,
         emit_qasm: None,
@@ -143,6 +148,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             // Deprecated alias from the `transpile: bool` era.
             "--no-transpile" => opts.pipeline = PipelineSpec::none(),
             "--verify" => opts.verify = true,
+            "--profile" => opts.profile = true,
             "--lint" => opts.lint = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--emit-qasm" => opts.emit_qasm = Some(PathBuf::from(value("--emit-qasm")?)),
@@ -199,6 +205,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.profile {
+        prof::alloc::set_enabled(true);
+    }
 
     // Only build what the request needs: the trasyn table is a real
     // startup cost, the other backends are free.
@@ -362,6 +372,10 @@ fn main() -> ExitCode {
         eng.stats(),
     );
 
+    if opts.profile {
+        print_profile_summary(&eng.stats());
+    }
+
     if opts.verify && !print_verify_summary(&report) {
         return ExitCode::from(1);
     }
@@ -416,6 +430,36 @@ fn print_verify_summary(report: &engine::BatchReport) -> bool {
     }
     eprintln!("[trasyn-compile] verify: {ok} ok, {failed} failed, {skipped} skipped");
     failed == 0
+}
+
+/// Prints the `--profile` summary (work counters, per-phase allocation
+/// accounting, pool utilization) to stderr.
+fn print_profile_summary(stats: &engine::EngineStats) {
+    let p = &stats.profile;
+    eprintln!("[trasyn-compile] profile: work counters");
+    for (name, n) in p.work.entries() {
+        eprintln!("  {name:<16} {n:>12}");
+    }
+    eprintln!("[trasyn-compile] profile: allocations per phase (enabled = {})", p.alloc_enabled);
+    eprintln!(
+        "  {:<10} {:>12} {:>14} {:>14}",
+        "phase", "allocs", "bytes", "peak_bytes"
+    );
+    for (name, a) in p.alloc.phases() {
+        eprintln!(
+            "  {:<10} {:>12} {:>14} {:>14}",
+            name, a.allocs, a.bytes, a.peak_bytes
+        );
+    }
+    eprintln!(
+        "[trasyn-compile] profile: pool {} run(s), {} job(s), busy {:.3} ms / wall {:.3} ms, utilization {:.1}% across {} worker(s)",
+        p.pool.runs,
+        p.pool.jobs,
+        p.pool.busy_ms,
+        p.pool.wall_ms,
+        p.pool.utilization() * 100.0,
+        p.pool.workers.len(),
+    );
 }
 
 /// Prints the aggregated per-pass table for the batch to stderr.

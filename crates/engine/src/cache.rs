@@ -42,6 +42,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Key of one cached synthesis: quantized unitary + synthesizer settings.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -68,10 +69,35 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// Per-shard occupancy/eviction telemetry, for spotting hash skew (one
+/// hot shard evicting while its neighbors sit half-empty) before the
+/// cache-policy rework.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Entries resident in this shard.
+    pub entries: usize,
+    /// Entries this shard evicted to respect its capacity share
+    /// (counted insertions only, like the aggregate counter — silent
+    /// warm-start evictions are excluded from both).
+    pub evictions: u64,
+    /// Age in milliseconds of the shard's oldest resident entry (its
+    /// next eviction victim); `0` when empty.
+    pub oldest_age_ms: f64,
+    /// How old the most recently evicted entry was when it was evicted;
+    /// `0` before the first eviction. A small value means the shard is
+    /// churning — entries die young.
+    pub last_eviction_age_ms: f64,
+}
+
 struct Shard {
     map: HashMap<CacheKey, CachedSynthesis>,
-    /// Insertion order, for FIFO eviction.
-    order: VecDeque<CacheKey>,
+    /// Insertion order, for FIFO eviction, with each entry's insertion
+    /// time for age telemetry.
+    order: VecDeque<(CacheKey, Instant)>,
+    /// Evictions charged to this shard (insertion-path only).
+    evictions: u64,
+    /// Resident age of the last evicted entry, in milliseconds.
+    last_eviction_age_ms: f64,
 }
 
 /// A sharded, thread-safe, capacity-bounded synthesis cache.
@@ -120,6 +146,8 @@ impl SynthCache {
                     Mutex::new(Shard {
                         map: HashMap::new(),
                         order: VecDeque::new(),
+                        evictions: 0,
+                        last_eviction_age_ms: 0.0,
                     })
                 })
                 .collect(),
@@ -173,13 +201,15 @@ impl SynthCache {
             return existing.clone();
         }
         if shard.map.len() >= self.per_shard_capacity {
-            if let Some(oldest) = shard.order.pop_front() {
+            if let Some((oldest, inserted_at)) = shard.order.pop_front() {
                 shard.map.remove(&oldest);
+                shard.evictions += 1;
+                shard.last_eviction_age_ms = inserted_at.elapsed().as_secs_f64() * 1e3;
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         shard.map.insert(key, value.clone());
-        shard.order.push_back(key);
+        shard.order.push_back((key, Instant::now()));
         self.insertions.fetch_add(1, Ordering::Relaxed);
         value
     }
@@ -218,7 +248,7 @@ impl SynthCache {
         let mut out = Vec::with_capacity(self.len());
         for s in &self.shards {
             let s = s.lock().expect("cache shard poisoned");
-            for key in &s.order {
+            for (key, _) in &s.order {
                 if let Some(v) = s.map.get(key) {
                     out.push((*key, v.clone()));
                 }
@@ -237,12 +267,12 @@ impl SynthCache {
             return;
         }
         if shard.map.len() >= self.per_shard_capacity {
-            if let Some(oldest) = shard.order.pop_front() {
+            if let Some((oldest, _)) = shard.order.pop_front() {
                 shard.map.remove(&oldest);
             }
         }
         shard.map.insert(key, value);
-        shard.order.push_back(key);
+        shard.order.push_back((key, Instant::now()));
     }
 
     /// Drops every entry. Counters are preserved.
@@ -252,6 +282,28 @@ impl SynthCache {
             s.map.clear();
             s.order.clear();
         }
+    }
+
+    /// Per-shard occupancy and eviction telemetry, in shard-index order
+    /// (the order [`SynthCache::export_entries`] walks). Ages are
+    /// measured against "now", so only the `entries`/`evictions` fields
+    /// are reproducible.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock().expect("cache shard poisoned");
+                ShardStats {
+                    entries: s.map.len(),
+                    evictions: s.evictions,
+                    oldest_age_ms: s
+                        .order
+                        .front()
+                        .map_or(0.0, |(_, at)| at.elapsed().as_secs_f64() * 1e3),
+                    last_eviction_age_ms: s.last_eviction_age_ms,
+                }
+            })
+            .collect()
     }
 
     /// Snapshot of the counters.
@@ -370,6 +422,39 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses, 200);
         assert!(c.len() <= 64);
+    }
+
+    #[test]
+    fn shard_stats_attribute_evictions_per_shard() {
+        // One shard: all traffic (and both evictions) land on it.
+        let c = SynthCache::with_shards(4, 1);
+        for i in 0..6 {
+            c.insert(key(i), value());
+        }
+        let shards = c.shard_stats();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].entries, 4);
+        assert_eq!(shards[0].evictions, 2);
+        assert!(shards[0].oldest_age_ms >= 0.0);
+        assert!(shards[0].last_eviction_age_ms >= 0.0);
+        // Per-shard evictions sum to the aggregate counter.
+        assert_eq!(
+            shards.iter().map(|s| s.evictions).sum::<u64>(),
+            c.stats().evictions
+        );
+    }
+
+    #[test]
+    fn shard_stats_cover_every_shard_and_sum_to_len() {
+        let c = SynthCache::with_shards(64, 8);
+        for i in 0..20 {
+            c.insert(key(i), value());
+        }
+        let shards = c.shard_stats();
+        assert_eq!(shards.len(), 8);
+        assert_eq!(shards.iter().map(|s| s.entries).sum::<usize>(), c.len());
+        let empty = ShardStats::default();
+        assert_eq!(empty.oldest_age_ms, 0.0);
     }
 
     #[test]

@@ -23,7 +23,9 @@ use crate::batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
 use crate::cache::{CacheKey, SynthCache};
 use crate::pipeline::build_pipeline;
 use crate::pool::WorkerPool;
-use crate::stats::{aggregate_passes, EngineStats, PassTotals};
+use crate::stats::{
+    aggregate_passes, EngineStats, PassTotals, PhaseAllocs, PoolTotals, ProfileStats, WorkTotals,
+};
 use circuit::metrics::{clifford_count, t_count};
 use circuit::pass::{PassStats, PipelineSpec};
 use circuit::synthesize::{
@@ -145,8 +147,18 @@ impl EngineBuilder {
             verify_fail: AtomicU64::new(0),
             lint_errors: AtomicU64::new(0),
             lint_warnings: AtomicU64::new(0),
+            profile: Mutex::new(ProfileTotals::default()),
         }
     }
+}
+
+/// Lifetime profiling accumulators behind one lock (touched once per
+/// batch, so contention is negligible next to the synthesis work).
+#[derive(Default)]
+struct ProfileTotals {
+    work: WorkTotals,
+    pool: PoolTotals,
+    alloc: PhaseAllocs,
 }
 
 /// The concurrent compilation service: a shared [`SynthCache`], a
@@ -166,6 +178,9 @@ pub struct Engine {
     lint_errors: AtomicU64,
     /// Lifetime count of warning-severity lint diagnostics.
     lint_warnings: AtomicU64,
+    /// Lifetime profiling totals: work counters, pool utilization,
+    /// per-phase allocation accounting.
+    profile: Mutex<ProfileTotals>,
 }
 
 /// One distinct rotation awaiting synthesis.
@@ -254,6 +269,16 @@ impl Engine {
             .expect("pass-totals lock poisoned")
             .clone();
         passes.sort_by(|a, b| a.name.cmp(&b.name));
+        let profile = {
+            let p = self.profile.lock().expect("profile lock poisoned");
+            ProfileStats {
+                alloc_enabled: prof::alloc::enabled(),
+                work: p.work,
+                pool: p.pool.clone(),
+                alloc: p.alloc,
+                cache_shards: self.cache.shard_stats(),
+            }
+        };
         EngineStats {
             threads: self.pool.threads(),
             backends: self.backends(),
@@ -264,6 +289,7 @@ impl Engine {
             verify_fail: self.verify_fail.load(Ordering::Relaxed),
             lint_errors: self.lint_errors.load(Ordering::Relaxed),
             lint_warnings: self.lint_warnings.load(Ordering::Relaxed),
+            profile,
         }
     }
 
@@ -406,6 +432,12 @@ impl Engine {
         parent: Option<&SpanHandle>,
     ) -> Result<BatchReport, EngineError> {
         let t0 = Instant::now();
+        // Batch-scoped profiling accumulators. Work counters are
+        // aggregated from per-job deltas in job order (deterministic);
+        // allocation deltas only move while `prof::alloc` counting is
+        // enabled and never feed back into compilation.
+        let mut batch_work = WorkTotals::default();
+        let mut batch_alloc = PhaseAllocs::default();
         // Resolve backends up front: an unknown backend fails the batch
         // before any synthesis work starts.
         let backend_idx: Vec<usize> = req
@@ -471,12 +503,13 @@ impl Engine {
                         lint::CheckedPipeline::new(build_pipeline(&it.pipeline, basis))
                     });
                 let mut work = it.circuit.clone();
-                let lower_span = parent.map(|p| {
+                let mut lower_span = parent.map(|p| {
                     let mut s = p.child("lower");
                     s.attr("item", it.name.as_str());
                     s.attr("pipeline", it.pipeline.to_string());
                     s
                 });
+                let alloc0 = prof::alloc::phase_start();
                 let stats = match &lower_span {
                     // Pass spans are reconstructed from each pass's own
                     // wall-clock measurement (end = observer call time),
@@ -498,6 +531,15 @@ impl Engine {
                     }
                     None => pipe.run(&mut work),
                 };
+                let alloc_d = prof::alloc::delta_since(&alloc0);
+                batch_alloc.lower.absorb(&alloc_d);
+                if alloc_d.allocs > 0 {
+                    if let Some(s) = lower_span.as_mut() {
+                        s.attr("allocs", alloc_d.allocs);
+                        s.attr("alloc_bytes", alloc_d.bytes);
+                        s.attr("alloc_peak_bytes", alloc_d.peak_bytes);
+                    }
+                }
                 drop(lower_span);
                 let violations = pipe.take_violations();
                 if !violations.is_empty() {
@@ -554,6 +596,10 @@ impl Engine {
                     });
                 }
             }
+            // Every deduplicated rotation costs one cache probe (the
+            // resolved/queued map reads count: they stand in for shard
+            // lookups earlier items already paid for).
+            batch_work.cache_probes += hits + misses;
             if let Some(s) = scan_span.as_mut() {
                 s.attr("hits", hits);
                 s.attr("misses", misses);
@@ -568,27 +614,50 @@ impl Engine {
         // pool; reinsertion happens in job order, so cache eviction order
         // is reproducible too.
         let t_synth = Instant::now();
-        let synth_span = parent.map(|p| {
+        let mut synth_span = parent.map(|p| {
             let mut s = p.child("synthesis");
             s.attr("jobs", jobs.len());
             s
         });
         // SpanHandle is Send + Sync, so per-job child spans can be
         // created directly on the pool's worker threads; each record
-        // carries its worker's `synth-N` thread label.
+        // carries its worker's `synth-N` thread label. Each job also
+        // measures its own work/allocation deltas against the worker
+        // thread's counters; results (and so the deltas) come back in
+        // job order, which keeps the aggregation deterministic.
         let synth_handle = synth_span.as_ref().map(Span::handle);
-        let results = self.pool.run(&jobs, |job| {
-            let _sp = synth_handle.as_ref().map(|h| {
+        let (results, pool_stats) = self.pool.run_profiled(&jobs, |job| {
+            let mut sp = synth_handle.as_ref().map(|h| {
                 let mut sp = h.child("synthesize");
                 sp.attr("backend", self.backends[job.backend_idx].kind().label());
                 sp.attr("epsilon", job.eps);
                 sp
             });
-            self.backends[job.backend_idx].synthesize(&job.target, job.eps)
+            let work0 = prof::work::snapshot();
+            let alloc0 = prof::alloc::phase_start();
+            let r = self.backends[job.backend_idx].synthesize(&job.target, job.eps);
+            let work_d = prof::work::snapshot().since(&work0);
+            let alloc_d = prof::alloc::delta_since(&alloc0);
+            if let Some(sp) = sp.as_mut() {
+                sp.attr("grid_candidates", work_d.get(prof::WorkKind::GridCandidates));
+                sp.attr("exact_syntheses", work_d.get(prof::WorkKind::ExactSyntheses));
+                if alloc_d.allocs > 0 {
+                    sp.attr("allocs", alloc_d.allocs);
+                    sp.attr("alloc_bytes", alloc_d.bytes);
+                    sp.attr("alloc_peak_bytes", alloc_d.peak_bytes);
+                }
+            }
+            (r, work_d, alloc_d)
         });
+        if let Some(s) = synth_span.as_mut() {
+            s.attr("busy_ms", pool_stats.busy_ms());
+            s.attr("utilization", pool_stats.utilization());
+        }
         drop(synth_span);
         let synthesis_ms = t_synth.elapsed().as_secs_f64() * 1e3;
-        for (job, r) in jobs.iter().zip(results) {
+        for (job, (r, work_d, alloc_d)) in jobs.iter().zip(results) {
+            batch_work.merge(&WorkTotals::from_prof(&work_d));
+            batch_alloc.synthesis.absorb(&alloc_d);
             let v = self.cache.insert(job.key, Arc::new(r));
             resolved.insert(job.key, v);
         }
@@ -607,16 +676,26 @@ impl Engine {
                 overflow: HashMap::new(),
             };
             let backend = &self.backends[bidx];
-            let splice_span = parent.map(|p| {
+            let mut splice_span = parent.map(|p| {
                 let mut s = p.child("splice");
                 s.attr("item", it.name.as_str());
                 s
             });
+            let alloc0 = prof::alloc::phase_start();
             let synthesized = synthesize_circuit_with(
                 circuit,
                 |m| backend.synthesize(m, it.epsilon),
                 &mut adapter,
             );
+            let alloc_d = prof::alloc::delta_since(&alloc0);
+            batch_alloc.splice.absorb(&alloc_d);
+            if alloc_d.allocs > 0 {
+                if let Some(s) = splice_span.as_mut() {
+                    s.attr("allocs", alloc_d.allocs);
+                    s.attr("alloc_bytes", alloc_d.bytes);
+                    s.attr("alloc_peak_bytes", alloc_d.peak_bytes);
+                }
+            }
             drop(splice_span);
             let certificate = if it.verify {
                 let mut verify_span = parent.map(|p| {
@@ -624,9 +703,19 @@ impl Engine {
                     s.attr("item", it.name.as_str());
                     s
                 });
+                let alloc0 = prof::alloc::phase_start();
                 let cert = self.certify(&it.circuit, &synthesized);
-                if let (Some(s), Some(c)) = (verify_span.as_mut(), cert.as_ref()) {
-                    s.attr("equivalent", c.equivalent);
+                let alloc_d = prof::alloc::delta_since(&alloc0);
+                batch_alloc.verify.absorb(&alloc_d);
+                if let Some(s) = verify_span.as_mut() {
+                    if let Some(c) = cert.as_ref() {
+                        s.attr("equivalent", c.equivalent);
+                    }
+                    if alloc_d.allocs > 0 {
+                        s.attr("allocs", alloc_d.allocs);
+                        s.attr("alloc_bytes", alloc_d.bytes);
+                        s.attr("alloc_peak_bytes", alloc_d.peak_bytes);
+                    }
                 }
                 cert
             } else {
@@ -664,6 +753,13 @@ impl Engine {
         let passes = aggregate_passes(items.iter().flat_map(|i| i.passes.iter()));
         self.record_passes(&passes);
 
+        {
+            let mut totals = self.profile.lock().expect("profile lock poisoned");
+            totals.work.merge(&batch_work);
+            totals.pool.absorb(&pool_stats);
+            totals.alloc.merge(&batch_alloc);
+        }
+
         Ok(BatchReport {
             threads: self.pool.threads(),
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
@@ -674,6 +770,7 @@ impl Engine {
             total_error: items.iter().map(|i| i.synthesized.total_error).sum(),
             passes,
             cache: self.cache.stats(),
+            work: batch_work,
             items,
         })
     }

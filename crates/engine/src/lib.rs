@@ -100,15 +100,17 @@ pub use backend::{
     TrasynBackend, MAX_EPSILON, MIN_EPSILON,
 };
 pub use batch::{BatchItem, BatchReport, BatchRequest, ItemReport};
-pub use cache::{CacheKey, CacheStats, SynthCache};
+pub use cache::{CacheKey, CacheStats, ShardStats, SynthCache};
 pub use circuit::pass::{PassSpec, PassStats, PipelineSpec, PipelineSpecError, Preset};
 pub use engine::{Engine, EngineBuilder, EngineError};
 pub use lint::{
     diagnostics_json, CheckedPipeline, Diagnostic as LintDiagnostic, Severity as LintSeverity,
 };
 pub use pipeline::build_pipeline;
-pub use pool::WorkerPool;
+pub use pool::{PoolRunStats, WorkerPool, WorkerTotals};
 pub use snapshot::{SnapshotError, WarmStart};
-pub use stats::{EngineStats, PassTotals};
+pub use stats::{
+    AllocTotals, EngineStats, PassTotals, PhaseAllocs, PoolTotals, ProfileStats, WorkTotals,
+};
 pub use trace::SpanHandle;
 pub use verify::{Certificate, CheckMethod};

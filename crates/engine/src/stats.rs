@@ -7,7 +7,8 @@
 
 use crate::backend::BackendKind;
 use crate::batch::{fmt_f64, json_string};
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, ShardStats};
+use crate::pool::{PoolRunStats, WorkerTotals};
 use circuit::pass::PassStats;
 use std::fmt;
 
@@ -104,6 +105,243 @@ pub fn aggregate_passes<'a>(stats: impl IntoIterator<Item = &'a PassStats>) -> V
     out
 }
 
+/// Lifetime synthesis work counters (the `prof::work` kinds), aggregated
+/// across every request in deterministic job order. Where the pass
+/// totals describe *lowering* work, these describe *synthesis* work: the
+/// number-theory effort behind the wall-clock in the trace spans.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkTotals {
+    /// Grid candidates enumerated by gridsynth's ε-region scan.
+    pub grid_candidates: u64,
+    /// Norm-equation (Diophantine) solution attempts.
+    pub norm_equations: u64,
+    /// Norm equations that produced a solution.
+    pub norm_solutions: u64,
+    /// Exact Clifford+T synthesis calls on candidate unitaries.
+    pub exact_syntheses: u64,
+    /// Synthesis-cache lookups (hits + misses, deduplicated rotations).
+    pub cache_probes: u64,
+}
+
+impl WorkTotals {
+    /// Converts a `prof::work` snapshot/delta into the named-field form
+    /// every report surface uses.
+    pub fn from_prof(s: &prof::WorkSnapshot) -> WorkTotals {
+        WorkTotals {
+            grid_candidates: s.get(prof::WorkKind::GridCandidates),
+            norm_equations: s.get(prof::WorkKind::NormEquations),
+            norm_solutions: s.get(prof::WorkKind::NormSolutions),
+            exact_syntheses: s.get(prof::WorkKind::ExactSyntheses),
+            cache_probes: s.get(prof::WorkKind::CacheProbes),
+        }
+    }
+
+    /// Folds another total into this one.
+    pub fn merge(&mut self, other: &WorkTotals) {
+        self.grid_candidates += other.grid_candidates;
+        self.norm_equations += other.norm_equations;
+        self.norm_solutions += other.norm_solutions;
+        self.exact_syntheses += other.exact_syntheses;
+        self.cache_probes += other.cache_probes;
+    }
+
+    /// `(label, value)` pairs in serialization order, shared by the JSON
+    /// writer and the `/metrics` renderer.
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("grid_candidates", self.grid_candidates),
+            ("norm_equations", self.norm_equations),
+            ("norm_solutions", self.norm_solutions),
+            ("exact_syntheses", self.exact_syntheses),
+            ("cache_probes", self.cache_probes),
+        ]
+    }
+
+    /// Serializes as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .entries()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+/// Lifetime worker-pool utilization, accumulated over every
+/// [`crate::pool::WorkerPool::run_profiled`] call the engine made.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolTotals {
+    /// Pool runs (one per batch with at least one synthesis job).
+    pub runs: u64,
+    /// Jobs executed across all runs.
+    pub jobs: u64,
+    /// Summed wall-clock of the runs.
+    pub wall_ms: f64,
+    /// Summed busy time across all workers and runs.
+    pub busy_ms: f64,
+    /// Per-worker lifetime totals, indexed by worker id (`synth-N`).
+    /// Grows to the widest run seen.
+    pub workers: Vec<WorkerTotals>,
+}
+
+impl PoolTotals {
+    /// Folds one run's stats into the lifetime totals.
+    pub fn absorb(&mut self, run: &PoolRunStats) {
+        if run.workers.is_empty() {
+            return;
+        }
+        self.runs += 1;
+        self.jobs += run.workers.iter().map(|w| w.jobs).sum::<u64>();
+        self.wall_ms += run.wall_ms;
+        self.busy_ms += run.busy_ms();
+        if self.workers.len() < run.workers.len() {
+            self.workers.resize(run.workers.len(), WorkerTotals::default());
+        }
+        for (acc, w) in self.workers.iter_mut().zip(&run.workers) {
+            acc.busy_ms += w.busy_ms;
+            acc.jobs += w.jobs;
+        }
+    }
+
+    /// Busy fraction of the pool's lifetime worker-seconds, `[0, 1]`
+    /// modulo clock noise (denominator: summed run wall-clock × the
+    /// widest worker count seen).
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall_ms * self.workers.len() as f64;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.busy_ms / denom
+        }
+    }
+
+    /// Serializes as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let workers: Vec<String> = self
+            .workers
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"busy_ms\": {}, \"jobs\": {}}}",
+                    fmt_f64(w.busy_ms),
+                    w.jobs
+                )
+            })
+            .collect();
+        format!(
+            "{{\"runs\": {}, \"jobs\": {}, \"wall_ms\": {}, \"busy_ms\": {}, \
+             \"utilization\": {}, \"workers\": [{}]}}",
+            self.runs,
+            self.jobs,
+            fmt_f64(self.wall_ms),
+            fmt_f64(self.busy_ms),
+            fmt_f64(self.utilization()),
+            workers.join(", "),
+        )
+    }
+}
+
+/// Allocation totals for one engine phase: event count, gross bytes, and
+/// the largest single-scope resident high-water mark seen.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocTotals {
+    /// Allocation events.
+    pub allocs: u64,
+    /// Gross bytes requested.
+    pub bytes: u64,
+    /// Maximum per-scope peak (bytes above the scope's entry level).
+    pub peak_bytes: u64,
+}
+
+impl AllocTotals {
+    /// Folds one phase scope's delta into the totals.
+    pub fn absorb(&mut self, d: &prof::AllocDelta) {
+        self.allocs += d.allocs;
+        self.bytes += d.bytes;
+        self.peak_bytes = self.peak_bytes.max(d.peak_bytes);
+    }
+
+    /// Folds another total into this one.
+    pub fn merge(&mut self, other: &AllocTotals) {
+        self.allocs += other.allocs;
+        self.bytes += other.bytes;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+    }
+
+    /// Serializes as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"allocs\": {}, \"bytes\": {}, \"peak_bytes\": {}}}",
+            self.allocs, self.bytes, self.peak_bytes
+        )
+    }
+}
+
+/// Per-phase allocation accounting, one [`AllocTotals`] per traced
+/// engine phase. All zeros while `prof::alloc` counting is disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseAllocs {
+    /// The lowering-pipeline phase.
+    pub lower: AllocTotals,
+    /// The pooled synthesis phase (summed over jobs; peak is the
+    /// largest single job's).
+    pub synthesis: AllocTotals,
+    /// The splice phase.
+    pub splice: AllocTotals,
+    /// The verify phase.
+    pub verify: AllocTotals,
+}
+
+impl PhaseAllocs {
+    /// `(phase, totals)` pairs in serialization order.
+    pub fn phases(&self) -> [(&'static str, AllocTotals); 4] {
+        [
+            ("lower", self.lower),
+            ("synthesis", self.synthesis),
+            ("splice", self.splice),
+            ("verify", self.verify),
+        ]
+    }
+
+    /// Folds another set of phase totals into this one.
+    pub fn merge(&mut self, other: &PhaseAllocs) {
+        self.lower.merge(&other.lower);
+        self.synthesis.merge(&other.synthesis);
+        self.splice.merge(&other.splice);
+        self.verify.merge(&other.verify);
+    }
+
+    /// Serializes as a JSON object, one key per phase.
+    pub fn to_json(&self) -> String {
+        let fields: Vec<String> = self
+            .phases()
+            .iter()
+            .map(|(name, t)| format!("\"{name}\": {}", t.to_json()))
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+/// The profiling block of [`EngineStats`]: work counters, pool
+/// utilization, per-phase allocation totals, and per-shard cache
+/// telemetry. Groups the observability counters added by the profiling
+/// subsystem so the pre-existing fields keep their positions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileStats {
+    /// Whether allocation counting is currently enabled
+    /// (`prof::alloc`); the alloc totals only grow while it is.
+    pub alloc_enabled: bool,
+    /// Lifetime synthesis work counters.
+    pub work: WorkTotals,
+    /// Lifetime pool utilization.
+    pub pool: PoolTotals,
+    /// Lifetime per-phase allocation totals.
+    pub alloc: PhaseAllocs,
+    /// Per-shard cache occupancy/eviction telemetry, shard-index order.
+    pub cache_shards: Vec<ShardStats>,
+}
+
 /// Point-in-time engine counters: pool shape, hosted backends, and the
 /// shared cache's statistics.
 ///
@@ -137,6 +375,9 @@ pub struct EngineStats {
     pub lint_errors: u64,
     /// Lifetime warning-severity lint diagnostics.
     pub lint_warnings: u64,
+    /// The profiling subsystem's counters (work, pool utilization,
+    /// per-phase allocations, per-shard cache telemetry).
+    pub profile: ProfileStats,
 }
 
 impl EngineStats {
@@ -152,13 +393,22 @@ impl EngineStats {
 
     /// Serializes as a JSON object (keys are append-only; `"passes"`
     /// joined in the pipeline refactor, `"verify"` in the verification
-    /// subsystem):
+    /// subsystem, and `"work"`/`"pool"`/`"alloc"`/`"cache_shards"` in
+    /// the profiling subsystem):
     ///
     /// ```json
     /// {"threads": 2, "backends": ["gridsynth"], "cache_capacity": 4096,
     ///  "cache": {"hits": 9, "misses": 3, "insertions": 3, "evictions": 0,
     ///            "entries": 3, "hit_rate": 0.75}, "passes": [],
-    ///  "verify": {"ok": 0, "fail": 0}, "lint": {"errors": 0, "warnings": 0}}
+    ///  "verify": {"ok": 0, "fail": 0}, "lint": {"errors": 0, "warnings": 0},
+    ///  "work": {"grid_candidates": 0, "norm_equations": 0, "norm_solutions": 0,
+    ///           "exact_syntheses": 0, "cache_probes": 0},
+    ///  "pool": {"runs": 0, "jobs": 0, "wall_ms": 0, "busy_ms": 0,
+    ///           "utilization": 0, "workers": []},
+    ///  "alloc": {"enabled": false, "phases": {"lower": {"allocs": 0, "bytes": 0,
+    ///            "peak_bytes": 0}, "synthesis": {}, "splice": {}, "verify": {}}},
+    ///  "cache_shards": [{"entries": 0, "evictions": 0, "oldest_age_ms": 0,
+    ///                    "last_eviction_age_ms": 0}]}
     /// ```
     pub fn to_json(&self) -> String {
         let backends: Vec<String> = self
@@ -167,12 +417,30 @@ impl EngineStats {
             .map(|b| json_string(b.label()))
             .collect();
         let passes: Vec<String> = self.passes.iter().map(|p| p.to_json()).collect();
+        let shards: Vec<String> = self
+            .profile
+            .cache_shards
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"entries\": {}, \"evictions\": {}, \"oldest_age_ms\": {}, \
+                     \"last_eviction_age_ms\": {}}}",
+                    s.entries,
+                    s.evictions,
+                    fmt_f64(s.oldest_age_ms),
+                    fmt_f64(s.last_eviction_age_ms),
+                )
+            })
+            .collect();
         format!(
             "{{\"threads\": {}, \"backends\": [{}], \"cache_capacity\": {}, \
              \"cache\": {{\"hits\": {}, \"misses\": {}, \"insertions\": {}, \
              \"evictions\": {}, \"entries\": {}, \"hit_rate\": {}}}, \
              \"passes\": [{}], \"verify\": {{\"ok\": {}, \"fail\": {}}}, \
-             \"lint\": {{\"errors\": {}, \"warnings\": {}}}}}",
+             \"lint\": {{\"errors\": {}, \"warnings\": {}}}, \
+             \"work\": {}, \"pool\": {}, \
+             \"alloc\": {{\"enabled\": {}, \"phases\": {}}}, \
+             \"cache_shards\": [{}]}}",
             self.threads,
             backends.join(", "),
             self.cache_capacity,
@@ -187,6 +455,11 @@ impl EngineStats {
             self.verify_fail,
             self.lint_errors,
             self.lint_warnings,
+            self.profile.work.to_json(),
+            self.profile.pool.to_json(),
+            self.profile.alloc_enabled,
+            self.profile.alloc.to_json(),
+            shards.join(", "),
         )
     }
 }
@@ -236,6 +509,7 @@ mod tests {
             verify_fail: 1,
             lint_errors: 2,
             lint_warnings: 7,
+            profile: ProfileStats::default(),
         }
     }
 
@@ -261,7 +535,17 @@ mod tests {
              \"cache_capacity\": 4096, \"cache\": {\"hits\": 9, \"misses\": 3, \
              \"insertions\": 3, \"evictions\": 0, \"entries\": 3, \"hit_rate\": 0.75}, \
              \"passes\": [], \"verify\": {\"ok\": 4, \"fail\": 1}, \
-             \"lint\": {\"errors\": 2, \"warnings\": 7}}"
+             \"lint\": {\"errors\": 2, \"warnings\": 7}, \
+             \"work\": {\"grid_candidates\": 0, \"norm_equations\": 0, \
+             \"norm_solutions\": 0, \"exact_syntheses\": 0, \"cache_probes\": 0}, \
+             \"pool\": {\"runs\": 0, \"jobs\": 0, \"wall_ms\": 0, \"busy_ms\": 0, \
+             \"utilization\": 0, \"workers\": []}, \
+             \"alloc\": {\"enabled\": false, \"phases\": {\
+             \"lower\": {\"allocs\": 0, \"bytes\": 0, \"peak_bytes\": 0}, \
+             \"synthesis\": {\"allocs\": 0, \"bytes\": 0, \"peak_bytes\": 0}, \
+             \"splice\": {\"allocs\": 0, \"bytes\": 0, \"peak_bytes\": 0}, \
+             \"verify\": {\"allocs\": 0, \"bytes\": 0, \"peak_bytes\": 0}}}, \
+             \"cache_shards\": []}"
         );
         let mut with_pass = sample();
         let mut t = PassTotals::named("fuse");
@@ -315,6 +599,85 @@ mod tests {
         assert!((totals[0].wall_ms - 1.5).abs() < 1e-12);
         assert_eq!(totals[1].name, "fuse");
         assert_eq!(totals[1].rotations_removed(), 2);
+    }
+
+    #[test]
+    fn work_totals_convert_and_merge() {
+        prof::work::add(prof::WorkKind::GridCandidates, 2);
+        // Snapshot deltas convert kind-for-kind into the named fields.
+        let mut w = WorkTotals {
+            grid_candidates: 1,
+            norm_equations: 2,
+            norm_solutions: 1,
+            exact_syntheses: 1,
+            cache_probes: 3,
+        };
+        w.merge(&w.clone());
+        assert_eq!(w.grid_candidates, 2);
+        assert_eq!(w.cache_probes, 6);
+        let j = w.to_json();
+        assert_eq!(
+            j,
+            "{\"grid_candidates\": 2, \"norm_equations\": 4, \"norm_solutions\": 2, \
+             \"exact_syntheses\": 2, \"cache_probes\": 6}"
+        );
+    }
+
+    #[test]
+    fn pool_totals_accumulate_monotonically() {
+        let run = PoolRunStats {
+            wall_ms: 10.0,
+            workers: vec![
+                WorkerTotals { busy_ms: 8.0, jobs: 3 },
+                WorkerTotals { busy_ms: 6.0, jobs: 2 },
+            ],
+        };
+        let mut t = PoolTotals::default();
+        t.absorb(&run);
+        assert_eq!((t.runs, t.jobs), (1, 5));
+        assert!((t.busy_ms - 14.0).abs() < 1e-12);
+        let u1 = t.utilization();
+        assert!((u1 - 14.0 / 20.0).abs() < 1e-12);
+        // Absorbing more runs only grows the counters (monotonicity) and
+        // widens the per-worker table as needed.
+        let wider = PoolRunStats {
+            wall_ms: 4.0,
+            workers: vec![WorkerTotals { busy_ms: 1.0, jobs: 1 }; 3],
+        };
+        t.absorb(&wider);
+        assert_eq!((t.runs, t.jobs), (2, 8));
+        assert_eq!(t.workers.len(), 3);
+        assert!((t.workers[0].busy_ms - 9.0).abs() < 1e-12);
+        assert_eq!(t.workers[2].jobs, 1);
+        // An empty run (no jobs) is not counted as a run.
+        t.absorb(&PoolRunStats::default());
+        assert_eq!(t.runs, 2);
+    }
+
+    #[test]
+    fn alloc_totals_sum_counts_and_max_peaks() {
+        let mut a = AllocTotals::default();
+        a.absorb(&prof::AllocDelta {
+            allocs: 3,
+            bytes: 300,
+            peak_bytes: 200,
+        });
+        a.absorb(&prof::AllocDelta {
+            allocs: 1,
+            bytes: 100,
+            peak_bytes: 50,
+        });
+        assert_eq!((a.allocs, a.bytes, a.peak_bytes), (4, 400, 200));
+        let p = PhaseAllocs {
+            lower: a,
+            ..PhaseAllocs::default()
+        };
+        let mut q = PhaseAllocs::default();
+        q.lower.merge(&a);
+        q.merge(&p);
+        assert_eq!(q.lower.allocs, 8);
+        assert_eq!(q.lower.peak_bytes, 200);
+        assert!(p.to_json().starts_with("{\"lower\": {\"allocs\": 4"));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Profiling is observation-only: compiling with allocation accounting
+//! enabled must be byte-identical to compiling with it disabled, at
+//! every worker thread count — and the work counters / profile totals
+//! the engine aggregates must be deterministic and plausible.
+
+use engine::{BackendKind, BatchItem, BatchRequest, Engine, GridsynthBackend};
+use std::sync::Mutex;
+
+/// `prof::alloc::set_enabled` flips process-global state; serialize the
+/// tests that toggle it so they can't observe each other's setting.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn engine_with(threads: usize) -> Engine {
+    Engine::builder()
+        .threads(threads)
+        .cache_capacity(1 << 12)
+        .backend(GridsynthBackend::default())
+        .build()
+}
+
+fn request() -> BatchRequest {
+    let qaoa = workloads::qaoa::random_qaoa(6, 2, 0xD15C);
+    let rand = workloads::qaoa::random_qaoa(4, 3, 0xFACE);
+    // `verify(true)` so the certification phase is profiled too.
+    BatchRequest::new()
+        .item(BatchItem::new("qaoa", qaoa.clone(), 1e-2, BackendKind::Gridsynth).verify(true))
+        .item(BatchItem::new("qaoa-dup", qaoa, 1e-2, BackendKind::Gridsynth).verify(true))
+        .item(BatchItem::new("rand", rand, 1e-3, BackendKind::Gridsynth).verify(true))
+}
+
+#[test]
+fn profiling_never_changes_output_at_any_thread_count() {
+    let _gate = GATE.lock().unwrap();
+    let req = request();
+    for threads in [1usize, 2, 8] {
+        prof::alloc::set_enabled(false);
+        let plain = engine_with(threads).compile_batch(&req).unwrap();
+
+        prof::alloc::set_enabled(true);
+        let profiled = engine_with(threads).compile_batch(&req).unwrap();
+        prof::alloc::set_enabled(false);
+
+        assert_eq!(plain.items.len(), profiled.items.len());
+        for (a, b) in plain.items.iter().zip(&profiled.items) {
+            assert_eq!(
+                a.synthesized.circuit, b.synthesized.circuit,
+                "profiled circuit for '{}' differs at {threads} threads",
+                a.name
+            );
+            assert_eq!(a.t_count, b.t_count);
+            assert_eq!(a.cache_hits, b.cache_hits);
+            assert_eq!(a.cache_misses, b.cache_misses);
+            assert!((a.synthesized.total_error - b.synthesized.total_error).abs() < 1e-15);
+        }
+        assert_eq!(plain.total_t_count, profiled.total_t_count);
+        assert_eq!(plain.cache_hits, profiled.cache_hits);
+        assert_eq!(plain.cache_misses, profiled.cache_misses);
+        // The deterministic work counters land in the report either way
+        // and agree bit-for-bit: they count algorithm steps, not clock
+        // or allocator behaviour.
+        assert_eq!(plain.work, profiled.work);
+    }
+}
+
+#[test]
+fn work_counters_are_deterministic_across_thread_counts() {
+    let req = request();
+    let baseline = engine_with(1).compile_batch(&req).unwrap();
+    assert!(
+        baseline.work.grid_candidates > 0,
+        "gridsynth compile produced no candidate count"
+    );
+    assert!(baseline.work.norm_equations > 0);
+    assert!(baseline.work.exact_syntheses > 0);
+    assert!(baseline.work.cache_probes > 0);
+    // Solved equations can't outnumber attempts; every synthesis came
+    // from a solution.
+    assert!(baseline.work.norm_solutions <= baseline.work.norm_equations);
+    assert!(baseline.work.exact_syntheses <= baseline.work.norm_solutions);
+
+    for threads in [2usize, 8] {
+        let r = engine_with(threads).compile_batch(&req).unwrap();
+        assert_eq!(
+            baseline.work, r.work,
+            "work counters differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn engine_stats_accumulate_profile_totals() {
+    let _gate = GATE.lock().unwrap();
+    prof::alloc::set_enabled(true);
+    let eng = engine_with(2);
+    let req = request();
+    eng.compile_batch(&req).unwrap();
+    let first = eng.stats();
+    eng.compile_batch(&req).unwrap();
+    let second = eng.stats();
+    prof::alloc::set_enabled(false);
+
+    assert!(first.profile.alloc_enabled);
+    // Work counters are monotone across batches; the second (fully
+    // cached) batch still probes the cache.
+    assert!(second.profile.work.cache_probes > first.profile.work.cache_probes);
+    assert!(second.profile.work.grid_candidates >= first.profile.work.grid_candidates);
+    // The pool ran at least once per batch and its totals only grow.
+    assert!(first.profile.pool.runs >= 1);
+    assert!(second.profile.pool.runs >= first.profile.pool.runs);
+    assert!(second.profile.pool.jobs >= first.profile.pool.jobs);
+    assert!(second.profile.pool.wall_ms >= first.profile.pool.wall_ms);
+    // With accounting enabled the phases allocated *something*.
+    let phase_allocs: u64 = first.profile.alloc.phases().iter().map(|(_, a)| a.allocs).sum();
+    assert!(phase_allocs > 0, "no allocations attributed to any phase");
+    // Per-shard stats cover the cache and sum to its aggregate length.
+    let entries: usize = first.profile.cache_shards.iter().map(|s| s.entries).sum();
+    assert_eq!(entries, eng.cache().len());
+}

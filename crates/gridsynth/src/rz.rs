@@ -75,11 +75,14 @@ pub fn synthesize_rz_with(theta: f64, eps: f64, opts: RzOptions) -> Option<RzSyn
     let target = Mat2::rz(theta);
     for k in 0..=opts.max_k {
         for cand in grid::candidates(theta, eps, k, opts.candidates_per_k) {
+            prof::work::add(prof::WorkKind::GridCandidates, 1);
             let v = cand.v;
             let xi = ZRoot2::from_int(1i128 << k) - v.norm_zroot2();
+            prof::work::add(prof::WorkKind::NormEquations, 1);
             let Some(t) = solve_norm_equation(xi) else {
                 continue;
             };
+            prof::work::add(prof::WorkKind::NormSolutions, 1);
             // U = [[u, −t†], [t, u†]] with u = v/√2^k: unitary with D[ω]
             // entries and det 1 — exactly synthesizable.
             let u_d = DOmega::new(v, k);
@@ -89,6 +92,7 @@ pub fn synthesize_rz_with(theta: f64, eps: f64, opts: RzOptions) -> Option<RzSyn
             if err > eps + 1e-12 {
                 continue;
             }
+            prof::work::add(prof::WorkKind::ExactSyntheses, 1);
             let Some(seq) = exact_synthesize(m) else {
                 continue;
             };

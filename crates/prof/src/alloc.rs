@@ -1,0 +1,211 @@
+//! Phase-scoped allocation accounting via a counting global allocator.
+//!
+//! [`CountingAlloc`] wraps [`std::alloc::System`] and is installed as the
+//! `#[global_allocator]` of every binary that (transitively) links this
+//! crate — the engine, the server, their CLIs, and their test binaries —
+//! so allocation accounting needs no per-binary wiring. Counting is
+//! **off** by default: until [`set_enabled`] flips the global flag, every
+//! allocator call pays exactly one relaxed atomic load over the system
+//! allocator, which is not measurable next to the allocation itself.
+//!
+//! When enabled, each thread accumulates its own counters (allocation
+//! count, gross bytes, current resident bytes, peak resident bytes) in
+//! `thread_local!` cells — no cross-thread contention on the hottest
+//! path in the process. A *phase scope* brackets a region of one thread:
+//!
+//! ```
+//! prof::alloc::set_enabled(true);
+//! let start = prof::alloc::phase_start();
+//! let buf = vec![0u8; 4096];
+//! let delta = prof::alloc::delta_since(&start);
+//! assert!(delta.allocs >= 1 && delta.peak_bytes >= 4096);
+//! drop(buf);
+//! prof::alloc::set_enabled(false);
+//! ```
+//!
+//! [`phase_start`] additionally resets the thread's peak watermark to its
+//! current level, so [`AllocDelta::peak_bytes`] is the phase's *own*
+//! high-water mark above its entry level — the number a "top gridsynth
+//! allocations" hunt needs — rather than a stale process-lifetime peak.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global gate for allocation counting. Relaxed is enough: the flag only
+/// ever toggles at run boundaries (CLI flag parse, test setup), and a
+/// stale read merely counts or skips a few allocations around the
+/// toggle.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns allocation counting on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether allocation counting is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Allocation events on this thread (alloc + alloc_zeroed + realloc).
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    /// Gross bytes requested on this thread.
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+    /// Net resident bytes: allocated − freed. Signed and saturating,
+    /// because a thread may free memory another thread (or a pre-enable
+    /// region) allocated.
+    static CURRENT: Cell<i64> = const { Cell::new(0) };
+    /// High-water mark of [`CURRENT`].
+    static PEAK: Cell<i64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn record_alloc(size: usize) {
+    // `try_with` so a (never-allocating) Cell access during thread
+    // teardown degrades to "not counted" instead of aborting.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+    let _ = BYTES.try_with(|c| c.set(c.get() + size as u64));
+    let _ = CURRENT.try_with(|c| {
+        let now = c.get().saturating_add(size as i64);
+        c.set(now);
+        let _ = PEAK.try_with(|p| {
+            if now > p.get() {
+                p.set(now);
+            }
+        });
+    });
+}
+
+#[inline]
+fn record_dealloc(size: usize) {
+    let _ = CURRENT.try_with(|c| c.set(c.get().saturating_sub(size as i64)));
+}
+
+/// The counting allocator. A unit struct: all state lives in the global
+/// flag and the thread-local cells above.
+pub struct CountingAlloc;
+
+// SAFETY: the one unsafe surface of this crate (mirroring the
+// signal-handling exception in `trasyn-server`). `GlobalAlloc` is an
+// unsafe trait whose entire contract we discharge by delegating every
+// call verbatim to `std::alloc::System` with the caller's own
+// layout/pointer arguments — this wrapper never splits, resizes, caches,
+// or re-derives an allocation, so System's guarantees (alignment, size,
+// uniqueness, valid frees) pass through unchanged. The bookkeeping on
+// the side touches only `Cell`s in `thread_local!` storage via
+// `try_with`: no locks, no allocation (so no reentrancy into the
+// allocator), no panics (failed TLS access during thread teardown is
+// silently skipped), and counting is keyed off one relaxed atomic load
+// when disabled.
+#[allow(unsafe_code)]
+mod imp {
+    use super::*;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+                record_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc_zeroed(layout);
+            if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+                record_alloc(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            if ENABLED.load(Ordering::Relaxed) {
+                record_dealloc(layout.size());
+            }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() && ENABLED.load(Ordering::Relaxed) {
+                // One allocation event for the new block, and the net
+                // resident delta between old and new sizes.
+                record_alloc(new_size);
+                record_dealloc(layout.size());
+            }
+            p
+        }
+    }
+
+    /// Installed for every linking binary; see the module docs.
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// A point-in-time reading of the calling thread's allocation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation events so far on this thread.
+    pub allocs: u64,
+    /// Gross bytes requested so far on this thread.
+    pub bytes: u64,
+    /// Net resident bytes right now (can be negative: this thread freed
+    /// more than it allocated).
+    pub current_bytes: i64,
+    /// High-water mark of `current_bytes` since the last
+    /// [`phase_start`] on this thread.
+    pub peak_bytes: i64,
+}
+
+/// Reads the calling thread's counters without disturbing them.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.with(Cell::get),
+        bytes: BYTES.with(Cell::get),
+        current_bytes: CURRENT.with(Cell::get),
+        peak_bytes: PEAK.with(Cell::get),
+    }
+}
+
+/// Opens a phase scope: resets this thread's peak watermark to its
+/// current resident level and returns the snapshot to later hand to
+/// [`delta_since`].
+pub fn phase_start() -> AllocSnapshot {
+    CURRENT.with(|c| PEAK.with(|p| p.set(c.get())));
+    snapshot()
+}
+
+/// What one phase scope allocated (all zeros while counting is
+/// disabled).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Allocation events inside the scope.
+    pub allocs: u64,
+    /// Gross bytes requested inside the scope.
+    pub bytes: u64,
+    /// The scope's own high-water mark: how far above its entry resident
+    /// level the thread grew (0 if it only freed).
+    pub peak_bytes: u64,
+}
+
+impl AllocDelta {
+    /// Folds another delta into this one (peak is a max, the rest sum) —
+    /// how per-job deltas aggregate into a phase total.
+    pub fn merge(&mut self, other: &AllocDelta) {
+        self.allocs += other.allocs;
+        self.bytes += other.bytes;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+    }
+}
+
+/// Closes a phase scope opened by [`phase_start`] on the same thread.
+pub fn delta_since(start: &AllocSnapshot) -> AllocDelta {
+    let now = snapshot();
+    AllocDelta {
+        allocs: now.allocs.saturating_sub(start.allocs),
+        bytes: now.bytes.saturating_sub(start.bytes),
+        peak_bytes: now.peak_bytes.saturating_sub(start.current_bytes).max(0) as u64,
+    }
+}

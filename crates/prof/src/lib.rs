@@ -1,0 +1,34 @@
+//! Continuous-profiling primitives: *where work and memory go*.
+//!
+//! The tracer (the `trace` crate) answers *where time goes*; this crate
+//! supplies the two complementary signals that item 4 of the roadmap
+//! (profile-and-fix the hot loops) needs before anyone can act on a
+//! flamegraph:
+//!
+//! - [`alloc`] — a counting [`std::alloc::GlobalAlloc`] wrapper around
+//!   the system allocator, feeding **per-thread** allocation-count /
+//!   byte / peak counters. Counting is off by default and gated on one
+//!   relaxed atomic load, so the disabled cost is unmeasurable; phase
+//!   scopes ([`alloc::phase_start`] / [`alloc::delta_since`]) turn the
+//!   counters into deltas that attach to trace spans.
+//! - [`work`] — thread-local counters for the synthesis-domain work
+//!   units (grid candidates, norm-equation attempts/solutions, exact
+//!   synthesis calls, cache probes) that wall-clock alone cannot
+//!   separate. Always on: one thread-local `Cell` add per event, orders
+//!   of magnitude cheaper than the number theory it counts.
+//!
+//! Everything here is **observation-only** by construction: neither
+//! module returns data into the code paths it measures, so enabling or
+//! disabling profiling can never change a compiled circuit. The engine's
+//! `profile_identity` test and the differential fuzzer pin that
+//! bit-for-bit.
+//!
+//! Like `trace`, this crate is a dependency-free leaf so every layer —
+//! `gridsynth` number theory up to the `server` binaries — can record
+//! into the same counters without dependency cycles.
+
+pub mod alloc;
+pub mod work;
+
+pub use alloc::{AllocDelta, AllocSnapshot};
+pub use work::{WorkKind, WorkSnapshot};

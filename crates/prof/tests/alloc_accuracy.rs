@@ -1,0 +1,109 @@
+//! Allocation-counter accuracy against known-allocation fixtures.
+//!
+//! This integration test binary links `prof`, so `prof`'s counting
+//! global allocator is installed. Enabling/disabling the counter is
+//! process-global while the counters are thread-local, so the tests
+//! serialize on one mutex and each measures only straight-line code on
+//! its own thread.
+
+use std::hint::black_box;
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with counting enabled, restoring the disabled state after.
+fn with_counting<T>(f: impl FnOnce() -> T) -> T {
+    let _g = GATE.lock().unwrap();
+    prof::alloc::set_enabled(true);
+    let out = f();
+    prof::alloc::set_enabled(false);
+    out
+}
+
+#[test]
+fn counts_exact_known_allocations() {
+    with_counting(|| {
+        let start = prof::alloc::phase_start();
+        // Two allocations of exactly known size: `Vec::with_capacity`
+        // allocates precisely its capacity, and a boxed array precisely
+        // its size.
+        let v: Vec<u8> = black_box(Vec::with_capacity(1024));
+        let b: Box<[u8; 4096]> = black_box(Box::new([0u8; 4096]));
+        let d = prof::alloc::delta_since(&start);
+        assert_eq!(d.allocs, 2, "expected exactly the two fixture allocations");
+        assert_eq!(d.bytes, 1024 + 4096);
+        assert_eq!(d.peak_bytes, 1024 + 4096, "both blocks live at the peak");
+        drop(v);
+        drop(b);
+        // Net resident returns to the phase-entry level once both drop.
+        let after = prof::alloc::snapshot();
+        assert_eq!(after.current_bytes, start.current_bytes);
+    });
+}
+
+#[test]
+fn peak_tracks_high_water_not_gross_bytes() {
+    with_counting(|| {
+        let start = prof::alloc::phase_start();
+        // Sequentially allocate and free: gross bytes accumulate, but
+        // the resident high-water mark stays one block.
+        for _ in 0..8 {
+            let v: Vec<u8> = black_box(Vec::with_capacity(512));
+            drop(v);
+        }
+        let d = prof::alloc::delta_since(&start);
+        assert_eq!(d.allocs, 8);
+        assert_eq!(d.bytes, 8 * 512);
+        assert_eq!(d.peak_bytes, 512, "only one block resident at a time");
+    });
+}
+
+#[test]
+fn phase_start_resets_the_peak_watermark() {
+    with_counting(|| {
+        // Drive the watermark up, drop, then open a new phase: the new
+        // phase must not inherit the old peak.
+        let big: Vec<u8> = black_box(Vec::with_capacity(1 << 16));
+        drop(big);
+        let start = prof::alloc::phase_start();
+        let small: Vec<u8> = black_box(Vec::with_capacity(256));
+        let d = prof::alloc::delta_since(&start);
+        drop(small);
+        assert_eq!(d.peak_bytes, 256);
+    });
+}
+
+#[test]
+fn disabled_counter_stays_flat() {
+    let _g = GATE.lock().unwrap();
+    prof::alloc::set_enabled(false);
+    let start = prof::alloc::phase_start();
+    let v: Vec<u8> = black_box(Vec::with_capacity(2048));
+    let d = prof::alloc::delta_since(&start);
+    drop(v);
+    assert_eq!(d, prof::alloc::AllocDelta::default());
+}
+
+#[test]
+fn deltas_are_per_thread() {
+    with_counting(|| {
+        let start = prof::alloc::phase_start();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // This thread's allocations land on its own counters.
+                let w: Vec<u8> = black_box(Vec::with_capacity(1 << 20));
+                let d = prof::alloc::delta_since(&prof::alloc::AllocSnapshot::default());
+                assert!(d.bytes >= 1 << 20);
+                drop(w);
+            });
+        });
+        // …and are invisible to the spawning thread, modulo the thread
+        // spawn bookkeeping the parent itself allocates.
+        let d = prof::alloc::delta_since(&start);
+        assert!(
+            d.bytes < 1 << 19,
+            "child-thread bytes leaked into parent delta: {}",
+            d.bytes
+        );
+    });
+}

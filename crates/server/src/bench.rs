@@ -1,0 +1,273 @@
+//! Bench-snapshot comparison and the perf trajectory.
+//!
+//! `trasyn-loadgen --json` writes one snapshot in the
+//! `trasyn-bench-server/v1` schema. This module reads those snapshots
+//! back, compares two of them with a noise threshold, and maintains the
+//! checked-in `BENCH_server.json` **trajectory** — an append-only JSON
+//! array of snapshots, one per PR, oldest first — so the serving-perf
+//! history of the repo is a diffable file instead of a memory.
+//!
+//! Regression policy (see [`compare`]): a snapshot regresses against a
+//! baseline when throughput drops by more than the threshold *or* p95
+//! latency rises by more than the threshold. The default threshold
+//! ([`DEFAULT_THRESHOLD`]) is deliberately generous: these are loopback
+//! runs on shared CI hardware, and a gate that cries wolf gets deleted.
+//! The `trasyn-benchdiff` binary wraps this as a CLI (exit 0 = within
+//! threshold, 1 = regression, 2 = bad input).
+//!
+//! The trajectory is maintained *textually*: appending splices the new
+//! snapshot's raw text into the array, so every entry keeps the exact
+//! bytes `trasyn-loadgen` wrote (including its `"schema"` line, which CI
+//! greps for). A single bare snapshot object is accepted as a
+//! one-entry trajectory — the format `BENCH_server.json` had before the
+//! trajectory existed.
+
+use crate::json::{self, Value};
+
+/// Default noise threshold for [`compare`]: a 20% swing on a loopback
+/// bench is within run-to-run noise on busy hardware.
+pub const DEFAULT_THRESHOLD: f64 = 0.20;
+
+/// The comparable core of one `trasyn-bench-server/v1` snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchSummary {
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// End-to-end p50 latency in milliseconds.
+    pub p50_ms: f64,
+    /// End-to-end p95 latency in milliseconds.
+    pub p95_ms: f64,
+    /// Request errors + transport errors (should be 0 on a clean run).
+    pub errors: f64,
+    /// Server-side cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+}
+
+/// Extracts the comparable summary from one parsed snapshot object.
+fn summary_of(v: &Value) -> Result<BenchSummary, String> {
+    let schema = v
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "snapshot has no \"schema\" field".to_string())?;
+    if schema != "trasyn-bench-server/v1" {
+        return Err(format!("unsupported snapshot schema \"{schema}\""));
+    }
+    let num = |path: &[&str]| -> Result<f64, String> {
+        let mut cur = v;
+        for k in path {
+            cur = cur
+                .get(k)
+                .ok_or_else(|| format!("snapshot missing \"{}\"", path.join(".")))?;
+        }
+        cur.as_f64()
+            .ok_or_else(|| format!("snapshot field \"{}\" is not a number", path.join(".")))
+    };
+    Ok(BenchSummary {
+        throughput_rps: num(&["throughput_rps"])?,
+        p50_ms: num(&["latency_ms", "p50"])?,
+        p95_ms: num(&["latency_ms", "p95"])?,
+        errors: num(&["requests", "errors"])? + num(&["requests", "transport_errors"])?,
+        cache_hit_rate: num(&["server", "cache_hit_rate"])?,
+    })
+}
+
+/// Parses a snapshot file *or* a trajectory file into its snapshot
+/// summaries, oldest first. A bare object is a one-entry trajectory.
+pub fn parse_trajectory(text: &str) -> Result<Vec<BenchSummary>, String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    match &v {
+        Value::Arr(items) => {
+            if items.is_empty() {
+                return Err("trajectory is an empty array".to_string());
+            }
+            items.iter().map(summary_of).collect()
+        }
+        _ => Ok(vec![summary_of(&v)?]),
+    }
+}
+
+/// The verdict of comparing a new snapshot against a baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comparison {
+    /// `new / old` throughput (1.0 = unchanged, < 1 = slower).
+    pub throughput_ratio: f64,
+    /// `new / old` p95 latency (1.0 = unchanged, > 1 = slower).
+    pub p95_ratio: f64,
+    /// Human-readable regression descriptions; empty = within threshold.
+    pub regressions: Vec<String>,
+}
+
+impl Comparison {
+    /// `true` when every tracked dimension stayed within the threshold.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `new` against `old` with a relative noise `threshold`
+/// (e.g. `0.2` = 20%). Throughput may drop and p95 may rise by up to the
+/// threshold before a regression is declared; a run with request errors
+/// is always a regression (the numbers describe a different workload).
+pub fn compare(old: &BenchSummary, new: &BenchSummary, threshold: f64) -> Comparison {
+    let ratio = |new: f64, old: f64| if old > 0.0 { new / old } else { 1.0 };
+    let throughput_ratio = ratio(new.throughput_rps, old.throughput_rps);
+    let p95_ratio = ratio(new.p95_ms, old.p95_ms);
+    let mut regressions = Vec::new();
+    if new.errors > 0.0 {
+        regressions.push(format!("{} request error(s) in the new run", new.errors));
+    }
+    if throughput_ratio < 1.0 - threshold {
+        regressions.push(format!(
+            "throughput dropped {:.1}% ({:.1} -> {:.1} req/s, threshold {:.0}%)",
+            (1.0 - throughput_ratio) * 100.0,
+            old.throughput_rps,
+            new.throughput_rps,
+            threshold * 100.0,
+        ));
+    }
+    if p95_ratio > 1.0 + threshold {
+        regressions.push(format!(
+            "p95 latency rose {:.1}% ({:.3} -> {:.3} ms, threshold {:.0}%)",
+            (p95_ratio - 1.0) * 100.0,
+            old.p95_ms,
+            new.p95_ms,
+            threshold * 100.0,
+        ));
+    }
+    Comparison {
+        throughput_ratio,
+        p95_ratio,
+        regressions,
+    }
+}
+
+/// Appends one snapshot's raw text to a trajectory's raw text,
+/// returning the new trajectory. Both inputs are validated; the
+/// snapshot's bytes are preserved verbatim as the new last entry.
+/// `trajectory` may be empty (a fresh file), a bare snapshot object
+/// (the pre-trajectory format), or an existing array.
+pub fn append_to_trajectory(trajectory: &str, snapshot: &str) -> Result<String, String> {
+    // The entry must parse as a single valid snapshot before splicing.
+    let v = json::parse(snapshot).map_err(|e| format!("snapshot: {e}"))?;
+    summary_of(&v)?;
+    let snap = snapshot.trim();
+
+    let body = trajectory.trim();
+    let out = if body.is_empty() {
+        format!("[\n{snap}\n]\n")
+    } else if body.starts_with('{') {
+        // Legacy single-object file: wrap it into a two-entry array.
+        parse_trajectory(body)?;
+        format!("[\n{body},\n{snap}\n]\n")
+    } else {
+        parse_trajectory(body)?;
+        let close = body
+            .rfind(']')
+            .ok_or_else(|| "trajectory array has no closing bracket".to_string())?;
+        format!("{},\n{snap}\n]\n", body[..close].trim_end())
+    };
+    // The spliced result must itself be a valid trajectory.
+    parse_trajectory(&out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(throughput: f64, p95: f64, errors: u64) -> String {
+        format!(
+            "{{\n  \"schema\": \"trasyn-bench-server/v1\",\n  \
+             \"config\": {{\"connections\": 4, \"seed\": 42}},\n  \
+             \"requests\": {{\"total\": 100, \"ok\": 100, \"rejected\": 0, \
+             \"errors\": {errors}, \"transport_errors\": 0}},\n  \
+             \"throughput_rps\": {throughput},\n  \
+             \"latency_ms\": {{\"p50\": 1.0, \"p90\": 2.0, \"p95\": {p95}, \
+             \"p99\": 9.0, \"max\": 12.0, \"mean\": 1.5}},\n  \
+             \"server\": {{\"available\": true, \"cache_hits\": 90, \
+             \"cache_misses\": 10, \"cache_hit_rate\": 0.9, \
+             \"queue_wait_ms_mean\": 0.1, \"service_ms_mean\": 1.0, \
+             \"slow_requests\": 0}}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn identical_runs_are_not_a_regression() {
+        let t = parse_trajectory(&snapshot(1000.0, 5.0, 0)).unwrap();
+        let cmp = compare(&t[0], &t[0], DEFAULT_THRESHOLD);
+        assert!(cmp.ok(), "{:?}", cmp.regressions);
+        assert!((cmp.throughput_ratio - 1.0).abs() < 1e-12);
+        assert!((cmp.p95_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_inside_the_threshold_passes() {
+        let old = parse_trajectory(&snapshot(1000.0, 5.0, 0)).unwrap().remove(0);
+        // 10% slower on both axes: inside a 20% threshold.
+        let new = parse_trajectory(&snapshot(900.0, 5.5, 0)).unwrap().remove(0);
+        assert!(compare(&old, &new, 0.20).ok());
+        // The same delta fails a 5% threshold.
+        assert!(!compare(&old, &new, 0.05).ok());
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_is_flagged() {
+        let old = parse_trajectory(&snapshot(1000.0, 5.0, 0)).unwrap().remove(0);
+        let new = parse_trajectory(&snapshot(500.0, 5.0, 0)).unwrap().remove(0);
+        let cmp = compare(&old, &new, 0.20);
+        assert!(!cmp.ok());
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("throughput dropped 50.0%"));
+    }
+
+    #[test]
+    fn p95_rise_beyond_threshold_is_flagged() {
+        let old = parse_trajectory(&snapshot(1000.0, 5.0, 0)).unwrap().remove(0);
+        let new = parse_trajectory(&snapshot(1000.0, 10.0, 0)).unwrap().remove(0);
+        let cmp = compare(&old, &new, 0.20);
+        assert!(!cmp.ok());
+        assert!(cmp.regressions[0].contains("p95 latency rose 100.0%"));
+    }
+
+    #[test]
+    fn errored_runs_always_regress() {
+        let old = parse_trajectory(&snapshot(1000.0, 5.0, 0)).unwrap().remove(0);
+        let new = parse_trajectory(&snapshot(2000.0, 1.0, 3)).unwrap().remove(0);
+        let cmp = compare(&old, &new, 0.20);
+        assert!(!cmp.ok());
+        assert!(cmp.regressions[0].contains("3 request error(s)"));
+    }
+
+    #[test]
+    fn append_wraps_a_legacy_single_snapshot_into_an_array() {
+        let first = snapshot(1000.0, 5.0, 0);
+        let second = snapshot(1100.0, 4.5, 0);
+        let traj = append_to_trajectory(&first, &second).unwrap();
+        let entries = parse_trajectory(&traj).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!((entries[0].throughput_rps - 1000.0).abs() < 1e-9);
+        assert!((entries[1].throughput_rps - 1100.0).abs() < 1e-9);
+        // Every entry keeps its own raw schema line (CI greps for it).
+        assert_eq!(traj.matches("\"schema\": \"trasyn-bench-server/v1\"").count(), 2);
+    }
+
+    #[test]
+    fn append_grows_an_existing_array_and_preserves_order() {
+        let mut traj = String::new();
+        for (i, t) in [1000.0, 1050.0, 990.0].iter().enumerate() {
+            traj = append_to_trajectory(&traj, &snapshot(*t, 5.0 + i as f64, 0)).unwrap();
+        }
+        let entries = parse_trajectory(&traj).unwrap();
+        assert_eq!(entries.len(), 3);
+        assert!((entries[2].throughput_rps - 990.0).abs() < 1e-9);
+        assert!((entries[2].p95_ms - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(parse_trajectory("not json").is_err());
+        assert!(parse_trajectory("[]").is_err());
+        assert!(parse_trajectory("{\"schema\": \"other/v9\"}").is_err());
+        assert!(append_to_trajectory("", "{\"schema\": \"trasyn-bench-server/v1\"}").is_err());
+    }
+}

@@ -1,0 +1,141 @@
+//! `trasyn-benchdiff` — compare bench snapshots and maintain the
+//! perf trajectory.
+//!
+//! ```text
+//! trasyn-benchdiff compare OLD NEW [--threshold X]
+//!     Compare two snapshot files (each a bare snapshot or a trajectory;
+//!     a trajectory compares its *last* entry). Exit 1 on regression.
+//!
+//! trasyn-benchdiff check TRAJECTORY [--threshold X]
+//!     Compare the last trajectory entry against the one before it.
+//!     A single-entry trajectory passes (nothing to regress against).
+//!
+//! trasyn-benchdiff append TRAJECTORY SNAPSHOT
+//!     Append SNAPSHOT's raw text to TRAJECTORY in place (creating it,
+//!     or wrapping a legacy single-snapshot file into an array).
+//! ```
+//!
+//! The regression policy and threshold semantics live in
+//! [`server::bench`]: throughput may drop and p95 may rise by up to the
+//! threshold (default 20%) before the exit code turns nonzero; a run
+//! with request errors always regresses.
+//!
+//! Exit codes: 0 within threshold / append ok, 1 regression,
+//! 2 usage or unreadable/malformed input.
+
+use server::bench::{self, BenchSummary, DEFAULT_THRESHOLD};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: trasyn-benchdiff compare OLD NEW [--threshold X]\n\
+     \x20      trasyn-benchdiff check TRAJECTORY [--threshold X]\n\
+     \x20      trasyn-benchdiff append TRAJECTORY SNAPSHOT"
+}
+
+/// Splits positional args from a trailing `--threshold X`.
+fn split_args(args: &[String]) -> Result<(Vec<&str>, f64), String> {
+    let mut positional = Vec::new();
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .ok_or("--threshold needs a non-negative number")?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag '{other}'")),
+            p => positional.push(p),
+        }
+    }
+    Ok((positional, threshold))
+}
+
+/// Reads a file and returns the *last* snapshot it holds (a bare
+/// snapshot is its own last entry).
+fn read_last(path: &str) -> Result<BenchSummary, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut entries = bench::parse_trajectory(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(entries.pop().expect("parse_trajectory rejects empty trajectories"))
+}
+
+fn report(old: &BenchSummary, new: &BenchSummary, threshold: f64) -> ExitCode {
+    let cmp = bench::compare(old, new, threshold);
+    println!(
+        "throughput: {:.1} -> {:.1} req/s ({:+.1}%)",
+        old.throughput_rps,
+        new.throughput_rps,
+        (cmp.throughput_ratio - 1.0) * 100.0,
+    );
+    println!(
+        "p95 latency: {:.3} -> {:.3} ms ({:+.1}%)",
+        old.p95_ms,
+        new.p95_ms,
+        (cmp.p95_ratio - 1.0) * 100.0,
+    );
+    println!(
+        "cache hit rate: {:.1}% -> {:.1}%",
+        old.cache_hit_rate * 100.0,
+        new.cache_hit_rate * 100.0,
+    );
+    if cmp.ok() {
+        println!("ok: within the {:.0}% threshold", threshold * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        for r in &cmp.regressions {
+            println!("REGRESSION: {r}");
+        }
+        ExitCode::from(1)
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (cmd, rest) = args.split_first().ok_or_else(|| usage().to_string())?;
+    let (positional, threshold) = split_args(rest)?;
+    match (cmd.as_str(), positional.as_slice()) {
+        ("compare", [old, new]) => Ok(report(&read_last(old)?, &read_last(new)?, threshold)),
+        ("check", [trajectory]) => {
+            let text = std::fs::read_to_string(trajectory)
+                .map_err(|e| format!("cannot read {trajectory}: {e}"))?;
+            let entries =
+                bench::parse_trajectory(&text).map_err(|e| format!("{trajectory}: {e}"))?;
+            match entries.as_slice() {
+                [.., old, new] => Ok(report(old, new, threshold)),
+                _ => {
+                    println!("ok: single-entry trajectory, nothing to compare against");
+                    Ok(ExitCode::SUCCESS)
+                }
+            }
+        }
+        ("append", [trajectory, snapshot]) => {
+            let old = std::fs::read_to_string(trajectory).unwrap_or_default();
+            let snap = std::fs::read_to_string(snapshot)
+                .map_err(|e| format!("cannot read {snapshot}: {e}"))?;
+            let new = bench::append_to_trajectory(&old, &snap)?;
+            std::fs::write(trajectory, &new)
+                .map_err(|e| format!("cannot write {trajectory}: {e}"))?;
+            let n = bench::parse_trajectory(&new).map_or(0, |e| e.len());
+            println!("appended {snapshot} to {trajectory} ({n} entries)");
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(usage().to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(args.first().map(String::as_str), None | Some("--help" | "-h")) {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -27,11 +27,21 @@
 //!   --json FILE           also write the run as a machine-readable snapshot
 //!                         (schema "trasyn-bench-server/v1": config,
 //!                         throughput, latency percentiles, cache hit rate,
-//!                         queue-wait vs service-time means) — the format of
-//!                         the checked-in BENCH_server.json perf trajectory
+//!                         queue-wait vs service-time means, per-pass lowering
+//!                         totals) — the entry format of the checked-in
+//!                         BENCH_server.json perf trajectory (see
+//!                         trasyn-benchdiff)
+//!   --git-rev REV         record REV in the snapshot config (provenance)
+//!   --host NAME           record NAME in the snapshot config (provenance);
+//!                         the client's CPU count is recorded automatically
 //!   --trace-summary       after the run, fetch /debug/traces and print the
 //!                         slowest retained traces with their top-level span
 //!                         breakdown (queue-wait / parse / compile / write)
+//!   --profile-summary     after the run, fetch /debug/profile and print the
+//!                         server's work counters, pool utilization, and
+//!                         per-phase allocation accounting
+//!   --profile-json FILE   after the run, write the raw /debug/profile JSON
+//!                         body to FILE (the CI profile artifact)
 //! ```
 //!
 //! Exit codes: 0 success, 1 request/transport failures (under
@@ -57,14 +67,19 @@ struct Options {
     smoke: bool,
     fail_on_error: bool,
     json_out: Option<std::path::PathBuf>,
+    git_rev: Option<String>,
+    host: Option<String>,
     trace_summary: bool,
+    profile_summary: bool,
+    profile_json: Option<std::path::PathBuf>,
 }
 
 fn usage() -> &'static str {
     "usage: trasyn-loadgen --addr HOST:PORT [--connections N] [--duration-secs S] \
      [--requests N] [--mix rz|circuits|mixed] [--angle-pool N] [--epsilon EPS] \
      [--backend trasyn|gridsynth|annealing] [--seed N] [--smoke] [--fail-on-error] \
-     [--json FILE] [--trace-summary]"
+     [--json FILE] [--git-rev REV] [--host NAME] [--trace-summary] [--profile-summary] \
+     [--profile-json FILE]"
 }
 
 fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
@@ -81,7 +96,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         smoke: false,
         fail_on_error: false,
         json_out: None,
+        git_rev: None,
+        host: None,
         trace_summary: false,
+        profile_summary: false,
+        profile_json: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -140,7 +159,13 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--smoke" => opts.smoke = true,
             "--fail-on-error" => opts.fail_on_error = true,
             "--json" => opts.json_out = Some(std::path::PathBuf::from(value("--json")?)),
+            "--git-rev" => opts.git_rev = Some(value("--git-rev")?),
+            "--host" => opts.host = Some(value("--host")?),
             "--trace-summary" => opts.trace_summary = true,
+            "--profile-summary" => opts.profile_summary = true,
+            "--profile-json" => {
+                opts.profile_json = Some(std::path::PathBuf::from(value("--profile-json")?));
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -188,6 +213,19 @@ fn metric(text: &str, name: &str) -> Option<f64> {
     text.lines()
         .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
         .and_then(|l| l[name.len() + 1..].trim().parse().ok())
+}
+
+/// Pulls every `family{label="<key>"} <value>` sample of one labeled
+/// family out of a /metrics body, in exposition order.
+fn labeled_metric(text: &str, family: &str, label: &str) -> Vec<(String, f64)> {
+    let prefix = format!("{family}{{{label}=\"");
+    text.lines()
+        .filter_map(|l| {
+            let rest = l.strip_prefix(prefix.as_str())?;
+            let (key, value) = rest.split_once("\"}")?;
+            Some((key.to_string(), value.trim().parse().ok()?))
+        })
+        .collect()
 }
 
 struct WorkerReport {
@@ -287,6 +325,16 @@ fn jnum(x: f64) -> String {
     }
 }
 
+/// Aggregated totals for one lowering pass, scraped from the labeled
+/// `trasyn_pass_*` families.
+struct PassScrape {
+    name: String,
+    runs: f64,
+    wall_ms: f64,
+    rotations_in: f64,
+    rotations_out: f64,
+}
+
 /// The server-side half of the report, scraped from one `/metrics` pull.
 #[derive(Default)]
 struct ServerStats {
@@ -296,6 +344,7 @@ struct ServerStats {
     queue_wait_ms_mean: f64,
     service_ms_mean: f64,
     slow_requests: f64,
+    passes: Vec<PassScrape>,
 }
 
 impl ServerStats {
@@ -308,6 +357,28 @@ impl ServerStats {
         };
         let m = |name: &str| metric(&resp.body, name).unwrap_or(0.0);
         let mean = |sum: f64, count: f64| if count > 0.0 { sum / count } else { 0.0 };
+        // The four pass families share one sorted label set; join them by
+        // pass name so a family rendered with extra labels someday can't
+        // silently misalign the rows.
+        let by_name = |family: &str| labeled_metric(&resp.body, family, "pass");
+        let passes = by_name("trasyn_pass_runs_total")
+            .into_iter()
+            .map(|(name, runs)| {
+                let of = |family: &str| {
+                    by_name(family)
+                        .into_iter()
+                        .find(|(n, _)| *n == name)
+                        .map_or(0.0, |(_, v)| v)
+                };
+                PassScrape {
+                    runs,
+                    wall_ms: of("trasyn_pass_wall_ms_total"),
+                    rotations_in: of("trasyn_pass_rotations_in_total"),
+                    rotations_out: of("trasyn_pass_rotations_out_total"),
+                    name,
+                }
+            })
+            .collect();
         ServerStats {
             available: true,
             cache_hits: m("trasyn_cache_hits_total"),
@@ -315,6 +386,7 @@ impl ServerStats {
             queue_wait_ms_mean: mean(m("trasyn_queue_wait_ms_sum"), m("trasyn_queue_wait_ms_count")),
             service_ms_mean: mean(m("trasyn_service_ms_sum"), m("trasyn_service_ms_count")),
             slow_requests: m("trasyn_slow_requests_total"),
+            passes,
         }
     }
 
@@ -425,10 +497,14 @@ fn snapshot_json(
     } else {
         latencies.iter().sum::<f64>() / latencies.len() as f64
     };
+    let jopt = |v: &Option<String>| {
+        v.as_deref().map_or("null".to_string(), server::json::escape)
+    };
+    let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
     let mut s = String::new();
     s.push_str("{\n  \"schema\": \"trasyn-bench-server/v1\",\n");
     s.push_str(&format!(
-        "  \"config\": {{\"connections\": {}, \"mix\": \"{}\", \"angle_pool\": {}, \"epsilon\": {}, \"backend\": \"{}\", \"seed\": {}, \"requests\": {}}},\n",
+        "  \"config\": {{\"connections\": {}, \"mix\": \"{}\", \"angle_pool\": {}, \"epsilon\": {}, \"backend\": \"{}\", \"seed\": {}, \"requests\": {}, \"git_rev\": {}, \"host\": {}, \"cpus\": {}}},\n",
         opts.connections,
         opts.mix.label(),
         opts.angle_pool,
@@ -436,6 +512,9 @@ fn snapshot_json(
         opts.backend.label(),
         opts.seed,
         opts.requests.map_or("null".to_string(), |n| n.to_string()),
+        jopt(&opts.git_rev),
+        jopt(&opts.host),
+        cpus,
     ));
     s.push_str(&format!("  \"elapsed_secs\": {},\n", jnum(elapsed)));
     s.push_str(&format!(
@@ -455,7 +534,7 @@ fn snapshot_json(
         jnum(mean),
     ));
     s.push_str(&format!(
-        "  \"server\": {{\"available\": {}, \"cache_hits\": {:.0}, \"cache_misses\": {:.0}, \"cache_hit_rate\": {}, \"queue_wait_ms_mean\": {}, \"service_ms_mean\": {}, \"slow_requests\": {:.0}}}\n",
+        "  \"server\": {{\"available\": {}, \"cache_hits\": {:.0}, \"cache_misses\": {:.0}, \"cache_hit_rate\": {}, \"queue_wait_ms_mean\": {}, \"service_ms_mean\": {}, \"slow_requests\": {:.0}}},\n",
         server.available,
         server.cache_hits,
         server.cache_misses,
@@ -464,8 +543,99 @@ fn snapshot_json(
         jnum(server.service_ms_mean),
         server.slow_requests,
     ));
+    let passes: Vec<String> = server
+        .passes
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"name\": {}, \"runs\": {:.0}, \"wall_ms\": {}, \"rotations_in\": {:.0}, \"rotations_out\": {:.0}}}",
+                server::json::escape(&p.name),
+                p.runs,
+                jnum(p.wall_ms),
+                p.rotations_in,
+                p.rotations_out,
+            )
+        })
+        .collect();
+    s.push_str(&format!("  \"passes\": [{}]\n", passes.join(", ")));
     s.push_str("}\n");
     s
+}
+
+/// Fetch `/debug/profile` and print the server's work counters, pool
+/// utilization, and per-phase allocation accounting.
+fn print_profile_summary(opts: &Options) {
+    let resp = match Conn::connect(&opts.addr, CLIENT_TIMEOUT)
+        .and_then(|mut c| c.request("GET", "/debug/profile", None))
+    {
+        Ok(r) if r.status == 200 => r,
+        _ => {
+            println!("  profile: /debug/profile unavailable");
+            return;
+        }
+    };
+    let parsed = match server::json::parse(&resp.body) {
+        Ok(v) => v,
+        Err(e) => {
+            println!("  profile: unparseable /debug/profile body ({e})");
+            return;
+        }
+    };
+    let Some(engine) = parsed.get("engine") else {
+        println!("  profile: /debug/profile has no \"engine\" object");
+        return;
+    };
+    let num = |v: Option<&server::json::Value>, key: &str| {
+        v.and_then(|v| v.get(key)).and_then(|v| v.as_f64()).unwrap_or(0.0)
+    };
+    let work = engine.get("work");
+    println!(
+        "  profile work: {:.0} grid candidates, {:.0} norm equations, {:.0} solutions, {:.0} exact syntheses, {:.0} cache probes",
+        num(work, "grid_candidates"),
+        num(work, "norm_equations"),
+        num(work, "norm_solutions"),
+        num(work, "exact_syntheses"),
+        num(work, "cache_probes"),
+    );
+    let pool = engine.get("pool");
+    println!(
+        "  profile pool: {:.0} run(s), {:.0} job(s), busy {:.3} ms / wall {:.3} ms ({:.1}% utilization)",
+        num(pool, "runs"),
+        num(pool, "jobs"),
+        num(pool, "busy_ms"),
+        num(pool, "wall_ms"),
+        num(pool, "utilization") * 100.0,
+    );
+    let alloc = engine.get("alloc");
+    let enabled = alloc
+        .and_then(|a| a.get("enabled"))
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false);
+    if enabled {
+        if let Some(phases) = alloc.and_then(|a| a.get("phases")) {
+            for phase in ["lower", "synthesis", "splice", "verify"] {
+                let p = phases.get(phase);
+                println!(
+                    "  profile alloc {phase}: {:.0} allocs, {:.0} bytes, peak {:.0} bytes",
+                    num(p, "allocs"),
+                    num(p, "bytes"),
+                    num(p, "peak_bytes"),
+                );
+            }
+        }
+    } else {
+        println!("  profile alloc: accounting disabled (start the server with --profile)");
+    }
+    let sampled = parsed.get("queue").and_then(|q| q.get("sampled"));
+    let samples = num(sampled, "samples");
+    if samples > 0.0 {
+        println!(
+            "  profile queue: mean depth {:.2} over {:.0} pickup(s), max {:.0}",
+            num(sampled, "sum") / samples,
+            samples,
+            num(sampled, "max"),
+        );
+    }
 }
 
 fn load_run(opts: &Options) -> ExitCode {
@@ -530,6 +700,23 @@ fn load_run(opts: &Options) -> ExitCode {
 
     if opts.trace_summary {
         print_trace_summary(opts);
+    }
+    if opts.profile_summary {
+        print_profile_summary(opts);
+    }
+    if let Some(path) = &opts.profile_json {
+        match Conn::connect(&opts.addr, CLIENT_TIMEOUT)
+            .and_then(|mut c| c.request("GET", "/debug/profile", None))
+        {
+            Ok(r) if r.status == 200 => {
+                if let Err(e) = std::fs::write(path, &r.body) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::from(1);
+                }
+                println!("  profile: wrote {}", path.display());
+            }
+            _ => println!("  profile: /debug/profile unavailable, {} not written", path.display()),
+        }
     }
 
     if let Some(path) = &opts.json_out {
@@ -612,6 +799,20 @@ fn smoke(opts: &Options) -> Result<(), String> {
         "trasyn_service_ms_bucket{le=\"+Inf\"}",
         "trasyn_service_ms_count",
         "trasyn_slow_requests_total",
+        "trasyn_queue_depth_sampled_sum",
+        "trasyn_queue_depth_samples_total",
+        "trasyn_queue_depth_max",
+        "trasyn_work_total{kind=\"grid_candidates\"}",
+        "trasyn_work_total{kind=\"cache_probes\"}",
+        "trasyn_pool_runs_total",
+        "trasyn_pool_jobs_total",
+        "trasyn_pool_utilization",
+        "trasyn_alloc_enabled",
+        "trasyn_phase_allocs_total{phase=\"synthesis\"}",
+        "trasyn_phase_alloc_bytes_total{phase=\"lower\"}",
+        "trasyn_phase_alloc_peak_bytes{phase=\"verify\"}",
+        "trasyn_cache_shard_entries{shard=\"0\"}",
+        "trasyn_cache_shard_evictions_total{shard=\"0\"}",
     ] {
         if !resp.body.contains(needle) {
             return Err(format!("metrics missing {needle:?}"));
@@ -652,7 +853,38 @@ fn smoke(opts: &Options) -> Result<(), String> {
         return Err(format!("debug/traces?min_ms=bogus: status {}, want 400", resp.status));
     }
 
-    println!("trasyn-loadgen: smoke ok (compile + batch + metrics + traces)");
+    // /debug/profile shape: engine stats (work/pool/alloc/cache_shards)
+    // plus queue-depth sampling, with plausible work counters — the
+    // compile/batch requests above synthesized at least one rotation.
+    let resp = conn.request("GET", "/debug/profile", None).map_err(|e| e.to_string())?;
+    if resp.status != 200 {
+        return Err(format!("debug/profile: status {}", resp.status));
+    }
+    let parsed =
+        server::json::parse(&resp.body).map_err(|e| format!("debug/profile response: {e}"))?;
+    let engine = parsed
+        .get("engine")
+        .ok_or_else(|| "debug/profile missing \"engine\"".to_string())?;
+    for key in ["work", "pool", "alloc", "cache_shards", "cache", "passes"] {
+        if engine.get(key).is_none() {
+            return Err(format!("debug/profile engine missing \"{key}\""));
+        }
+    }
+    let probes = engine
+        .get("work")
+        .and_then(|w| w.get("cache_probes"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    if probes < 1.0 {
+        return Err(format!("debug/profile cache_probes = {probes}, want >= 1"));
+    }
+    for key in ["depth", "sampled"] {
+        if parsed.get("queue").and_then(|q| q.get(key)).is_none() {
+            return Err(format!("debug/profile queue missing \"{key}\""));
+        }
+    }
+
+    println!("trasyn-loadgen: smoke ok (compile + batch + metrics + traces + profile)");
     Ok(())
 }
 

@@ -14,6 +14,9 @@
 //!   --cache-file FILE      warm-start from FILE on boot, save on shutdown/signal
 //!   --backend NAME         default backend for requests (default gridsynth)
 //!   --epsilon EPS          default per-rotation error threshold (default 1e-2)
+//!   --profile              enable allocation accounting (per-phase alloc
+//!                          counters in /metrics and /debug/profile; small
+//!                          fast-path cost, off by default)
 //!   --with-trasyn          also host the trasyn backend (builds its table at boot)
 //!   --max-t N              trasyn per-tensor T budget (default 6)
 //!   --samples N            trasyn samples per pass (default 1024)
@@ -52,6 +55,7 @@ struct Options {
     cache_file: Option<PathBuf>,
     backend: BackendKind,
     epsilon: f64,
+    profile: bool,
     with_trasyn: bool,
     max_t: usize,
     samples: usize,
@@ -62,7 +66,7 @@ fn usage() -> &'static str {
     "usage: trasyn-server [--addr HOST:PORT] [--addr-file FILE] [--http-workers N] \
      [--queue-depth N] [--read-timeout-ms N] [--threads N] [--cache-capacity N] \
      [--cache-file FILE] [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
-     [--with-trasyn] [--max-t N] [--samples N] [--no-trace] [--trace-sample N] \
+     [--profile] [--with-trasyn] [--max-t N] [--samples N] [--no-trace] [--trace-sample N] \
      [--trace-ring N] [--trace-slow-ms X] [--trace-seed N]"
 }
 
@@ -78,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         cache_file: None,
         backend: BackendKind::Gridsynth,
         epsilon: 1e-2,
+        profile: false,
         with_trasyn: false,
         max_t: 6,
         samples: 1024,
@@ -119,6 +124,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     .parse()
                     .map_err(|_| "--epsilon needs a number".to_string())?;
             }
+            "--profile" => opts.profile = true,
             "--with-trasyn" => opts.with_trasyn = true,
             "--max-t" => opts.max_t = parse_usize("--max-t", value("--max-t")?)?,
             "--samples" => opts.samples = parse_usize("--samples", value("--samples")?)?,
@@ -225,6 +231,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.profile {
+        prof::alloc::set_enabled(true);
+        eprintln!("[trasyn-server] allocation accounting enabled (--profile)");
+    }
 
     let mut builder = Engine::builder()
         .threads(opts.threads)

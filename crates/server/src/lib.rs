@@ -36,6 +36,7 @@
 //! count, because both are the same `Engine` call (verified by this
 //! crate's loopback tests).
 
+pub mod bench;
 pub mod client;
 pub mod fuzz;
 pub mod http;

@@ -130,6 +130,13 @@ pub struct Metrics {
     queue_wait: Hist,
     /// Time between request read and response written.
     service: Hist,
+    /// Queue-depth samples taken at every worker pickup: sum and count
+    /// give the mean depth *while work was flowing* (the live
+    /// `trasyn_queue_depth` gauge only shows the instant of the scrape),
+    /// max is the high-water mark.
+    queue_depth_sum: AtomicU64,
+    queue_depth_samples: AtomicU64,
+    queue_depth_max: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -143,6 +150,9 @@ impl Default for Metrics {
             latency: Hist::default(),
             queue_wait: Hist::default(),
             service: Hist::default(),
+            queue_depth_sum: AtomicU64::new(0),
+            queue_depth_samples: AtomicU64::new(0),
+            queue_depth_max: AtomicU64::new(0),
         }
     }
 }
@@ -207,6 +217,24 @@ impl Metrics {
     /// Total observed requests so far.
     pub fn request_count(&self) -> u64 {
         self.latency.count.load(Ordering::Relaxed)
+    }
+
+    /// Records one queue-depth sample (taken whenever a worker picks a
+    /// connection off the accept queue).
+    pub fn sample_queue_depth(&self, depth: usize) {
+        let d = depth as u64;
+        self.queue_depth_sum.fetch_add(d, Ordering::Relaxed);
+        self.queue_depth_samples.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth_max.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// `(sum, samples, max)` of the queue-depth samples so far.
+    pub fn queue_depth_sampled(&self) -> (u64, u64, u64) {
+        (
+            self.queue_depth_sum.load(Ordering::Relaxed),
+            self.queue_depth_samples.load(Ordering::Relaxed),
+            self.queue_depth_max.load(Ordering::Relaxed),
+        )
     }
 
     /// Renders the Prometheus text exposition: server counters, the
@@ -304,6 +332,71 @@ impl Metrics {
                 p.name, p.rotations_out
             ));
         }
+
+        // Profiling families (this PR's additions — appended after the
+        // historic ones; the whole exposition stays append-only).
+        let (qd_sum, qd_samples, qd_max) = self.queue_depth_sampled();
+        line("# TYPE trasyn_queue_depth_sampled_sum counter".into());
+        line(format!("trasyn_queue_depth_sampled_sum {qd_sum}"));
+        line("# TYPE trasyn_queue_depth_samples_total counter".into());
+        line(format!("trasyn_queue_depth_samples_total {qd_samples}"));
+        line("# TYPE trasyn_queue_depth_max gauge".into());
+        line(format!("trasyn_queue_depth_max {qd_max}"));
+
+        let prof = &engine.profile;
+        line("# TYPE trasyn_work_total counter".into());
+        for (kind, n) in prof.work.entries() {
+            line(format!("trasyn_work_total{{kind=\"{kind}\"}} {n}"));
+        }
+
+        line("# TYPE trasyn_pool_runs_total counter".into());
+        line(format!("trasyn_pool_runs_total {}", prof.pool.runs));
+        line("# TYPE trasyn_pool_jobs_total counter".into());
+        line(format!("trasyn_pool_jobs_total {}", prof.pool.jobs));
+        line("# TYPE trasyn_pool_busy_ms_total counter".into());
+        line(format!("trasyn_pool_busy_ms_total {}", prof.pool.busy_ms));
+        line("# TYPE trasyn_pool_wall_ms_total counter".into());
+        line(format!("trasyn_pool_wall_ms_total {}", prof.pool.wall_ms));
+        line("# TYPE trasyn_pool_utilization gauge".into());
+        line(format!("trasyn_pool_utilization {}", prof.pool.utilization()));
+        line("# TYPE trasyn_pool_workers gauge".into());
+        line(format!("trasyn_pool_workers {}", prof.pool.workers.len()));
+
+        line("# TYPE trasyn_alloc_enabled gauge".into());
+        line(format!("trasyn_alloc_enabled {}", u8::from(prof.alloc_enabled)));
+        line("# TYPE trasyn_phase_allocs_total counter".into());
+        for (phase, a) in prof.alloc.phases() {
+            line(format!("trasyn_phase_allocs_total{{phase=\"{phase}\"}} {}", a.allocs));
+        }
+        line("# TYPE trasyn_phase_alloc_bytes_total counter".into());
+        for (phase, a) in prof.alloc.phases() {
+            line(format!(
+                "trasyn_phase_alloc_bytes_total{{phase=\"{phase}\"}} {}",
+                a.bytes
+            ));
+        }
+        line("# TYPE trasyn_phase_alloc_peak_bytes gauge".into());
+        for (phase, a) in prof.alloc.phases() {
+            line(format!(
+                "trasyn_phase_alloc_peak_bytes{{phase=\"{phase}\"}} {}",
+                a.peak_bytes
+            ));
+        }
+
+        // Per-shard cache telemetry: entries and evictions only — the
+        // age fields are wall-clock dependent and belong to
+        // `/debug/profile`, not a deterministic text exposition.
+        line("# TYPE trasyn_cache_shard_entries gauge".into());
+        for (i, s) in prof.cache_shards.iter().enumerate() {
+            line(format!("trasyn_cache_shard_entries{{shard=\"{i}\"}} {}", s.entries));
+        }
+        line("# TYPE trasyn_cache_shard_evictions_total counter".into());
+        for (i, s) in prof.cache_shards.iter().enumerate() {
+            line(format!(
+                "trasyn_cache_shard_evictions_total{{shard=\"{i}\"}} {}",
+                s.evictions
+            ));
+        }
         out
     }
 }
@@ -311,7 +404,10 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use engine::{BackendKind, CacheStats};
+    use engine::{
+        AllocTotals, BackendKind, CacheStats, PhaseAllocs, PoolTotals, ProfileStats, ShardStats,
+        WorkTotals, WorkerTotals,
+    };
 
     fn stats() -> EngineStats {
         let mut fuse = engine::PassTotals::named("fuse");
@@ -335,6 +431,41 @@ mod tests {
             verify_fail: 2,
             lint_errors: 4,
             lint_warnings: 9,
+            profile: ProfileStats {
+                alloc_enabled: true,
+                work: WorkTotals {
+                    grid_candidates: 40,
+                    norm_equations: 30,
+                    norm_solutions: 20,
+                    exact_syntheses: 10,
+                    cache_probes: 7,
+                },
+                pool: PoolTotals {
+                    runs: 2,
+                    jobs: 8,
+                    wall_ms: 4.0,
+                    busy_ms: 6.0,
+                    workers: vec![
+                        WorkerTotals { busy_ms: 3.0, jobs: 4 },
+                        WorkerTotals { busy_ms: 3.0, jobs: 4 },
+                    ],
+                },
+                alloc: PhaseAllocs {
+                    lower: AllocTotals { allocs: 11, bytes: 1100, peak_bytes: 512 },
+                    synthesis: AllocTotals { allocs: 22, bytes: 2200, peak_bytes: 1024 },
+                    splice: AllocTotals { allocs: 3, bytes: 300, peak_bytes: 128 },
+                    verify: AllocTotals { allocs: 4, bytes: 400, peak_bytes: 256 },
+                },
+                cache_shards: vec![
+                    ShardStats {
+                        entries: 2,
+                        evictions: 1,
+                        oldest_age_ms: 0.0,
+                        last_eviction_age_ms: 0.0,
+                    },
+                    ShardStats::default(),
+                ],
+            },
         }
     }
 
@@ -373,9 +504,37 @@ mod tests {
             "trasyn_pass_wall_ms_total{pass=\"fuse\"} 1.25",
             "trasyn_pass_rotations_in_total{pass=\"fuse\"} 12",
             "trasyn_pass_rotations_out_total{pass=\"fuse\"} 7",
+            "trasyn_work_total{kind=\"grid_candidates\"} 40",
+            "trasyn_work_total{kind=\"cache_probes\"} 7",
+            "trasyn_pool_runs_total 2",
+            "trasyn_pool_jobs_total 8",
+            "trasyn_pool_busy_ms_total 6",
+            "trasyn_pool_wall_ms_total 4",
+            "trasyn_pool_utilization 0.75",
+            "trasyn_pool_workers 2",
+            "trasyn_alloc_enabled 1",
+            "trasyn_phase_allocs_total{phase=\"synthesis\"} 22",
+            "trasyn_phase_alloc_bytes_total{phase=\"lower\"} 1100",
+            "trasyn_phase_alloc_peak_bytes{phase=\"verify\"} 256",
+            "trasyn_cache_shard_entries{shard=\"0\"} 2",
+            "trasyn_cache_shard_entries{shard=\"1\"} 0",
+            "trasyn_cache_shard_evictions_total{shard=\"0\"} 1",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn queue_depth_samples_roll_up() {
+        let m = Metrics::new();
+        m.sample_queue_depth(3);
+        m.sample_queue_depth(5);
+        m.sample_queue_depth(1);
+        assert_eq!(m.queue_depth_sampled(), (9, 3, 5));
+        let text = m.render(&stats(), 0);
+        assert!(text.contains("trasyn_queue_depth_sampled_sum 9"), "{text}");
+        assert!(text.contains("trasyn_queue_depth_samples_total 3"), "{text}");
+        assert!(text.contains("trasyn_queue_depth_max 5"), "{text}");
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //!
 //! * `GET /healthz` → `{"status": "ok"}`.
 //! * `GET /metrics` → Prometheus text ([`crate::metrics`]).
+//! * `GET /debug/profile` → one JSON object describing the process's
+//!   profile so far: the engine's [`engine::EngineStats`] (work
+//!   counters, per-phase allocation accounting, pool utilization,
+//!   per-shard cache telemetry) plus the server's queue-depth sampling
+//!   and request count. The machine-readable sibling of `/metrics` for
+//!   tools that want structure instead of a text exposition.
 //! * `GET /debug/traces` → the tracer's retained request traces as a
 //!   JSON array, newest first — each a self-describing span tree
 //!   (queue-wait, parse, per-pass lowering, cache lookup, per-rotation
@@ -75,7 +81,7 @@ pub fn endpoint_of(req: &Request) -> Endpoint {
         "/v1/batch" => Endpoint::Batch,
         "/healthz" => Endpoint::Healthz,
         "/metrics" => Endpoint::Metrics,
-        "/debug/traces" => Endpoint::Debug,
+        "/debug/traces" | "/debug/profile" => Endpoint::Debug,
         _ => Endpoint::Other,
     }
 }
@@ -166,9 +172,11 @@ fn route(req: &Request, shared: &Shared, span: Option<&SpanHandle>) -> RouteResu
                 .render(&shared.engine.stats(), shared.queue.len()),
         )),
         ("GET", "/debug/traces") => debug_traces(req, shared),
+        ("GET", "/debug/profile") => debug_profile(shared),
         ("POST", "/v1/compile") => compile(req, shared, span),
         ("POST", "/v1/batch") => batch(req, shared, span),
-        (_, "/healthz" | "/metrics" | "/debug/traces") | (_, "/v1/compile" | "/v1/batch") => {
+        (_, "/healthz" | "/metrics" | "/debug/traces" | "/debug/profile")
+        | (_, "/v1/compile" | "/v1/batch") => {
             Err((
                 405,
                 format!("method {} not allowed on {}", req.method, path_of(req)),
@@ -225,6 +233,21 @@ fn debug_traces(req: &Request, shared: &Shared) -> RouteResult {
     }
     out.push_str("]\n");
     Ok(("application/json", out))
+}
+
+/// `GET /debug/profile` — the engine's stats JSON wrapped with the
+/// server-side profile (queue-depth sampling, handled-request count).
+fn debug_profile(shared: &Shared) -> RouteResult {
+    let (qd_sum, qd_samples, qd_max) = shared.metrics.queue_depth_sampled();
+    let body = format!(
+        "{{\"engine\": {}, \"queue\": {{\"depth\": {}, \"sampled\": \
+         {{\"sum\": {qd_sum}, \"samples\": {qd_samples}, \"max\": {qd_max}}}}}, \
+         \"requests\": {}}}\n",
+        shared.engine.stats().to_json(),
+        shared.queue.len(),
+        shared.metrics.request_count(),
+    );
+    Ok(("application/json", body))
 }
 
 fn parse_body(req: &Request) -> Result<Value, (u16, String)> {

@@ -307,6 +307,9 @@ fn shed(stream: TcpStream, shared: &Shared) {
 
 fn worker_loop(shared: &Shared) {
     while let Some(conn) = shared.queue.pop() {
+        // Sample the queue depth at every pickup: the `/metrics` gauge
+        // only sees scrape instants, this sees every unit of work.
+        shared.metrics.sample_queue_depth(shared.queue.len());
         // Panic isolation: a bug (or violated backend precondition) while
         // serving one connection must cost that connection, not silently
         // retire 1/N of the server's capacity for its whole lifetime.

@@ -558,3 +558,73 @@ fn lint_flag_surfaces_diagnostics_and_counts_in_metrics() {
 
     handle.shutdown();
 }
+
+#[test]
+fn debug_profile_reports_work_pool_and_queue_sampling() {
+    let handle = Server::start("127.0.0.1:0", config(), engine(2)).unwrap();
+    let mut c = connect(handle.addr());
+
+    // Two compiles: a miss that synthesizes, then a hit on the same key.
+    for _ in 0..2 {
+        let resp = c
+            .request("POST", "/v1/compile", Some("{\"rz\": 0.41}"))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+
+    let resp = c.request("GET", "/debug/profile", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let v = json::parse(&resp.body).expect("profile is valid JSON");
+
+    // Engine half: the full EngineStats JSON rides along.
+    let engine_stats = v.get("engine").expect("engine object");
+    let num = |path: &[&str]| {
+        let mut cur = engine_stats;
+        for k in path {
+            cur = cur.get(k).unwrap_or_else(|| panic!("missing {path:?} in {}", resp.body));
+        }
+        cur.as_f64().unwrap_or_else(|| panic!("{path:?} not a number"))
+    };
+    // Synthesizing one distinct rotation via gridsynth enumerated
+    // candidates, attempted norm equations, and ran exact synthesis.
+    assert!(num(&["work", "grid_candidates"]) >= 1.0, "{}", resp.body);
+    assert!(num(&["work", "norm_equations"]) >= 1.0);
+    assert!(num(&["work", "exact_syntheses"]) >= 1.0);
+    // Both requests probed the cache.
+    assert!(num(&["work", "cache_probes"]) >= 2.0);
+    // The pool ran once per batch; totals are coherent.
+    assert!(num(&["pool", "runs"]) >= 1.0);
+    assert!(num(&["pool", "jobs"]) >= 1.0);
+    assert!(num(&["pool", "wall_ms"]) >= 0.0);
+    // Alloc accounting is off by default — phases report zero, and the
+    // flag says so.
+    assert_eq!(
+        engine_stats.get("alloc").and_then(|a| a.get("enabled")).and_then(|b| b.as_bool()),
+        Some(false)
+    );
+    // Per-shard stats sum to the aggregate entry count (1 distinct key).
+    let shards = engine_stats
+        .get("cache_shards")
+        .and_then(|s| s.as_arr())
+        .expect("cache_shards array");
+    let shard_entries: f64 = shards
+        .iter()
+        .map(|s| s.get("entries").and_then(|v| v.as_f64()).unwrap_or(0.0))
+        .sum();
+    assert_eq!(shard_entries, num(&["cache", "entries"]));
+
+    // Server half: queue-depth sampling saw every worker pickup.
+    let sampled = v.get("queue").and_then(|q| q.get("sampled")).expect("queue.sampled");
+    let samples = sampled.get("samples").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    assert!(samples >= 1.0, "{}", resp.body);
+    assert!(v.get("requests").and_then(|v| v.as_f64()).unwrap_or(0.0) >= 2.0);
+
+    // The same counters appear as /metrics families.
+    let m = c.request("GET", "/metrics", None).unwrap();
+    assert!(metric(&m.body, "trasyn_work_total{kind=\"grid_candidates\"}") >= 1);
+    assert!(metric(&m.body, "trasyn_pool_jobs_total") >= 1);
+    assert!(metric(&m.body, "trasyn_queue_depth_samples_total") >= 1);
+    assert_eq!(metric(&m.body, "trasyn_alloc_enabled"), 0);
+
+    handle.shutdown();
+}

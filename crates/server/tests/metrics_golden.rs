@@ -7,7 +7,10 @@
 //! new families *after* existing ones is the supported evolution and
 //! only requires extending the golden text.
 
-use engine::{BackendKind, CacheStats, EngineStats, PassTotals};
+use engine::{
+    AllocTotals, BackendKind, CacheStats, EngineStats, PassTotals, PhaseAllocs, PoolTotals,
+    ProfileStats, ShardStats, WorkTotals, WorkerTotals,
+};
 use server::{Endpoint, Metrics};
 
 /// Deterministic engine-side snapshot: two passes (to pin the sorted,
@@ -40,6 +43,41 @@ fn stats() -> EngineStats {
         verify_fail: 2,
         lint_errors: 4,
         lint_warnings: 9,
+        profile: ProfileStats {
+            alloc_enabled: true,
+            work: WorkTotals {
+                grid_candidates: 40,
+                norm_equations: 30,
+                norm_solutions: 20,
+                exact_syntheses: 10,
+                cache_probes: 7,
+            },
+            pool: PoolTotals {
+                runs: 2,
+                jobs: 8,
+                wall_ms: 4.0,
+                busy_ms: 6.0,
+                workers: vec![
+                    WorkerTotals { busy_ms: 3.5, jobs: 5 },
+                    WorkerTotals { busy_ms: 2.5, jobs: 3 },
+                ],
+            },
+            alloc: PhaseAllocs {
+                lower: AllocTotals { allocs: 11, bytes: 1100, peak_bytes: 512 },
+                synthesis: AllocTotals { allocs: 22, bytes: 2200, peak_bytes: 1024 },
+                splice: AllocTotals { allocs: 3, bytes: 300, peak_bytes: 128 },
+                verify: AllocTotals { allocs: 4, bytes: 400, peak_bytes: 256 },
+            },
+            cache_shards: vec![
+                ShardStats {
+                    entries: 2,
+                    evictions: 1,
+                    oldest_age_ms: 0.0,
+                    last_eviction_age_ms: 0.0,
+                },
+                ShardStats::default(),
+            ],
+        },
     }
 }
 
@@ -53,6 +91,9 @@ fn metrics_render_matches_golden() {
     m.observe(Endpoint::Compile, 200, 1.0, 2.0);
     m.reject();
     m.note_slow();
+    // Two queue-depth samples: sum 6, count 2, max 4.
+    m.sample_queue_depth(2);
+    m.sample_queue_depth(4);
     let actual = m.render(&stats(), 3);
     assert_eq!(
         actual, EXPECTED,

@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_server.json — the checked-in serving-perf trajectory.
+# Regenerate a serving-perf snapshot and (optionally) append it to the
+# checked-in BENCH_server.json perf trajectory.
 #
 # One command, fixed seed and workload, so successive snapshots are
 # comparable run-to-run on the same machine. Absolute milliseconds still
 # vary with hardware; when reading the trajectory across commits, track
 # ratios (throughput, hit rate, queue-wait vs service split), not raw ms.
+# Each snapshot records its provenance (git rev, host, CPU count) in
+# "config" for exactly that reason.
 #
-#   scripts/bench_snapshot.sh                 # writes BENCH_server.json
+#   scripts/bench_snapshot.sh                     # writes BENCH_server.json (one snapshot)
 #   REQUESTS=500 OUT=bench.json scripts/bench_snapshot.sh
+#   APPEND=1 OUT=BENCH_server.json scripts/bench_snapshot.sh
+#       # append a fresh snapshot to the trajectory instead of overwriting
+#   PROFILE=1 scripts/bench_snapshot.sh           # alloc accounting on (--profile)
+#   PROFILE_OUT=profile.json scripts/bench_snapshot.sh
+#       # also save the server's /debug/profile JSON after the run
 #
-# Knobs (env): REQUESTS, CONNECTIONS, MIX, SEED, OUT.
+# Knobs (env): REQUESTS, CONNECTIONS, MIX, SEED, OUT, APPEND, PROFILE,
+# PROFILE_OUT.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,20 +27,29 @@ CONNECTIONS="${CONNECTIONS:-4}"
 MIX="${MIX:-mixed}"
 SEED="${SEED:-42}"
 OUT="${OUT:-BENCH_server.json}"
+APPEND="${APPEND:-0}"
+PROFILE="${PROFILE:-0}"
+PROFILE_OUT="${PROFILE_OUT:-}"
+
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+HOST="$(uname -n 2>/dev/null || echo unknown)"
 
 cargo build --release -p server
 
 ADDR_FILE="$(mktemp)"
+SNAP_FILE="$(mktemp)"
 SERVER_PID=""
 cleanup() {
     [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
-    rm -f "$ADDR_FILE"
+    rm -f "$ADDR_FILE" "$SNAP_FILE"
 }
 trap cleanup EXIT
 
+SERVER_FLAGS=()
+[ "$PROFILE" = "1" ] && SERVER_FLAGS+=(--profile)
 ./target/release/trasyn-server \
     --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
-    --http-workers 4 --queue-depth 64 &
+    --http-workers 4 --queue-depth 64 "${SERVER_FLAGS[@]+"${SERVER_FLAGS[@]}"}" &
 SERVER_PID=$!
 for _ in $(seq 1 100); do
     [ -s "$ADDR_FILE" ] && break
@@ -39,12 +57,21 @@ for _ in $(seq 1 100); do
 done
 [ -s "$ADDR_FILE" ] || { echo "error: server did not report its address" >&2; exit 1; }
 
+LOADGEN_FLAGS=(--trace-summary --profile-summary)
+[ -n "$PROFILE_OUT" ] && LOADGEN_FLAGS+=(--profile-json "$PROFILE_OUT")
 ./target/release/trasyn-loadgen \
     --addr "$(cat "$ADDR_FILE")" \
     --connections "$CONNECTIONS" --requests "$REQUESTS" --mix "$MIX" --seed "$SEED" \
-    --json "$OUT" --trace-summary --fail-on-error
+    --git-rev "$GIT_REV" --host "$HOST" \
+    --json "$SNAP_FILE" --fail-on-error "${LOADGEN_FLAGS[@]}"
 
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID"
 SERVER_PID=""
-echo "wrote $OUT"
+
+if [ "$APPEND" = "1" ]; then
+    ./target/release/trasyn-benchdiff append "$OUT" "$SNAP_FILE"
+else
+    cp "$SNAP_FILE" "$OUT"
+    echo "wrote $OUT"
+fi
