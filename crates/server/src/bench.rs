@@ -41,6 +41,14 @@ pub struct BenchSummary {
     pub errors: f64,
     /// Server-side cache hit rate in `[0, 1]`.
     pub cache_hit_rate: f64,
+    /// Generator mode: `"closed"` (the default for snapshots written
+    /// before the field existed) or `"open"` (Poisson-scheduled).
+    pub mode: String,
+    /// Offered load in req/s (open-loop runs only).
+    pub offered_rps: Option<f64>,
+    /// Saturation-sweep knee: the highest offered rate still achieved
+    /// within 10% (sweep runs only). Advisory — never gated on.
+    pub knee_offered_rps: Option<f64>,
 }
 
 /// Extracts the comparable summary from one parsed snapshot object.
@@ -68,6 +76,18 @@ fn summary_of(v: &Value) -> Result<BenchSummary, String> {
         p95_ms: num(&["latency_ms", "p95"])?,
         errors: num(&["requests", "errors"])? + num(&["requests", "transport_errors"])?,
         cache_hit_rate: num(&["server", "cache_hit_rate"])?,
+        // Appended by the open-loop/sweep generator; absent in older
+        // snapshots, which were all closed-loop.
+        mode: v
+            .get("mode")
+            .and_then(Value::as_str)
+            .unwrap_or("closed")
+            .to_string(),
+        offered_rps: v.get("offered_rps").and_then(Value::as_f64),
+        knee_offered_rps: v
+            .get("sweep")
+            .and_then(|s| s.get("knee_offered_rps"))
+            .and_then(Value::as_f64),
     })
 }
 
@@ -261,6 +281,27 @@ mod tests {
         assert_eq!(entries.len(), 3);
         assert!((entries[2].throughput_rps - 990.0).abs() < 1e-9);
         assert!((entries[2].p95_ms - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_fields_parse_and_older_snapshots_default_to_closed_loop() {
+        // Older snapshots (no mode/offered/sweep) read as closed-loop.
+        let old = parse_trajectory(&snapshot(1000.0, 5.0, 0)).unwrap().remove(0);
+        assert_eq!(old.mode, "closed");
+        assert_eq!(old.offered_rps, None);
+        assert_eq!(old.knee_offered_rps, None);
+
+        // A sweep snapshot carries the appended fields through.
+        let swept = snapshot(1000.0, 5.0, 0).trim_end().trim_end_matches('}').to_string()
+            + ",\n  \"mode\": \"open\",\n  \"offered_rps\": 120.0,\n  \
+               \"sweep\": {\"step_secs\": 3, \"knee_offered_rps\": 80.0, \"steps\": []}\n}\n";
+        let new = parse_trajectory(&swept).unwrap().remove(0);
+        assert_eq!(new.mode, "open");
+        assert_eq!(new.offered_rps, Some(120.0));
+        assert_eq!(new.knee_offered_rps, Some(80.0));
+
+        // The sweep fields never affect the verdict.
+        assert!(compare(&old, &new, DEFAULT_THRESHOLD).ok());
     }
 
     #[test]

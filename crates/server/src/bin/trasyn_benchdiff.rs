@@ -81,6 +81,18 @@ fn report(old: &BenchSummary, new: &BenchSummary, threshold: f64) -> ExitCode {
         old.cache_hit_rate * 100.0,
         new.cache_hit_rate * 100.0,
     );
+    // Open-loop/sweep context, advisory only (never part of the verdict).
+    if old.mode != new.mode {
+        println!("note: generator mode changed ({} -> {}) — numbers are not directly comparable", old.mode, new.mode);
+    }
+    if let Some(r) = new.offered_rps {
+        println!("offered load: {r:.1} req/s (open loop)");
+    }
+    match (old.knee_offered_rps, new.knee_offered_rps) {
+        (Some(a), Some(b)) => println!("saturation knee: {a:.1} -> {b:.1} req/s offered"),
+        (None, Some(b)) => println!("saturation knee: {b:.1} req/s offered"),
+        _ => {}
+    }
     if cmp.ok() {
         println!("ok: within the {:.0}% threshold", threshold * 100.0);
         ExitCode::SUCCESS

@@ -8,6 +8,15 @@
 //! and the server's cache hit rate from `/metrics`, giving every future
 //! serving-perf PR the same repeatable benchmark.
 //!
+//! With `--open-loop --rate R`, arrivals are instead scheduled by a
+//! seeded Poisson process at R req/s total (split across connections),
+//! and latency is measured from each request's *scheduled* send time —
+//! so a server that falls behind pays its backlog in the percentiles
+//! instead of silently slowing the generator down (no coordinated
+//! omission). `--sweep START:STEP:COUNT` chains open-loop steps at
+//! rising offered rates and reports the saturation knee: the highest
+//! offered rate the server still achieves within 10%.
+//!
 //! ```text
 //! trasyn-loadgen --addr HOST:PORT [OPTIONS]
 //!
@@ -15,6 +24,11 @@
 //!   --connections N       concurrent closed-loop connections (default 4)
 //!   --duration-secs S     run length (default 5; ignored with --requests)
 //!   --requests N          stop after N total requests instead of a duration
+//!   --open-loop           Poisson-scheduled arrivals instead of closed-loop
+//!   --rate R              offered load in req/s for --open-loop (required)
+//!   --sweep S:T:C         saturation sweep: C open-loop steps at offered
+//!                         rates S, S+T, S+2T, ... (implies --open-loop)
+//!   --sweep-step-secs X   seconds per sweep step (default 3)
 //!   --mix rz|circuits|mixed   request population (default rz)
 //!   --angle-pool N        distinct rotation angles in circulation (default 32)
 //!   --epsilon EPS         per-rotation error threshold (default 1e-2)
@@ -59,6 +73,10 @@ struct Options {
     connections: usize,
     duration: Duration,
     requests: Option<u64>,
+    open_loop: bool,
+    rate: f64,
+    sweep: Option<(f64, f64, usize)>,
+    sweep_step_secs: f64,
     mix: MixKind,
     angle_pool: usize,
     epsilon: f64,
@@ -76,7 +94,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: trasyn-loadgen --addr HOST:PORT [--connections N] [--duration-secs S] \
-     [--requests N] [--mix rz|circuits|mixed] [--angle-pool N] [--epsilon EPS] \
+     [--requests N] [--open-loop --rate R] [--sweep START:STEP:COUNT] [--sweep-step-secs X] \
+     [--mix rz|circuits|mixed] [--angle-pool N] [--epsilon EPS] \
      [--backend trasyn|gridsynth|annealing] [--seed N] [--smoke] [--fail-on-error] \
      [--json FILE] [--git-rev REV] [--host NAME] [--trace-summary] [--profile-summary] \
      [--profile-json FILE]"
@@ -88,6 +107,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         connections: 4,
         duration: Duration::from_secs(5),
         requests: None,
+        open_loop: false,
+        rate: 0.0,
+        sweep: None,
+        sweep_step_secs: 3.0,
         mix: MixKind::Rz,
         angle_pool: 32,
         epsilon: 1e-2,
@@ -131,6 +154,33 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                         .parse()
                         .map_err(|_| "--requests needs an integer".to_string())?,
                 );
+            }
+            "--open-loop" => opts.open_loop = true,
+            "--rate" => {
+                opts.rate = value("--rate")?
+                    .parse()
+                    .map_err(|_| "--rate needs a number".to_string())?;
+            }
+            "--sweep" => {
+                let v = value("--sweep")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                let parsed = match parts.as_slice() {
+                    [s, t, c] => s
+                        .parse::<f64>()
+                        .ok()
+                        .zip(t.parse::<f64>().ok())
+                        .zip(c.parse::<usize>().ok())
+                        .map(|((s, t), c)| (s, t, c)),
+                    _ => None,
+                };
+                opts.sweep = Some(parsed.ok_or_else(|| {
+                    format!("--sweep wants START:STEP:COUNT (numbers), got '{v}'")
+                })?);
+            }
+            "--sweep-step-secs" => {
+                opts.sweep_step_secs = value("--sweep-step-secs")?
+                    .parse()
+                    .map_err(|_| "--sweep-step-secs needs a number".to_string())?;
             }
             "--mix" => {
                 let v = value("--mix")?;
@@ -183,6 +233,17 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             server::routes::MAX_EPSILON
         ));
     }
+    if let Some((start, step, count)) = opts.sweep {
+        opts.open_loop = true;
+        if !(start.is_finite() && start > 0.0 && step.is_finite() && step >= 0.0) || count == 0 {
+            return Err("--sweep needs START > 0, STEP >= 0, COUNT >= 1".to_string());
+        }
+        if !(opts.sweep_step_secs.is_finite() && opts.sweep_step_secs > 0.0) {
+            return Err("--sweep-step-secs must be positive".to_string());
+        }
+    } else if opts.open_loop && !(opts.rate.is_finite() && opts.rate > 0.0) {
+        return Err("--open-loop needs --rate R with R > 0".to_string());
+    }
     Ok(Some(opts))
 }
 
@@ -228,6 +289,39 @@ fn labeled_metric(text: &str, family: &str, label: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// A tiny seeded xorshift64* — deterministic interarrival sampling with
+/// no dependency and no global state.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        // splitmix64 scrambles small sequential seeds apart.
+        let mut z = seed.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        XorShift((z ^ (z >> 31)) | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential interarrival gap for a Poisson process at `rate`/s.
+    fn exp_secs(&mut self, rate: f64) -> f64 {
+        -(1.0 - self.next_f64()).ln() / rate
+    }
+}
+
 struct WorkerReport {
     latencies_ms: Vec<f64>,
     ok: u64,
@@ -236,8 +330,17 @@ struct WorkerReport {
     transport_errors: u64,
 }
 
-fn worker(id: usize, opts: &Options, deadline: Instant, remaining: &AtomicU64, stop: &AtomicBool) -> WorkerReport {
+fn worker(
+    id: usize,
+    opts: &Options,
+    rate_per_conn: Option<f64>,
+    t_start: Instant,
+    deadline: Instant,
+    remaining: &AtomicU64,
+    stop: &AtomicBool,
+) -> WorkerReport {
     let mut mix = RequestMix::new(opts.mix, opts.angle_pool, opts.seed.wrapping_add(id as u64));
+    let mut rng = XorShift::new(opts.seed.wrapping_mul(0x1000_0001).wrapping_add(id as u64));
     let mut report = WorkerReport {
         latencies_ms: Vec::new(),
         ok: 0,
@@ -245,10 +348,28 @@ fn worker(id: usize, opts: &Options, deadline: Instant, remaining: &AtomicU64, s
         errors: 0,
         transport_errors: 0,
     };
+    // Open loop: the next *scheduled* send time. Scheduling advances from
+    // the previous scheduled time (not from completion), so the offered
+    // rate is independent of how slow the server answers.
+    let mut next_send = rate_per_conn.map(|r| t_start + Duration::from_secs_f64(rng.exp_secs(r)));
     let mut conn: Option<Conn> = None;
-    loop {
+    'run: loop {
         if stop.load(Ordering::Relaxed) || Instant::now() >= deadline {
             break;
+        }
+        if let Some(at) = next_send {
+            // Wait for the scheduled arrival (chunked so stop/deadline
+            // stay responsive). Late is fine — the backlog is the point.
+            loop {
+                let now = Instant::now();
+                if stop.load(Ordering::Relaxed) || now >= deadline {
+                    break 'run;
+                }
+                if now >= at {
+                    break;
+                }
+                std::thread::sleep((at - now).min(Duration::from_millis(20)));
+            }
         }
         // Connect (or reconnect) before taking a budget unit, so failed
         // connects don't silently burn the --requests budget.
@@ -285,7 +406,12 @@ fn worker(id: usize, opts: &Options, deadline: Instant, remaining: &AtomicU64, s
             break;
         }
         let body = body_of(&mix.sample(), opts);
-        let t0 = Instant::now();
+        // Open loop measures from the scheduled send time: queueing delay
+        // behind a slow server lands in the percentiles.
+        let t0 = next_send.unwrap_or_else(Instant::now);
+        if let (Some(at), Some(rate)) = (next_send, rate_per_conn) {
+            next_send = Some(at + Duration::from_secs_f64(rng.exp_secs(rate)));
+        }
         match c.request("POST", "/v1/compile", Some(&body)) {
             Ok(resp) => {
                 report.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
@@ -483,12 +609,33 @@ fn print_trace_summary(opts: &Options) {
 /// The `--json` snapshot: schema `trasyn-bench-server/v1`, the checked-in
 /// perf-trajectory format (`BENCH_server.json`, regenerated by
 /// `scripts/bench_snapshot.sh`).
+/// One sweep step's outcome.
+struct SweepStep {
+    offered_rps: f64,
+    achieved_rps: f64,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// A full saturation sweep: per-step results plus the knee — the highest
+/// offered rate the server still achieved within 10%.
+struct SweepResult {
+    step_secs: f64,
+    steps: Vec<SweepStep>,
+    knee_offered_rps: Option<f64>,
+}
+
 fn snapshot_json(
     opts: &Options,
     elapsed: f64,
     totals: (u64, u64, u64, u64),
     latencies: &[f64],
     server: &ServerStats,
+    offered: Option<f64>,
+    sweep: Option<&SweepResult>,
 ) -> String {
     let (ok, rejected, errors, transport) = totals;
     let total = ok + rejected + errors;
@@ -557,8 +704,42 @@ fn snapshot_json(
             )
         })
         .collect();
-    s.push_str(&format!("  \"passes\": [{}]\n", passes.join(", ")));
-    s.push_str("}\n");
+    s.push_str(&format!("  \"passes\": [{}],\n", passes.join(", ")));
+    // Generator mode (appended fields — older readers key on the fields
+    // above and keep working).
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if offered.is_some() { "open" } else { "closed" }
+    ));
+    s.push_str(&format!(
+        "  \"offered_rps\": {}",
+        offered.map_or("null".to_string(), jnum)
+    ));
+    if let Some(sw) = sweep {
+        let steps: Vec<String> = sw
+            .steps
+            .iter()
+            .map(|st| {
+                format!(
+                    "{{\"offered_rps\": {}, \"achieved_rps\": {}, \"ok\": {}, \"rejected\": {}, \"errors\": {}, \"p50_ms\": {}, \"p99_ms\": {}}}",
+                    jnum(st.offered_rps),
+                    jnum(st.achieved_rps),
+                    st.ok,
+                    st.rejected,
+                    st.errors,
+                    jnum(st.p50_ms),
+                    jnum(st.p99_ms),
+                )
+            })
+            .collect();
+        s.push_str(&format!(
+            ",\n  \"sweep\": {{\"step_secs\": {}, \"knee_offered_rps\": {}, \"steps\": [{}]}}",
+            jnum(sw.step_secs),
+            sw.knee_offered_rps.map_or("null".to_string(), jnum),
+            steps.join(", "),
+        ));
+    }
+    s.push_str("\n}\n");
     s
 }
 
@@ -638,21 +819,52 @@ fn print_profile_summary(opts: &Options) {
     }
 }
 
-fn load_run(opts: &Options) -> ExitCode {
+/// One generator run's aggregated result (latencies sorted ascending).
+struct RunResult {
+    elapsed: f64,
+    latencies: Vec<f64>,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    transport: u64,
+}
+
+impl RunResult {
+    fn total(&self) -> u64 {
+        self.ok + self.rejected + self.errors
+    }
+
+    fn achieved_rps(&self) -> f64 {
+        self.total() as f64 / self.elapsed.max(1e-9)
+    }
+}
+
+/// Spawns the connection pool and drives it until `duration` (or the
+/// request budget) runs out. `offered_rate` switches the pool to
+/// Poisson-scheduled open-loop arrivals at that total rate.
+fn run_workers(
+    opts: &Options,
+    offered_rate: Option<f64>,
+    duration: Duration,
+    requests: Option<u64>,
+) -> RunResult {
     let deadline = Instant::now()
-        + if opts.requests.is_some() {
+        + if requests.is_some() {
             // Budget-driven runs still need a safety net.
             Duration::from_secs(600)
         } else {
-            opts.duration
+            duration
         };
-    let remaining = AtomicU64::new(opts.requests.unwrap_or(u64::MAX));
+    let rate_per_conn = offered_rate.map(|r| r / opts.connections as f64);
+    let remaining = AtomicU64::new(requests.unwrap_or(u64::MAX));
     let stop = AtomicBool::new(false);
     let t0 = Instant::now();
     let reports: Vec<WorkerReport> = std::thread::scope(|s| {
         let (remaining, stop) = (&remaining, &stop);
         let handles: Vec<_> = (0..opts.connections)
-            .map(|i| s.spawn(move || worker(i, opts, deadline, remaining, stop)))
+            .map(|i| {
+                s.spawn(move || worker(i, opts, rate_per_conn, t0, deadline, remaining, stop))
+            })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
@@ -664,19 +876,54 @@ fn load_run(opts: &Options) -> ExitCode {
         (0, 0, 0, 0),
         |(a, b, c, d), r| (a + r.ok, b + r.rejected, c + r.errors, d + r.transport_errors),
     );
-    let total = ok + rejected + errors;
+    RunResult {
+        elapsed,
+        latencies,
+        ok,
+        rejected,
+        errors,
+        transport,
+    }
+}
 
-    println!("trasyn-loadgen: {} connection(s), {:.2} s, mix={}", opts.connections, elapsed, opts.mix.label());
+fn load_run(opts: &Options) -> ExitCode {
+    let offered = opts.open_loop.then_some(opts.rate);
+    let run = run_workers(opts, offered, opts.duration, opts.requests);
+    let RunResult {
+        elapsed,
+        ref latencies,
+        ok,
+        rejected,
+        errors,
+        transport,
+        ..
+    } = run;
+    let total = run.total();
+
+    match offered {
+        Some(rate) => println!(
+            "trasyn-loadgen: {} connection(s), {:.2} s, mix={}, open-loop {rate} req/s offered",
+            opts.connections,
+            elapsed,
+            opts.mix.label()
+        ),
+        None => println!(
+            "trasyn-loadgen: {} connection(s), {:.2} s, mix={}",
+            opts.connections,
+            elapsed,
+            opts.mix.label()
+        ),
+    }
     println!(
         "  requests: {total} total — {ok} ok, {rejected} rejected (429), {errors} errors, {transport} transport failures"
     );
     println!("  throughput: {:.1} req/s", total as f64 / elapsed.max(1e-9));
     println!(
         "  latency ms: p50 {:.3}, p90 {:.3}, p95 {:.3}, p99 {:.3}, max {:.3}",
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.90),
-        percentile(&latencies, 0.95),
-        percentile(&latencies, 0.99),
+        percentile(latencies, 0.50),
+        percentile(latencies, 0.90),
+        percentile(latencies, 0.95),
+        percentile(latencies, 0.99),
         latencies.last().copied().unwrap_or(0.0),
     );
 
@@ -720,7 +967,15 @@ fn load_run(opts: &Options) -> ExitCode {
     }
 
     if let Some(path) = &opts.json_out {
-        let json = snapshot_json(opts, elapsed, (ok, rejected, errors, transport), &latencies, &server);
+        let json = snapshot_json(
+            opts,
+            elapsed,
+            (ok, rejected, errors, transport),
+            latencies,
+            &server,
+            offered,
+            None,
+        );
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("error: cannot write {}: {e}", path.display());
             return ExitCode::from(1);
@@ -730,6 +985,91 @@ fn load_run(opts: &Options) -> ExitCode {
 
     if opts.fail_on_error && (errors > 0 || transport > 0) {
         eprintln!("error: {errors} request error(s), {transport} transport failure(s)");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// The saturation sweep: open-loop steps at rising offered rates, then
+/// the knee. The `--json` snapshot carries the last step's run as the
+/// headline numbers plus the full per-step table under `"sweep"`.
+fn sweep_run(opts: &Options) -> ExitCode {
+    let (start, step, count) = opts.sweep.expect("sweep mode");
+    let step_secs = opts.sweep_step_secs;
+    println!(
+        "trasyn-loadgen: saturation sweep — {count} step(s) x {step_secs} s, offered {start} req/s + {step}/step, {} connection(s), mix={}",
+        opts.connections,
+        opts.mix.label(),
+    );
+    println!("  {:>12} {:>12} {:>8} {:>8} {:>8} {:>10} {:>10}", "offered", "achieved", "ok", "429", "errors", "p50 ms", "p99 ms");
+
+    let mut steps = Vec::with_capacity(count);
+    let mut last_run = None;
+    let mut transport: u64 = 0;
+    for i in 0..count {
+        let offered = start + step * i as f64;
+        let run = run_workers(opts, Some(offered), Duration::from_secs_f64(step_secs), None);
+        transport += run.transport;
+        let st = SweepStep {
+            offered_rps: offered,
+            achieved_rps: run.achieved_rps(),
+            ok: run.ok,
+            rejected: run.rejected,
+            errors: run.errors,
+            p50_ms: percentile(&run.latencies, 0.50),
+            p99_ms: percentile(&run.latencies, 0.99),
+        };
+        println!(
+            "  {:>12.1} {:>12.1} {:>8} {:>8} {:>8} {:>10.3} {:>10.3}",
+            st.offered_rps, st.achieved_rps, st.ok, st.rejected, st.errors, st.p50_ms, st.p99_ms
+        );
+        steps.push(st);
+        last_run = Some(run);
+    }
+
+    // The knee: the highest offered rate still achieved within 10% (and
+    // without shed or failed requests distorting the "achieved" count).
+    let knee = steps
+        .iter()
+        .filter(|s| s.achieved_rps >= 0.9 * s.offered_rps && s.rejected == 0 && s.errors == 0)
+        .map(|s| s.offered_rps)
+        .fold(None, |acc: Option<f64>, r| Some(acc.map_or(r, |a| a.max(r))));
+    match knee {
+        Some(r) => println!("  knee: {r:.1} req/s offered still achieved within 10%"),
+        None => println!("  knee: none — the first step already saturated the server"),
+    }
+    let sweep = SweepResult {
+        step_secs,
+        steps,
+        knee_offered_rps: knee,
+    };
+
+    let server = ServerStats::scrape(&opts.addr);
+    let mut failed = false;
+    if let Some(path) = &opts.json_out {
+        let run = last_run.as_ref().expect("count >= 1");
+        let json = snapshot_json(
+            opts,
+            run.elapsed,
+            (run.ok, run.rejected, run.errors, run.transport),
+            &run.latencies,
+            &server,
+            sweep.steps.last().map(|s| s.offered_rps),
+            Some(&sweep),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            failed = true;
+        } else {
+            println!("  snapshot: wrote {}", path.display());
+        }
+    }
+
+    let errors: u64 = sweep.steps.iter().map(|s| s.errors).sum();
+    if failed || (opts.fail_on_error && (errors > 0 || transport > 0)) {
+        if errors > 0 || transport > 0 {
+            eprintln!("error: {errors} request error(s), {transport} transport failure(s)");
+        }
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS
@@ -813,6 +1153,11 @@ fn smoke(opts: &Options) -> Result<(), String> {
         "trasyn_phase_alloc_peak_bytes{phase=\"verify\"}",
         "trasyn_cache_shard_entries{shard=\"0\"}",
         "trasyn_cache_shard_evictions_total{shard=\"0\"}",
+        "trasyn_conns_open",
+        "trasyn_keepalive_reuse_total",
+        "trasyn_conn_timeouts_total",
+        "trasyn_event_loop_iterations_total",
+        "trasyn_event_wakeups_total",
     ] {
         if !resp.body.contains(needle) {
             return Err(format!("metrics missing {needle:?}"));
@@ -910,6 +1255,9 @@ fn main() -> ExitCode {
                 ExitCode::from(1)
             }
         };
+    }
+    if opts.sweep.is_some() {
+        return sweep_run(&opts);
     }
     load_run(&opts)
 }

@@ -6,9 +6,20 @@
 //! options:
 //!   --addr HOST:PORT       bind address (default 127.0.0.1:8087; port 0 = ephemeral)
 //!   --addr-file FILE       write the bound address to FILE (for scripts using port 0)
-//!   --http-workers N       connection-handling threads (default 4)
-//!   --queue-depth N        bounded accept queue; overflow answers 429 (default 64)
-//!   --read-timeout-ms N    idle keep-alive read timeout (default 5000)
+//!   --event-core           readiness-driven epoll core (default on Linux):
+//!                          one nonblocking loop owns every connection,
+//!                          handler threads only run parsed requests
+//!   --thread-core          blocking thread-per-connection core (default
+//!                          elsewhere; the pre-event-core behaviour)
+//!   --http-workers N       handler threads (default 4)
+//!   --queue-depth N        bounded dispatch queue; overflow answers 429 (default 64)
+//!   --max-conns N          open-connection cap; excess accepts answer 429
+//!                          (default 10240, event core only)
+//!   --read-timeout-ms N    whole-request read deadline; a connection that
+//!                          dribbles a request slower than this gets 408
+//!                          (default 5000)
+//!   --keepalive-timeout-ms N  idle keep-alive reap timeout (default 5000,
+//!                          event core only)
 //!   --threads N            synthesis worker threads per request (default 1)
 //!   --cache-capacity N     shared-cache entries, 0 = unbounded (default 65536)
 //!   --cache-file FILE      warm-start from FILE on boot, save on shutdown/signal
@@ -37,7 +48,7 @@
 //! Exit codes: 0 clean shutdown, 1 startup/save failure, 2 usage error.
 
 use engine::{AnnealingBackend, BackendKind, Engine, GridsynthBackend, TrasynBackend, WarmStart};
-use server::{Server, ServerConfig};
+use server::{CoreKind, Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,9 +58,12 @@ use std::time::Duration;
 struct Options {
     addr: String,
     addr_file: Option<PathBuf>,
+    core: CoreKind,
     http_workers: usize,
     queue_depth: usize,
+    max_conns: usize,
     read_timeout_ms: u64,
+    keepalive_timeout_ms: u64,
     threads: usize,
     cache_capacity: usize,
     cache_file: Option<PathBuf>,
@@ -63,8 +77,9 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: trasyn-server [--addr HOST:PORT] [--addr-file FILE] [--http-workers N] \
-     [--queue-depth N] [--read-timeout-ms N] [--threads N] [--cache-capacity N] \
+    "usage: trasyn-server [--addr HOST:PORT] [--addr-file FILE] [--event-core | --thread-core] \
+     [--http-workers N] [--queue-depth N] [--max-conns N] [--read-timeout-ms N] \
+     [--keepalive-timeout-ms N] [--threads N] [--cache-capacity N] \
      [--cache-file FILE] [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
      [--profile] [--with-trasyn] [--max-t N] [--samples N] [--no-trace] [--trace-sample N] \
      [--trace-ring N] [--trace-slow-ms X] [--trace-seed N]"
@@ -74,9 +89,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     let mut opts = Options {
         addr: "127.0.0.1:8087".to_string(),
         addr_file: None,
+        core: CoreKind::default(),
         http_workers: 4,
         queue_depth: 64,
+        max_conns: 10_240,
         read_timeout_ms: 5000,
+        keepalive_timeout_ms: 5000,
         threads: 1,
         cache_capacity: 65536,
         cache_file: None,
@@ -102,12 +120,20 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         match a.as_str() {
             "--addr" => opts.addr = value("--addr")?,
             "--addr-file" => opts.addr_file = Some(PathBuf::from(value("--addr-file")?)),
+            "--event-core" => opts.core = CoreKind::Event,
+            "--thread-core" => opts.core = CoreKind::Thread,
             "--http-workers" => opts.http_workers = parse_usize("--http-workers", value("--http-workers")?)?,
             "--queue-depth" => opts.queue_depth = parse_usize("--queue-depth", value("--queue-depth")?)?,
+            "--max-conns" => opts.max_conns = parse_usize("--max-conns", value("--max-conns")?)?,
             "--read-timeout-ms" => {
                 opts.read_timeout_ms = value("--read-timeout-ms")?
                     .parse()
                     .map_err(|_| "--read-timeout-ms needs an integer".to_string())?;
+            }
+            "--keepalive-timeout-ms" => {
+                opts.keepalive_timeout_ms = value("--keepalive-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--keepalive-timeout-ms needs an integer".to_string())?;
             }
             "--threads" => opts.threads = parse_usize("--threads", value("--threads")?)?,
             "--cache-capacity" => {
@@ -162,6 +188,9 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
     }
     if opts.http_workers == 0 {
         return Err("--http-workers must be at least 1".to_string());
+    }
+    if opts.max_conns == 0 {
+        return Err("--max-conns must be at least 1".to_string());
     }
     Ok(Some(opts))
 }
@@ -252,14 +281,18 @@ fn main() -> ExitCode {
     let engine = Arc::new(builder.build());
 
     let config = ServerConfig {
+        core: opts.core,
         http_workers: opts.http_workers,
         queue_depth: opts.queue_depth,
+        max_conns: opts.max_conns,
         read_timeout: Duration::from_millis(opts.read_timeout_ms.max(1)),
+        keepalive_timeout: Duration::from_millis(opts.keepalive_timeout_ms.max(1)),
         default_epsilon: opts.epsilon,
         default_backend: opts.backend,
         cache_file: opts.cache_file.clone(),
         trace: opts.trace.clone(),
     };
+    let core = config.core;
 
     let handle = match Server::start(&opts.addr, config, engine) {
         Ok(h) => h,
@@ -282,9 +315,14 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     }
+    let core_name = match core {
+        CoreKind::Event if cfg!(target_os = "linux") => "event core (epoll)",
+        CoreKind::Event => "thread core (event core unavailable on this platform)",
+        CoreKind::Thread => "thread core",
+    };
     eprintln!(
-        "[trasyn-server] listening on {addr} ({} workers, queue depth {})",
-        opts.http_workers, opts.queue_depth
+        "[trasyn-server] listening on {addr} ({core_name}, {} workers, queue depth {}, max conns {})",
+        opts.http_workers, opts.queue_depth, opts.max_conns
     );
 
     sig::install();

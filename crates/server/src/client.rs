@@ -71,6 +71,38 @@ impl Conn {
         self.read_response()
     }
 
+    /// Sends one request without waiting for the response — the pipelining
+    /// half of [`Conn::read_response`]. An HTTP/1.1 server must answer
+    /// pipelined requests in order, so `send` × N followed by
+    /// `read_response` × N exercises exactly that contract.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<()> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: trasyn\r\nContent-Length: {}\r\n{}\r\n",
+            body.len(),
+            if body.is_empty() {
+                ""
+            } else {
+                "Content-Type: application/json\r\n"
+            },
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Sends every request back-to-back on the wire, then reads the
+    /// responses in order. Returns one response per request.
+    pub fn pipeline(
+        &mut self,
+        reqs: &[(&str, &str, Option<&str>)],
+    ) -> std::io::Result<Vec<Response>> {
+        for (method, path, body) in reqs {
+            self.send(method, path, *body)?;
+        }
+        reqs.iter().map(|_| self.read_response()).collect()
+    }
+
     fn read_line(&mut self) -> std::io::Result<String> {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
@@ -83,7 +115,9 @@ impl Conn {
         Ok(line.trim_end_matches(['\r', '\n']).to_string())
     }
 
-    fn read_response(&mut self) -> std::io::Result<Response> {
+    /// Reads the next in-order response off the connection. Public so
+    /// callers that pipelined with [`Conn::send`] can collect replies.
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
         let status_line = self.read_line()?;
         let status = status_line
             .split_whitespace()

@@ -154,6 +154,11 @@ pub struct Harness {
     /// settings key identical.
     trasyn: Option<Arc<trasyn::Trasyn>>,
     compiles: Cell<u64>,
+    /// One persistent keep-alive connection to the loopback server: the
+    /// fuzzer exercises connection reuse the way a real client would
+    /// (and regains a fresh connection transparently if the server
+    /// closed this one, e.g. after an idle reap).
+    conn: std::cell::RefCell<Option<Conn>>,
 }
 
 impl Harness {
@@ -192,6 +197,7 @@ impl Harness {
             server,
             trasyn,
             compiles: Cell::new(0),
+            conn: std::cell::RefCell::new(None),
         })
     }
 
@@ -251,11 +257,34 @@ impl Harness {
             json_string(self.cfg.backend.label()),
             json_string(&pipeline.to_string()),
         );
-        let mut conn = Conn::connect(&addr, Duration::from_secs(30))
-            .map_err(|e| format!("server connect failed: {e}"))?;
-        let resp = conn
-            .request("POST", "/v1/compile", Some(&body))
-            .map_err(|e| format!("server request failed: {e}"))?;
+        // Reuse one keep-alive connection across compiles; reconnect once
+        // if the reused connection turned out stale (e.g. idle-reaped).
+        let mut slot = self.conn.borrow_mut();
+        let reused = slot.is_some();
+        let resp = match slot.as_mut() {
+            Some(conn) => conn.request("POST", "/v1/compile", Some(&body)),
+            None => Err(std::io::Error::new(std::io::ErrorKind::NotConnected, "no connection yet")),
+        };
+        let resp = match resp {
+            Ok(resp) => resp,
+            Err(e) if !reused && e.kind() != std::io::ErrorKind::NotConnected => {
+                return Err(format!("server request failed: {e}"));
+            }
+            Err(_) => {
+                // Fresh connection, one shot: a failure here is real.
+                let mut fresh = Conn::connect(&addr, Duration::from_secs(30))
+                    .map_err(|e| format!("server connect failed: {e}"))?;
+                let resp = fresh
+                    .request("POST", "/v1/compile", Some(&body))
+                    .map_err(|e| format!("server request failed: {e}"))?;
+                *slot = Some(fresh);
+                resp
+            }
+        };
+        if !resp.keep_alive() {
+            *slot = None; // the server asked to close; honor it
+        }
+        drop(slot);
         if resp.status != 200 {
             return Err(format!(
                 "server answered {}: {}",

@@ -6,9 +6,17 @@
 //! circuits to Clifford+T and share one process-wide synthesis cache with
 //! every other client. The serving-layer concerns live here:
 //!
-//! * [`service`] — accept loop, bounded request queue with 429
-//!   backpressure, worker threads, graceful draining shutdown, and cache
-//!   snapshot persistence (warm start on boot, save on shutdown).
+//! * [`service`] — core selection ([`CoreKind`]), shared state, 429
+//!   backpressure, graceful draining shutdown, and cache snapshot
+//!   persistence (warm start on boot, save on shutdown); also the
+//!   blocking thread-per-connection fallback core.
+//! * `event` — the default (Linux) event-driven core: one nonblocking
+//!   epoll readiness loop owning every connection (keep-alive,
+//!   pipelining, idle timeouts, per-connection state machines), bridged
+//!   to handler threads over a bounded dispatch queue with an eventfd
+//!   wakeup.
+//! * [`sys`] — the dependency-free raw-syscall wrappers (`epoll`,
+//!   `eventfd`) behind the event core; the crate's only unsafe module.
 //! * [`routes`] — the API: `POST /v1/compile`, `POST /v1/batch`,
 //!   `GET /healthz`, `GET /metrics`.
 //! * [`metrics`] — request/latency/queue/cache counters in Prometheus
@@ -38,6 +46,8 @@
 
 pub mod bench;
 pub mod client;
+#[cfg(target_os = "linux")]
+pub(crate) mod event;
 pub mod fuzz;
 pub mod http;
 pub mod json;
@@ -45,9 +55,11 @@ pub mod metrics;
 pub mod queue;
 pub mod routes;
 pub mod service;
+#[cfg(target_os = "linux")]
+pub mod sys;
 
 pub use client::{Conn, Response};
 pub use fuzz::{FuzzConfig, FuzzReport, Harness};
 pub use metrics::{Endpoint, Metrics};
 pub use queue::BoundedQueue;
-pub use service::{Server, ServerConfig, ServerHandle, ShutdownReport};
+pub use service::{CoreKind, Server, ServerConfig, ServerHandle, ShutdownReport};

@@ -137,6 +137,19 @@ pub struct Metrics {
     queue_depth_sum: AtomicU64,
     queue_depth_samples: AtomicU64,
     queue_depth_max: AtomicU64,
+    /// Currently open connections (event core gauge; the thread core
+    /// leaves it at 0 — its connections live on worker threads).
+    conns_open: AtomicU64,
+    /// Requests served on a reused keep-alive connection (every request
+    /// past a connection's first).
+    keepalive_reuse: AtomicU64,
+    /// Connections reaped by timeout: idle keep-alive past
+    /// `keepalive_timeout`, or a partial request past the read deadline.
+    conn_timeouts: AtomicU64,
+    /// Event-loop iterations (`epoll_wait` returns).
+    event_loop_iters: AtomicU64,
+    /// Event-loop wakeups via the completion eventfd.
+    event_wakeups: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -153,6 +166,11 @@ impl Default for Metrics {
             queue_depth_sum: AtomicU64::new(0),
             queue_depth_samples: AtomicU64::new(0),
             queue_depth_max: AtomicU64::new(0),
+            conns_open: AtomicU64::new(0),
+            keepalive_reuse: AtomicU64::new(0),
+            conn_timeouts: AtomicU64::new(0),
+            event_loop_iters: AtomicU64::new(0),
+            event_wakeups: AtomicU64::new(0),
         }
     }
 }
@@ -226,6 +244,51 @@ impl Metrics {
         self.queue_depth_sum.fetch_add(d, Ordering::Relaxed);
         self.queue_depth_samples.fetch_add(1, Ordering::Relaxed);
         self.queue_depth_max.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// One connection accepted into the event core.
+    pub fn conn_opened(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One event-core connection closed (any reason).
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Currently open event-core connections.
+    pub fn conns_open(&self) -> u64 {
+        self.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// One request served on a reused keep-alive connection.
+    pub fn keepalive_reuse(&self) {
+        self.keepalive_reuse.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total keep-alive reuses so far.
+    pub fn keepalive_reuse_total(&self) -> u64 {
+        self.keepalive_reuse.load(Ordering::Relaxed)
+    }
+
+    /// One connection reaped by an idle or read-deadline timeout.
+    pub fn conn_timeout(&self) {
+        self.conn_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total connections reaped by timeout so far.
+    pub fn conn_timeouts_total(&self) -> u64 {
+        self.conn_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// One event-loop iteration (an `epoll_wait` return).
+    pub fn event_loop_iter(&self) {
+        self.event_loop_iters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One eventfd wakeup observed by the event loop.
+    pub fn event_wakeup(&self) {
+        self.event_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
     /// `(sum, samples, max)` of the queue-depth samples so far.
@@ -397,6 +460,31 @@ impl Metrics {
                 s.evictions
             ));
         }
+
+        // Event-core connection families (appended after the historic
+        // ones; the whole exposition stays append-only).
+        line("# TYPE trasyn_conns_open gauge".into());
+        line(format!("trasyn_conns_open {}", self.conns_open()));
+        line("# TYPE trasyn_keepalive_reuse_total counter".into());
+        line(format!(
+            "trasyn_keepalive_reuse_total {}",
+            self.keepalive_reuse_total()
+        ));
+        line("# TYPE trasyn_conn_timeouts_total counter".into());
+        line(format!(
+            "trasyn_conn_timeouts_total {}",
+            self.conn_timeouts_total()
+        ));
+        line("# TYPE trasyn_event_loop_iterations_total counter".into());
+        line(format!(
+            "trasyn_event_loop_iterations_total {}",
+            self.event_loop_iters.load(Ordering::Relaxed)
+        ));
+        line("# TYPE trasyn_event_wakeups_total counter".into());
+        line(format!(
+            "trasyn_event_wakeups_total {}",
+            self.event_wakeups.load(Ordering::Relaxed)
+        ));
         out
     }
 }
@@ -570,5 +658,31 @@ mod tests {
         m.observe(Endpoint::Compile, 418, 0.0, 1.0);
         let text = m.render(&stats(), 0);
         assert!(text.contains("trasyn_responses_total{status=\"other\"} 1"));
+    }
+
+    #[test]
+    fn connection_and_event_core_families_render() {
+        let m = Metrics::new();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.keepalive_reuse();
+        m.conn_timeout();
+        m.event_loop_iter();
+        m.event_wakeup();
+        assert_eq!(m.conns_open(), 1);
+        assert_eq!(m.keepalive_reuse_total(), 1);
+        assert_eq!(m.conn_timeouts_total(), 1);
+        let text = m.render(&stats(), 0);
+        assert!(text.contains("# TYPE trasyn_conns_open gauge"));
+        assert!(text.contains("trasyn_conns_open 1"));
+        assert!(text.contains("trasyn_keepalive_reuse_total 1"));
+        assert!(text.contains("trasyn_conn_timeouts_total 1"));
+        assert!(text.contains("trasyn_event_loop_iterations_total 1"));
+        assert!(text.contains("trasyn_event_wakeups_total 1"));
+        // Appended after every pre-existing family: the event-core block
+        // is the last thing in the exposition.
+        let idx = text.find("trasyn_conns_open").unwrap();
+        assert!(idx > text.find("trasyn_cache_shard_evictions_total").unwrap());
     }
 }

@@ -169,7 +169,7 @@ fn route(req: &Request, shared: &Shared, span: Option<&SpanHandle>) -> RouteResu
             "text/plain; version=0.0.4",
             shared
                 .metrics
-                .render(&shared.engine.stats(), shared.queue.len()),
+                .render(&shared.engine.stats(), shared.queue_depth()),
         )),
         ("GET", "/debug/traces") => debug_traces(req, shared),
         ("GET", "/debug/profile") => debug_profile(shared),
@@ -244,7 +244,7 @@ fn debug_profile(shared: &Shared) -> RouteResult {
          {{\"sum\": {qd_sum}, \"samples\": {qd_samples}, \"max\": {qd_max}}}}}, \
          \"requests\": {}}}\n",
         shared.engine.stats().to_json(),
-        shared.queue.len(),
+        shared.queue_depth(),
         shared.metrics.request_count(),
     );
     Ok(("application/json", body))

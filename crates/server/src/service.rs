@@ -1,7 +1,21 @@
-//! The compilation server: accept loop, bounded queue, worker threads,
-//! request routing, and graceful shutdown.
+//! The compilation server: core selection, shared state, request
+//! routing, and graceful shutdown.
 //!
-//! # Architecture
+//! # Two cores
+//!
+//! [`ServerConfig::core`] picks the I/O architecture; both speak the
+//! same HTTP/1.1 and produce bit-identical responses.
+//!
+//! * [`CoreKind::Event`] (default on Linux) — the event-driven core in
+//!   `crate::event`: one nonblocking epoll readiness loop owns every
+//!   connection (keep-alive, pipelining, idle timeouts), and hands
+//!   parsed requests to `http_workers` handler threads over a bounded
+//!   dispatch queue. Slow or idle clients cost a buffered connection,
+//!   never a handler; tens of thousands of concurrent connections fit in
+//!   one thread's epoll set.
+//!
+//! * [`CoreKind::Thread`] (fallback, and the default off-Linux) — the
+//!   historic blocking design:
 //!
 //! ```text
 //! accept thread ──try_push──► BoundedQueue ──pop──► N worker threads
@@ -20,11 +34,11 @@
 //!
 //! # Graceful shutdown
 //!
-//! [`ServerHandle::shutdown`] stops the accept loop, closes the queue
-//! (already-queued connections are still served), waits for every worker
-//! to finish its in-flight request, and finally — when a cache file is
-//! configured — saves a [`engine::snapshot`] so the next boot starts
-//! warm.
+//! [`ServerHandle::shutdown`] stops accepting, serves everything already
+//! accepted (queued connections on the thread core, in-flight requests
+//! plus buffered responses on the event core), joins all threads, and
+//! finally — when a cache file is configured — saves a
+//! [`engine::snapshot`] so the next boot starts warm.
 
 use crate::http::{self, ReadError};
 use crate::metrics::{Endpoint, Metrics};
@@ -40,16 +54,56 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which I/O core serves connections. Both cores produce bit-identical
+/// responses; they differ only in how connections map to threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreKind {
+    /// Nonblocking epoll readiness loop + handler pool (Linux only; see
+    /// `crate::event`). Scales to tens of thousands of concurrent
+    /// connections.
+    Event,
+    /// Blocking accept queue + thread-per-connection workers. The
+    /// portable fallback, kept selectable (`--thread-core`) during the
+    /// transition.
+    Thread,
+}
+
+impl Default for CoreKind {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            CoreKind::Event
+        } else {
+            CoreKind::Thread
+        }
+    }
+}
+
 /// Server configuration (everything except the engine itself).
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// HTTP worker threads (each serves one connection at a time).
+    /// Which I/O core serves connections (event-driven epoll loop on
+    /// Linux by default; requesting [`CoreKind::Event`] elsewhere falls
+    /// back to the thread core with a warning).
+    pub core: CoreKind,
+    /// HTTP worker threads. Thread core: each serves one connection at a
+    /// time. Event core: each runs one request at a time (connections
+    /// live in the event loop).
     pub http_workers: usize,
-    /// Bounded accept-queue depth; overflow is answered 429.
+    /// Bounded queue depth; overflow is answered 429. Thread core: the
+    /// accept queue (units: connections). Event core: the dispatch queue
+    /// (units: requests — the pending-request cap).
     pub queue_depth: usize,
-    /// Per-read socket timeout: bounds how long an idle keep-alive
-    /// connection can hold a worker.
+    /// Thread core: per-read socket timeout (bounds how long an idle
+    /// keep-alive connection can hold a worker). Event core: the
+    /// whole-request read deadline — partial requests older than this
+    /// are answered 408 (the slowloris bound).
     pub read_timeout: Duration,
+    /// Event core only: connections accepted beyond this are answered
+    /// 429 and closed immediately (the connection-count cap).
+    pub max_conns: usize,
+    /// Event core only: idle keep-alive connections (no partial request,
+    /// nothing in flight) are closed after this long.
+    pub keepalive_timeout: Duration,
     /// Epsilon used when a request does not specify one.
     pub default_epsilon: f64,
     /// Backend used when a request does not specify one.
@@ -67,9 +121,12 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            core: CoreKind::default(),
             http_workers: 4,
             queue_depth: 64,
             read_timeout: Duration::from_secs(5),
+            max_conns: 10_240,
+            keepalive_timeout: Duration::from_secs(5),
             default_epsilon: 1e-2,
             default_backend: BackendKind::Gridsynth,
             cache_file: None,
@@ -90,9 +147,29 @@ pub(crate) struct Shared {
     pub(crate) engine: Arc<Engine>,
     pub(crate) metrics: Metrics,
     pub(crate) tracer: trace::Tracer,
+    /// Thread core's accept queue (unused but present under the event
+    /// core, so `/metrics` renders one coherent depth either way).
     pub(crate) queue: BoundedQueue<QueuedConn>,
+    /// Event core's request dispatch queue.
+    #[cfg(target_os = "linux")]
+    pub(crate) dispatch: BoundedQueue<crate::event::Job>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) config: ServerConfig,
+}
+
+impl Shared {
+    /// Live depth of whichever queue the active core uses (the inactive
+    /// one is always empty).
+    pub(crate) fn queue_depth(&self) -> usize {
+        #[cfg(target_os = "linux")]
+        {
+            self.queue.len() + self.dispatch.len()
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.queue.len()
+        }
+    }
 }
 
 /// The server type; [`Server::start`] is the only entry point.
@@ -104,10 +181,23 @@ pub struct Server;
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    core: CoreThreads,
     /// How the warm start went (Absent when no cache file configured).
     pub warm_start: WarmStart,
+}
+
+/// The running threads of whichever core was started.
+enum CoreThreads {
+    Thread {
+        accept: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Event {
+        looper: Option<JoinHandle<()>>,
+        handlers: Vec<JoinHandle<()>>,
+        wake: Arc<crate::event::Completions>,
+    },
 }
 
 /// What [`ServerHandle::shutdown`] observed.
@@ -128,7 +218,7 @@ impl Server {
     /// `config.http_workers` workers.
     pub fn start(
         addr: &str,
-        config: ServerConfig,
+        mut config: ServerConfig,
         engine: Arc<Engine>,
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
@@ -139,37 +229,62 @@ impl Server {
             None => WarmStart::Absent,
         };
 
+        if config.core == CoreKind::Event && !cfg!(target_os = "linux") {
+            eprintln!("[server] event core requires Linux epoll; falling back to the thread core");
+            config.core = CoreKind::Thread;
+        }
+
         let shared = Arc::new(Shared {
             engine,
             metrics: Metrics::new(),
             tracer: trace::Tracer::new(config.trace.clone()),
             queue: BoundedQueue::new(config.queue_depth),
+            #[cfg(target_os = "linux")]
+            dispatch: BoundedQueue::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
             config,
         });
 
-        let mut workers = Vec::with_capacity(shared.config.http_workers.max(1));
-        for i in 0..shared.config.http_workers.max(1) {
-            let shared = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("http-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))?,
-            );
-        }
-
-        let accept = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("http-accept".into())
-                .spawn(move || accept_loop(&listener, &shared))?
+        let core = match shared.config.core {
+            #[cfg(target_os = "linux")]
+            CoreKind::Event => {
+                let (looper, handlers, wake) =
+                    crate::event::start(listener, &shared)?;
+                CoreThreads::Event {
+                    looper: Some(looper),
+                    handlers,
+                    wake,
+                }
+            }
+            #[cfg(not(target_os = "linux"))]
+            CoreKind::Event => unreachable!("event core falls back to thread core off-Linux"),
+            CoreKind::Thread => {
+                let mut workers = Vec::with_capacity(shared.config.http_workers.max(1));
+                for i in 0..shared.config.http_workers.max(1) {
+                    let shared = Arc::clone(&shared);
+                    workers.push(
+                        std::thread::Builder::new()
+                            .name(format!("http-worker-{i}"))
+                            .spawn(move || worker_loop(&shared))?,
+                    );
+                }
+                let accept = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name("http-accept".into())
+                        .spawn(move || accept_loop(&listener, &shared))?
+                };
+                CoreThreads::Thread {
+                    accept: Some(accept),
+                    workers,
+                }
+            }
         };
 
         Ok(ServerHandle {
             addr: local,
             shared,
-            accept: Some(accept),
-            workers,
+            core,
             warm_start,
         })
     }
@@ -201,26 +316,50 @@ impl ServerHandle {
     /// snapshot when configured.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept() with a throwaway connection. An
-        // unspecified bind IP (0.0.0.0 / ::) is not a connectable peer
-        // address everywhere, so aim the waker at the loopback of the
-        // same family.
-        let mut waker = self.addr;
-        if waker.ip().is_unspecified() {
-            waker.set_ip(match waker {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&waker, Duration::from_secs(1));
-        if let Some(a) = self.accept.take() {
-            let _ = a.join();
-        }
-        // No new connections can arrive now; close the queue so workers
-        // drain the backlog and exit.
-        self.shared.queue.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        match &mut self.core {
+            CoreThreads::Thread { accept, workers } => {
+                // Wake the blocking accept() with a throwaway connection.
+                // An unspecified bind IP (0.0.0.0 / ::) is not a
+                // connectable peer address everywhere, so aim the waker
+                // at the loopback of the same family.
+                let mut waker = self.addr;
+                if waker.ip().is_unspecified() {
+                    waker.set_ip(match waker {
+                        SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                        SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+                    });
+                }
+                let _ = TcpStream::connect_timeout(&waker, Duration::from_secs(1));
+                if let Some(a) = accept.take() {
+                    let _ = a.join();
+                }
+                // No new connections can arrive now; close the queue so
+                // workers drain the backlog and exit.
+                self.shared.queue.close();
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            CoreThreads::Event {
+                looper,
+                handlers,
+                wake,
+            } => {
+                // The eventfd pops the loop out of epoll_wait; it drains
+                // in-flight requests and buffered responses, then exits.
+                wake.notify();
+                if let Some(l) = looper.take() {
+                    let _ = l.join();
+                }
+                // Every job the loop dispatched has completed (the loop
+                // only exits once all connections are answered), so
+                // closing the queue just releases the handler threads.
+                self.shared.dispatch.close();
+                for h in handlers.drain(..) {
+                    let _ = h.join();
+                }
+            }
         }
         let cache_saved = self.shared.config.cache_file.as_ref().map(|path| {
             snapshot::save_to_file(self.shared.engine.cache(), path)

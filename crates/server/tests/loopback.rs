@@ -8,7 +8,7 @@
 
 use engine::{BackendKind, Engine, GridsynthBackend};
 use server::client::Conn;
-use server::{json, Server, ServerConfig};
+use server::{json, CoreKind, Server, ServerConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -182,7 +182,12 @@ fn warm_started_server_hits_without_synthesis() {
 
 #[test]
 fn bounded_queue_returns_429_under_overflow() {
+    // Thread-core semantics: an idle connection occupies a worker until
+    // its read deadline, so a one-worker one-slot server sheds the third
+    // connection. (The event core never parks a worker on an idle
+    // connection — its 429 paths are covered in tests/event_core.rs.)
     let cfg = ServerConfig {
+        core: CoreKind::Thread,
         http_workers: 1,
         queue_depth: 1,
         read_timeout: Duration::from_secs(2),
@@ -215,10 +220,24 @@ fn bounded_queue_returns_429_under_overflow() {
 
 #[test]
 fn parallel_server_responses_match_sequential_compile() {
+    // The default core (event on Linux, thread elsewhere).
+    parallel_matches_sequential(config());
+}
+
+#[test]
+fn parallel_server_responses_match_sequential_compile_thread_core() {
+    // The blocking fallback core must produce the same bytes.
+    parallel_matches_sequential(ServerConfig {
+        core: CoreKind::Thread,
+        ..config()
+    });
+}
+
+fn parallel_matches_sequential(cfg: ServerConfig) {
     // The server compiles through a 2-thread pool with 4 concurrent HTTP
     // workers; the reference is the sequential path trasyn-compile uses
     // (same Engine call, 1 thread, cold cache per request set).
-    let handle = Server::start("127.0.0.1:0", config(), engine(2)).unwrap();
+    let handle = Server::start("127.0.0.1:0", cfg, engine(2)).unwrap();
     let addr = handle.addr();
 
     let mut qasm_reqs: Vec<(String, String)> = Vec::new(); // (body, name)
@@ -300,6 +319,54 @@ fn parallel_server_responses_match_sequential_compile() {
             "response for request {i} must be bit-identical to the sequential path"
         );
     }
+
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order_and_correctly_framed() {
+    // HTTP/1.1 pipelining: several requests written back-to-back on one
+    // connection must be answered in order, each response framed by its
+    // own Content-Length. Distinct rotations make the bodies
+    // distinguishable, so a framing slip would surface as a mismatched
+    // answer, not just a parse error.
+    let handle = Server::start("127.0.0.1:0", config(), engine(2)).unwrap();
+    let mut c = connect(handle.addr());
+
+    let bodies: Vec<String> = (0..5)
+        .map(|i| format!("{{\"rz\": 0.{}1, \"name\": \"p{i}\"}}", i + 1))
+        .collect();
+    let mut reqs: Vec<(&str, &str, Option<&str>)> = vec![("GET", "/healthz", None)];
+    for b in &bodies {
+        reqs.push(("POST", "/v1/compile", Some(b)));
+    }
+    reqs.push(("GET", "/healthz", None));
+
+    let responses = c.pipeline(&reqs).expect("pipelined responses");
+    assert_eq!(responses.len(), reqs.len());
+    assert!(responses[0].body.contains("\"ok\""));
+    assert!(responses.last().unwrap().body.contains("\"ok\""));
+    for (i, resp) in responses[1..=bodies.len()].iter().enumerate() {
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let parsed = json::parse(&resp.body).unwrap();
+        assert_eq!(
+            parsed.get("name").and_then(|n| n.as_str()),
+            Some(format!("p{i}").as_str()),
+            "response {i} out of order: {}",
+            resp.body
+        );
+        assert!(resp.keep_alive(), "pipelined responses keep the connection");
+    }
+
+    // The same connection still works request-by-request afterwards, and
+    // the answers match a fresh compile of the same rotation.
+    let again = c.request("POST", "/v1/compile", Some(&bodies[2])).unwrap();
+    assert_eq!(again.status, 200);
+    assert_eq!(
+        json::parse(&again.body).unwrap().get("qasm").unwrap().as_str(),
+        json::parse(&responses[3].body).unwrap().get("qasm").unwrap().as_str(),
+        "pipelined and sequential answers agree"
+    );
 
     handle.shutdown();
 }

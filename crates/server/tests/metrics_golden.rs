@@ -94,6 +94,17 @@ fn metrics_render_matches_golden() {
     // Two queue-depth samples: sum 6, count 2, max 4.
     m.sample_queue_depth(2);
     m.sample_queue_depth(4);
+    // Connection lifecycle: two opened, one closed (gauge 1), one
+    // keep-alive reuse, one reaped idle connection, and event-core loop
+    // activity — the event-core family block at the end of the render.
+    m.conn_opened();
+    m.conn_opened();
+    m.conn_closed();
+    m.keepalive_reuse();
+    m.conn_timeout();
+    m.event_loop_iter();
+    m.event_loop_iter();
+    m.event_wakeup();
     let actual = m.render(&stats(), 3);
     assert_eq!(
         actual, EXPECTED,

@@ -31,6 +31,7 @@ fn config(trace: trace::TraceConfig) -> ServerConfig {
         default_backend: BackendKind::Gridsynth,
         cache_file: None,
         trace,
+        ..ServerConfig::default()
     }
 }
 

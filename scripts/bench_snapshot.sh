@@ -16,9 +16,15 @@
 #   PROFILE=1 scripts/bench_snapshot.sh           # alloc accounting on (--profile)
 #   PROFILE_OUT=profile.json scripts/bench_snapshot.sh
 #       # also save the server's /debug/profile JSON after the run
+#   CORE=thread scripts/bench_snapshot.sh         # thread-per-connection core
+#   SWEEP=500:500:8 scripts/bench_snapshot.sh     # open-loop saturation sweep
+#   OPEN_LOOP=1 RATE=1000 scripts/bench_snapshot.sh
+#       # one open-loop step at a fixed offered rate
 #
 # Knobs (env): REQUESTS, CONNECTIONS, MIX, SEED, OUT, APPEND, PROFILE,
-# PROFILE_OUT.
+# PROFILE_OUT, CORE (event|thread), HTTP_WORKERS, QUEUE_DEPTH, MAX_CONNS,
+# KEEPALIVE_MS, OPEN_LOOP, RATE, SWEEP (START:STEP:COUNT),
+# SWEEP_STEP_SECS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +36,15 @@ OUT="${OUT:-BENCH_server.json}"
 APPEND="${APPEND:-0}"
 PROFILE="${PROFILE:-0}"
 PROFILE_OUT="${PROFILE_OUT:-}"
+CORE="${CORE:-event}"
+HTTP_WORKERS="${HTTP_WORKERS:-4}"
+QUEUE_DEPTH="${QUEUE_DEPTH:-64}"
+MAX_CONNS="${MAX_CONNS:-10240}"
+KEEPALIVE_MS="${KEEPALIVE_MS:-5000}"
+OPEN_LOOP="${OPEN_LOOP:-0}"
+RATE="${RATE:-0}"
+SWEEP="${SWEEP:-}"
+SWEEP_STEP_SECS="${SWEEP_STEP_SECS:-3}"
 
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 HOST="$(uname -n 2>/dev/null || echo unknown)"
@@ -47,9 +62,16 @@ trap cleanup EXIT
 
 SERVER_FLAGS=()
 [ "$PROFILE" = "1" ] && SERVER_FLAGS+=(--profile)
+case "$CORE" in
+    event) SERVER_FLAGS+=(--event-core) ;;
+    thread) SERVER_FLAGS+=(--thread-core) ;;
+    *) echo "error: CORE must be 'event' or 'thread', got '$CORE'" >&2; exit 1 ;;
+esac
 ./target/release/trasyn-server \
     --addr 127.0.0.1:0 --addr-file "$ADDR_FILE" \
-    --http-workers 4 --queue-depth 64 "${SERVER_FLAGS[@]+"${SERVER_FLAGS[@]}"}" &
+    --http-workers "$HTTP_WORKERS" --queue-depth "$QUEUE_DEPTH" \
+    --max-conns "$MAX_CONNS" --keepalive-timeout-ms "$KEEPALIVE_MS" \
+    "${SERVER_FLAGS[@]+"${SERVER_FLAGS[@]}"}" &
 SERVER_PID=$!
 for _ in $(seq 1 100); do
     [ -s "$ADDR_FILE" ] && break
@@ -59,9 +81,20 @@ done
 
 LOADGEN_FLAGS=(--trace-summary --profile-summary)
 [ -n "$PROFILE_OUT" ] && LOADGEN_FLAGS+=(--profile-json "$PROFILE_OUT")
+if [ -n "$SWEEP" ]; then
+    # Sweep mode replaces the fixed request count: a sequence of
+    # open-loop steps, snapshot taken from the final (highest-rate) step
+    # with the full per-step table and knee under "sweep".
+    LOADGEN_FLAGS+=(--sweep "$SWEEP" --sweep-step-secs "$SWEEP_STEP_SECS")
+elif [ "$OPEN_LOOP" = "1" ]; then
+    [ "$RATE" != "0" ] || { echo "error: OPEN_LOOP=1 needs RATE=<req/s>" >&2; exit 1; }
+    LOADGEN_FLAGS+=(--open-loop --rate "$RATE" --requests "$REQUESTS")
+else
+    LOADGEN_FLAGS+=(--requests "$REQUESTS")
+fi
 ./target/release/trasyn-loadgen \
     --addr "$(cat "$ADDR_FILE")" \
-    --connections "$CONNECTIONS" --requests "$REQUESTS" --mix "$MIX" --seed "$SEED" \
+    --connections "$CONNECTIONS" --mix "$MIX" --seed "$SEED" \
     --git-rev "$GIT_REV" --host "$HOST" \
     --json "$SNAP_FILE" --fail-on-error "${LOADGEN_FLAGS[@]}"
 
