@@ -1,0 +1,51 @@
+//! Cache eviction-policy hit-path overhead.
+//!
+//! Every policy pays a per-access bookkeeping cost on the hot (cache-hit)
+//! path: FIFO nothing, LRU a recency touch, 2Q a queue lookup and
+//! possible promotion, Freq a count-min sketch update. This group pins
+//! that overhead against the FIFO baseline by compiling a fully warm
+//! workload — every rotation is a hit, so the measured work is lookups,
+//! policy bookkeeping, and splicing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{BackendKind, CachePolicy, Engine, GridsynthBackend};
+use std::time::Duration;
+use workloads::random::haar_targets;
+
+/// The same QAOA-like mix the engine benches use: repeated layered
+/// angles plus a few distinct Haar rotations.
+fn workload() -> circuit::Circuit {
+    let mut c = workloads::qaoa::random_qaoa(8, 3, 0xBE7C);
+    for (i, u) in haar_targets(6, 7).iter().enumerate() {
+        let d = qmath::euler::decompose_u3(u);
+        c.u3(i % 8, d.theta, d.phi, d.lambda);
+    }
+    c
+}
+
+fn bench_policy_hit_path(c: &mut Criterion) {
+    let circuit = workload();
+    let mut g = c.benchmark_group("cache_policy_hit");
+    g.sample_size(20).measurement_time(Duration::from_secs(5));
+    for policy in CachePolicy::ALL {
+        let eng = Engine::builder()
+            .threads(1)
+            .cache_capacity(1 << 14)
+            .cache_policy(policy)
+            .backend(GridsynthBackend::default())
+            .build();
+        let warm = eng.compile(&circuit, BackendKind::Gridsynth, 1e-3).unwrap();
+        assert!(warm.cache_misses > 0);
+        g.bench_function(BenchmarkId::from_parameter(policy.label()), |b| {
+            b.iter(|| {
+                let r = eng.compile(&circuit, BackendKind::Gridsynth, 1e-3).unwrap();
+                assert_eq!(r.cache_misses, 0);
+                std::hint::black_box(r.t_count)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policy_hit_path);
+criterion_main!(benches);

@@ -9,6 +9,11 @@
 //!   --epsilon EPS          per-rotation error threshold (default 1e-2)
 //!   --threads N            synthesis worker threads, 0 = all cores (default 0)
 //!   --cache-capacity N     shared-cache entries, 0 = unbounded (default 4096)
+//!   --cache-policy P       cache eviction policy: fifo|lru|2q|freq
+//!                          (default fifo — the historic behavior)
+//!   --cache-trace FILE     record every cache access (hit/miss/insert/
+//!                          warm-start load) and save the TRC1 binary
+//!                          trace to FILE on exit, for `trasyn-cachesim`
 //!   --samples N            trasyn samples per pass (default 1024)
 //!   --max-t N              trasyn per-tensor T budget (default 6)
 //!   --pipeline SPEC        lowering pipeline: a preset (none|fast|default|
@@ -48,8 +53,8 @@
 //! 2 usage error.
 
 use engine::{
-    AnnealingBackend, BackendKind, BatchItem, BatchRequest, Engine, GridsynthBackend,
-    PipelineSpec, TrasynBackend,
+    AnnealingBackend, BackendKind, BatchItem, BatchRequest, CachePolicy, Engine,
+    GridsynthBackend, PipelineSpec, TrasynBackend,
 };
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -60,6 +65,8 @@ struct Options {
     epsilon: f64,
     threads: usize,
     cache_capacity: usize,
+    cache_policy: CachePolicy,
+    cache_trace: Option<PathBuf>,
     samples: usize,
     max_t: usize,
     pipeline: PipelineSpec,
@@ -76,7 +83,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: trasyn-compile [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
-     [--threads N] [--cache-capacity N] [--samples N] [--max-t N] \
+     [--threads N] [--cache-capacity N] [--cache-policy fifo|lru|2q|freq] \
+     [--cache-trace FILE] [--samples N] [--max-t N] \
      [--pipeline none|fast|default|aggressive|zx|PASS,PASS,...] [--no-transpile] \
      [--verify] [--profile] [--lint] [--deny-warnings] [--emit-qasm DIR] [--trace FILE] \
      [--trace-tree FILE] [--out FILE] [--cache-file FILE] <FILE.qasm>..."
@@ -90,6 +98,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         epsilon: 1e-2,
         threads: 0,
         cache_capacity: 4096,
+        cache_policy: CachePolicy::Fifo,
+        cache_trace: None,
         samples: 1024,
         max_t: 6,
         pipeline: PipelineSpec::default(),
@@ -130,6 +140,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 opts.cache_capacity = value("--cache-capacity")?
                     .parse()
                     .map_err(|_| "--cache-capacity needs an integer".to_string())?;
+            }
+            "--cache-policy" => {
+                let v = value("--cache-policy")?;
+                opts.cache_policy = CachePolicy::parse(&v)
+                    .ok_or_else(|| format!("unknown cache policy '{v}' (fifo|lru|2q|freq)"))?;
+            }
+            "--cache-trace" => {
+                opts.cache_trace = Some(PathBuf::from(value("--cache-trace")?));
             }
             "--samples" => {
                 opts.samples = value("--samples")?
@@ -215,6 +233,7 @@ fn main() -> ExitCode {
     let mut builder = Engine::builder()
         .threads(opts.threads)
         .cache_capacity(opts.cache_capacity)
+        .cache_policy(opts.cache_policy)
         .backend(GridsynthBackend::default())
         .backend(AnnealingBackend::default());
     if opts.backend == BackendKind::Trasyn {
@@ -225,6 +244,10 @@ fn main() -> ExitCode {
         builder = builder.backend(TrasynBackend::with_table(opts.max_t, opts.samples));
     }
     let eng = builder.build();
+
+    // Attach the trace recorder before the warm start so the replay sees
+    // the same initial residency the live cache had.
+    let recorder = opts.cache_trace.as_ref().map(|_| eng.cache().start_recording());
 
     if let Some(path) = &opts.cache_file {
         match engine::snapshot::warm_from_file(eng.cache(), path) {
@@ -357,6 +380,19 @@ fn main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("error: cannot write cache file {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if let (Some(path), Some(rec)) = (&opts.cache_trace, &recorder) {
+        match rec.save_to_file(path) {
+            Ok(n) => eprintln!(
+                "[trasyn-compile] saved cache trace: {n} event(s) to {}",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot write cache trace {}: {e}", path.display());
                 return ExitCode::from(1);
             }
         }

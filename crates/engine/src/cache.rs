@@ -23,25 +23,43 @@
 //! insertions never hold more than one shard lock, and synthesis itself
 //! always happens *outside* any lock. Statistics are lock-free atomics.
 //!
-//! # Capacity
+//! Shard assignment is `key.digest() % shards` where the digest is the
+//! stable FNV-1a 64 hash from [`crate::policy::PolicyKey`] — **not**
+//! `DefaultHasher`, whose output may change across Rust releases. The
+//! same digest is what the access-trace recorder persists, so a replay
+//! ([`crate::cachesim`]) reconstructs the exact shard assignment.
+//!
+//! # Capacity and eviction
 //!
 //! The capacity bound is strict (total resident entries never exceed it)
 //! and enforced per shard: each shard holds at most `capacity / shards`
-//! entries and evicts its own oldest entry (insertion order) when full.
-//! Per-shard enforcement means hash skew can evict inside a hot shard
-//! while others have room, and integer division can leave up to
-//! `shards - 1` entries of the configured capacity unused — both cost
-//! only redundant synthesis, never correctness: the engine re-synthesizes
-//! on a miss and every synthesizer in this workspace is a pure function
-//! of `(unitary, settings)`.
+//! entries and asks its [`EvictionPolicy`] for a victim when full. The
+//! policy is pluggable ([`CachePolicy`]): FIFO (the default — byte-for-
+//! byte the historic behavior), LRU, 2Q, or frequency-aware; see
+//! [`crate::policy`] for the per-policy eviction contracts. Per-shard
+//! enforcement means hash skew can evict inside a hot shard while others
+//! have room, and integer division can leave up to `shards - 1` entries
+//! of the configured capacity unused — both cost only redundant
+//! synthesis, never correctness: the engine re-synthesizes on a miss and
+//! every synthesizer in this workspace is a pure function of
+//! `(unitary, settings)`.
+//!
+//! # Trace recording
+//!
+//! [`SynthCache::set_recorder`] attaches a [`TraceRecorder`]; every
+//! lookup/insert/load is then appended to it *under the shard lock*, so
+//! the per-shard event order in the trace is exactly the order the cache
+//! made its decisions in. The fast path (no recorder) costs one relaxed
+//! atomic load.
 
 use crate::backend::SettingsKey;
+use crate::cachetrace::{EventKind, TraceRecorder};
+use crate::policy::{self, CachePolicy, EvictionPolicy, PolicyCounters, PolicyKey};
 use circuit::synthesize::CachedSynthesis;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Key of one cached synthesis: quantized unitary + synthesizer settings.
@@ -52,6 +70,20 @@ pub struct CacheKey {
     pub unitary: [i64; 8],
     /// The settings of the backend that synthesizes it.
     pub settings: SettingsKey,
+}
+
+impl PolicyKey for CacheKey {
+    /// Stable digest of the key: FNV-1a 64 over the `Hash` stream,
+    /// finalized by the SplitMix64 mixer (FNV's low bits alone are too
+    /// regular for `digest % shards` bucketing of structured unitaries).
+    /// This single digest picks the shard, indexes the frequency sketch,
+    /// and is what the trace recorder persists — one hash contract for
+    /// live cache and replay.
+    fn digest(&self) -> u64 {
+        let mut h = crate::fnv::Fnv1a64::new();
+        self.hash(&mut h);
+        crate::fnv::mix64(h.finish())
+    }
 }
 
 /// A point-in-time snapshot of cache counters.
@@ -70,8 +102,7 @@ pub struct CacheStats {
 }
 
 /// Per-shard occupancy/eviction telemetry, for spotting hash skew (one
-/// hot shard evicting while its neighbors sit half-empty) before the
-/// cache-policy rework.
+/// hot shard evicting while its neighbors sit half-empty).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ShardStats {
     /// Entries resident in this shard.
@@ -80,8 +111,8 @@ pub struct ShardStats {
     /// (counted insertions only, like the aggregate counter — silent
     /// warm-start evictions are excluded from both).
     pub evictions: u64,
-    /// Age in milliseconds of the shard's oldest resident entry (its
-    /// next eviction victim); `0` when empty.
+    /// Age in milliseconds of the shard's longest-resident entry;
+    /// `0` when empty.
     pub oldest_age_ms: f64,
     /// How old the most recently evicted entry was when it was evicted;
     /// `0` before the first eviction. A small value means the shard is
@@ -91,13 +122,38 @@ pub struct ShardStats {
 
 struct Shard {
     map: HashMap<CacheKey, CachedSynthesis>,
-    /// Insertion order, for FIFO eviction, with each entry's insertion
-    /// time for age telemetry.
-    order: VecDeque<(CacheKey, Instant)>,
+    /// Victim selection. The policy tracks exactly `map`'s key set.
+    policy: Box<dyn EvictionPolicy<CacheKey>>,
+    /// Insertion time per resident entry, for age telemetry only —
+    /// policies are clock-free so the simulator can reproduce them.
+    ages: HashMap<CacheKey, Instant>,
     /// Evictions charged to this shard (insertion-path only).
     evictions: u64,
     /// Resident age of the last evicted entry, in milliseconds.
     last_eviction_age_ms: f64,
+}
+
+impl Shard {
+    /// Evicts victims until the shard is below `cap`, charging the
+    /// counters unless `silent` (warm-start loads). Returns how many
+    /// entries were evicted.
+    fn evict_to_fit(&mut self, cap: usize, silent: bool) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() >= cap {
+            let Some(victim) = self.policy.pop_victim() else {
+                break;
+            };
+            self.map.remove(&victim);
+            let age = self.ages.remove(&victim);
+            if !silent {
+                self.evictions += 1;
+                self.last_eviction_age_ms =
+                    age.map_or(0.0, |at| at.elapsed().as_secs_f64() * 1e3);
+            }
+            evicted += 1;
+        }
+        evicted
+    }
 }
 
 /// A sharded, thread-safe, capacity-bounded synthesis cache.
@@ -109,43 +165,71 @@ pub struct SynthCache {
     /// Maximum entries per shard; `usize::MAX` when unbounded.
     per_shard_capacity: usize,
     capacity: usize,
+    policy: CachePolicy,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
+    /// Fast-path flag mirroring `recorder.is_some()`.
+    recording: AtomicBool,
+    recorder: Mutex<Option<Arc<TraceRecorder>>>,
 }
 
 /// Default shard count: enough that a handful of worker threads rarely
 /// collide, small enough that `stats()`/`len()` stay cheap.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// Resolves a `(capacity, shards)` request to the actual
+/// `(shard count, per-shard capacity)` layout: shard count ≥ 1, clamped
+/// to `capacity` when bounded (so every shard can hold at least one
+/// entry without the total exceeding the bound), per-shard capacity
+/// `usize::MAX` when unbounded. The simulator uses the same function so
+/// a replay reproduces the live layout exactly.
+pub fn shard_layout(capacity: usize, shards: usize) -> (usize, usize) {
+    let shards = if capacity == 0 {
+        shards.max(1)
+    } else {
+        shards.clamp(1, capacity)
+    };
+    let per_shard_capacity = if capacity == 0 {
+        usize::MAX
+    } else {
+        capacity / shards
+    };
+    (shards, per_shard_capacity)
+}
+
+/// `ceil(log2)`-style size bucket of a cached gate sequence, recorded
+/// in the access trace (bit length of the gate count: 0 → 0, 1 → 1,
+/// 2..3 → 2, 4..7 → 3, …).
+pub fn size_class_of(value: &CachedSynthesis) -> u8 {
+    let gates = value.0.len();
+    (usize::BITS - gates.leading_zeros()) as u8
+}
+
 impl SynthCache {
-    /// Creates a cache holding at most `capacity` entries across
+    /// Creates a FIFO cache holding at most `capacity` entries across
     /// [`DEFAULT_SHARDS`] shards. `capacity == 0` means unbounded.
     pub fn new(capacity: usize) -> Self {
         Self::with_shards(capacity, DEFAULT_SHARDS)
     }
 
-    /// [`SynthCache::new`] with an explicit shard count (≥ 1; clamped to
-    /// `capacity` when bounded, so every shard can hold at least one
-    /// entry without the total exceeding the bound).
+    /// [`SynthCache::new`] with an explicit shard count (≥ 1; see
+    /// [`shard_layout`]).
     pub fn with_shards(capacity: usize, shards: usize) -> Self {
-        let shards = if capacity == 0 {
-            shards.max(1)
-        } else {
-            shards.clamp(1, capacity)
-        };
-        let per_shard_capacity = if capacity == 0 {
-            usize::MAX
-        } else {
-            capacity / shards
-        };
+        Self::with_policy(capacity, shards, CachePolicy::Fifo)
+    }
+
+    /// [`SynthCache::with_shards`] with an explicit eviction policy.
+    pub fn with_policy(capacity: usize, shards: usize, policy_kind: CachePolicy) -> Self {
+        let (shards, per_shard_capacity) = shard_layout(capacity, shards);
         SynthCache {
             shards: (0..shards)
                 .map(|_| {
                     Mutex::new(Shard {
                         map: HashMap::new(),
-                        order: VecDeque::new(),
+                        policy: policy::policy_for(policy_kind, per_shard_capacity),
+                        ages: HashMap::new(),
                         evictions: 0,
                         last_eviction_age_ms: 0.0,
                     })
@@ -153,10 +237,13 @@ impl SynthCache {
                 .collect(),
             per_shard_capacity,
             capacity,
+            policy: policy_kind,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            recording: AtomicBool::new(false),
+            recorder: Mutex::new(None),
         }
     }
 
@@ -170,47 +257,94 @@ impl SynthCache {
         self.shards.len()
     }
 
+    /// The eviction policy every shard runs.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Attaches (or with `None`, detaches) an access-trace recorder.
+    /// Subsequent lookups/inserts/loads are appended to it in per-shard
+    /// decision order.
+    pub fn set_recorder(&self, recorder: Option<Arc<TraceRecorder>>) {
+        let mut slot = self.recorder.lock().expect("cache recorder poisoned");
+        self.recording.store(recorder.is_some(), Ordering::Relaxed);
+        *slot = recorder;
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.recorder
+            .lock()
+            .expect("cache recorder poisoned")
+            .clone()
+    }
+
+    /// Builds a recorder stamped with this cache's configuration and
+    /// attaches it.
+    pub fn start_recording(&self) -> Arc<TraceRecorder> {
+        let rec = Arc::new(TraceRecorder::new(
+            self.policy,
+            self.shards.len() as u32,
+            self.capacity as u64,
+        ));
+        self.set_recorder(Some(Arc::clone(&rec)));
+        rec
+    }
+
+    /// Appends one trace event when a recorder is attached. Called with
+    /// the relevant shard lock held, so per-shard record order is the
+    /// live decision order (shard lock → recorder lock never inverts).
+    fn record(&self, key: &CacheKey, kind: EventKind, size_class: u8) {
+        if !self.recording.load(Ordering::Relaxed) {
+            return;
+        }
+        let rec = self.recorder();
+        if let Some(r) = rec {
+            r.record(key.digest(), kind, size_class);
+        }
+    }
+
     fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        &self.shards[(key.digest() % self.shards.len() as u64) as usize]
     }
 
     /// Looks `key` up, counting a hit or miss.
     pub fn get(&self, key: &CacheKey) -> Option<CachedSynthesis> {
-        let shard = self.shard_of(key).lock().expect("cache shard poisoned");
-        match shard.map.get(key) {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        match shard.map.get(key).cloned() {
             Some(v) => {
+                shard.policy.note_hit(key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(v.clone())
+                self.record(key, EventKind::Hit, 0);
+                Some(v)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.record(key, EventKind::Miss, 0);
                 None
             }
         }
     }
 
-    /// Inserts `value` for `key`, evicting the shard's oldest entry when
-    /// full. If a racing thread already inserted `key`, the resident entry
-    /// wins (every backend is deterministic, so both are identical) and is
-    /// returned, keeping all callers on one shared allocation.
+    /// Inserts `value` for `key`, evicting the policy's victim(s) when
+    /// the shard is full. If a racing thread already inserted `key`, the
+    /// resident entry wins (every backend is deterministic, so both are
+    /// identical) and is returned, keeping all callers on one shared
+    /// allocation; a duplicate insert does not touch the eviction policy.
     pub fn insert(&self, key: CacheKey, value: CachedSynthesis) -> CachedSynthesis {
+        let size_class = size_class_of(&value);
         let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
-        if let Some(existing) = shard.map.get(&key) {
-            return existing.clone();
+        if let Some(existing) = shard.map.get(&key).cloned() {
+            self.record(&key, EventKind::Insert, size_class);
+            return existing;
         }
-        if shard.map.len() >= self.per_shard_capacity {
-            if let Some((oldest, inserted_at)) = shard.order.pop_front() {
-                shard.map.remove(&oldest);
-                shard.evictions += 1;
-                shard.last_eviction_age_ms = inserted_at.elapsed().as_secs_f64() * 1e3;
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        let evicted = shard.evict_to_fit(self.per_shard_capacity, false);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         shard.map.insert(key, value.clone());
-        shard.order.push_back((key, Instant::now()));
+        shard.policy.note_insert(key);
+        shard.ages.insert(key, Instant::now());
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.record(&key, EventKind::Insert, size_class);
         value
     }
 
@@ -240,17 +374,17 @@ impl SynthCache {
         self.len() == 0
     }
 
-    /// Exports every resident entry, shard by shard, each shard in
-    /// insertion (FIFO) order. This is the snapshot serialization order
-    /// (see [`crate::snapshot`]); it is deterministic for a fixed
-    /// insertion history.
+    /// Exports every resident entry, shard by shard, each shard in its
+    /// policy's canonical order (insertion order under the default
+    /// FIFO — the historic snapshot serialization order; see
+    /// [`crate::snapshot`]). Deterministic for a fixed access history.
     pub fn export_entries(&self) -> Vec<(CacheKey, CachedSynthesis)> {
         let mut out = Vec::with_capacity(self.len());
         for s in &self.shards {
             let s = s.lock().expect("cache shard poisoned");
-            for (key, _) in &s.order {
-                if let Some(v) = s.map.get(key) {
-                    out.push((*key, v.clone()));
+            for key in s.policy.keys() {
+                if let Some(v) = s.map.get(&key) {
+                    out.push((key, v.clone()));
                 }
             }
         }
@@ -259,20 +393,20 @@ impl SynthCache {
 
     /// Inserts a restored entry without touching the hit/miss/insertion
     /// counters, so that after a warm start the statistics reflect only
-    /// live traffic. The capacity bound still holds (oldest entries are
-    /// evicted silently); a key already resident is left as-is.
+    /// live traffic. The capacity bound still holds (victims are evicted
+    /// silently); a key already resident is left as-is.
     pub fn load_entry(&self, key: CacheKey, value: CachedSynthesis) {
+        let size_class = size_class_of(&value);
         let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
         if shard.map.contains_key(&key) {
+            self.record(&key, EventKind::Load, size_class);
             return;
         }
-        if shard.map.len() >= self.per_shard_capacity {
-            if let Some((oldest, _)) = shard.order.pop_front() {
-                shard.map.remove(&oldest);
-            }
-        }
+        shard.evict_to_fit(self.per_shard_capacity, true);
         shard.map.insert(key, value);
-        shard.order.push_back((key, Instant::now()));
+        shard.policy.note_insert(key);
+        shard.ages.insert(key, Instant::now());
+        self.record(&key, EventKind::Load, size_class);
     }
 
     /// Drops every entry. Counters are preserved.
@@ -280,7 +414,8 @@ impl SynthCache {
         for s in &self.shards {
             let mut s = s.lock().expect("cache shard poisoned");
             s.map.clear();
-            s.order.clear();
+            s.policy.clear();
+            s.ages.clear();
         }
     }
 
@@ -297,13 +432,25 @@ impl SynthCache {
                     entries: s.map.len(),
                     evictions: s.evictions,
                     oldest_age_ms: s
-                        .order
-                        .front()
-                        .map_or(0.0, |(_, at)| at.elapsed().as_secs_f64() * 1e3),
+                        .ages
+                        .values()
+                        .min()
+                        .map_or(0.0, |at| at.elapsed().as_secs_f64() * 1e3),
                     last_eviction_age_ms: s.last_eviction_age_ms,
                 }
             })
             .collect()
+    }
+
+    /// Aggregated policy-internal counters (promotions/demotions/agings)
+    /// across all shards.
+    pub fn policy_counters(&self) -> PolicyCounters {
+        let mut total = PolicyCounters::default();
+        for s in &self.shards {
+            let s = s.lock().expect("cache shard poisoned");
+            total.merge(&s.policy.counters());
+        }
+        total
     }
 
     /// Snapshot of the counters.
@@ -365,6 +512,105 @@ mod tests {
     }
 
     #[test]
+    fn default_policy_is_fifo() {
+        assert_eq!(SynthCache::new(8).policy(), CachePolicy::Fifo);
+        assert_eq!(
+            SynthCache::with_policy(8, 2, CachePolicy::Lru).policy(),
+            CachePolicy::Lru
+        );
+    }
+
+    #[test]
+    fn lru_policy_keeps_recently_used_entries() {
+        let c = SynthCache::with_policy(4, 1, CachePolicy::Lru);
+        for i in 0..4 {
+            c.insert(key(i), value());
+        }
+        // Touch 0 — under FIFO it would be the next victim.
+        assert!(c.get(&key(0)).is_some());
+        c.insert(key(4), value());
+        assert!(c.get(&key(0)).is_some(), "recently used entry survived");
+        assert!(c.get(&key(1)).is_none(), "LRU victim was evicted");
+    }
+
+    #[test]
+    fn two_q_policy_resists_scans() {
+        let c = SynthCache::with_policy(5, 1, CachePolicy::TwoQ);
+        c.insert(key(100), value());
+        c.insert(key(101), value());
+        // Promote both to the protected segment.
+        assert!(c.get(&key(100)).is_some());
+        assert!(c.get(&key(101)).is_some());
+        // A long one-shot scan must not evict the hot pair.
+        for i in 0..20 {
+            c.insert(key(i), value());
+        }
+        assert!(c.get(&key(100)).is_some(), "hot entry survived the scan");
+        assert!(c.get(&key(101)).is_some(), "hot entry survived the scan");
+        let counters = c.policy_counters();
+        assert_eq!(counters.promotions, 2);
+    }
+
+    #[test]
+    fn freq_policy_keeps_frequent_entries() {
+        let c = SynthCache::with_policy(3, 1, CachePolicy::Freq);
+        c.insert(key(7), value());
+        for _ in 0..10 {
+            assert!(c.get(&key(7)).is_some());
+        }
+        for i in 0..10 {
+            c.insert(key(i), value());
+        }
+        assert!(c.get(&key(7)).is_some(), "frequent entry survived churn");
+    }
+
+    #[test]
+    fn policy_behavior_is_deterministic_across_runs() {
+        for policy in CachePolicy::ALL {
+            let run = || {
+                let c = SynthCache::with_policy(6, 2, policy);
+                let mut outcomes = Vec::new();
+                for i in 0..40i64 {
+                    let k = key(i % 11);
+                    let hit = c.get(&k).is_some();
+                    if !hit {
+                        c.insert(k, value());
+                    }
+                    outcomes.push(hit);
+                }
+                let keys: Vec<CacheKey> =
+                    c.export_entries().into_iter().map(|(k, _)| k).collect();
+                (outcomes, c.stats(), keys)
+            };
+            assert_eq!(run(), run(), "{policy} diverged across identical runs");
+        }
+    }
+
+    #[test]
+    fn hit_miss_totals_are_shard_count_independent_without_evictions() {
+        // Sharding partitions the key space; with no evictions the
+        // hit/miss outcome of every access is shard-count independent.
+        for policy in CachePolicy::ALL {
+            let mut seen = Vec::new();
+            for shards in [1usize, 5] {
+                let c = SynthCache::with_shards(0, shards);
+                assert_eq!(c.policy(), CachePolicy::Fifo);
+                drop(c);
+                let c = SynthCache::with_policy(0, shards, policy);
+                for i in 0..60i64 {
+                    let k = key(i % 13);
+                    if c.get(&k).is_none() {
+                        c.insert(k, value());
+                    }
+                }
+                let s = c.stats();
+                seen.push((s.hits, s.misses, s.insertions, s.entries));
+            }
+            assert_eq!(seen[0], seen[1], "{policy} totals depend on sharding");
+        }
+    }
+
+    #[test]
     fn duplicate_insert_keeps_resident_entry() {
         let c = SynthCache::new(8);
         let first = c.insert(key(1), value());
@@ -377,11 +623,13 @@ mod tests {
     fn capacity_bound_is_strict() {
         // Capacity below the default shard count: the shard count clamps
         // so the global bound still holds under any key distribution.
-        let c = SynthCache::new(4);
-        assert!(c.shards() <= 4);
-        for i in 0..50 {
-            c.insert(key(i), value());
-            assert!(c.len() <= 4, "resident {} > capacity 4", c.len());
+        for policy in CachePolicy::ALL {
+            let c = SynthCache::with_policy(4, DEFAULT_SHARDS, policy);
+            assert!(c.shards() <= 4);
+            for i in 0..50 {
+                c.insert(key(i), value());
+                assert!(c.len() <= 4, "{policy}: resident {} > capacity 4", c.len());
+            }
         }
     }
 
@@ -407,21 +655,23 @@ mod tests {
 
     #[test]
     fn concurrent_use_is_safe() {
-        let c = Arc::new(SynthCache::new(64));
-        std::thread::scope(|s| {
-            for t in 0..4 {
-                let c = Arc::clone(&c);
-                s.spawn(move || {
-                    for i in 0..50 {
-                        let k = key((i % 16) + t);
-                        let _ = c.get_or_insert_with(k, value);
-                    }
-                });
-            }
-        });
-        let s = c.stats();
-        assert_eq!(s.hits + s.misses, 200);
-        assert!(c.len() <= 64);
+        for policy in CachePolicy::ALL {
+            let c = Arc::new(SynthCache::with_policy(64, DEFAULT_SHARDS, policy));
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        for i in 0..50 {
+                            let k = key((i % 16) + t);
+                            let _ = c.get_or_insert_with(k, value);
+                        }
+                    });
+                }
+            });
+            let s = c.stats();
+            assert_eq!(s.hits + s.misses, 200, "{policy}");
+            assert!(c.len() <= 64, "{policy}");
+        }
     }
 
     #[test]
@@ -465,5 +715,78 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn recorder_sees_every_operation_in_order() {
+        let c = SynthCache::with_shards(8, 1);
+        let rec = c.start_recording();
+        assert!(c.get(&key(1)).is_none()); // miss
+        c.insert(key(1), value()); // insert
+        assert!(c.get(&key(1)).is_some()); // hit
+        c.load_entry(key(2), value()); // load
+        c.insert(key(1), value()); // duplicate insert — recorded too
+        c.set_recorder(None);
+        assert!(c.get(&key(1)).is_some(), "detached recorder sees nothing");
+        let trace = crate::cachetrace::decode(&rec.encode()).expect("valid trace");
+        assert_eq!(trace.policy, CachePolicy::Fifo);
+        assert_eq!(trace.shards, 1);
+        assert_eq!(trace.capacity, 8);
+        let kinds: Vec<EventKind> = trace.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Miss,
+                EventKind::Insert,
+                EventKind::Hit,
+                EventKind::Load,
+                EventKind::Insert,
+            ]
+        );
+        assert_eq!(trace.events[0].key_hash, key(1).digest());
+        assert_eq!(trace.events[3].key_hash, key(2).digest());
+        assert!(trace.events[1].size_class > 0, "inserts carry a size class");
+        assert_eq!(trace.events[0].size_class, 0, "lookups carry none");
+    }
+
+    #[test]
+    fn digest_is_the_stable_mixed_fnv_hash() {
+        // The digest contract: SplitMix64-finalized FNV-1a 64 over the
+        // key's Hash stream. DefaultHasher is explicitly NOT stable
+        // across Rust releases; this pins that we never regress to it
+        // for anything persisted (traces store these digests).
+        let k = key(3);
+        assert_eq!(k.digest(), k.digest());
+        assert_ne!(k.digest(), key(4).digest());
+        let mut h = crate::fnv::Fnv1a64::new();
+        k.hash(&mut h);
+        assert_eq!(k.digest(), crate::fnv::mix64(h.finish()));
+    }
+
+    #[test]
+    fn digest_spreads_sequential_keys_across_shards() {
+        // Sequential structured unitaries must not pile into one shard —
+        // the snapshot roundtrip of many minimal entries depends on it.
+        let mut buckets = [0usize; DEFAULT_SHARDS];
+        for i in 0..64 {
+            buckets[(key(i).digest() % DEFAULT_SHARDS as u64) as usize] += 1;
+        }
+        let max = *buckets.iter().max().expect("non-empty");
+        assert!(max <= 10, "worst shard got {max} of 64 sequential keys");
+    }
+
+    #[test]
+    fn export_entries_uses_policy_order() {
+        let c = SynthCache::with_policy(8, 1, CachePolicy::Lru);
+        for i in 0..3 {
+            c.insert(key(i), value());
+        }
+        let _ = c.get(&key(0)); // 0 becomes most recent
+        let keys: Vec<i64> = c
+            .export_entries()
+            .into_iter()
+            .map(|(k, _)| k.unitary[0])
+            .collect();
+        assert_eq!(keys, vec![1, 2, 0], "LRU canonical order is LRU→MRU");
     }
 }

@@ -43,6 +43,18 @@ pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// SplitMix64 finalizer: a fixed bijective bit mixer. FNV-1a's low bits
+/// are under-mixed for structured input (e.g. a unitary repeating one
+/// `i64` eight times), and the cache shards by `digest % shards` — this
+/// finalizer spreads the entropy so low-bit bucketing stays uniform.
+/// Stable by definition (fixed constants), so mixed digests are as safe
+/// to persist as the raw FNV value.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,939 @@
+//! Pluggable cache eviction policies.
+//!
+//! [`crate::cache::SynthCache`] delegates its *victim selection* to an
+//! [`EvictionPolicy`]: the cache owns the entries and the capacity
+//! bound, the policy only answers "which resident key dies next?". The
+//! same trait drives the trace-driven simulator
+//! ([`crate::cachesim`]) — a policy is generic over its key type, so
+//! the live cache instantiates it with [`crate::cache::CacheKey`] and
+//! the simulator with the recorded 64-bit key digests, and both walks
+//! make **identical decisions** for identical access sequences (pinned
+//! by the replay-parity tests).
+//!
+//! # Eviction contracts
+//!
+//! Every policy documents an exact contract, checked by the property
+//! tests at the bottom of this module against independently written
+//! naive reference models:
+//!
+//! * [`CachePolicy::Fifo`] — victim is the oldest *inserted* resident
+//!   key; hits never reorder. The pre-policy-rework behavior and the
+//!   default, so existing snapshots and benchmarks are unaffected.
+//! * [`CachePolicy::Lru`] — victim is the least recently *used* key
+//!   (hit or insertion, whichever is later).
+//! * [`CachePolicy::TwoQ`] — segmented LRU (2Q-style, scan-resistant):
+//!   new keys enter a *probation* segment; a probation hit promotes to
+//!   the *protected* segment (capped at 4/5 of capacity, overflow
+//!   demotes the protected LRU back to probation as its newest entry).
+//!   The victim is the probation LRU, or the protected LRU only when
+//!   probation is empty. A one-shot scan churns probation only.
+//! * [`CachePolicy::Freq`] — frequency-aware (TinyLFU-ish): accesses
+//!   are counted in a count-min sketch (4 rows, saturating 8-bit
+//!   counters, all counters halved every `10 × capacity` accesses so
+//!   stale popularity decays). The victim is the resident key with the
+//!   smallest sketch estimate; ties fall back to insertion order
+//!   (oldest first).
+//!
+//! All policies are pure functions of the access sequence — no clocks,
+//! no randomness — so replaying a recorded trace reproduces the live
+//! cache's decisions exactly, and repeated runs are deterministic.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::Hash;
+
+/// Which eviction policy a cache (live or simulated) runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CachePolicy {
+    /// Evict in insertion order (the historic default).
+    #[default]
+    Fifo,
+    /// Evict the least recently used key.
+    Lru,
+    /// Segmented LRU (2Q-style): scan-resistant probation + protected.
+    TwoQ,
+    /// Frequency-aware: count-min sketch picks the coldest key.
+    Freq,
+}
+
+impl CachePolicy {
+    /// Every policy, in canonical (flag/report) order.
+    pub const ALL: [CachePolicy; 4] = [
+        CachePolicy::Fifo,
+        CachePolicy::Lru,
+        CachePolicy::TwoQ,
+        CachePolicy::Freq,
+    ];
+
+    /// Parses a policy token as used by `--cache-policy` and the
+    /// `"cache_policy"` request field.
+    pub fn parse(s: &str) -> Option<CachePolicy> {
+        match s {
+            "fifo" => Some(CachePolicy::Fifo),
+            "lru" => Some(CachePolicy::Lru),
+            "2q" => Some(CachePolicy::TwoQ),
+            "freq" => Some(CachePolicy::Freq),
+            _ => None,
+        }
+    }
+
+    /// The policy's token, as accepted by [`CachePolicy::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            CachePolicy::Fifo => "fifo",
+            CachePolicy::Lru => "lru",
+            CachePolicy::TwoQ => "2q",
+            CachePolicy::Freq => "freq",
+        }
+    }
+
+    /// Stable on-disk code (trace-log header byte).
+    pub fn code(self) -> u8 {
+        match self {
+            CachePolicy::Fifo => 0,
+            CachePolicy::Lru => 1,
+            CachePolicy::TwoQ => 2,
+            CachePolicy::Freq => 3,
+        }
+    }
+
+    /// Inverse of [`CachePolicy::code`].
+    pub fn from_code(code: u8) -> Option<CachePolicy> {
+        CachePolicy::ALL.into_iter().find(|p| p.code() == code)
+    }
+}
+
+impl std::fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Policy-internal event counters, aggregated into
+/// [`crate::EngineStats`] and `/metrics`. FIFO and LRU have no internal
+/// events, so all three stay zero there.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PolicyCounters {
+    /// 2Q: probation keys promoted to the protected segment on a hit.
+    pub promotions: u64,
+    /// 2Q: protected LRU keys demoted back to probation on overflow.
+    pub demotions: u64,
+    /// Freq: sketch halvings (popularity decay events).
+    pub agings: u64,
+}
+
+impl PolicyCounters {
+    /// Accumulates another shard's counters into this one.
+    pub fn merge(&mut self, other: &PolicyCounters) {
+        self.promotions += other.promotions;
+        self.demotions += other.demotions;
+        self.agings += other.agings;
+    }
+}
+
+/// A key a policy can track: cheap to copy, hashable, and carrying a
+/// **stable 64-bit digest**. The digest must be identical between a
+/// live key and its recorded trace hash — the frequency sketch indexes
+/// by it, so replay parity depends on this, not just on key equality.
+pub trait PolicyKey: Copy + Eq + Hash + Send {
+    /// The stable digest (FNV-1a 64 for [`crate::cache::CacheKey`];
+    /// the identity for already-digested `u64` trace keys).
+    fn digest(&self) -> u64;
+}
+
+impl PolicyKey for u64 {
+    fn digest(&self) -> u64 {
+        *self
+    }
+}
+
+/// Victim selection for one cache shard. The caller (live shard or
+/// simulator) owns the resident set and calls:
+///
+/// * [`EvictionPolicy::note_hit`] after a lookup found `key` resident,
+/// * [`EvictionPolicy::note_insert`] after inserting a *non-resident*
+///   `key` (duplicate inserts touch nothing, matching the historic
+///   FIFO dedup behavior),
+/// * [`EvictionPolicy::pop_victim`] to choose-and-forget the next
+///   eviction victim (always a currently tracked key).
+///
+/// The policy tracks exactly the caller's resident set; `keys()`
+/// returns it in the policy's canonical traversal order (for FIFO this
+/// is insertion order — the historic snapshot serialization order).
+pub trait EvictionPolicy<K: PolicyKey>: Send {
+    /// Which policy this is.
+    fn kind(&self) -> CachePolicy;
+    /// Records a hit on a resident key.
+    fn note_hit(&mut self, key: &K);
+    /// Records the insertion of a previously non-resident key.
+    fn note_insert(&mut self, key: K);
+    /// Chooses the next victim and stops tracking it.
+    fn pop_victim(&mut self) -> Option<K>;
+    /// Forgets every tracked key (counters are preserved).
+    fn clear(&mut self);
+    /// Tracked keys in the policy's canonical order.
+    fn keys(&self) -> Vec<K>;
+    /// Internal event counters (zero for FIFO/LRU).
+    fn counters(&self) -> PolicyCounters {
+        PolicyCounters::default()
+    }
+}
+
+/// Builds the policy `kind` for one shard holding at most
+/// `per_shard_capacity` entries (`usize::MAX` = unbounded). The
+/// capacity only tunes internals (2Q segment split, sketch sizing) —
+/// the *bound* is enforced by the caller.
+pub fn policy_for<K: PolicyKey + 'static>(
+    kind: CachePolicy,
+    per_shard_capacity: usize,
+) -> Box<dyn EvictionPolicy<K>> {
+    match kind {
+        CachePolicy::Fifo => Box::new(FifoPolicy::new()),
+        CachePolicy::Lru => Box::new(LruPolicy::new()),
+        CachePolicy::TwoQ => Box::new(TwoQPolicy::new(per_shard_capacity)),
+        CachePolicy::Freq => Box::new(FreqPolicy::new(per_shard_capacity)),
+    }
+}
+
+/// An ordered set: keys in strict recency/insertion order with O(log n)
+/// touch/remove. Backing store is a monotone tick (`u64` — never wraps
+/// in practice) mapped both ways; the `BTreeMap` iterates oldest-first.
+struct Ordered<K> {
+    tick: u64,
+    by_tick: BTreeMap<u64, K>,
+    ticks: HashMap<K, u64>,
+}
+
+impl<K: PolicyKey> Ordered<K> {
+    fn new() -> Self {
+        Ordered {
+            tick: 0,
+            by_tick: BTreeMap::new(),
+            ticks: HashMap::new(),
+        }
+    }
+
+    /// Inserts `key` as the newest entry, or moves it there.
+    fn touch_back(&mut self, key: K) {
+        if let Some(old) = self.ticks.remove(&key) {
+            self.by_tick.remove(&old);
+        }
+        self.tick += 1;
+        self.by_tick.insert(self.tick, key);
+        self.ticks.insert(key, self.tick);
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        self.ticks.contains_key(key)
+    }
+
+    fn remove(&mut self, key: &K) -> bool {
+        match self.ticks.remove(key) {
+            Some(t) => {
+                self.by_tick.remove(&t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns the oldest entry.
+    fn pop_front(&mut self) -> Option<K> {
+        let (&t, &key) = self.by_tick.iter().next()?;
+        self.by_tick.remove(&t);
+        self.ticks.remove(&key);
+        Some(key)
+    }
+
+    fn len(&self) -> usize {
+        self.by_tick.len()
+    }
+
+    fn clear(&mut self) {
+        self.by_tick.clear();
+        self.ticks.clear();
+    }
+
+    /// Oldest → newest.
+    fn keys(&self) -> Vec<K> {
+        self.by_tick.values().copied().collect()
+    }
+}
+
+/// FIFO: victims in insertion order, hits never reorder.
+struct FifoPolicy<K> {
+    order: VecDeque<K>,
+}
+
+impl<K: PolicyKey> FifoPolicy<K> {
+    fn new() -> Self {
+        FifoPolicy {
+            order: VecDeque::new(),
+        }
+    }
+}
+
+impl<K: PolicyKey> EvictionPolicy<K> for FifoPolicy<K> {
+    fn kind(&self) -> CachePolicy {
+        CachePolicy::Fifo
+    }
+
+    fn note_hit(&mut self, _key: &K) {}
+
+    fn note_insert(&mut self, key: K) {
+        self.order.push_back(key);
+    }
+
+    fn pop_victim(&mut self) -> Option<K> {
+        self.order.pop_front()
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+    }
+
+    fn keys(&self) -> Vec<K> {
+        self.order.iter().copied().collect()
+    }
+}
+
+/// LRU: victim is the least recently used (hit or inserted) key.
+struct LruPolicy<K> {
+    list: Ordered<K>,
+}
+
+impl<K: PolicyKey> LruPolicy<K> {
+    fn new() -> Self {
+        LruPolicy {
+            list: Ordered::new(),
+        }
+    }
+}
+
+impl<K: PolicyKey> EvictionPolicy<K> for LruPolicy<K> {
+    fn kind(&self) -> CachePolicy {
+        CachePolicy::Lru
+    }
+
+    fn note_hit(&mut self, key: &K) {
+        if self.list.contains(key) {
+            self.list.touch_back(*key);
+        }
+    }
+
+    fn note_insert(&mut self, key: K) {
+        self.list.touch_back(key);
+    }
+
+    fn pop_victim(&mut self) -> Option<K> {
+        self.list.pop_front()
+    }
+
+    fn clear(&mut self) {
+        self.list.clear();
+    }
+
+    fn keys(&self) -> Vec<K> {
+        self.list.keys()
+    }
+}
+
+/// Segmented LRU (2Q-style). See the module docs for the contract.
+struct TwoQPolicy<K> {
+    /// Protected-segment cap: 4/5 of the shard capacity (min 1), or
+    /// unbounded when the shard is.
+    protected_cap: usize,
+    probation: Ordered<K>,
+    protected: Ordered<K>,
+    promotions: u64,
+    demotions: u64,
+}
+
+impl<K: PolicyKey> TwoQPolicy<K> {
+    fn new(per_shard_capacity: usize) -> Self {
+        let protected_cap = if per_shard_capacity == usize::MAX {
+            usize::MAX
+        } else {
+            (per_shard_capacity * 4 / 5).max(1)
+        };
+        TwoQPolicy {
+            protected_cap,
+            probation: Ordered::new(),
+            protected: Ordered::new(),
+            promotions: 0,
+            demotions: 0,
+        }
+    }
+}
+
+impl<K: PolicyKey> EvictionPolicy<K> for TwoQPolicy<K> {
+    fn kind(&self) -> CachePolicy {
+        CachePolicy::TwoQ
+    }
+
+    fn note_hit(&mut self, key: &K) {
+        if self.probation.remove(key) {
+            self.protected.touch_back(*key);
+            self.promotions += 1;
+            if self.protected.len() > self.protected_cap {
+                if let Some(demoted) = self.protected.pop_front() {
+                    self.probation.touch_back(demoted);
+                    self.demotions += 1;
+                }
+            }
+        } else if self.protected.contains(key) {
+            self.protected.touch_back(*key);
+        }
+    }
+
+    fn note_insert(&mut self, key: K) {
+        self.probation.touch_back(key);
+    }
+
+    fn pop_victim(&mut self) -> Option<K> {
+        self.probation.pop_front().or_else(|| self.protected.pop_front())
+    }
+
+    fn clear(&mut self) {
+        self.probation.clear();
+        self.protected.clear();
+    }
+
+    /// Probation (oldest → newest) then protected (oldest → newest).
+    fn keys(&self) -> Vec<K> {
+        let mut out = self.probation.keys();
+        out.extend(self.protected.keys());
+        out
+    }
+
+    fn counters(&self) -> PolicyCounters {
+        PolicyCounters {
+            promotions: self.promotions,
+            demotions: self.demotions,
+            agings: 0,
+        }
+    }
+}
+
+/// Count-min sketch rows (each indexed by a different mix of the key
+/// digest).
+const SKETCH_DEPTH: usize = 4;
+
+/// Odd 64-bit multipliers mixing the digest per row (splitmix64 / xxh
+/// constants — any fixed odd constants work, these spread well).
+const SKETCH_SEEDS: [u64; SKETCH_DEPTH] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xc2b2_ae3d_27d4_eb4f,
+    0x1656_67b1_9e37_79f9,
+    0x27d4_eb2f_1656_67c5,
+];
+
+/// A count-min sketch with saturating 8-bit counters.
+struct Sketch {
+    rows: Vec<Vec<u8>>,
+    mask: usize,
+}
+
+impl Sketch {
+    fn new(width: usize) -> Self {
+        debug_assert!(width.is_power_of_two());
+        Sketch {
+            rows: (0..SKETCH_DEPTH).map(|_| vec![0u8; width]).collect(),
+            mask: width - 1,
+        }
+    }
+
+    fn index(&self, digest: u64, row: usize) -> usize {
+        // Multiply-shift: the high bits of digest × odd-constant are
+        // well mixed; the mask picks the row slot.
+        (digest.wrapping_mul(SKETCH_SEEDS[row]) >> 32) as usize & self.mask
+    }
+
+    fn bump(&mut self, digest: u64) {
+        for row in 0..SKETCH_DEPTH {
+            let i = self.index(digest, row);
+            let c = &mut self.rows[row][i];
+            *c = c.saturating_add(1);
+        }
+    }
+
+    fn estimate(&self, digest: u64) -> u8 {
+        (0..SKETCH_DEPTH)
+            .map(|row| self.rows[row][self.index(digest, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn halve(&mut self) {
+        for row in &mut self.rows {
+            for c in row {
+                *c >>= 1;
+            }
+        }
+    }
+}
+
+/// Frequency-aware (TinyLFU-ish). See the module docs for the contract.
+struct FreqPolicy<K> {
+    sketch: Sketch,
+    /// Residents in insertion order (victim scan + tie-break order).
+    order: Ordered<K>,
+    /// Accesses since the last halving.
+    accesses: u64,
+    /// Halve every this many accesses.
+    sample_period: u64,
+    agings: u64,
+}
+
+impl<K: PolicyKey> FreqPolicy<K> {
+    fn new(per_shard_capacity: usize) -> Self {
+        // Sketch ≈ 4× capacity slots per row, clamped to [64, 64Ki].
+        let width = per_shard_capacity
+            .saturating_mul(4)
+            .clamp(64, 64 * 1024)
+            .next_power_of_two();
+        let sample_period = per_shard_capacity
+            .saturating_mul(10)
+            .clamp(1024, 1 << 20) as u64;
+        FreqPolicy {
+            sketch: Sketch::new(width),
+            order: Ordered::new(),
+            accesses: 0,
+            sample_period,
+            agings: 0,
+        }
+    }
+
+    fn note_access(&mut self, digest: u64) {
+        self.sketch.bump(digest);
+        self.accesses += 1;
+        if self.accesses >= self.sample_period {
+            self.sketch.halve();
+            self.accesses = 0;
+            self.agings += 1;
+        }
+    }
+
+    /// Sketch estimate for a key (used by the contract tests).
+    #[cfg(test)]
+    fn estimate(&self, key: &K) -> u8 {
+        self.sketch.estimate(key.digest())
+    }
+}
+
+impl<K: PolicyKey> EvictionPolicy<K> for FreqPolicy<K> {
+    fn kind(&self) -> CachePolicy {
+        CachePolicy::Freq
+    }
+
+    fn note_hit(&mut self, key: &K) {
+        self.note_access(key.digest());
+    }
+
+    fn note_insert(&mut self, key: K) {
+        // The insert is the access that witnessed the miss.
+        self.note_access(key.digest());
+        self.order.touch_back(key);
+    }
+
+    /// O(residents) scan: the victim minimizes the sketch estimate;
+    /// ties go to the oldest insertion. Eviction shares the miss path
+    /// with synthesis, which dwarfs the scan.
+    fn pop_victim(&mut self) -> Option<K> {
+        let mut best: Option<(u8, K)> = None;
+        for key in self.order.keys() {
+            let est = self.sketch.estimate(key.digest());
+            // Strict `<` keeps the earliest-inserted key on ties.
+            if best.is_none_or(|(b, _)| est < b) {
+                best = Some((est, key));
+            }
+        }
+        let (_, victim) = best?;
+        self.order.remove(&victim);
+        Some(victim)
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+        // The sketch survives clear(): popularity is a property of the
+        // workload, not of the resident set.
+    }
+
+    fn keys(&self) -> Vec<K> {
+        self.order.keys()
+    }
+
+    fn counters(&self) -> PolicyCounters {
+        PolicyCounters {
+            promotions: 0,
+            demotions: 0,
+            agings: self.agings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::TestCaseError;
+
+    /// Drives `policy` over `accesses` with a strict `capacity` bound
+    /// the way the cache does: hit → `note_hit`, miss → evict while
+    /// full, then insert. Returns the hit/miss outcome per access and
+    /// the victims in eviction order.
+    fn drive(
+        policy: &mut dyn EvictionPolicy<u64>,
+        accesses: &[u64],
+        capacity: usize,
+    ) -> (Vec<bool>, Vec<u64>) {
+        let mut resident = std::collections::HashSet::new();
+        let mut outcomes = Vec::new();
+        let mut victims = Vec::new();
+        for &key in accesses {
+            if resident.contains(&key) {
+                policy.note_hit(&key);
+                outcomes.push(true);
+            } else {
+                while resident.len() >= capacity {
+                    let v = policy.pop_victim().expect("tracked keys exist");
+                    assert!(resident.remove(&v), "victim {v} was not resident");
+                    victims.push(v);
+                }
+                resident.insert(key);
+                policy.note_insert(key);
+                outcomes.push(false);
+            }
+            assert!(resident.len() <= capacity, "capacity exceeded");
+            let mut tracked = policy.keys();
+            tracked.sort_unstable();
+            let mut expect: Vec<u64> = resident.iter().copied().collect();
+            expect.sort_unstable();
+            assert_eq!(tracked, expect, "policy tracks exactly the resident set");
+        }
+        (outcomes, victims)
+    }
+
+    #[test]
+    fn parse_and_label_roundtrip() {
+        for p in CachePolicy::ALL {
+            assert_eq!(CachePolicy::parse(p.label()), Some(p));
+            assert_eq!(CachePolicy::from_code(p.code()), Some(p));
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(CachePolicy::parse("mru"), None);
+        assert_eq!(CachePolicy::from_code(200), None);
+        assert_eq!(CachePolicy::default(), CachePolicy::Fifo);
+    }
+
+    #[test]
+    fn fifo_victims_follow_insertion_order_despite_hits() {
+        let mut p = FifoPolicy::new();
+        for k in [1u64, 2, 3] {
+            p.note_insert(k);
+        }
+        p.note_hit(&1); // FIFO ignores recency
+        assert_eq!(p.pop_victim(), Some(1));
+        assert_eq!(p.pop_victim(), Some(2));
+        assert_eq!(p.keys(), vec![3]);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut p = LruPolicy::new();
+        for k in [1u64, 2, 3] {
+            p.note_insert(k);
+        }
+        p.note_hit(&1); // 1 is now the most recent
+        assert_eq!(p.pop_victim(), Some(2));
+        assert_eq!(p.keys(), vec![3, 1]);
+    }
+
+    #[test]
+    fn two_q_is_scan_resistant() {
+        // Capacity 5 → protected cap 4. Hot keys 1 and 2 are promoted;
+        // a scan of one-shot keys must only ever churn probation.
+        let mut p = TwoQPolicy::new(5);
+        p.note_insert(1u64);
+        p.note_insert(2u64);
+        p.note_hit(&1);
+        p.note_hit(&2);
+        for scan in 10..20u64 {
+            p.note_insert(scan);
+            let v = p.pop_victim().expect("probation has entries");
+            assert!(v >= 10, "scan key evicted, not a hot key (got {v})");
+        }
+        assert_eq!(p.counters().promotions, 2);
+    }
+
+    #[test]
+    fn two_q_demotes_protected_overflow() {
+        let mut p = TwoQPolicy::new(5); // protected cap 4
+        for k in 0..5u64 {
+            p.note_insert(k);
+            p.note_hit(&k); // promote immediately
+        }
+        // 5 promotions into a 4-cap protected segment → 1 demotion, and
+        // the demoted key (0, the protected LRU) is back in probation:
+        // it is the next victim.
+        let c = p.counters();
+        assert_eq!((c.promotions, c.demotions), (5, 1));
+        assert_eq!(p.pop_victim(), Some(0));
+    }
+
+    #[test]
+    fn freq_victim_minimizes_the_estimate() {
+        let mut p = FreqPolicy::new(8);
+        for k in [1u64, 2, 3] {
+            p.note_insert(k);
+        }
+        for _ in 0..5 {
+            p.note_hit(&1);
+            p.note_hit(&3);
+        }
+        // 2 was accessed once (its insert), 1 and 3 six times.
+        assert_eq!(p.pop_victim(), Some(2));
+        assert!(p.estimate(&1) >= 5);
+    }
+
+    #[test]
+    fn freq_ties_break_by_insertion_order() {
+        let mut p = FreqPolicy::new(8);
+        for k in [7u64, 8, 9] {
+            p.note_insert(k); // every estimate is 1
+        }
+        assert_eq!(p.pop_victim(), Some(7), "oldest insertion wins ties");
+    }
+
+    #[test]
+    fn freq_aging_halves_the_sketch() {
+        let mut p = FreqPolicy::new(0); // clamps sample_period to 1024
+        assert_eq!(p.sample_period, 1024);
+        p.note_insert(1u64);
+        for _ in 0..1023 {
+            p.note_hit(&1);
+        }
+        assert_eq!(p.counters().agings, 1);
+        assert!(p.estimate(&1) <= 128, "counters were halved");
+    }
+
+    #[test]
+    fn clear_forgets_keys_and_keeps_counters() {
+        for kind in CachePolicy::ALL {
+            let mut p = policy_for::<u64>(kind, 4);
+            for k in 0..4u64 {
+                p.note_insert(k);
+                p.note_hit(&k);
+            }
+            let before = p.counters();
+            p.clear();
+            assert!(p.keys().is_empty(), "{kind}: keys survive clear");
+            assert_eq!(p.pop_victim(), None, "{kind}: victim after clear");
+            assert_eq!(p.counters(), before, "{kind}: counters reset by clear");
+        }
+    }
+
+    /// Naive reference models, written against the documented contracts
+    /// (not the implementations): plain `Vec` scans, no ticks, no
+    /// BTreeMaps.
+    mod model {
+        /// FIFO: insertion-ordered list, hits ignored.
+        pub struct Fifo(pub Vec<u64>);
+        impl Fifo {
+            pub fn hit(&mut self, _k: u64) {}
+            pub fn insert(&mut self, k: u64) {
+                self.0.push(k);
+            }
+            pub fn victim(&mut self) -> u64 {
+                self.0.remove(0)
+            }
+        }
+
+        /// LRU: recency-ordered list, hits move to the back.
+        pub struct Lru(pub Vec<u64>);
+        impl Lru {
+            pub fn hit(&mut self, k: u64) {
+                if let Some(i) = self.0.iter().position(|&x| x == k) {
+                    self.0.remove(i);
+                    self.0.push(k);
+                }
+            }
+            pub fn insert(&mut self, k: u64) {
+                self.0.push(k);
+            }
+            pub fn victim(&mut self) -> u64 {
+                self.0.remove(0)
+            }
+        }
+
+        /// 2Q: two recency lists with promotion/demotion per the
+        /// documented contract.
+        pub struct TwoQ {
+            pub probation: Vec<u64>,
+            pub protected: Vec<u64>,
+            pub protected_cap: usize,
+        }
+        impl TwoQ {
+            pub fn hit(&mut self, k: u64) {
+                if let Some(i) = self.probation.iter().position(|&x| x == k) {
+                    self.probation.remove(i);
+                    self.protected.push(k);
+                    if self.protected.len() > self.protected_cap {
+                        let demoted = self.protected.remove(0);
+                        self.probation.push(demoted);
+                    }
+                } else if let Some(i) = self.protected.iter().position(|&x| x == k) {
+                    self.protected.remove(i);
+                    self.protected.push(k);
+                }
+            }
+            pub fn insert(&mut self, k: u64) {
+                self.probation.push(k);
+            }
+            pub fn victim(&mut self) -> u64 {
+                if self.probation.is_empty() {
+                    self.protected.remove(0)
+                } else {
+                    self.probation.remove(0)
+                }
+            }
+        }
+    }
+
+    /// Replays `accesses` through both the policy and a naive model,
+    /// asserting victim-for-victim agreement.
+    fn check_against_model(
+        kind: CachePolicy,
+        accesses: &[u64],
+        capacity: usize,
+    ) -> Result<(), TestCaseError> {
+        let mut policy = policy_for::<u64>(kind, capacity);
+        let mut model_fifo = model::Fifo(Vec::new());
+        let mut model_lru = model::Lru(Vec::new());
+        let mut model_2q = model::TwoQ {
+            probation: Vec::new(),
+            protected: Vec::new(),
+            protected_cap: (capacity * 4 / 5).max(1),
+        };
+        let mut resident = std::collections::HashSet::new();
+        for &key in accesses {
+            if resident.contains(&key) {
+                policy.note_hit(&key);
+                match kind {
+                    CachePolicy::Fifo => model_fifo.hit(key),
+                    CachePolicy::Lru => model_lru.hit(key),
+                    CachePolicy::TwoQ => model_2q.hit(key),
+                    CachePolicy::Freq => unreachable!(),
+                }
+            } else {
+                while resident.len() >= capacity {
+                    let got = policy.pop_victim().expect("victim exists");
+                    let want = match kind {
+                        CachePolicy::Fifo => model_fifo.victim(),
+                        CachePolicy::Lru => model_lru.victim(),
+                        CachePolicy::TwoQ => model_2q.victim(),
+                        CachePolicy::Freq => unreachable!(),
+                    };
+                    prop_assert_eq!(got, want, "{} victim disagrees with model", kind);
+                    prop_assert!(resident.remove(&got));
+                }
+                resident.insert(key);
+                policy.note_insert(key);
+                match kind {
+                    CachePolicy::Fifo => model_fifo.insert(key),
+                    CachePolicy::Lru => model_lru.insert(key),
+                    CachePolicy::TwoQ => model_2q.insert(key),
+                    CachePolicy::Freq => unreachable!(),
+                }
+            }
+            prop_assert!(resident.len() <= capacity);
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn fifo_matches_naive_model(
+            accesses in proptest::collection::vec(0u64..24, 1..200),
+            capacity in 1usize..9,
+        ) {
+            check_against_model(CachePolicy::Fifo, &accesses, capacity)?;
+        }
+
+        #[test]
+        fn lru_matches_naive_model(
+            accesses in proptest::collection::vec(0u64..24, 1..200),
+            capacity in 1usize..9,
+        ) {
+            check_against_model(CachePolicy::Lru, &accesses, capacity)?;
+        }
+
+        #[test]
+        fn two_q_matches_naive_model(
+            accesses in proptest::collection::vec(0u64..24, 1..200),
+            capacity in 1usize..9,
+        ) {
+            check_against_model(CachePolicy::TwoQ, &accesses, capacity)?;
+        }
+
+        #[test]
+        fn every_policy_bounds_capacity_and_tracks_residents(
+            accesses in proptest::collection::vec(0u64..32, 1..300),
+            capacity in 1usize..9,
+        ) {
+            // `drive` asserts the bound and the tracked-set invariant
+            // after every access, for all four policies.
+            for kind in CachePolicy::ALL {
+                let mut p = policy_for::<u64>(kind, capacity);
+                drive(p.as_mut(), &accesses, capacity);
+            }
+        }
+
+        #[test]
+        fn every_policy_is_deterministic(
+            accesses in proptest::collection::vec(0u64..32, 1..300),
+            capacity in 1usize..9,
+        ) {
+            for kind in CachePolicy::ALL {
+                let mut a = policy_for::<u64>(kind, capacity);
+                let mut b = policy_for::<u64>(kind, capacity);
+                let ra = drive(a.as_mut(), &accesses, capacity);
+                let rb = drive(b.as_mut(), &accesses, capacity);
+                prop_assert_eq!(&ra, &rb, "{} diverged across runs", kind);
+                prop_assert_eq!(a.keys(), b.keys());
+            }
+        }
+
+        #[test]
+        fn freq_victim_has_minimal_estimate(
+            accesses in proptest::collection::vec(0u64..24, 1..200),
+            capacity in 1usize..9,
+        ) {
+            let mut p = FreqPolicy::new(capacity);
+            let mut resident = std::collections::HashSet::new();
+            for &key in &accesses {
+                if resident.contains(&key) {
+                    p.note_hit(&key);
+                } else {
+                    while resident.len() >= capacity {
+                        let floor = p
+                            .keys()
+                            .iter()
+                            .map(|k| p.estimate(k))
+                            .min()
+                            .expect("residents exist");
+                        let v = p.pop_victim().expect("victim exists");
+                        prop_assert_eq!(
+                            p.estimate(&v), floor,
+                            "freq evicted a key above the estimate floor"
+                        );
+                        prop_assert!(resident.remove(&v));
+                    }
+                    resident.insert(key);
+                    p.note_insert(key);
+                }
+            }
+        }
+    }
+}

@@ -22,6 +22,9 @@
 //!                          event core only)
 //!   --threads N            synthesis worker threads per request (default 1)
 //!   --cache-capacity N     shared-cache entries, 0 = unbounded (default 65536)
+//!   --cache-policy NAME    eviction policy: fifo|lru|2q|freq (default fifo)
+//!   --cache-trace FILE     record the cache access trace (TRC1) and save it
+//!                          to FILE on shutdown; replay with trasyn-cachesim
 //!   --cache-file FILE      warm-start from FILE on boot, save on shutdown/signal
 //!   --backend NAME         default backend for requests (default gridsynth)
 //!   --epsilon EPS          default per-rotation error threshold (default 1e-2)
@@ -47,7 +50,9 @@
 //!
 //! Exit codes: 0 clean shutdown, 1 startup/save failure, 2 usage error.
 
-use engine::{AnnealingBackend, BackendKind, Engine, GridsynthBackend, TrasynBackend, WarmStart};
+use engine::{
+    AnnealingBackend, BackendKind, CachePolicy, Engine, GridsynthBackend, TrasynBackend, WarmStart,
+};
 use server::{CoreKind, Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -66,6 +71,8 @@ struct Options {
     keepalive_timeout_ms: u64,
     threads: usize,
     cache_capacity: usize,
+    cache_policy: CachePolicy,
+    cache_trace: Option<PathBuf>,
     cache_file: Option<PathBuf>,
     backend: BackendKind,
     epsilon: f64,
@@ -80,6 +87,7 @@ fn usage() -> &'static str {
     "usage: trasyn-server [--addr HOST:PORT] [--addr-file FILE] [--event-core | --thread-core] \
      [--http-workers N] [--queue-depth N] [--max-conns N] [--read-timeout-ms N] \
      [--keepalive-timeout-ms N] [--threads N] [--cache-capacity N] \
+     [--cache-policy fifo|lru|2q|freq] [--cache-trace FILE] \
      [--cache-file FILE] [--backend trasyn|gridsynth|annealing] [--epsilon EPS] \
      [--profile] [--with-trasyn] [--max-t N] [--samples N] [--no-trace] [--trace-sample N] \
      [--trace-ring N] [--trace-slow-ms X] [--trace-seed N]"
@@ -97,6 +105,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         keepalive_timeout_ms: 5000,
         threads: 1,
         cache_capacity: 65536,
+        cache_policy: CachePolicy::Fifo,
+        cache_trace: None,
         cache_file: None,
         backend: BackendKind::Gridsynth,
         epsilon: 1e-2,
@@ -139,6 +149,12 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--cache-capacity" => {
                 opts.cache_capacity = parse_usize("--cache-capacity", value("--cache-capacity")?)?;
             }
+            "--cache-policy" => {
+                let v = value("--cache-policy")?;
+                opts.cache_policy = CachePolicy::parse(&v)
+                    .ok_or_else(|| format!("unknown cache policy '{v}' (fifo|lru|2q|freq)"))?;
+            }
+            "--cache-trace" => opts.cache_trace = Some(PathBuf::from(value("--cache-trace")?)),
             "--cache-file" => opts.cache_file = Some(PathBuf::from(value("--cache-file")?)),
             "--backend" => {
                 let v = value("--backend")?;
@@ -269,6 +285,7 @@ fn main() -> ExitCode {
     let mut builder = Engine::builder()
         .threads(opts.threads)
         .cache_capacity(opts.cache_capacity)
+        .cache_policy(opts.cache_policy)
         .backend(GridsynthBackend::default())
         .backend(AnnealingBackend::default());
     if opts.with_trasyn || opts.backend == BackendKind::Trasyn {
@@ -279,6 +296,13 @@ fn main() -> ExitCode {
         builder = builder.backend(TrasynBackend::with_table(opts.max_t, opts.samples));
     }
     let engine = Arc::new(builder.build());
+
+    // Attach the recorder before Server::start so the warm-start loads
+    // land in the trace — the simulator needs them to replay in parity.
+    let recorder = opts
+        .cache_trace
+        .as_ref()
+        .map(|_| engine.cache().start_recording());
 
     let config = ServerConfig {
         core: opts.core,
@@ -343,6 +367,18 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
         None => {}
+    }
+    if let (Some(path), Some(rec)) = (&opts.cache_trace, &recorder) {
+        match rec.save_to_file(path) {
+            Ok(n) => eprintln!(
+                "[trasyn-server] saved cache trace: {n} event(s) to {}",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("error: cannot save cache trace: {e}");
+                return ExitCode::from(1);
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -695,3 +695,72 @@ fn debug_profile_reports_work_pool_and_queue_sampling() {
 
     handle.shutdown();
 }
+
+#[test]
+fn cache_policy_assertion_is_enforced_and_exported() {
+    // A server whose engine runs LRU: requests that pin "lru" pass,
+    // requests that pin a different policy get a 400 before any work,
+    // and /metrics names the active policy.
+    let eng = Arc::new(
+        Engine::builder()
+            .threads(1)
+            .cache_capacity(4096)
+            .cache_policy(engine::CachePolicy::Lru)
+            .backend(GridsynthBackend::default())
+            .build(),
+    );
+    let handle = Server::start("127.0.0.1:0", config(), eng).unwrap();
+    let mut c = connect(handle.addr());
+
+    let ok = c
+        .request(
+            "POST",
+            "/v1/compile",
+            Some("{\"rz\": 0.25, \"cache_policy\": \"lru\"}"),
+        )
+        .unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    let mismatch = c
+        .request(
+            "POST",
+            "/v1/compile",
+            Some("{\"rz\": 0.5, \"cache_policy\": \"freq\"}"),
+        )
+        .unwrap();
+    assert_eq!(mismatch.status, 400, "{}", mismatch.body);
+    assert!(mismatch.body.contains("'freq'"), "{}", mismatch.body);
+    assert!(mismatch.body.contains("'lru'"), "{}", mismatch.body);
+
+    let unknown = c
+        .request(
+            "POST",
+            "/v1/batch",
+            Some("{\"cache_policy\": \"arc\", \"items\": [{\"rz\": 0.5}]}"),
+        )
+        .unwrap();
+    assert_eq!(unknown.status, 400, "{}", unknown.body);
+    assert!(unknown.body.contains("arc"), "{}", unknown.body);
+
+    let batch_ok = c
+        .request(
+            "POST",
+            "/v1/batch",
+            Some("{\"cache_policy\": \"lru\", \"items\": [{\"rz\": 0.5}]}"),
+        )
+        .unwrap();
+    assert_eq!(batch_ok.status, 200, "{}", batch_ok.body);
+
+    let m = c.request("GET", "/metrics", None).unwrap();
+    assert!(
+        m.body.contains("trasyn_cache_policy{policy=\"lru\"} 1"),
+        "{}",
+        m.body
+    );
+    assert!(m.body.contains("trasyn_cache_policy_promotions_total"), "{}", m.body);
+    // The mismatch was rejected before touching the cache: exactly the
+    // two successful compiles' lookups are counted.
+    assert_eq!(metric(&m.body, "trasyn_cache_misses_total"), 2);
+
+    handle.shutdown();
+}

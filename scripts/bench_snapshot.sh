@@ -20,11 +20,14 @@
 #   SWEEP=500:500:8 scripts/bench_snapshot.sh     # open-loop saturation sweep
 #   OPEN_LOOP=1 RATE=1000 scripts/bench_snapshot.sh
 #       # one open-loop step at a fixed offered rate
+#   CACHE_POLICY=lru scripts/bench_snapshot.sh    # eviction policy under test
+#   CACHE_TRACE=run.trc scripts/bench_snapshot.sh
+#       # also record the cache access trace (replay: trasyn-cachesim)
 #
 # Knobs (env): REQUESTS, CONNECTIONS, MIX, SEED, OUT, APPEND, PROFILE,
 # PROFILE_OUT, CORE (event|thread), HTTP_WORKERS, QUEUE_DEPTH, MAX_CONNS,
 # KEEPALIVE_MS, OPEN_LOOP, RATE, SWEEP (START:STEP:COUNT),
-# SWEEP_STEP_SECS.
+# SWEEP_STEP_SECS, CACHE_POLICY (fifo|lru|2q|freq), CACHE_TRACE.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,6 +48,8 @@ OPEN_LOOP="${OPEN_LOOP:-0}"
 RATE="${RATE:-0}"
 SWEEP="${SWEEP:-}"
 SWEEP_STEP_SECS="${SWEEP_STEP_SECS:-3}"
+CACHE_POLICY="${CACHE_POLICY:-fifo}"
+CACHE_TRACE="${CACHE_TRACE:-}"
 
 GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 HOST="$(uname -n 2>/dev/null || echo unknown)"
@@ -60,8 +65,9 @@ cleanup() {
 }
 trap cleanup EXIT
 
-SERVER_FLAGS=()
+SERVER_FLAGS=(--cache-policy "$CACHE_POLICY")
 [ "$PROFILE" = "1" ] && SERVER_FLAGS+=(--profile)
+[ -n "$CACHE_TRACE" ] && SERVER_FLAGS+=(--cache-trace "$CACHE_TRACE")
 case "$CORE" in
     event) SERVER_FLAGS+=(--event-core) ;;
     thread) SERVER_FLAGS+=(--thread-core) ;;
